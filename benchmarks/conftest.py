@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark file regenerates one table/figure from the paper's
+evaluation (§4) or one ablation called out in DESIGN.md.  The same
+measurement logic backs the standalone harness
+(``python -m repro.workloads.harness``), which prints the paper-style
+tables recorded in EXPERIMENTS.md.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.engine.clock import LogicalClock
+
+
+@pytest.fixture
+def fresh_db_factory(tmp_path):
+    """Factory building isolated ledger databases under the test tmpdir."""
+    counter = {"n": 0}
+
+    def make(block_size: int = 100_000) -> LedgerDatabase:
+        counter["n"] += 1
+        return LedgerDatabase.open(
+            str(tmp_path / f"db{counter['n']}"),
+            block_size=block_size,
+            clock=LogicalClock(step=dt.timedelta(milliseconds=1)),
+        )
+
+    return make

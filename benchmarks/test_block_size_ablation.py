@@ -1,0 +1,79 @@
+"""Ablation (§3.3.1): block size trade-offs.
+
+The paper fixes 100K transactions per block to amortize block-building cost
+over many transactions.  This ablation sweeps the block size and shows the
+trade: small blocks close constantly (hurting append throughput), large
+blocks amortize; verification cost is dominated by row hashing either way.
+"""
+
+import pytest
+
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INT, VARCHAR
+from repro.workloads.harness import (
+    format_block_size_ablation,
+    run_block_size_ablation,
+)
+
+TRANSACTIONS = 200
+BLOCK_SIZES = [10, 100, 1000]
+
+
+def _build(factory, block_size):
+    db = factory(block_size=block_size)
+    db.create_ledger_table(
+        TableSchema(
+            "events",
+            [Column("id", INT, nullable=False),
+             Column("v", VARCHAR(32), nullable=False)],
+            primary_key=["id"],
+        )
+    )
+    return db
+
+
+def _append(db):
+    for i in range(TRANSACTIONS):
+        txn = db.begin()
+        db.insert(txn, "events", [[i, f"value{i}"]])
+        db.commit(txn)
+
+
+@pytest.mark.benchmark(group="blocksize-append")
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_append_throughput(benchmark, fresh_db_factory, block_size):
+    benchmark.pedantic(
+        _append,
+        setup=lambda: ((_build(fresh_db_factory, block_size),), {}),
+        rounds=3,
+    )
+    benchmark.extra_info["block_size"] = block_size
+    benchmark.extra_info["transactions_per_round"] = TRANSACTIONS
+
+
+@pytest.mark.benchmark(group="blocksize-digest")
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_digest_generation(benchmark, fresh_db_factory, block_size):
+    db = _build(fresh_db_factory, block_size)
+    _append(db)
+
+    # Repeated digests over a closed chain measure the steady-state cost of
+    # frequent digest generation (the paper's every-few-seconds cadence).
+    db.generate_digest()
+    benchmark(db.generate_digest)
+    benchmark.extra_info["block_size"] = block_size
+
+
+@pytest.mark.benchmark(group="blocksize-summary")
+def test_blocksize_summary(benchmark):
+    results = run_block_size_ablation(
+        block_sizes=tuple(BLOCK_SIZES), transactions=TRANSACTIONS
+    )
+    print()
+    print(format_block_size_ablation(results))
+    by_size = {row[0]: row for row in results}
+    # Larger blocks must not lose to tiny blocks on append throughput.
+    assert by_size[1000][1] > by_size[10][1] * 0.9
+    # Tiny blocks produce proportionally many blocks.
+    assert by_size[10][4] > by_size[1000][4]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Figure 7: throughput of SQL Ledger vs. the plain engine (§4.1.1).
+
+Four benchmarks (TPC-C/TPC-E × ledger/regular) measure transactions per
+second; the summary benchmark reruns the comparison via the shared harness,
+prints the Figure-7-style table, and asserts the paper's shape: the ledger
+is slower in both workloads, and the update-intensive TPC-C pays more than
+the read-heavy TPC-E.
+"""
+
+import pytest
+
+from repro.workloads.harness import format_fig7, run_fig7
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.tpce import TpceWorkload
+
+TPCC_TRANSACTIONS = 300
+TPCE_TRANSACTIONS = 450
+
+
+def _build_tpcc(factory, ledger):
+    workload = TpccWorkload(factory(), ledger=ledger)
+    workload.create_schema()
+    workload.load()
+    workload.run(20)
+    return workload
+
+
+def _build_tpce(factory, ledger):
+    workload = TpceWorkload(factory(), ledger=ledger)
+    workload.create_schema()
+    workload.load()
+    workload.run(20)
+    return workload
+
+
+@pytest.mark.benchmark(group="fig7-tpcc")
+@pytest.mark.parametrize("ledger", [True, False], ids=["ledger", "regular"])
+def test_tpcc_throughput(benchmark, fresh_db_factory, ledger):
+    benchmark.pedantic(
+        lambda w: w.run(TPCC_TRANSACTIONS),
+        setup=lambda: ((_build_tpcc(fresh_db_factory, ledger),), {}),
+        rounds=3,
+    )
+    benchmark.extra_info["transactions_per_round"] = TPCC_TRANSACTIONS
+
+
+@pytest.mark.benchmark(group="fig7-tpce")
+@pytest.mark.parametrize("ledger", [True, False], ids=["ledger", "regular"])
+def test_tpce_throughput(benchmark, fresh_db_factory, ledger):
+    benchmark.pedantic(
+        lambda w: w.run(TPCE_TRANSACTIONS),
+        setup=lambda: ((_build_tpce(fresh_db_factory, ledger),), {}),
+        rounds=3,
+    )
+    benchmark.extra_info["transactions_per_round"] = TPCE_TRANSACTIONS
+
+
+@pytest.mark.benchmark(group="fig7-summary")
+def test_fig7_summary(benchmark):
+    """Regenerate Figure 7 and check its shape."""
+    results = run_fig7(
+        tpcc_transactions=TPCC_TRANSACTIONS,
+        tpce_transactions=TPCE_TRANSACTIONS,
+        rounds=3,
+    )
+    print()
+    print(format_fig7(results))
+    for workload, row in results.items():
+        benchmark.extra_info[workload] = round(row["difference_pct"], 1)
+        # The ledger must cost something in both workloads (allowing a
+        # small noise margin on a shared machine).
+        assert row["difference_pct"] < 5.0, (
+            f"{workload}: ledger unexpectedly faster than regular"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

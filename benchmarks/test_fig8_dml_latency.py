@@ -1,0 +1,86 @@
+"""Figure 8: DML latency per operation type and index count (§4.1.2).
+
+Single-row INSERT/UPDATE/DELETE on a table with 260-byte rows and 0/1/2/4
+nonclustered indexes, on regular vs. ledger tables.  The paper's additive
+cost model — insert overhead ≈ one row hash, delete ≈ hash + history insert,
+update ≈ two hashes + history insert — is asserted by the summary.
+"""
+
+import pytest
+
+from repro.workloads.harness import format_fig8, run_fig8
+from repro.workloads.microbench import SingleRowDriver, wide_row_schema
+
+OPERATIONS = 100
+
+
+def _build_driver(factory, ledger, index_count):
+    db = factory()
+    schema = wide_row_schema("wide", index_count)
+    if ledger:
+        db.create_ledger_table(schema)
+    else:
+        db.create_table(schema)
+    driver = SingleRowDriver(db, "wide")
+    driver.preload(3 * OPERATIONS + 10)
+    return driver
+
+
+def _run_op(driver, operation):
+    if operation == "insert":
+        for _ in range(OPERATIONS):
+            driver.insert_one()
+    elif operation == "update":
+        for i in range(1, OPERATIONS + 1):
+            driver.update_one(i)
+    else:
+        for i in range(OPERATIONS + 1, 2 * OPERATIONS + 1):
+            driver.delete_one(i)
+
+
+@pytest.mark.benchmark(group="fig8-dml")
+@pytest.mark.parametrize("index_count", [0, 2])
+@pytest.mark.parametrize("operation", ["insert", "update", "delete"])
+@pytest.mark.parametrize("ledger", [True, False], ids=["ledger", "regular"])
+def test_single_row_dml(benchmark, fresh_db_factory, ledger, operation,
+                        index_count):
+    benchmark.pedantic(
+        _run_op,
+        setup=lambda: (
+            (_build_driver(fresh_db_factory, ledger, index_count), operation),
+            {},
+        ),
+        rounds=3,
+    )
+    benchmark.extra_info["rows_per_round"] = OPERATIONS
+
+
+@pytest.mark.benchmark(group="fig8-summary")
+def test_fig8_summary(benchmark):
+    """Regenerate Figure 8 and check the overhead ordering."""
+    results = run_fig8(index_counts=(0, 1, 2, 4), operations_per_round=OPERATIONS,
+                       rounds=3)
+    print()
+    print(format_fig8(results))
+
+    def overhead(operation):
+        deltas = [
+            results[(operation, n, "ledger")] - results[(operation, n, "regular")]
+            for n in (0, 1, 2, 4)
+        ]
+        return sum(deltas) / len(deltas)
+
+    insert_overhead = overhead("INSERT")
+    update_overhead = overhead("UPDATE")
+    delete_overhead = overhead("DELETE")
+    benchmark.extra_info["overhead_us"] = {
+        "INSERT": round(insert_overhead, 1),
+        "UPDATE": round(update_overhead, 1),
+        "DELETE": round(delete_overhead, 1),
+    }
+    # Paper's ordering: insert < delete < update (update ≈ 2·insert + delete
+    # history cost).  Allow generous noise margins.
+    assert insert_overhead > 0
+    assert delete_overhead > insert_overhead * 0.8
+    assert update_overhead > insert_overhead
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

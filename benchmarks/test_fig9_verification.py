@@ -1,0 +1,64 @@
+"""Figure 9: ledger verification time vs. transaction count (§4.2).
+
+Each transaction updates five 260-byte rows; verification recomputes every
+hash in the system.  The paper's claim is linear scaling in the number of
+transactions/row versions; the summary asserts it.
+"""
+
+import pytest
+
+from repro.workloads.harness import format_fig9, run_fig9
+from repro.workloads.microbench import (
+    make_row,
+    run_five_row_update_transactions,
+    wide_row_schema,
+)
+
+TRANSACTION_COUNTS = (100, 300, 900)
+
+
+def _build_verified_ledger(factory, transactions):
+    db = factory(block_size=1000)
+    db.create_ledger_table(wide_row_schema("wide", 0))
+    rows = transactions * 5
+    txn = db.begin("loader")
+    db.insert(txn, "wide", [make_row(i) for i in range(1, rows + 1)])
+    db.commit(txn)
+    run_five_row_update_transactions(db, "wide", transactions)
+    digest = db.generate_digest()
+    return db, digest
+
+
+@pytest.mark.benchmark(group="fig9-verification")
+@pytest.mark.parametrize("transactions", list(TRANSACTION_COUNTS))
+def test_verification_time(benchmark, fresh_db_factory, transactions):
+    db, digest = _build_verified_ledger(fresh_db_factory, transactions)
+
+    def verify():
+        report = db.verify([digest])
+        assert report.ok, report.summary()
+        return report
+
+    report = benchmark.pedantic(verify, rounds=3)
+    benchmark.extra_info["transactions"] = transactions
+    benchmark.extra_info["row_versions_hashed"] = report.row_versions_hashed
+
+
+@pytest.mark.benchmark(group="fig9-summary")
+def test_fig9_summary(benchmark):
+    """Regenerate Figure 9 and assert near-linear scaling."""
+    results = run_fig9(TRANSACTION_COUNTS)
+    print()
+    print(format_fig9(results))
+    (small_n, small_t), *_, (large_n, large_t) = results
+    scale = large_n / small_n
+    observed = large_t / small_t
+    benchmark.extra_info["scaling"] = {
+        "transactions_ratio": scale,
+        "time_ratio": round(observed, 2),
+    }
+    # Linear scaling within generous bounds (sub-linear constant effects and
+    # noise allowed; super-linear blowup is the failure mode to catch).
+    assert observed < scale * 2.5, "verification scales worse than linearly"
+    assert observed > scale * 0.25, "timing anomaly: verification too fast"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Ablation (§3.2.1): the streaming Merkle algorithm.
+
+The paper's design point: computing per-transaction Merkle roots while rows
+are updated must be O(N) time / O(log N) space, and savepoint snapshots must
+be O(log N) so partial rollbacks stay cheap.  The benchmarks compare the
+streaming hasher to the materialized tree and measure snapshot cost.
+"""
+
+import math
+
+import pytest
+
+from repro.crypto.hashing import sha256
+from repro.crypto.merkle import MerkleHasher, MerkleTree
+from repro.workloads.harness import format_merkle_ablation, run_merkle_ablation
+
+LEAF_COUNTS = [1_000, 10_000]
+
+
+def _leaves(count):
+    return [sha256(i.to_bytes(8, "big")) for i in range(count)]
+
+
+@pytest.mark.benchmark(group="merkle-root")
+@pytest.mark.parametrize("count", LEAF_COUNTS)
+def test_streaming_root(benchmark, count):
+    leaves = _leaves(count)
+
+    def stream():
+        hasher = MerkleHasher()
+        for leaf in leaves:
+            hasher.append(leaf)
+        return hasher.root()
+
+    benchmark(stream)
+    benchmark.extra_info["leaves"] = count
+
+
+@pytest.mark.benchmark(group="merkle-root")
+@pytest.mark.parametrize("count", LEAF_COUNTS)
+def test_materialized_root(benchmark, count):
+    leaves = _leaves(count)
+    benchmark(lambda: MerkleTree(leaves).root())
+    benchmark.extra_info["leaves"] = count
+
+
+@pytest.mark.benchmark(group="merkle-savepoint")
+def test_savepoint_snapshot_cost(benchmark):
+    """Snapshot + restore on a large in-flight tree must stay O(log N)."""
+    hasher = MerkleHasher()
+    for leaf in _leaves(50_000):
+        hasher.append(leaf)
+
+    def snapshot_cycle():
+        state = hasher.snapshot()
+        hasher.restore(state)
+        return state
+
+    benchmark(snapshot_cycle)
+    benchmark.extra_info["leaves"] = 50_000
+    benchmark.extra_info["state_digests"] = hasher.state_size()
+
+
+@pytest.mark.benchmark(group="merkle-summary")
+def test_merkle_summary(benchmark):
+    results = run_merkle_ablation(leaf_counts=(1_000, 10_000, 100_000))
+    print()
+    print(format_merkle_ablation(results))
+    for count, _, state_size, _, full_nodes in results:
+        bound = math.ceil(math.log2(count)) + 1
+        assert state_size <= bound, "streaming state exceeded O(log N)"
+        assert full_nodes >= count  # the materialized tree stores every level
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

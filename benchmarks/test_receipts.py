@@ -1,0 +1,74 @@
+"""Ablation (§5.1): receipt generation — one signature per block.
+
+The paper rejects per-transaction signing as too expensive and instead signs
+each block's root once, deriving per-transaction receipts from Merkle
+proofs.  These benchmarks measure both schemes and assert the amortized
+scheme wins.
+"""
+
+import pytest
+
+from repro.crypto.rsa import generate_keypair
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INT
+from repro.workloads.harness import format_receipts_ablation, run_receipts_ablation
+
+TRANSACTIONS = 48
+
+
+def _seeded_db(factory):
+    db = factory(block_size=TRANSACTIONS + 16)
+    db.set_signing_key(generate_keypair(bits=1024, seed=2024))
+    db.create_ledger_table(
+        TableSchema(
+            "deposits",
+            [Column("id", INT, nullable=False),
+             Column("amount", INT, nullable=False)],
+            primary_key=["id"],
+        )
+    )
+    tids = []
+    for i in range(TRANSACTIONS):
+        txn = db.begin("teller")
+        db.insert(txn, "deposits", [[i, i * 10]])
+        db.commit(txn)
+        tids.append(txn.tid)
+    db.generate_digest()  # closes the block receipts anchor to
+    return db, tids
+
+
+@pytest.mark.benchmark(group="receipts")
+def test_amortized_receipts(benchmark, fresh_db_factory):
+    db, tids = _seeded_db(fresh_db_factory)
+
+    def issue_all():
+        return [db.transaction_receipt(tid) for tid in tids]
+
+    receipts = benchmark(issue_all)
+    public = db.signing_key().public
+    assert all(r.verify(public) for r in receipts)
+    benchmark.extra_info["receipts_per_call"] = TRANSACTIONS
+
+
+@pytest.mark.benchmark(group="receipts")
+def test_naive_per_transaction_signatures(benchmark, fresh_db_factory):
+    db, tids = _seeded_db(fresh_db_factory)
+    key = db.signing_key()
+    entries = [db.ledger.transaction_entry(tid) for tid in tids]
+
+    def sign_all():
+        return [key.sign(e.canonical_bytes()) for e in entries]
+
+    benchmark(sign_all)
+    benchmark.extra_info["signatures_per_call"] = TRANSACTIONS
+
+
+@pytest.mark.benchmark(group="receipts-summary")
+def test_receipts_summary(benchmark):
+    results = run_receipts_ablation(transactions=TRANSACTIONS)
+    print()
+    print(format_receipts_ablation(results))
+    assert (
+        results["amortized_receipts_per_s"] > results["naive_signatures_per_s"]
+    ), "per-block signing must beat per-transaction signing"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Schema evolution on ledger tables without losing verifiability (§3.5).
+
+Walks through every logical schema change the paper supports:
+
+* adding a nullable column — old row hashes stay valid (NULLs are skipped);
+* dropping a column — renamed and hidden, never deleted; historical data
+  remains auditable and hashes keep verifying;
+* altering a column's type — decomposed into drop + add + repopulate, each
+  converted row becoming a new hashed version;
+* dropping (and maliciously recreating) a whole table — the Figure 6
+  table-operations view exposes the swap.
+
+After every step, verification against the *original* digest still passes:
+that is the §3.5 guarantee.
+
+Run:  python examples/schema_evolution.py
+"""
+
+import tempfile
+
+from repro import LedgerDatabase
+from repro.engine.schema import Column
+from repro.engine.types import BIGINT, VARCHAR
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} " + "=" * max(0, 62 - len(text)))
+
+
+def main() -> None:
+    db = LedgerDatabase.open(tempfile.mkdtemp(prefix="schema-evolution-"))
+
+    banner("Initial schema and data")
+    db.sql(
+        "CREATE TABLE customers (id INT NOT NULL PRIMARY KEY, "
+        "name VARCHAR(32) NOT NULL, credit INT) WITH (LEDGER = ON)"
+    )
+    db.sql("INSERT INTO customers VALUES (1, 'Ada', 1000), (2, 'Grace', 2000)")
+    original_digest = db.generate_digest()
+    print("two customers recorded; digest extracted")
+
+    banner("ADD COLUMN: nullable columns are hash-compatible (§3.5.1)")
+    db.sql("ALTER TABLE customers ADD email VARCHAR(64)")
+    db.sql("INSERT INTO customers VALUES (3, 'Edsger', 500, 'e@tue.nl')")
+    for row in db.sql("SELECT * FROM customers ORDER BY id"):
+        print(f"  {row}")
+    report = db.verify([original_digest, db.generate_digest()])
+    print(f"  verification (old + new digests): "
+          f"{'PASSED' if report.ok else 'FAILED'}")
+    assert report.ok
+
+    banner("DROP COLUMN: hidden, not erased (§3.5.2)")
+    db.sql("ALTER TABLE customers DROP COLUMN credit")
+    print("  visible columns:",
+          [c.name for c in db.ledger_table("customers").schema.visible_columns])
+    event = db.ledger_view("customers")[0]
+    dropped_keys = [k for k in event if k.startswith("MS_DroppedColumn_")]
+    print(f"  ledger view still exposes the dropped data: "
+          f"{dropped_keys[0]} = {event[dropped_keys[0]]}")
+    report = db.verify([original_digest, db.generate_digest()])
+    assert report.ok
+    print("  verification still PASSED")
+
+    banner("ALTER COLUMN TYPE: drop + re-add + repopulate (§3.5.3)")
+    db.add_column("customers", Column("credit", BIGINT))  # re-added, wider
+    db.alter_column_type("customers", "email", VARCHAR(128))
+    print("  email widened to VARCHAR(128) through ledger DML")
+    report = db.verify([original_digest, db.generate_digest()])
+    assert report.ok
+    print("  verification still PASSED")
+
+    banner("DROP TABLE + recreate: the Figure 6 audit trail")
+    db.sql("DROP TABLE customers")
+    db.sql(
+        "CREATE TABLE customers (id INT NOT NULL PRIMARY KEY, "
+        "name VARCHAR(32) NOT NULL) WITH (LEDGER = ON)"
+    )
+    db.sql("INSERT INTO customers VALUES (1, 'Impostor')")
+    print(f"{'Table Name':<42}{'Table ID':>9}  {'Operation':<10}{'Tx':>5}")
+    for op in db.table_operations_view():
+        if "customers" in op["table_name"].lower():
+            print(f"{op['table_name']:<42}{op['table_id']:>9}  "
+                  f"{op['operation']:<10}{op['transaction_id']:>5}")
+    report = db.verify([db.generate_digest()])
+    assert report.ok
+    print(
+        "\nEach operation verifies — but the table-id change exposes the"
+        "\nswap, exactly the §3.5.2 mitigation for drop-and-recreate attacks."
+    )
+
+
+if __name__ == "__main__":
+    main()

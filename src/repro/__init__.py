@@ -1,0 +1,46 @@
+"""repro — a reproduction of *SQL Ledger* (SIGMOD 2021).
+
+A from-scratch Python implementation of cryptographically verifiable ledger
+tables inside a relational database engine: historical data retention,
+per-transaction Merkle hashing of modified rows, a blockchain of transaction
+blocks (the Database Ledger), externally storable database digests, and a
+verification process that detects any tampering — including storage-level
+attacks that bypass the database APIs.
+
+Public entry points::
+
+    from repro import LedgerDatabase
+
+    db = LedgerDatabase.open("/path/to/dbdir")
+    db.sql("CREATE TABLE accounts (name VARCHAR(32), balance INT) "
+           "WITH (LEDGER = ON)")
+    db.sql("INSERT INTO accounts VALUES ('Nick', 100)")
+    digest = db.generate_digest()
+    report = db.verify([digest])
+"""
+
+from repro.errors import (
+    LedgerError,
+    ReproError,
+    VerificationFailedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "LedgerError",
+    "VerificationFailedError",
+    "LedgerDatabase",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # LedgerDatabase pulls in the whole stack; import it lazily so that the
+    # crypto/engine subpackages stay importable in isolation.
+    if name == "LedgerDatabase":
+        from repro.core.ledger_database import LedgerDatabase
+
+        return LedgerDatabase
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,169 @@
+"""An interactive SQL shell over a ledger database.
+
+Usage::
+
+    python -m repro /path/to/dbdir            # open (or create) a database
+    python -m repro /path/to/dbdir -c "SELECT * FROM t"   # one-shot
+
+Inside the shell, statements end with ``;``.  Ledger-specific commands use a
+backslash prefix:
+
+    \\digest               extract a database digest (JSON)
+    \\verify               verify against all digests issued this session
+    \\tables               list tables with their ledger roles
+    \\history <table>      show the table's ledger view
+    \\receipt <txid>       issue a transaction receipt (JSON)
+    \\ops                  table-operations audit view (Figure 6)
+    \\checkpoint           checkpoint the database
+    \\help                 this text
+    \\quit                 exit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.errors import ReproError
+
+
+def _print_rows(rows) -> None:
+    if rows is None:
+        print("OK")
+        return
+    if isinstance(rows, int):
+        print(f"({rows} row(s) affected)")
+        return
+    if not rows:
+        print("(0 rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(str(r.get(c))) for r in rows)) for c in columns
+    }
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    print(header)
+    print("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        print(" | ".join(str(row.get(c)).ljust(widths[c]) for c in columns))
+    print(f"({len(rows)} rows)")
+
+
+class Shell:
+    def __init__(self, db: LedgerDatabase) -> None:
+        self.db = db
+        self.digests = []
+
+    def run_command(self, line: str) -> bool:
+        """Execute one backslash command; returns False to exit."""
+        parts = line[1:].split()
+        command = parts[0].lower() if parts else "help"
+        if command in ("quit", "exit", "q"):
+            return False
+        if command == "digest":
+            digest = self.db.generate_digest()
+            self.digests.append(digest)
+            print(digest.to_json())
+        elif command == "verify":
+            digests = self.digests or [self.db.generate_digest()]
+            report = self.db.verify(digests)
+            print(report.summary())
+            for finding in report.findings:
+                print(f"  {finding}")
+        elif command == "tables":
+            rows = [
+                {
+                    "table": info.name,
+                    "id": info.table_id,
+                    "role": info.options.get("role") or "regular",
+                    "type": info.options.get("ledger_type") or "",
+                }
+                for info in self.db.engine.catalog.tables()
+            ]
+            _print_rows(rows)
+        elif command == "history" and len(parts) > 1:
+            _print_rows(self.db.ledger_view(parts[1]))
+        elif command == "receipt" and len(parts) > 1:
+            print(self.db.transaction_receipt(int(parts[1])).to_json())
+        elif command == "ops":
+            _print_rows(self.db.table_operations_view())
+        elif command == "checkpoint":
+            self.db.checkpoint()
+            print("checkpoint complete")
+        else:
+            print(__doc__)
+        return True
+
+    def run_sql(self, statement: str) -> None:
+        _print_rows(self.db.sql(statement))
+
+    def repl(self) -> None:
+        print("SQL Ledger shell — \\help for commands, \\quit to exit")
+        buffer: List[str] = []
+        while True:
+            try:
+                prompt = "ledger> " if not buffer else "   ...> "
+                line = input(prompt)
+            except (EOFError, KeyboardInterrupt):
+                print()
+                return
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("\\") and not buffer:
+                try:
+                    if not self.run_command(stripped):
+                        return
+                except (ReproError, ValueError) as exc:
+                    print(f"error: {exc}")
+                continue
+            buffer.append(line)
+            if stripped.endswith(";"):
+                statement = "\n".join(buffer).rstrip().rstrip(";")
+                buffer = []
+                try:
+                    self.run_sql(statement)
+                except ReproError as exc:
+                    print(f"error: {exc}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive SQL shell over a SQL Ledger database.",
+    )
+    parser.add_argument("database", help="database directory (created if new)")
+    parser.add_argument(
+        "-c", "--command", action="append",
+        help="execute statement(s) and exit (repeatable)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=None,
+        help="ledger block size for a new database",
+    )
+    args = parser.parse_args(argv)
+    db = LedgerDatabase.open(args.database, block_size=args.block_size)
+    shell = Shell(db)
+    if args.command:
+        for statement in args.command:
+            try:
+                if statement.strip().startswith("\\"):
+                    shell.run_command(statement.strip())
+                else:
+                    shell.run_sql(statement.rstrip(";"))
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+        db.close()
+        return 0
+    try:
+        shell.repl()
+    finally:
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""The paper's contribution: ledger tables, the Database Ledger, digests,
+verification, receipts, schema evolution and truncation.
+
+Everything here builds on the :mod:`repro.engine` substrate via its hook
+interface — the engine has no ledger knowledge, mirroring how SQL Ledger
+plugs into SQL Server's DML plans, commit pipeline and recovery (paper §3).
+
+The main entry point is :class:`repro.core.ledger_database.LedgerDatabase`.
+"""
+
+from repro.core.digest import BlockHeader, DatabaseDigest, verify_digest_chain
+from repro.core.ledger_database import LedgerDatabase
+from repro.core.receipts import TransactionReceipt
+from repro.core.recovery_advisor import RecoveryAdvisor, RecoveryPlan
+from repro.core.verification import Finding, VerificationReport
+
+__all__ = [
+    "LedgerDatabase",
+    "DatabaseDigest",
+    "BlockHeader",
+    "verify_digest_chain",
+    "TransactionReceipt",
+    "Finding",
+    "VerificationReport",
+    "RecoveryAdvisor",
+    "RecoveryPlan",
+]

@@ -1,0 +1,398 @@
+"""The Database Ledger: transaction entries, blocks, and digests (§2.2, §3.3).
+
+Committed transactions that touched ledger tables become *transaction
+entries*.  Entries are assigned a (block id, ordinal) at commit time and ride
+on the COMMIT WAL record; they then sit in an **in-memory queue** until a
+checkpoint batches them into the ``database_ledger_transactions`` system
+table — the contention-avoiding design of §3.3.2.  When a block fills (or a
+digest is requested), the block builder drains the queue, computes the Merkle
+root over the block's entry hashes and the hash of the previous block, and
+persists the closed block in ``database_ledger_blocks``.
+
+Both system tables are ordinary relational tables: their integrity is
+protected by the chain itself plus externally stored digests, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.digest import BlockHeader, DatabaseDigest
+from repro.core.entries import BlockRow, TransactionEntry
+from repro.crypto.merkle import MerkleTree
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.table import Table
+from repro.engine.transaction import Transaction
+from repro.engine.types import BIGINT, DATETIME, VARBINARY, VARCHAR
+from repro.errors import DigestError, LedgerError
+
+TRANSACTIONS_TABLE = "database_ledger_transactions"
+BLOCKS_TABLE = "database_ledger_blocks"
+
+#: The paper uses 100K transactions per block; tests and examples shrink it.
+DEFAULT_BLOCK_SIZE = 100_000
+
+
+def _transactions_schema() -> TableSchema:
+    return TableSchema(
+        TRANSACTIONS_TABLE,
+        [
+            Column("transaction_id", BIGINT, nullable=False),
+            Column("block_id", BIGINT, nullable=False),
+            Column("ordinal", BIGINT, nullable=False),
+            Column("commit_time", DATETIME, nullable=False),
+            Column("username", VARCHAR(128), nullable=False),
+            Column("table_hashes", VARBINARY(8000), nullable=False),
+        ],
+        primary_key=["transaction_id"],
+    )
+
+
+def _blocks_schema() -> TableSchema:
+    return TableSchema(
+        BLOCKS_TABLE,
+        [
+            Column("block_id", BIGINT, nullable=False),
+            Column("previous_block_hash", VARBINARY(32), nullable=True),
+            Column("transactions_root", VARBINARY(32), nullable=False),
+            Column("transaction_count", BIGINT, nullable=False),
+            Column("closed_time", DATETIME, nullable=False),
+        ],
+        primary_key=["block_id"],
+    )
+
+
+class DatabaseLedger:
+    """Manages the blockchain of transaction blocks for one database."""
+
+    def __init__(self, engine: Database, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size < 1:
+            raise LedgerError("block size must be at least 1")
+        self._engine = engine
+        self._block_size = block_size
+        self._queue: List[TransactionEntry] = []
+        self._open_block_id = 0
+        self._open_ordinal = 0
+        # Set after truncation: (last truncated block id, its hash).
+        self._anchor: Optional[Tuple[int, bytes]] = None
+
+    # ------------------------------------------------------------------
+    # Bootstrap / configuration
+    # ------------------------------------------------------------------
+
+    def ensure_system_tables(self) -> None:
+        if not self._engine.has_table(TRANSACTIONS_TABLE):
+            self._engine.create_table(
+                _transactions_schema(),
+                {"role": "system", "system_kind": "ledger_transactions"},
+            )
+        if not self._engine.has_table(BLOCKS_TABLE):
+            self._engine.create_table(
+                _blocks_schema(), {"role": "system", "system_kind": "ledger_blocks"}
+            )
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def open_block_id(self) -> int:
+        return self._open_block_id
+
+    @property
+    def pending_entries(self) -> int:
+        """Entries still in the in-memory queue (not yet in the system table)."""
+        return len(self._queue)
+
+    def set_anchor(self, block_id: int, block_hash: bytes) -> None:
+        """Install the truncation anchor: the chain now starts after it."""
+        self._anchor = (block_id, block_hash)
+
+    @property
+    def anchor(self) -> Optional[Tuple[int, bytes]]:
+        return self._anchor
+
+    def first_block_id(self) -> int:
+        """The first block that should exist in the chain."""
+        return self._anchor[0] + 1 if self._anchor else 0
+
+    # ------------------------------------------------------------------
+    # Commit-path integration (called by the ledger hooks)
+    # ------------------------------------------------------------------
+
+    def assign(
+        self, txn: Transaction, table_roots: Tuple[Tuple[int, bytes], ...]
+    ) -> TransactionEntry:
+        """Assign the committing transaction its slot in the chain (§3.3.2).
+
+        Pure in-memory bookkeeping — this runs on the commit hot path.
+        """
+        assert txn.commit_time is not None
+        entry = TransactionEntry(
+            transaction_id=txn.tid,
+            block_id=self._open_block_id,
+            ordinal=self._open_ordinal,
+            commit_time=txn.commit_time,
+            username=txn.username,
+            table_roots=table_roots,
+        )
+        self._open_ordinal += 1
+        return entry
+
+    def enqueue(self, entry: TransactionEntry) -> None:
+        """Queue a durably committed entry; close the block when it fills."""
+        self._queue.append(entry)
+        if entry.ordinal + 1 >= self._block_size:
+            self.close_open_block()
+
+    # ------------------------------------------------------------------
+    # Queue flushing and block building
+    # ------------------------------------------------------------------
+
+    def flush_queue(self) -> int:
+        """Batch-insert queued entries into the transactions system table.
+
+        Runs at checkpoint (§3.3.2) and before block closure/verification.
+        Returns the number of entries flushed.
+        """
+        if not self._queue:
+            return 0
+        table = self._transactions_table()
+        txn = self._engine.begin(username="ledger_system")
+        try:
+            for entry in self._queue:
+                table.insert(txn, table.schema.row_from_visible(entry.to_row()))
+        except Exception:
+            self._engine.rollback(txn)
+            raise
+        self._engine.commit(txn)
+        flushed = len(self._queue)
+        self._queue.clear()
+        return flushed
+
+    def close_open_block(self) -> Optional[BlockRow]:
+        """Close the open block if it holds any transactions.
+
+        Retrieves the block's entries (queue + system table), computes the
+        Merkle root over their hashes and the previous block's hash, and
+        persists the block row.  Returns the new block, or None if the open
+        block was empty.
+        """
+        if self._open_ordinal == 0:
+            return None
+        self.flush_queue()
+        closing_id = self._open_block_id
+        entries = self.transactions_in_block(closing_id)
+        if len(entries) != self._open_ordinal:
+            raise LedgerError(
+                f"block {closing_id} should hold {self._open_ordinal} entries "
+                f"but {len(entries)} were found"
+            )
+        tree = MerkleTree([entry.entry_hash() for entry in entries])
+        previous_hash = self._previous_hash_for(closing_id)
+        block = BlockRow(
+            block_id=closing_id,
+            previous_block_hash=previous_hash,
+            transactions_root=tree.root(),
+            transaction_count=len(entries),
+            closed_time=self._engine.clock(),
+        )
+        table = self._blocks_table()
+        txn = self._engine.begin(username="ledger_system")
+        table.insert(txn, table.schema.row_from_visible(block.to_row()))
+        self._engine.commit(txn)
+        self._open_block_id = closing_id + 1
+        self._open_ordinal = 0
+        return block
+
+    def _previous_hash_for(self, block_id: int) -> Optional[bytes]:
+        if self._anchor and block_id == self._anchor[0] + 1:
+            return self._anchor[1]
+        if block_id == 0:
+            return None
+        previous = self.block(block_id - 1)
+        if previous is None:
+            raise LedgerError(
+                f"cannot close block {block_id}: predecessor is missing"
+            )
+        return previous.block_hash()
+
+    # ------------------------------------------------------------------
+    # Digest generation (§2.2)
+    # ------------------------------------------------------------------
+
+    def generate_digest(
+        self, database_guid: str, database_create_time: str
+    ) -> DatabaseDigest:
+        """Produce the Database Digest for the current ledger state.
+
+        Forces the open block to close so the digest covers every committed
+        transaction (the paper's frequent-digest design keeps the window of
+        uncovered data to seconds).
+        """
+        self.close_open_block()
+        latest = self.latest_block()
+        if latest is None:
+            raise DigestError(
+                "the ledger is empty: no transactions have modified ledger tables"
+            )
+        last_commit = self._last_commit_time_in_block(latest.block_id)
+        return DatabaseDigest(
+            database_guid=database_guid,
+            database_create_time=database_create_time,
+            block_id=latest.block_id,
+            block_hash=latest.block_hash(),
+            last_transaction_commit_time=last_commit,
+            digest_time=self._engine.clock(),
+        )
+
+    def _last_commit_time_in_block(self, block_id: int) -> dt.datetime:
+        entries = self.transactions_in_block(block_id)
+        if not entries:
+            raise DigestError(f"block {block_id} holds no transactions")
+        return max(entry.commit_time for entry in entries)
+
+    # ------------------------------------------------------------------
+    # Queries over the chain
+    # ------------------------------------------------------------------
+
+    def block(self, block_id: int) -> Optional[BlockRow]:
+        for candidate in self.blocks():
+            if candidate.block_id == block_id:
+                return candidate
+        return None
+
+    def latest_block(self) -> Optional[BlockRow]:
+        all_blocks = self.blocks()
+        return all_blocks[-1] if all_blocks else None
+
+    def blocks(self) -> List[BlockRow]:
+        """All closed blocks ordered by block id.
+
+        Reads the heap directly (not through the clustered index) and skips
+        undecodable records: a tampered or erased block row must degrade to
+        "missing" so verification can report it instead of crashing.
+        """
+        table = self._blocks_table()
+        found = []
+        for _, row in table.scan():
+            try:
+                found.append(BlockRow.from_row(table.schema.visible_values(row)))
+            except Exception:
+                continue
+        found.sort(key=lambda b: b.block_id)
+        return found
+
+    def block_headers(self, from_block: int, to_block: int) -> List[BlockHeader]:
+        """Headers for blocks ``from_block..to_block`` (external fork checks)."""
+        headers = []
+        for block_id in range(from_block, to_block + 1):
+            block = self.block(block_id)
+            if block is None:
+                raise LedgerError(f"block {block_id} is missing from the chain")
+            headers.append(BlockHeader.from_block_row(block))
+        return headers
+
+    def transaction_entry(self, transaction_id: int) -> Optional[TransactionEntry]:
+        for entry in self._queue:
+            if entry.transaction_id == transaction_id:
+                return entry
+        for entry in self._stored_entries():
+            if entry.transaction_id == transaction_id:
+                return entry
+        return None
+
+    def transactions_in_block(self, block_id: int) -> List[TransactionEntry]:
+        """Entries of one block, ordered by ordinal (queue included)."""
+        entries = [e for e in self._stored_entries() if e.block_id == block_id]
+        entries.extend(e for e in self._queue if e.block_id == block_id)
+        entries.sort(key=lambda e: e.ordinal)
+        return entries
+
+    def all_entries(self) -> List[TransactionEntry]:
+        """Every known entry (system table + queue), by transaction id."""
+        entries = self._stored_entries()
+        entries.extend(self._queue)
+        entries.sort(key=lambda e: e.transaction_id)
+        return entries
+
+    def _stored_entries(self) -> List[TransactionEntry]:
+        """Entries from the system table; undecodable rows degrade to missing."""
+        table = self._transactions_table()
+        entries = []
+        for _, row in table.scan():
+            try:
+                entries.append(
+                    TransactionEntry.from_row(table.schema.visible_values(row))
+                )
+            except Exception:
+                continue
+        return entries
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery integration
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> Dict[str, int]:
+        return {
+            "open_block_id": self._open_block_id,
+            "open_ordinal": self._open_ordinal,
+        }
+
+    def recover(
+        self,
+        recovered_payloads: Sequence[dict],
+        checkpoint_state: Dict[str, int],
+    ) -> None:
+        """Reconstruct the in-memory queue and block counters after restart.
+
+        ``recovered_payloads`` are the ledger payloads of COMMIT records
+        found in the WAL (analysis phase, §3.3.2).  Entries already batched
+        into the system table before the crash are deduplicated by
+        transaction id.
+        """
+        known: Set[int] = set()
+        table = self._transactions_table()
+        tid_ordinal = table.schema.column("transaction_id").ordinal
+        for _, row in table.scan():
+            known.add(row[tid_ordinal])
+        self._queue = []
+        for payload in recovered_payloads:
+            entry = TransactionEntry.from_payload(payload)
+            if entry.transaction_id not in known:
+                self._queue.append(entry)
+        self._queue.sort(key=lambda e: (e.block_id, e.ordinal))
+
+        # Recompute the open block and next ordinal from durable state: the
+        # open block is the first one past the latest closed block, bumped
+        # further if entries (drained or queued) were already assigned past
+        # it before the crash.
+        latest = self.latest_block()
+        open_block = checkpoint_state.get("open_block_id", 0)
+        if latest is not None:
+            open_block = max(open_block, latest.block_id + 1)
+        for entry in self.all_entries():
+            if entry.block_id >= open_block:
+                open_block = entry.block_id
+        self._open_block_id = open_block
+        self._open_ordinal = self._next_ordinal_in(open_block)
+
+    def _next_ordinal_in(self, block_id: int) -> int:
+        """Highest assigned ordinal + 1 within ``block_id`` (table + queue)."""
+        entries = self.transactions_in_block(block_id)
+        if not entries:
+            return 0
+        return max(e.ordinal for e in entries) + 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _transactions_table(self) -> Table:
+        return self._engine.table(TRANSACTIONS_TABLE)
+
+    def _blocks_table(self) -> Table:
+        return self._engine.table(BLOCKS_TABLE)

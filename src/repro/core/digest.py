@@ -1,0 +1,166 @@
+"""Database Digests and externally verifiable digest chains (§2.2, §3.3.1).
+
+A Database Digest is a compact JSON document capturing the state of every
+ledger table at a point in time: the hash of the latest closed block plus
+metadata.  Digests are meant to leave the database — uploaded to immutable
+storage, shared with auditors — and come back later as the trusted input to
+verification.
+
+Requirement 3 of §3.3.1 — detecting *forks* early — is served by
+:func:`verify_digest_chain`: given an older digest, a newer digest, and the
+block headers between them, an external party (who cannot see transaction
+contents) checks that the new digest's chain extends the old digest's chain.
+Block headers expose only hashes and counts, preserving confidentiality.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.entries import BlockRow
+from repro.crypto.hashing import from_hex, to_hex
+from repro.errors import DigestError
+
+
+@dataclass(frozen=True)
+class DatabaseDigest:
+    """The JSON-exportable digest of the database state (§2.2)."""
+
+    database_guid: str
+    database_create_time: str
+    block_id: int
+    block_hash: bytes
+    last_transaction_commit_time: dt.datetime
+    digest_time: dt.datetime
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "database_guid": self.database_guid,
+                "database_create_time": self.database_create_time,
+                "block_id": self.block_id,
+                "hash": to_hex(self.block_hash),
+                "last_transaction_commit_time": (
+                    self.last_transaction_commit_time.isoformat()
+                ),
+                "digest_time": self.digest_time.isoformat(),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DatabaseDigest":
+        try:
+            data = json.loads(text)
+            return cls(
+                database_guid=data["database_guid"],
+                database_create_time=data["database_create_time"],
+                block_id=int(data["block_id"]),
+                block_hash=from_hex(data["hash"]),
+                last_transaction_commit_time=dt.datetime.fromisoformat(
+                    data["last_transaction_commit_time"]
+                ),
+                digest_time=dt.datetime.fromisoformat(data["digest_time"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise DigestError(f"malformed digest document: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Confidentiality-preserving view of one block for external verifiers.
+
+    Carries exactly the fields needed to recompute the block hash — no
+    transaction contents, only Merkle roots and counts.
+    """
+
+    block_id: int
+    previous_block_hash: Optional[bytes]
+    transactions_root: bytes
+    transaction_count: int
+    closed_time: dt.datetime
+
+    @classmethod
+    def from_block_row(cls, block: BlockRow) -> "BlockHeader":
+        return cls(
+            block_id=block.block_id,
+            previous_block_hash=block.previous_block_hash,
+            transactions_root=block.transactions_root,
+            transaction_count=block.transaction_count,
+            closed_time=block.closed_time,
+        )
+
+    def block_hash(self) -> bytes:
+        return self._as_block_row().block_hash()
+
+    def _as_block_row(self) -> BlockRow:
+        return BlockRow(
+            block_id=self.block_id,
+            previous_block_hash=self.previous_block_hash,
+            transactions_root=self.transactions_root,
+            transaction_count=self.transaction_count,
+            closed_time=self.closed_time,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "block_id": self.block_id,
+            "previous_block_hash": (
+                to_hex(self.previous_block_hash)
+                if self.previous_block_hash is not None
+                else None
+            ),
+            "transactions_root": to_hex(self.transactions_root),
+            "transaction_count": self.transaction_count,
+            "closed_time": self.closed_time.isoformat(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BlockHeader":
+        return cls(
+            block_id=int(data["block_id"]),
+            previous_block_hash=(
+                from_hex(data["previous_block_hash"])
+                if data["previous_block_hash"] is not None
+                else None
+            ),
+            transactions_root=from_hex(data["transactions_root"]),
+            transaction_count=int(data["transaction_count"]),
+            closed_time=dt.datetime.fromisoformat(data["closed_time"]),
+        )
+
+
+def verify_digest_chain(
+    older: DatabaseDigest,
+    newer: DatabaseDigest,
+    headers: Sequence[BlockHeader],
+) -> bool:
+    """Check that ``newer`` derives from ``older`` through ``headers``.
+
+    ``headers`` must cover blocks ``older.block_id + 1 .. newer.block_id`` in
+    order.  The check walks the chain: each header's ``previous_block_hash``
+    must equal the recomputed hash of its predecessor (``older``'s hash for
+    the first), and the final recomputed hash must equal ``newer``'s.  A
+    False result means the ledger was forked or rewritten between the two
+    digests — the early-detection case of §3.3.1.
+    """
+    if older.database_guid != newer.database_guid:
+        raise DigestError("digests come from different databases")
+    if newer.block_id < older.block_id:
+        return False
+    if newer.block_id == older.block_id:
+        return newer.block_hash == older.block_hash
+    expected_ids = list(range(older.block_id + 1, newer.block_id + 1))
+    if [h.block_id for h in headers] != expected_ids:
+        return False
+    previous_hash = older.block_hash
+    running_hash = previous_hash
+    for header in headers:
+        if header.previous_block_hash != previous_hash:
+            return False
+        running_hash = header.block_hash()
+        previous_hash = running_hash
+    return running_hash == newer.block_hash

@@ -1,0 +1,620 @@
+"""LedgerDatabase: the public facade over the whole SQL Ledger stack.
+
+Wires the engine, the ledger hooks, the Database Ledger, ledger-table DDL
+with its metadata system tables, ledger views, digests, verification,
+receipts, schema evolution and truncation into one object — the equivalent
+of an Azure SQL database with ledger enabled.
+
+Ledger system tables created at bootstrap:
+
+* ``__ledger_config`` — regular: database GUID, create time, block size.
+* ``database_ledger_transactions`` / ``database_ledger_blocks`` — the
+  Database Ledger itself (§3.3.1).
+* ``__ledger_views`` — regular: canonical ledger-view definitions (§3.4.2).
+* ``__ledger_tables_meta`` / ``__ledger_columns_meta`` — *updateable ledger
+  tables* tracking every CREATE/DROP of ledger tables and columns, so that
+  drop-and-recreate attacks are auditable (§3.5.2, Figure 6).
+* ``__ledger_truncations`` — *append-only ledger table* recording ledger
+  truncation events (§5.2).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import os
+import shutil
+import uuid
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core import system_columns as sc
+from repro.core.database_ledger import DatabaseLedger
+from repro.core.digest import BlockHeader, DatabaseDigest
+from repro.core.hooks import LedgerHooks
+from repro.core.ledger_view import (
+    canonical_view_definition,
+    ledger_view_rows,
+)
+from repro.engine.database import Database
+from repro.engine.expressions import eq
+from repro.engine.operators import delete_rows, insert_rows, update_rows
+from repro.engine.schema import Column, IndexDefinition, TableSchema
+from repro.engine.table import Table
+from repro.engine.transaction import Transaction
+from repro.engine.types import BIGINT, INT, VARBINARY, VARCHAR
+from repro.errors import LedgerConfigurationError, TableNotFoundError
+
+CONFIG_TABLE = "__ledger_config"
+VIEWS_TABLE = "__ledger_views"
+TABLES_META = "__ledger_tables_meta"
+COLUMNS_META = "__ledger_columns_meta"
+TRUNCATIONS_TABLE = "__ledger_truncations"
+
+HISTORY_SUFFIX = "__ledger_history"
+
+UPDATEABLE = "updateable"
+APPEND_ONLY = "append_only"
+
+#: Scaled-down default block size for a laptop-scale reproduction; the
+#: paper's production value is DEFAULT_BLOCK_SIZE (100 000).
+FACADE_DEFAULT_BLOCK_SIZE = 1000
+
+
+class LedgerDatabase:
+    """A database with SQL Ledger enabled.  Create via :meth:`open`."""
+
+    def __init__(
+        self,
+        engine: Database,
+        hooks: LedgerHooks,
+        ledger: DatabaseLedger,
+    ) -> None:
+        self.engine = engine
+        self.hooks = hooks
+        self.ledger = ledger
+        self._signing_key = None
+        self._sql_session = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        block_size: Optional[int] = None,
+        clock: Optional[Callable[[], dt.datetime]] = None,
+        sync: bool = False,
+    ) -> "LedgerDatabase":
+        """Open (bootstrapping or recovering) a ledger database at ``path``."""
+        hooks = LedgerHooks()
+        engine = Database.open(path, hooks=hooks, clock=clock, sync=sync)
+        fresh = not engine.has_table(CONFIG_TABLE)
+        effective_block_size = block_size or FACADE_DEFAULT_BLOCK_SIZE
+        if not fresh and block_size is None:
+            stored = cls._read_config_static(engine, "block_size")
+            if stored is not None:
+                effective_block_size = int(stored)
+        ledger = DatabaseLedger(engine, block_size=effective_block_size)
+        hooks.bind(engine, ledger)
+        db = cls(engine, hooks, ledger)
+        if fresh:
+            db._bootstrap(effective_block_size)
+        else:
+            payloads, state = hooks.take_recovery_data()
+            ledger.recover(payloads, state)
+            db._load_truncation_anchor()
+        return db
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def checkpoint(self) -> None:
+        self.engine.checkpoint()
+
+    def simulate_crash(self) -> None:
+        self.engine.simulate_crash()
+
+    def backup(self, destination: str) -> None:
+        """Checkpoint and copy the database directory (cold backup, §3.7)."""
+        self.engine.checkpoint()
+        if os.path.exists(destination):
+            raise LedgerConfigurationError(
+                f"backup destination {destination!r} already exists"
+            )
+        shutil.copytree(self.engine.path, destination)
+
+    @classmethod
+    def restore_backup(
+        cls,
+        backup_path: str,
+        target_path: str,
+        clock: Optional[Callable[[], dt.datetime]] = None,
+    ) -> "LedgerDatabase":
+        """Restore a cold backup as a new database *incarnation* (§3.6).
+
+        The restored database gets a fresh ``create_time`` so that digests
+        uploaded after the restore are distinguishable from the original
+        incarnation's.
+        """
+        if os.path.exists(target_path):
+            raise LedgerConfigurationError(
+                f"restore target {target_path!r} already exists"
+            )
+        shutil.copytree(backup_path, target_path)
+        db = cls.open(target_path, clock=clock)
+        db._set_config("create_time", db.engine.clock().isoformat())
+        return db
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _bootstrap(self, block_size: int) -> None:
+        engine = self.engine
+        engine.create_table(
+            TableSchema(
+                CONFIG_TABLE,
+                [
+                    Column("key", VARCHAR(64), nullable=False),
+                    Column("value", VARCHAR(256), nullable=False),
+                ],
+                primary_key=["key"],
+            ),
+            {"role": "system", "system_kind": "config"},
+        )
+        self.ledger.ensure_system_tables()
+        engine.create_table(
+            TableSchema(
+                VIEWS_TABLE,
+                [
+                    Column("view_name", VARCHAR(256), nullable=False),
+                    Column("table_name", VARCHAR(128), nullable=False),
+                    Column("definition", VARCHAR(8000), nullable=False),
+                ],
+                primary_key=["view_name"],
+            ),
+            {"role": "system", "system_kind": "views"},
+        )
+        self._set_config("database_guid", str(uuid.uuid4()))
+        self._set_config("create_time", engine.clock().isoformat())
+        self._set_config("block_size", str(block_size))
+
+        # The metadata tables are themselves ledger tables (§3.5.2); they are
+        # created unregistered and then registered together, since they
+        # cannot be registered before they exist.
+        self.create_ledger_table(
+            TableSchema(
+                TABLES_META,
+                [
+                    Column("table_id", INT, nullable=False),
+                    Column("table_name", VARCHAR(160), nullable=False),
+                    Column("ledger_type", VARCHAR(16), nullable=False),
+                    Column("history_table_name", VARCHAR(160)),
+                ],
+                primary_key=["table_id"],
+            ),
+            ledger_type=UPDATEABLE,
+            _register=False,
+        )
+        self.create_ledger_table(
+            TableSchema(
+                COLUMNS_META,
+                [
+                    Column("table_id", INT, nullable=False),
+                    Column("ordinal", INT, nullable=False),
+                    Column("column_name", VARCHAR(160), nullable=False),
+                    Column("type_name", VARCHAR(64), nullable=False),
+                ],
+                primary_key=["table_id", "ordinal"],
+            ),
+            ledger_type=UPDATEABLE,
+            _register=False,
+        )
+        self.create_ledger_table(
+            TableSchema(
+                TRUNCATIONS_TABLE,
+                [
+                    Column("truncation_id", INT, nullable=False),
+                    Column("truncated_through_block", BIGINT, nullable=False),
+                    Column("truncated_through_tid", BIGINT, nullable=False),
+                    Column("anchor_hash", VARBINARY(32), nullable=False),
+                    Column("note", VARCHAR(256)),
+                ],
+                primary_key=["truncation_id"],
+            ),
+            ledger_type=APPEND_ONLY,
+            _register=False,
+        )
+        txn = self.begin(username="ledger_system")
+        for name in (TABLES_META, COLUMNS_META, TRUNCATIONS_TABLE):
+            self._register_ledger_table(txn, self.engine.table(name))
+        self.commit(txn)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _read_config_static(engine: Database, key: str) -> Optional[str]:
+        table = engine.table(CONFIG_TABLE)
+        hit = table.seek([key])
+        if hit is None:
+            return None
+        _, row = hit
+        return row[table.schema.column("value").ordinal]
+
+    def get_config(self, key: str) -> Optional[str]:
+        return self._read_config_static(self.engine, key)
+
+    def _set_config(self, key: str, value: str) -> None:
+        table = self.engine.table(CONFIG_TABLE)
+        txn = self.engine.begin(username="ledger_system")
+        hit = table.seek([key])
+        if hit is None:
+            table.insert(txn, table.schema.row_from_visible([key, value]))
+        else:
+            rid, row = hit
+            new_row = list(row)
+            new_row[table.schema.column("value").ordinal] = value
+            table.update_row(txn, rid, new_row)
+        self.engine.commit(txn)
+
+    @property
+    def database_guid(self) -> str:
+        guid = self.get_config("database_guid")
+        assert guid is not None
+        return guid
+
+    @property
+    def database_create_time(self) -> str:
+        create_time = self.get_config("create_time")
+        assert create_time is not None
+        return create_time
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self, username: str = "app_user") -> Transaction:
+        return self.engine.begin(username)
+
+    def commit(self, txn: Transaction) -> Optional[Dict[str, Any]]:
+        return self.engine.commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        self.engine.rollback(txn)
+
+    def savepoint(self, txn: Transaction, name: str) -> None:
+        self.engine.savepoint(txn, name)
+
+    def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
+        self.engine.rollback_to_savepoint(txn, name)
+
+    # ------------------------------------------------------------------
+    # Ledger table DDL (§2.1, §3.1)
+    # ------------------------------------------------------------------
+
+    def create_ledger_table(
+        self,
+        schema: TableSchema,
+        ledger_type: str = UPDATEABLE,
+        _register: bool = True,
+    ) -> Table:
+        """Create a ledger table (and, if updateable, its history table)."""
+        if ledger_type not in (UPDATEABLE, APPEND_ONLY):
+            raise LedgerConfigurationError(
+                f"unknown ledger type {ledger_type!r}; use "
+                f"{UPDATEABLE!r} or {APPEND_ONLY!r}"
+            )
+        extended = sc.extend_with_system_columns(
+            schema, include_end=(ledger_type == UPDATEABLE)
+        )
+        table = self.engine.create_table(
+            extended, {"role": "ledger", "ledger_type": ledger_type}
+        )
+        history: Optional[Table] = None
+        if ledger_type == UPDATEABLE:
+            history_name = schema.name + HISTORY_SUFFIX
+            history = self.engine.create_table(
+                sc.history_schema_for(extended, history_name),
+                {"role": "history", "ledger_table_id": table.table_id},
+            )
+            self.engine.update_table_options(
+                table.table_id, {"history_table_id": history.table_id}
+            )
+        self._register_view(table, history)
+        if _register:
+            txn = self.begin(username="ledger_system")
+            self._register_ledger_table(txn, table)
+            self.commit(txn)
+        return table
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a regular (non-ledger) table."""
+        return self.engine.create_table(schema, {})
+
+    def drop_ledger_table(self, name: str) -> str:
+        """Logically drop a ledger table: rename, never delete (§3.5.2).
+
+        Returns the internal name the table now lives under.  The rename is
+        recorded in the ledger metadata tables, so the drop shows up in the
+        table-operations view (Figure 6) and survives verification.
+        """
+        table = self.ledger_table(name)
+        dropped_name = f"MS_DroppedTable_{name}_{table.table_id}"
+        self.engine.rename_table(name, dropped_name)
+        history_id = table.options.get("history_table_id")
+        if history_id is not None:
+            history = self.engine.table_by_id(history_id)
+            self.engine.rename_table(
+                history.name, f"MS_DroppedTable_{history.name}_{history.table_id}"
+            )
+        txn = self.begin(username="ledger_system")
+        meta = self.engine.table(TABLES_META)
+        update_rows(
+            txn, meta, {"table_name": dropped_name}, eq("table_id", table.table_id)
+        )
+        self.commit(txn)
+        self._update_view_registration(f"{name}_ledger", table)
+        return dropped_name
+
+    def create_index(self, table_name: str, definition: IndexDefinition) -> None:
+        """Physical schema change: allowed freely on ledger tables (§3.5)."""
+        self.engine.create_index(table_name, definition)
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        self.engine.drop_index(table_name, index_name)
+
+    def _register_ledger_table(self, txn: Transaction, table: Table) -> None:
+        meta = self.engine.table(TABLES_META)
+        history_id = table.options.get("history_table_id")
+        history_name = (
+            self.engine.table_by_id(history_id).name if history_id else None
+        )
+        insert_rows(
+            txn,
+            meta,
+            [[
+                table.table_id,
+                table.name,
+                table.options["ledger_type"],
+                history_name,
+            ]],
+        )
+        columns_meta = self.engine.table(COLUMNS_META)
+        for column in table.schema.visible_columns:
+            insert_rows(
+                txn,
+                columns_meta,
+                [[table.table_id, column.ordinal, column.name,
+                  column.sql_type.render()]],
+            )
+
+    def _register_view(self, table: Table, history: Optional[Table]) -> None:
+        views = self.engine.table(VIEWS_TABLE)
+        definition = canonical_view_definition(
+            table.name,
+            history.name if history else None,
+            [c.name for c in table.schema.visible_columns],
+        )
+        txn = self.engine.begin(username="ledger_system")
+        views.insert(
+            txn,
+            views.schema.row_from_visible(
+                [f"{table.name}_ledger", table.name, definition]
+            ),
+        )
+        self.engine.commit(txn)
+
+    def _update_view_registration(self, old_view_name: str, table: Table) -> None:
+        """Re-key a table's view registration after rename or schema change."""
+        history_id = table.options.get("history_table_id")
+        history = self.engine.table_by_id(history_id) if history_id else None
+        views = self.engine.table(VIEWS_TABLE)
+        txn = self.engine.begin(username="ledger_system")
+        hit = views.seek([old_view_name])
+        if hit is not None:
+            views.delete_row(txn, hit[0])
+        definition = canonical_view_definition(
+            table.name,
+            history.name if history else None,
+            [c.name for c in table.schema.visible_columns],
+        )
+        views.insert(
+            txn,
+            views.schema.row_from_visible(
+                [f"{table.name}_ledger", table.name, definition]
+            ),
+        )
+        self.engine.commit(txn)
+
+    # ------------------------------------------------------------------
+    # Table access
+    # ------------------------------------------------------------------
+
+    def ledger_table(self, name: str) -> Table:
+        table = self.engine.table(name)
+        if table.options.get("role") != "ledger":
+            raise LedgerConfigurationError(f"{name!r} is not a ledger table")
+        return table
+
+    def history_table(self, ledger_table_name: str) -> Optional[Table]:
+        table = self.ledger_table(ledger_table_name)
+        history_id = table.options.get("history_table_id")
+        return self.engine.table_by_id(history_id) if history_id else None
+
+    def ledger_tables(self) -> List[Table]:
+        """Every live ledger table, dropped ones included (they still verify)."""
+        return [
+            self.engine.table(info.name)
+            for info in self.engine.catalog.tables()
+            if info.options.get("role") == "ledger"
+        ]
+
+    # ------------------------------------------------------------------
+    # DML convenience API
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, txn: Transaction, table_name: str, rows: Sequence[Sequence[Any]]
+    ) -> int:
+        """Insert rows given in visible-column order."""
+        return insert_rows(txn, self.engine.table(table_name), rows)
+
+    def update(
+        self,
+        txn: Transaction,
+        table_name: str,
+        assignments: Dict[str, Any],
+        where: Any = None,
+    ) -> int:
+        return update_rows(txn, self.engine.table(table_name), assignments, where)
+
+    def delete(self, txn: Transaction, table_name: str, where: Any = None) -> int:
+        return delete_rows(txn, self.engine.table(table_name), where)
+
+    def select(
+        self,
+        table_name: str,
+        where: Any = None,
+        include_hidden: bool = False,
+    ) -> List[Dict[str, Any]]:
+        from repro.engine.operators import access_path
+
+        table = self.engine.table(table_name)
+        return [
+            named
+            for _, named in access_path(table, where, include_hidden=include_hidden)
+        ]
+
+    # ------------------------------------------------------------------
+    # Ledger views (§2.1)
+    # ------------------------------------------------------------------
+
+    def ledger_view(self, table_name: str) -> List[Dict[str, Any]]:
+        """All row operations ever performed on a ledger table (Figure 2)."""
+        table = self.ledger_table(table_name)
+        return ledger_view_rows(table, self.history_table(table_name))
+
+    def table_operations_view(self) -> List[Dict[str, Any]]:
+        """CREATE/DROP history of every ledger table (Figure 6, §3.5.2)."""
+        operations = []
+        for event in self.ledger_view(TABLES_META):
+            if event["ledger_operation_type_desc"] != "INSERT":
+                continue
+            name = event["table_name"]
+            operations.append(
+                {
+                    "table_name": name,
+                    "table_id": event["table_id"],
+                    "operation": "DROP" if name.startswith("MS_DroppedTable_") else "CREATE",
+                    "transaction_id": event["ledger_transaction_id"],
+                }
+            )
+        operations.sort(key=lambda op: (op["transaction_id"], op["table_id"]))
+        return operations
+
+    # ------------------------------------------------------------------
+    # Digests (§2.2)
+    # ------------------------------------------------------------------
+
+    def generate_digest(self) -> DatabaseDigest:
+        """Close the open block and export the Database Digest."""
+        return self.ledger.generate_digest(
+            self.database_guid, self.database_create_time
+        )
+
+    def block_headers(self, from_block: int, to_block: int) -> List[BlockHeader]:
+        return self.ledger.block_headers(from_block, to_block)
+
+    # ------------------------------------------------------------------
+    # Verification (§3.4)
+    # ------------------------------------------------------------------
+
+    def verify(self, digests: Sequence[DatabaseDigest], table_names=None):
+        """Run ledger verification against externally stored digests.
+
+        Returns a :class:`repro.core.verification.VerificationReport`; raise
+        on failure by calling ``report.raise_if_failed()``.
+        """
+        from repro.core.verification import LedgerVerifier
+
+        return LedgerVerifier(self).verify(digests, table_names=table_names)
+
+    # ------------------------------------------------------------------
+    # Receipts (§5.1)
+    # ------------------------------------------------------------------
+
+    def signing_key(self):
+        """The database's receipt-signing key (generated lazily)."""
+        if self._signing_key is None:
+            from repro.crypto.rsa import generate_keypair
+
+            self._signing_key = generate_keypair(bits=1024)
+        return self._signing_key
+
+    def set_signing_key(self, keypair) -> None:
+        self._signing_key = keypair
+
+    def transaction_receipt(self, transaction_id: int):
+        from repro.core.receipts import generate_receipt
+
+        return generate_receipt(self, transaction_id)
+
+    # ------------------------------------------------------------------
+    # Schema evolution (§3.5) and truncation (§5.2)
+    # ------------------------------------------------------------------
+
+    def add_column(self, table_name: str, column: Column) -> None:
+        from repro.core.schema_changes import add_column
+
+        add_column(self, table_name, column)
+
+    def drop_column(self, table_name: str, column_name: str) -> None:
+        from repro.core.schema_changes import drop_column
+
+        drop_column(self, table_name, column_name)
+
+    def alter_column_type(
+        self, table_name: str, column_name: str, new_type, converter=None
+    ) -> None:
+        from repro.core.schema_changes import alter_column_type
+
+        alter_column_type(self, table_name, column_name, new_type, converter)
+
+    def truncate_ledger(self, through_block: int, note: Optional[str] = None):
+        from repro.core.truncation import truncate_ledger
+
+        return truncate_ledger(self, through_block, note)
+
+    def _load_truncation_anchor(self) -> None:
+        """Re-install the chain anchor from the truncations ledger table."""
+        try:
+            table = self.engine.table(TRUNCATIONS_TABLE)
+        except TableNotFoundError:
+            return
+        best = None
+        for _, row in table.scan():
+            named = {
+                c.name: row[c.ordinal] for c in table.schema.visible_columns
+            }
+            if best is None or named["truncated_through_block"] > best[0]:
+                best = (named["truncated_through_block"], named["anchor_hash"])
+        if best is not None:
+            self.ledger.set_anchor(best[0], best[1])
+
+    # ------------------------------------------------------------------
+    # SQL front-end
+    # ------------------------------------------------------------------
+
+    def sql(self, statement: str):
+        """Execute a SQL statement through the SQL front-end."""
+        if self._sql_session is None:
+            from repro.sql.session import SqlSession
+
+            self._sql_session = SqlSession(self)
+        return self._sql_session.execute(statement)
+
+    def __repr__(self) -> str:
+        return f"<LedgerDatabase {self.engine.path!r}>"

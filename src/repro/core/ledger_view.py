@@ -1,0 +1,119 @@
+"""Ledger views: the per-table audit trail of all row operations (§2.1).
+
+For every ledger table the system exposes a view reporting each row version
+event — INSERTs of new versions and DELETEs of old ones — together with the
+transaction that performed it and the operation sequence number.  Updates
+appear as a DELETE of the old version plus an INSERT of the new one
+(Figure 2 of the paper).
+
+Views are *derived*, never stored: each call recomputes from the current
+ledger and history tables.  What IS stored (in the ``__ledger_views`` system
+table) is the canonical view *definition*, which verification re-derives and
+compares so that a tampered definition cannot silently change what auditors
+see (§3.4.2, final step).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core import system_columns as sc
+from repro.engine.table import Table
+
+OPERATION_INSERT = "INSERT"
+OPERATION_DELETE = "DELETE"
+
+#: Names of the audit columns appended by every ledger view.
+VIEW_TRANSACTION_COLUMN = "ledger_transaction_id"
+VIEW_SEQUENCE_COLUMN = "ledger_sequence_number"
+VIEW_OPERATION_COLUMN = "ledger_operation_type_desc"
+
+
+def _user_columns(table: Table) -> List:
+    """Visible plus dropped columns — dropped data stays auditable (§3.5.2)."""
+    return [
+        c for c in table.schema.columns
+        if c.name not in sc.ALL_SYSTEM_COLUMNS and not c.hidden
+    ]
+
+
+def _event(
+    columns, row, transaction_id: int, sequence: int, operation: str
+) -> Dict[str, Any]:
+    event = {c.name: row[c.ordinal] for c in columns}
+    event[VIEW_TRANSACTION_COLUMN] = transaction_id
+    event[VIEW_SEQUENCE_COLUMN] = sequence
+    event[VIEW_OPERATION_COLUMN] = operation
+    return event
+
+
+def ledger_view_rows(
+    ledger_table: Table, history_table: Optional[Table]
+) -> List[Dict[str, Any]]:
+    """Materialize the ledger view: one row per row-version event.
+
+    Rows are ordered by (transaction id, sequence number), i.e. the exact
+    order in which operations executed — the order auditors need to replay
+    what happened.
+    """
+    columns = _user_columns(ledger_table)
+    start_tid, start_seq = sc.start_ordinals(ledger_table.schema)
+    events: List[Dict[str, Any]] = []
+
+    for _, row in ledger_table.scan():
+        events.append(
+            _event(columns, row, row[start_tid], row[start_seq], OPERATION_INSERT)
+        )
+
+    if history_table is not None:
+        h_start_tid, h_start_seq = sc.start_ordinals(history_table.schema)
+        h_end_tid, h_end_seq = sc.end_ordinals(history_table.schema)
+        history_columns = _user_columns(history_table)
+        for _, row in history_table.scan():
+            events.append(
+                _event(
+                    history_columns, row,
+                    row[h_start_tid], row[h_start_seq], OPERATION_INSERT,
+                )
+            )
+            events.append(
+                _event(
+                    history_columns, row,
+                    row[h_end_tid], row[h_end_seq], OPERATION_DELETE,
+                )
+            )
+
+    events.sort(
+        key=lambda e: (e[VIEW_TRANSACTION_COLUMN] or 0, e[VIEW_SEQUENCE_COLUMN] or 0)
+    )
+    return events
+
+
+def canonical_view_definition(
+    table_name: str, history_table_name: Optional[str], column_names: List[str]
+) -> str:
+    """The canonical SQL text of a ledger view.
+
+    Stored when the view is created and re-derived during verification; a
+    mismatch means someone redefined the view (§3.4.2).
+    """
+    select_list = ", ".join(column_names) if column_names else "*"
+    live = (
+        f"SELECT {select_list}, {sc.START_TRANSACTION} AS {VIEW_TRANSACTION_COLUMN}, "
+        f"{sc.START_SEQUENCE} AS {VIEW_SEQUENCE_COLUMN}, "
+        f"'{OPERATION_INSERT}' AS {VIEW_OPERATION_COLUMN} FROM {table_name}"
+    )
+    if history_table_name is None:
+        return f"CREATE VIEW {table_name}_ledger AS {live}"
+    inserted = (
+        f"SELECT {select_list}, {sc.START_TRANSACTION}, {sc.START_SEQUENCE}, "
+        f"'{OPERATION_INSERT}' FROM {history_table_name}"
+    )
+    deleted = (
+        f"SELECT {select_list}, {sc.END_TRANSACTION}, {sc.END_SEQUENCE}, "
+        f"'{OPERATION_DELETE}' FROM {history_table_name}"
+    )
+    return (
+        f"CREATE VIEW {table_name}_ledger AS {live} UNION ALL {inserted} "
+        f"UNION ALL {deleted}"
+    )

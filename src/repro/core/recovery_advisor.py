@@ -1,0 +1,183 @@
+"""Recovery from tampering: triage and repair planning (§3.7).
+
+When verification fails, §3.7 separates the damage into two categories:
+
+1. **passive data** — values that do not steer later transactions (e.g. a
+   payment's memo line).  Repair: restore the latest verifiable backup
+   *beside* the production database, copy the authentic rows back, and keep
+   all previously issued digests (the chain was never forked).
+
+2. **operational data** — values later transactions *read* to compute their
+   own writes (e.g. an account balance).  Transactions that ran after the
+   tampering may have produced wrong-but-correctly-ledgered results.
+   Repair: restore the latest verifiable backup, re-execute the business
+   transactions after the backup point, and invalidate the digests issued
+   in between — informing every external party that holds them.
+
+The advisor automates the triage: given a failed verification report and a
+declaration of which tables carry operational data, it determines the
+affected transactions, the earliest compromised point, and emits the §3.7
+repair plan.  The repair itself stays manual, as in the paper.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.core.verification import Finding, VerificationReport
+
+#: Severity ordering for the recommended strategies.
+STRATEGY_NO_ACTION = "no_action"
+STRATEGY_RESTORE_AND_REPAIR = "restore_and_repair_rows"
+STRATEGY_RESTORE_AND_REPLAY = "restore_and_reexecute_transactions"
+STRATEGY_CHAIN_COMPROMISED = "restore_required_chain_compromised"
+
+
+@dataclass
+class RecoveryPlan:
+    """The §3.7 triage outcome for one failed verification."""
+
+    strategy: str
+    affected_tables: List[str] = field(default_factory=list)
+    affected_transactions: List[int] = field(default_factory=list)
+    earliest_affected_transaction: Optional[int] = None
+    earliest_affected_commit_time: Optional[dt.datetime] = None
+    digests_remain_valid: bool = True
+    steps: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [f"recovery strategy: {self.strategy}"]
+        if self.affected_tables:
+            lines.append(f"affected tables: {', '.join(self.affected_tables)}")
+        if self.earliest_affected_transaction is not None:
+            lines.append(
+                "earliest affected transaction: "
+                f"{self.earliest_affected_transaction}"
+                + (
+                    f" (committed {self.earliest_affected_commit_time})"
+                    if self.earliest_affected_commit_time
+                    else ""
+                )
+            )
+        lines.append(
+            "previously issued digests remain valid"
+            if self.digests_remain_valid
+            else "digests issued after the earliest affected transaction "
+                 "must be invalidated and their holders notified"
+        )
+        lines.extend(f"  {i + 1}. {step}" for i, step in enumerate(self.steps))
+        return "\n".join(lines)
+
+
+class RecoveryAdvisor:
+    """Builds a :class:`RecoveryPlan` from a failed verification report."""
+
+    def __init__(self, db, operational_tables: Sequence[str] = ()) -> None:
+        """``operational_tables`` declares which ledger tables hold data that
+        later transactions read to compute their writes (category 2)."""
+        self._db = db
+        self._operational = set(operational_tables)
+
+    def plan(self, report: VerificationReport) -> RecoveryPlan:
+        if report.ok:
+            return RecoveryPlan(
+                strategy=STRATEGY_NO_ACTION,
+                steps=["verification passed; nothing to recover"],
+            )
+
+        tables = self._affected_tables(report.errors)
+        transactions = self._affected_transactions(report.errors)
+        chain_damaged = any(
+            f.invariant in ("digest", "chain", "block_root")
+            for f in report.errors
+        )
+        earliest = min(transactions) if transactions else None
+        commit_time = self._commit_time_of(earliest)
+
+        if chain_damaged:
+            return RecoveryPlan(
+                strategy=STRATEGY_CHAIN_COMPROMISED,
+                affected_tables=sorted(tables),
+                affected_transactions=sorted(transactions),
+                earliest_affected_transaction=earliest,
+                earliest_affected_commit_time=commit_time,
+                digests_remain_valid=False,
+                steps=[
+                    "restore the most recent backup that verifies cleanly",
+                    "treat all digests issued after the fork point as "
+                    "invalid and notify every party holding them",
+                    "re-execute business transactions committed after the "
+                    "restored point",
+                    "investigate how the adversary gained write access to "
+                    "the ledger system tables",
+                ],
+            )
+
+        operational_hit = bool(tables & self._operational)
+        if operational_hit:
+            return RecoveryPlan(
+                strategy=STRATEGY_RESTORE_AND_REPLAY,
+                affected_tables=sorted(tables),
+                affected_transactions=sorted(transactions),
+                earliest_affected_transaction=earliest,
+                earliest_affected_commit_time=commit_time,
+                digests_remain_valid=False,
+                steps=[
+                    "restore the most recent backup that verifies cleanly",
+                    "re-execute business transactions committed after the "
+                    "restored point (their inputs may have been poisoned)",
+                    "invalidate digests issued for the affected period and "
+                    "notify partners/auditors of the fork",
+                ],
+            )
+
+        return RecoveryPlan(
+            strategy=STRATEGY_RESTORE_AND_REPAIR,
+            affected_tables=sorted(tables),
+            affected_transactions=sorted(transactions),
+            earliest_affected_transaction=earliest,
+            earliest_affected_commit_time=commit_time,
+            digests_remain_valid=True,
+            steps=[
+                "restore the most recent verifiable backup beside production",
+                "copy the authentic versions of the rows reported by "
+                "verification back into production",
+                "re-run verification: all previously issued digests remain "
+                "valid because the chain was never forked",
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Finding analysis
+    # ------------------------------------------------------------------
+
+    def _affected_tables(self, findings: Sequence[Finding]) -> Set[str]:
+        tables = set()
+        for finding in findings:
+            name = finding.context.get("table")
+            if name:
+                tables.add(self._base_table_name(name))
+        return tables
+
+    def _affected_transactions(self, findings: Sequence[Finding]) -> Set[int]:
+        return {
+            finding.context["transaction_id"]
+            for finding in findings
+            if "transaction_id" in finding.context
+        }
+
+    @staticmethod
+    def _base_table_name(name: str) -> str:
+        from repro.core.ledger_database import HISTORY_SUFFIX
+
+        if name.endswith(HISTORY_SUFFIX):
+            return name[: -len(HISTORY_SUFFIX)]
+        return name
+
+    def _commit_time_of(self, transaction_id: Optional[int]):
+        if transaction_id is None:
+            return None
+        entry = self._db.ledger.transaction_entry(transaction_id)
+        return entry.commit_time if entry else None

@@ -1,0 +1,532 @@
+"""Ledger verification: the five invariants plus the view check (§3.4).
+
+Verification takes externally stored Database Digests as its trusted input
+and recomputes every hash in the system from the *current* — possibly
+tampered — state:
+
+1. each digest's hash matches the recomputed hash of its block;
+2. every block's recorded previous-block hash matches the recomputed hash
+   of its predecessor (the Blockchain invariant);
+3. every block's recorded transactions Merkle root matches the root
+   recomputed over the block's transaction entries, and no entry references
+   a missing block;
+4. every transaction entry's per-table Merkle root matches the root
+   recomputed over the row versions that transaction touched (live rows and
+   history rows, re-serialized from storage and ordered by operation
+   sequence number), and no row references an unknown transaction;
+5. every nonclustered index's duplicated data is equivalent to its base
+   table's data.
+
+Finally, each ledger view's stored definition is compared against the
+canonically re-derived definition (§3.4.2).
+
+The reproduction executes the checks as Python scans rather than generated
+SQL, but the decomposition mirrors the paper's five verification queries
+one-to-one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import system_columns as sc
+from repro.core.digest import DatabaseDigest
+from repro.core.entries import TransactionEntry
+from repro.core.ledger_view import canonical_view_definition
+from repro.crypto.hashing import hash_leaf
+from repro.crypto.merkle import MerkleTree, merkle_root
+from repro.engine.record import decode_record, hashable_payload, key_tuple
+from repro.engine.table import Table
+from repro.errors import StorageError, VerificationFailedError
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification finding (a detected inconsistency or caveat)."""
+
+    invariant: str
+    severity: str
+    message: str
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}/{self.severity}] {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    blocks_verified: int = 0
+    transactions_verified: int = 0
+    tables_verified: int = 0
+    row_versions_hashed: int = 0
+    uncovered_transactions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was raised."""
+        return not any(f.severity == SEVERITY_ERROR for f in self.findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise VerificationFailedError(self.errors)
+
+    def summary(self) -> str:
+        status = "PASSED" if self.ok else "FAILED"
+        return (
+            f"ledger verification {status}: {self.blocks_verified} blocks, "
+            f"{self.transactions_verified} transactions, "
+            f"{self.tables_verified} tables, "
+            f"{self.row_versions_hashed} row versions hashed, "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+
+
+class LedgerVerifier:
+    """Runs the full verification process against one LedgerDatabase."""
+
+    def __init__(self, db) -> None:
+        self._db = db
+        self._ledger = db.ledger
+
+    def verify(
+        self,
+        digests: Sequence[DatabaseDigest],
+        table_names: Optional[Sequence[str]] = None,
+    ) -> VerificationReport:
+        """Verify the database against the given digests.
+
+        ``table_names`` restricts invariants 4 and 5 to specific ledger
+        tables (the reduced-cost option of §2.3); chain-level invariants
+        always run in full.
+        """
+        report = VerificationReport()
+        # Make every committed entry visible relationally before checking.
+        self._ledger.flush_queue()
+        entries = {e.transaction_id: e for e in self._ledger.all_entries()}
+        blocks = {b.block_id: b for b in self._ledger.blocks()}
+        cutoff_tid = self._truncation_cutoff_tid()
+
+        self._check_digests(report, digests, blocks)
+        self._check_chain(report, blocks)
+        self._check_block_roots(report, blocks, entries)
+        tables = self._target_tables(table_names)
+        self._check_table_roots(report, tables, entries, cutoff_tid)
+        self._check_indexes(report, tables)
+        self._check_views(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Invariant 1 — digests match recomputed block hashes
+    # ------------------------------------------------------------------
+
+    def _check_digests(self, report, digests, blocks) -> None:
+        guid = self._db.database_guid
+        for digest in digests:
+            if digest.database_guid != guid:
+                report.findings.append(
+                    Finding(
+                        "digest", SEVERITY_ERROR,
+                        "digest belongs to a different database",
+                        {"digest_guid": digest.database_guid},
+                    )
+                )
+                continue
+            if digest.block_id < self._ledger.first_block_id():
+                report.findings.append(
+                    Finding(
+                        "digest", SEVERITY_WARNING,
+                        f"digest covers block {digest.block_id}, which has "
+                        "been truncated; use a digest issued after truncation",
+                        {"block_id": digest.block_id},
+                    )
+                )
+                continue
+            block = blocks.get(digest.block_id)
+            if block is None:
+                report.findings.append(
+                    Finding(
+                        "digest", SEVERITY_ERROR,
+                        f"digest references block {digest.block_id} which is "
+                        "not present in the ledger",
+                        {"block_id": digest.block_id},
+                    )
+                )
+                continue
+            if block.block_hash() != digest.block_hash:
+                report.findings.append(
+                    Finding(
+                        "digest", SEVERITY_ERROR,
+                        f"hash of block {digest.block_id} does not match the "
+                        "trusted digest",
+                        {"block_id": digest.block_id},
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Invariant 2 — the blockchain links verify
+    # ------------------------------------------------------------------
+
+    def _check_chain(self, report, blocks) -> None:
+        if not blocks:
+            return
+        first_expected = self._ledger.first_block_id()
+        block_ids = sorted(blocks)
+        expected = list(range(first_expected, block_ids[-1] + 1))
+        if block_ids != expected:
+            missing = sorted(set(expected) - set(blocks))
+            report.findings.append(
+                Finding(
+                    "chain", SEVERITY_ERROR,
+                    f"the blockchain has gaps: missing blocks {missing}",
+                    {"missing": missing},
+                )
+            )
+        anchor = self._ledger.anchor
+        for block_id in block_ids:
+            block = blocks[block_id]
+            report.blocks_verified += 1
+            if block_id == 0:
+                if block.previous_block_hash is not None:
+                    report.findings.append(
+                        Finding(
+                            "chain", SEVERITY_ERROR,
+                            "block 0 must record a null previous-block hash",
+                            {"block_id": 0},
+                        )
+                    )
+                continue
+            if anchor is not None and block_id == anchor[0] + 1:
+                expected_prev = anchor[1]
+            else:
+                previous = blocks.get(block_id - 1)
+                if previous is None:
+                    continue  # gap already reported
+                expected_prev = previous.block_hash()
+            if block.previous_block_hash != expected_prev:
+                report.findings.append(
+                    Finding(
+                        "chain", SEVERITY_ERROR,
+                        f"block {block_id} records a previous-block hash that "
+                        f"does not match the recomputed hash of block "
+                        f"{block_id - 1}",
+                        {"block_id": block_id},
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Invariant 3 — block transaction roots
+    # ------------------------------------------------------------------
+
+    def _check_block_roots(self, report, blocks, entries) -> None:
+        by_block: Dict[int, List[TransactionEntry]] = {}
+        for entry in entries.values():
+            by_block.setdefault(entry.block_id, []).append(entry)
+        open_block = self._ledger.open_block_id
+        for block_id, block in sorted(blocks.items()):
+            block_entries = sorted(
+                by_block.get(block_id, []), key=lambda e: e.ordinal
+            )
+            tree = MerkleTree([e.entry_hash() for e in block_entries])
+            if tree.root() != block.transactions_root:
+                report.findings.append(
+                    Finding(
+                        "block_root", SEVERITY_ERROR,
+                        f"transactions Merkle root of block {block_id} does "
+                        "not match the recomputed root over its entries",
+                        {"block_id": block_id},
+                    )
+                )
+            if block.transaction_count != len(block_entries):
+                report.findings.append(
+                    Finding(
+                        "block_root", SEVERITY_ERROR,
+                        f"block {block_id} records {block.transaction_count} "
+                        f"transactions but {len(block_entries)} are present",
+                        {"block_id": block_id},
+                    )
+                )
+            report.transactions_verified += len(block_entries)
+        for block_id, block_entries in by_block.items():
+            if block_id in blocks:
+                continue
+            if block_id >= open_block and self._ledger.block(block_id) is None:
+                # Entries of the still-open block: internally consistent but
+                # not yet covered by any digest (§3.4.1).
+                report.uncovered_transactions += len(block_entries)
+                continue
+            report.findings.append(
+                Finding(
+                    "block_root", SEVERITY_ERROR,
+                    f"{len(block_entries)} transaction(s) reference block "
+                    f"{block_id} which is not part of the blockchain",
+                    {"block_id": block_id},
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Invariant 4 — per-transaction table Merkle roots
+    # ------------------------------------------------------------------
+
+    def _target_tables(self, table_names) -> List[Table]:
+        tables = self._db.ledger_tables()
+        if table_names is None:
+            return tables
+        wanted = set(table_names)
+        return [t for t in tables if t.name in wanted]
+
+    def _check_table_roots(self, report, tables, entries, cutoff_tid) -> None:
+        for table in tables:
+            report.tables_verified += 1
+            events = self._collect_events(report, table)
+            for tid, leaves in sorted(events.items()):
+                if tid is None:
+                    report.findings.append(
+                        Finding(
+                            "table_root", SEVERITY_ERROR,
+                            f"table {table.name!r} holds row versions with "
+                            "missing transaction ids",
+                            {"table": table.name},
+                        )
+                    )
+                    continue
+                entry = entries.get(tid)
+                if entry is None:
+                    if cutoff_tid is not None and tid <= cutoff_tid:
+                        continue  # the transaction was legally truncated
+                    report.findings.append(
+                        Finding(
+                            "table_root", SEVERITY_ERROR,
+                            f"rows in table {table.name!r} reference "
+                            f"transaction {tid} which is not recorded in the "
+                            "ledger",
+                            {"table": table.name, "transaction_id": tid},
+                        )
+                    )
+                    continue
+                leaves.sort(key=lambda pair: pair[0])
+                computed = merkle_root([leaf for _, leaf in leaves])
+                recorded = entry.root_for_table(table.table_id)
+                report.row_versions_hashed += len(leaves)
+                if recorded is None:
+                    report.findings.append(
+                        Finding(
+                            "table_root", SEVERITY_ERROR,
+                            f"transaction {tid} touched table {table.name!r} "
+                            "but its ledger entry records no root for it",
+                            {"table": table.name, "transaction_id": tid},
+                        )
+                    )
+                elif computed != recorded:
+                    report.findings.append(
+                        Finding(
+                            "table_root", SEVERITY_ERROR,
+                            f"Merkle root for transaction {tid} over table "
+                            f"{table.name!r} does not match the ledger",
+                            {"table": table.name, "transaction_id": tid},
+                        )
+                    )
+            # The reverse direction: entries claiming updates this table
+            # cannot substantiate.
+            for tid, entry in entries.items():
+                if entry.root_for_table(table.table_id) is None:
+                    continue
+                if tid not in events:
+                    report.findings.append(
+                        Finding(
+                            "table_root", SEVERITY_ERROR,
+                            f"transaction {tid} recorded updates to table "
+                            f"{table.name!r} but no matching row versions "
+                            "exist",
+                            {"table": table.name, "transaction_id": tid},
+                        )
+                    )
+
+    def _collect_events(
+        self, report, table: Table
+    ) -> Dict[Optional[int], List[Tuple[int, bytes]]]:
+        """Rebuild (sequence, leaf hash) events per transaction (§3.4.1-4)."""
+        events: Dict[Optional[int], List[Tuple[int, bytes]]] = {}
+
+        def add(tid, seq, leaf) -> None:
+            events.setdefault(tid, []).append((seq if seq is not None else -1, leaf))
+
+        start_tid, start_seq = sc.start_ordinals(table.schema)
+        for rid, record in table.heap.scan():
+            try:
+                row = decode_record(table.schema, record)
+            except StorageError as exc:
+                report.findings.append(
+                    Finding(
+                        "table_root", SEVERITY_ERROR,
+                        f"row {rid} in table {table.name!r} failed to decode: "
+                        f"{exc}",
+                        {"table": table.name},
+                    )
+                )
+                continue
+            leaf = hash_leaf(hashable_payload(table.schema, row))
+            add(row[start_tid], row[start_seq], leaf)
+
+        history_id = table.options.get("history_table_id")
+        if history_id is not None:
+            history = self._db.engine.table_by_id(history_id)
+            h_start_tid, h_start_seq = sc.start_ordinals(history.schema)
+            h_end_tid, h_end_seq = sc.end_ordinals(history.schema)
+            for rid, record in history.heap.scan():
+                try:
+                    row = decode_record(history.schema, record)
+                except StorageError as exc:
+                    report.findings.append(
+                        Finding(
+                            "table_root", SEVERITY_ERROR,
+                            f"row {rid} in history table {history.name!r} "
+                            f"failed to decode: {exc}",
+                            {"table": history.name},
+                        )
+                    )
+                    continue
+                # As-created form: the end columns were NULL when the
+                # creating transaction hashed this version.
+                created = sc.mask_end_columns(history.schema, row)
+                add(
+                    row[h_start_tid], row[h_start_seq],
+                    hash_leaf(hashable_payload(history.schema, created)),
+                )
+                # As-deleted form: hashed by the deleting transaction.
+                add(
+                    row[h_end_tid], row[h_end_seq],
+                    hash_leaf(hashable_payload(history.schema, row)),
+                )
+        return events
+
+    # ------------------------------------------------------------------
+    # Invariant 5 — nonclustered indexes match their base tables
+    # ------------------------------------------------------------------
+
+    def _check_indexes(self, report, tables) -> None:
+        for table in tables:
+            candidates = [table]
+            history_id = table.options.get("history_table_id")
+            if history_id is not None:
+                candidates.append(self._db.engine.table_by_id(history_id))
+            for target in candidates:
+                if not target.nonclustered:
+                    continue
+                base_root = self._rows_root(report, target, target.heap.scan())
+                for index in target.nonclustered.values():
+                    index_root = self._rows_root(
+                        report, target,
+                        ((None, record) for record in index.scan_records()),
+                    )
+                    if index_root != base_root:
+                        report.findings.append(
+                            Finding(
+                                "index", SEVERITY_ERROR,
+                                f"nonclustered index {index.name!r} on "
+                                f"{target.name!r} is not equivalent to the "
+                                "base table",
+                                {"table": target.name, "index": index.name},
+                            )
+                        )
+
+    def _rows_root(self, report, table: Table, records) -> bytes:
+        """Merkle root over decoded records, ordered by clustered key."""
+        keyed = []
+        key_ordinals = table.schema.primary_key_ordinals()
+        for rid, record in records:
+            try:
+                row = decode_record(table.schema, record)
+            except StorageError as exc:
+                report.findings.append(
+                    Finding(
+                        "index", SEVERITY_ERROR,
+                        f"record in {table.name!r} failed to decode during "
+                        f"index verification: {exc}",
+                        {"table": table.name},
+                    )
+                )
+                continue
+            if key_ordinals:
+                order_key = key_tuple([row[o] for o in key_ordinals])
+            else:
+                order_key = key_tuple(list(row))
+            keyed.append((order_key, hash_leaf(hashable_payload(table.schema, row))))
+        keyed.sort(key=lambda pair: pair[0])
+        return merkle_root([leaf for _, leaf in keyed])
+
+    # ------------------------------------------------------------------
+    # Ledger view definitions (§3.4.2, final step)
+    # ------------------------------------------------------------------
+
+    def _check_views(self, report) -> None:
+        from repro.core.ledger_database import VIEWS_TABLE
+
+        views = self._db.engine.table(VIEWS_TABLE)
+        stored: Dict[str, str] = {}
+        name_ord = views.schema.column("view_name").ordinal
+        def_ord = views.schema.column("definition").ordinal
+        for _, row in views.scan():
+            stored[row[name_ord]] = row[def_ord]
+        for table in self._db.ledger_tables():
+            history_id = table.options.get("history_table_id")
+            history = (
+                self._db.engine.table_by_id(history_id) if history_id else None
+            )
+            expected = canonical_view_definition(
+                table.name,
+                history.name if history else None,
+                [c.name for c in table.schema.visible_columns],
+            )
+            view_name = f"{table.name}_ledger"
+            actual = stored.get(view_name)
+            if actual is None:
+                report.findings.append(
+                    Finding(
+                        "view", SEVERITY_ERROR,
+                        f"ledger view {view_name!r} is not registered",
+                        {"view": view_name},
+                    )
+                )
+            elif actual != expected:
+                report.findings.append(
+                    Finding(
+                        "view", SEVERITY_ERROR,
+                        f"definition of ledger view {view_name!r} does not "
+                        "match the canonical definition",
+                        {"view": view_name},
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Truncation support
+    # ------------------------------------------------------------------
+
+    def _truncation_cutoff_tid(self) -> Optional[int]:
+        from repro.core.ledger_database import TRUNCATIONS_TABLE
+
+        try:
+            table = self._db.engine.table(TRUNCATIONS_TABLE)
+        except Exception:
+            return None
+        cutoff = None
+        ordinal = table.schema.column("truncated_through_tid").ordinal
+        for _, row in table.scan():
+            value = row[ordinal]
+            if cutoff is None or value > cutoff:
+                cutoff = value
+        return cutoff

@@ -1,0 +1,48 @@
+"""Cryptographic substrate: hashing, canonical serialization, Merkle trees, RSA.
+
+This package contains everything the ledger layer needs to hash row versions,
+aggregate them into Merkle roots, chain blocks, prove transaction inclusion,
+and sign block roots for non-repudiation receipts (paper §3.2, §3.3, §5.1).
+"""
+
+from repro.crypto.hashing import (
+    HASH_SIZE,
+    hash_block,
+    hash_interior,
+    hash_leaf,
+    hash_transaction_entry,
+    sha256,
+)
+from repro.crypto.merkle import (
+    EMPTY_TREE_ROOT,
+    MerkleHasher,
+    MerkleProof,
+    MerkleTree,
+    ProofStep,
+)
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.crypto.serialization import (
+    RowSerializer,
+    SerializedColumn,
+    deserialize_row_payload,
+)
+
+__all__ = [
+    "HASH_SIZE",
+    "sha256",
+    "hash_leaf",
+    "hash_interior",
+    "hash_block",
+    "hash_transaction_entry",
+    "EMPTY_TREE_ROOT",
+    "MerkleHasher",
+    "MerkleTree",
+    "MerkleProof",
+    "ProofStep",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "generate_keypair",
+    "RowSerializer",
+    "SerializedColumn",
+    "deserialize_row_payload",
+]

@@ -1,0 +1,83 @@
+"""SHA-256 hashing helpers with domain separation.
+
+The paper uses SHA-256 throughout (row versions, Merkle nodes, transaction
+entries, blocks).  We add one-byte domain-separation tags so a hash produced
+for one purpose (say, a Merkle leaf) can never be confused with a hash
+produced for another (an interior node).  Without such tags, a classic
+second-preimage trick lets an attacker present interior nodes as leaves;
+production Merkle implementations (Certificate Transparency, RFC 6962)
+separate the domains exactly this way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+#: Size in bytes of every digest in the system (SHA-256).
+HASH_SIZE = 32
+
+# Domain-separation tags (one byte each, RFC 6962 style).
+_TAG_LEAF = b"\x00"
+_TAG_INTERIOR = b"\x01"
+_TAG_TRANSACTION = b"\x02"
+_TAG_BLOCK = b"\x03"
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the raw 32-byte SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_leaf(serialized_row: bytes) -> bytes:
+    """Hash a serialized row version into a Merkle leaf (paper §3.2).
+
+    The input is the canonical serialization produced by
+    :class:`repro.crypto.serialization.RowSerializer`, which already embeds
+    the column metadata the paper requires.
+    """
+    return sha256(_TAG_LEAF + serialized_row)
+
+
+def hash_interior(left: bytes, right: bytes) -> bytes:
+    """Hash two child digests into a Merkle interior node."""
+    if len(left) != HASH_SIZE or len(right) != HASH_SIZE:
+        raise ValueError("interior node children must be 32-byte digests")
+    return sha256(_TAG_INTERIOR + left + right)
+
+
+def hash_transaction_entry(payload: bytes) -> bytes:
+    """Hash a serialized Database Ledger transaction entry (paper §3.3.1)."""
+    return sha256(_TAG_TRANSACTION + payload)
+
+
+def hash_block(payload: bytes) -> bytes:
+    """Hash a serialized Database Ledger block (paper §3.3.1)."""
+    return sha256(_TAG_BLOCK + payload)
+
+
+def hash_many(chunks: Iterable[bytes]) -> bytes:
+    """Hash a sequence of byte chunks as a single untagged stream.
+
+    Used where the caller has already applied framing (length prefixes) and
+    simply wants to avoid concatenating a large buffer.
+    """
+    hasher = hashlib.sha256()
+    for chunk in chunks:
+        hasher.update(chunk)
+    return hasher.digest()
+
+
+def to_hex(digest: bytes) -> str:
+    """Render a digest as the ``0x``-prefixed hex string used in JSON digests."""
+    return "0x" + digest.hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Parse a digest rendered by :func:`to_hex` back into raw bytes."""
+    if text.startswith(("0x", "0X")):
+        text = text[2:]
+    raw = bytes.fromhex(text)
+    if len(raw) != HASH_SIZE:
+        raise ValueError(f"expected a {HASH_SIZE}-byte digest, got {len(raw)} bytes")
+    return raw

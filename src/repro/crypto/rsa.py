@@ -1,0 +1,158 @@
+"""Pure-Python RSA signatures for transaction receipts (paper §5.1).
+
+The paper signs each closed block's Merkle root once, so that a receipt
+(Merkle proof + signed block root) proves a transaction's inclusion even if
+the ledger is later destroyed.  The production system would use a platform
+crypto library; this reproduction has no third-party crypto dependency, so we
+implement textbook RSA with Miller-Rabin key generation and deterministic
+PKCS#1 v1.5-style padding over SHA-256 digests.
+
+This is adequate for reproducing the paper's *cost model* (asymmetric signing
+is ~10^3-10^4× more expensive than hashing, which is exactly why the paper
+amortizes one signature over a 100K-transaction block) and its verification
+semantics.  It is not hardened against side channels and must not be used to
+protect real secrets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SignatureError
+
+# Deterministic ASN.1 DigestInfo prefix for SHA-256 (RFC 8017 §9.2).
+_SHA256_DIGEST_INFO = bytes.fromhex(
+    "3031300d060960864801650304020105000420"
+)
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+def _is_probable_prime(candidate: int, rng: random.Random, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test."""
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    # Write candidate - 1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random probable prime with the exact bit length requested."""
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force bit length and oddness
+        if _is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key: verification half of a key pair."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return True iff ``signature`` is a valid signature of ``message``."""
+        if len(signature) != self.byte_length:
+            return False
+        sig_int = int.from_bytes(signature, "big")
+        if sig_int >= self.n:
+            return False
+        recovered = pow(sig_int, self.e, self.n)
+        expected = int.from_bytes(_pad_digest(message, self.byte_length), "big")
+        return recovered == expected
+
+    def to_dict(self) -> dict:
+        return {"n": hex(self.n), "e": self.e}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RsaPublicKey":
+        return cls(n=int(data["n"], 16), e=int(data["e"]))
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """RSA key pair; holds the private exponent alongside the public key."""
+
+    public: RsaPublicKey
+    d: int
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message`` (hashed with SHA-256, PKCS#1 v1.5 padding)."""
+        k = self.public.byte_length
+        padded = int.from_bytes(_pad_digest(message, k), "big")
+        if padded >= self.public.n:
+            raise SignatureError("modulus too small for PKCS#1 padding")
+        signature = pow(padded, self.d, self.public.n)
+        return signature.to_bytes(k, "big")
+
+
+def _pad_digest(message: bytes, k: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message) into ``k`` bytes."""
+    digest_info = _SHA256_DIGEST_INFO + hashlib.sha256(message).digest()
+    padding_len = k - len(digest_info) - 3
+    if padding_len < 8:
+        raise SignatureError(
+            f"modulus of {k} bytes too small to pad a SHA-256 DigestInfo"
+        )
+    return b"\x00\x01" + b"\xff" * padding_len + b"\x00" + digest_info
+
+
+def generate_keypair(
+    bits: int = 1024, seed: Optional[int] = None
+) -> RsaKeyPair:
+    """Generate an RSA key pair.
+
+    ``seed`` makes generation deterministic (tests, reproducible examples);
+    leave it None for a system-entropy key.  512 bits is the practical floor
+    for signing SHA-256 DigestInfo payloads.
+    """
+    if bits < 512:
+        raise SignatureError("key size below 512 bits cannot sign SHA-256 digests")
+    rng = random.Random(seed) if seed is not None else random.SystemRandom()
+    e = 65537
+    while True:
+        p = _generate_prime(bits // 2, rng)
+        q = _generate_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue  # e not invertible mod phi; rare, retry
+        return RsaKeyPair(public=RsaPublicKey(n=n, e=e), d=d)

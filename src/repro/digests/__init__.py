@@ -1,0 +1,15 @@
+"""Digest management: immutable storage and upload automation (§2.4, §3.6).
+
+* :class:`~repro.digests.blob_storage.ImmutableBlobStorage` simulates Azure
+  Immutable Blob Storage: append-only containers whose blobs can never be
+  overwritten or deleted, not even by the storage administrator.
+* :class:`~repro.digests.digest_manager.DigestManager` automates digest
+  uploads, enforces the geo-replication issuance policy, detects forks by
+  checking each new digest derives from the previous one, and organizes
+  digests across database *incarnations* (restores).
+"""
+
+from repro.digests.blob_storage import ImmutableBlobStorage
+from repro.digests.digest_manager import DigestManager, GeoReplicaSimulator
+
+__all__ = ["ImmutableBlobStorage", "DigestManager", "GeoReplicaSimulator"]

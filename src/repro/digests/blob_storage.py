@@ -1,0 +1,108 @@
+"""Simulated Azure Immutable Blob Storage (§2.4).
+
+The contract this models: once written, a blob can never be modified or
+deleted — by anyone, including the storage operator.  Digests parked here
+are therefore outside the database adversary's reach, which is the root of
+trust for the whole verification story.
+
+The store is file-backed (one file per blob under a root directory) so it
+survives process restarts, and write-once is enforced at the API: any
+attempt to overwrite or delete raises :class:`ImmutabilityViolationError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import List
+
+from repro.errors import BlobNotFoundError, ImmutabilityViolationError
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9._\-/]+$")
+
+
+class ImmutableBlobStorage:
+    """Append-only, write-once blob containers rooted at a directory."""
+
+    def __init__(self, root: str) -> None:
+        self._root = root
+        os.makedirs(root, exist_ok=True)
+
+    # -- container / blob naming -------------------------------------------------
+
+    def _blob_path(self, container: str, name: str) -> str:
+        for part in (container, name):
+            if not _NAME_PATTERN.match(part) or ".." in part:
+                raise ImmutabilityViolationError(
+                    f"illegal container/blob name {part!r}"
+                )
+        return os.path.join(self._root, container, name)
+
+    # -- write-once API ---------------------------------------------------------
+
+    def put(self, container: str, name: str, data: bytes) -> None:
+        """Write a new blob.  Fails if the blob already exists."""
+        path = self._blob_path(container, name)
+        if os.path.exists(path):
+            raise ImmutabilityViolationError(
+                f"blob {container}/{name} already exists and is immutable"
+            )
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # O_EXCL makes creation atomic even against concurrent writers.
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+                f.flush()
+                os.fsync(f.fileno())
+        finally:
+            # Belt and braces: the blob itself is made read-only on disk.
+            os.chmod(path, 0o444)
+
+    def get(self, container: str, name: str) -> bytes:
+        path = self._blob_path(container, name)
+        if not os.path.exists(path):
+            raise BlobNotFoundError(f"blob {container}/{name} does not exist")
+        with open(path, "rb") as f:
+            return f.read()
+
+    def exists(self, container: str, name: str) -> bool:
+        return os.path.exists(self._blob_path(container, name))
+
+    def delete(self, container: str, name: str) -> None:
+        """Always refused: immutable blobs cannot be deleted."""
+        raise ImmutabilityViolationError(
+            f"blob {container}/{name} is immutable and cannot be deleted"
+        )
+
+    def overwrite(self, container: str, name: str, data: bytes) -> None:
+        """Always refused: immutable blobs cannot be overwritten."""
+        raise ImmutabilityViolationError(
+            f"blob {container}/{name} is immutable and cannot be overwritten"
+        )
+
+    def list_blobs(self, container: str, prefix: str = "") -> List[str]:
+        """Names of all blobs in a container, sorted."""
+        container_path = os.path.join(self._root, container)
+        if not os.path.isdir(container_path):
+            return []
+        names = []
+        for dirpath, _, filenames in os.walk(container_path):
+            for filename in filenames:
+                full = os.path.join(dirpath, filename)
+                name = os.path.relpath(full, container_path).replace(os.sep, "/")
+                if name.startswith(prefix):
+                    names.append(name)
+        return sorted(names)
+
+    # -- JSON helpers (digests are JSON documents) --------------------------------
+
+    def put_json(self, container: str, name: str, document: dict) -> None:
+        self.put(
+            container, name,
+            json.dumps(document, sort_keys=True).encode("utf-8"),
+        )
+
+    def get_json(self, container: str, name: str) -> dict:
+        return json.loads(self.get(container, name).decode("utf-8"))

@@ -1,0 +1,176 @@
+"""Automated digest management (§2.4, §3.6).
+
+The DigestManager periodically extracts Database Digests and uploads them to
+immutable blob storage.  Three production concerns from the paper are
+modelled:
+
+* **Fork detection on upload** (§3.3.1 requirement 3): before a new digest
+  is stored, the manager checks it *derives* from the previously uploaded
+  one by walking the block headers between them.  An attacker who rewrote
+  history produces a digest that fails this check, and the manager refuses
+  the upload and raises — catching the attack within one digest interval.
+
+* **Geo-replication issuance policy** (§3.6): when a geo-secondary is
+  attached, digests are only issued for data that has already replicated, so
+  a geo-failover can never orphan a digest.  If replication lag exceeds the
+  alert threshold, digest generation raises :class:`ReplicationLagError`
+  (the paper's "trigger an alert and eventually stop accepting requests").
+
+* **Incarnations** (§3.6): every digest is stored under the database's
+  *create time*, which changes on restore.  Digests from all incarnations
+  remain available to verification, and users can inspect them to see when
+  the database was restored and how far back.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Callable, Dict, List, Optional
+
+from repro.core.digest import DatabaseDigest, verify_digest_chain
+from repro.digests.blob_storage import ImmutableBlobStorage
+from repro.errors import LedgerError, ReplicationLagError
+
+
+class GeoReplicaSimulator:
+    """Models an asynchronous geo-secondary with bounded replication lag.
+
+    ``lag`` is how far the secondary trails the primary;
+    ``alert_threshold`` is the lag beyond which digest issuance must stop
+    (paper: replication normally stays under one second).
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], dt.datetime],
+        lag: dt.timedelta = dt.timedelta(seconds=1),
+        alert_threshold: dt.timedelta = dt.timedelta(seconds=30),
+    ) -> None:
+        self._clock = clock
+        self.lag = lag
+        self.alert_threshold = alert_threshold
+
+    def replicated_through(self) -> dt.datetime:
+        """Commit timestamp up to which the secondary is caught up."""
+        return self._clock() - self.lag
+
+    def check_issuable(self, last_commit_time: dt.datetime) -> bool:
+        """May a digest covering ``last_commit_time`` be issued?
+
+        Returns True when the data has replicated.  Raises when the lag is
+        pathological (beyond the alert threshold).
+        """
+        behind = last_commit_time - self.replicated_through()
+        if behind <= dt.timedelta(0):
+            return True
+        if behind > self.alert_threshold:
+            raise ReplicationLagError(
+                f"geo-secondary is {behind} behind; digest issuance stopped"
+            )
+        return False
+
+
+def _sanitize(text: str) -> str:
+    return text.replace(":", "-").replace(" ", "_")
+
+
+class DigestManager:
+    """Uploads digests to immutable storage and tracks incarnations."""
+
+    def __init__(
+        self,
+        db,
+        storage: ImmutableBlobStorage,
+        container: str = "digests",
+        geo: Optional[GeoReplicaSimulator] = None,
+    ) -> None:
+        self._db = db
+        self._storage = storage
+        self._container = container
+        self._geo = geo
+
+    # ------------------------------------------------------------------
+    # Upload path
+    # ------------------------------------------------------------------
+
+    def upload_digest(self) -> Optional[DatabaseDigest]:
+        """Generate and durably store a digest.
+
+        Returns the uploaded digest, or None when the geo policy defers
+        issuance (the caller retries on the next period).  Raises
+        :class:`LedgerError` when the new digest does not derive from the
+        previously uploaded one — the fork-detection trip-wire.
+        """
+        digest = self._db.generate_digest()
+        if self._geo is not None and not self._geo.check_issuable(
+            digest.last_transaction_commit_time
+        ):
+            return None
+        previous = self.latest_digest()
+        if previous is not None and previous.block_id <= digest.block_id:
+            headers = (
+                self._db.block_headers(previous.block_id + 1, digest.block_id)
+                if digest.block_id > previous.block_id
+                else []
+            )
+            if not verify_digest_chain(previous, digest, headers):
+                raise LedgerError(
+                    "fork detected: the new digest does not derive from the "
+                    "previously uploaded digest — the ledger has been "
+                    "rewritten since the last upload"
+                )
+        name = self._blob_name(digest)
+        if not self._storage.exists(self._container, name):
+            self._storage.put(
+                self._container, name, digest.to_json().encode("utf-8")
+            )
+        return digest
+
+    def _blob_name(self, digest: DatabaseDigest) -> str:
+        incarnation = _sanitize(digest.database_create_time)
+        return f"{incarnation}/block_{digest.block_id:012d}.json"
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def incarnations(self) -> List[str]:
+        """Create-time folders present in storage (restores add new ones)."""
+        seen = []
+        for name in self._storage.list_blobs(self._container):
+            folder = name.split("/", 1)[0]
+            if folder not in seen:
+                seen.append(folder)
+        return seen
+
+    def digests(self, incarnation: Optional[str] = None) -> List[DatabaseDigest]:
+        """All stored digests, optionally restricted to one incarnation."""
+        prefix = f"{_sanitize(incarnation)}/" if incarnation else ""
+        results = []
+        for name in self._storage.list_blobs(self._container, prefix=prefix):
+            payload = self._storage.get(self._container, name)
+            results.append(DatabaseDigest.from_json(payload.decode("utf-8")))
+        results.sort(key=lambda d: (d.database_create_time, d.block_id))
+        return results
+
+    def latest_digest(self) -> Optional[DatabaseDigest]:
+        """Most recent digest of the *current* incarnation."""
+        current = self.digests(incarnation=self._db.database_create_time)
+        return current[-1] if current else None
+
+    def digests_for_verification(self) -> List[DatabaseDigest]:
+        """The digests the verification process should consume (§3.6).
+
+        Returns the latest digest from every incarnation whose blocks are
+        still within the current chain, newest incarnation last.  After a
+        restore, earlier incarnations' digests may reference blocks beyond
+        the restored-to point; those verify as warnings/errors and tell the
+        user exactly how far back the restore went.
+        """
+        relevant: Dict[str, DatabaseDigest] = {}
+        for digest in self.digests():
+            key = digest.database_create_time
+            existing = relevant.get(key)
+            if existing is None or digest.block_id > existing.block_id:
+                relevant[key] = digest
+        return [relevant[k] for k in sorted(relevant)]

@@ -1,0 +1,215 @@
+"""An in-memory B+ tree with range scans, used by all indexes.
+
+Keys are arbitrary comparable tuples (see
+:func:`repro.engine.record.key_tuple` for NULL handling); values are opaque.
+Keys must be unique — callers that need duplicates (nonclustered indexes)
+append a RowId component to the key to disambiguate.
+
+Leaves are linked for ordered iteration; interior nodes store separator keys.
+The fanout default (64) keeps trees shallow for the table sizes the
+benchmarks use while still exercising real splits and merges.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+class _Node:
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next_leaf")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: List[Any] = []
+        self.next_leaf: Optional["_Leaf"] = None
+
+
+class _Interior(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        # len(children) == len(keys) + 1; keys[i] is the smallest key
+        # reachable under children[i + 1].
+        self.children: List[_Node] = []
+
+
+class BPlusTree:
+    """B+ tree mapping unique comparable keys to opaque values."""
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise StorageError("B+ tree order must be at least 4")
+        self._order = order
+        self._root: _Node = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- point operations -----------------------------------------------------
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        leaf, position = self._find(key)
+        if position < len(leaf.keys) and leaf.keys[position] == key:
+            return leaf.values[position]
+        return default
+
+    def __contains__(self, key: Any) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a new key or replace the value of an existing key."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Interior()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key``; raises :class:`KeyError` when absent.
+
+        Uses lazy deletion (no rebalancing): empty leaves are tolerated and
+        skipped by scans.  This trades a little space for much simpler code —
+        fine for an engine whose tables are rebuilt from the heap on restart.
+        """
+        leaf, position = self._find(key)
+        if position >= len(leaf.keys) or leaf.keys[position] != key:
+            raise KeyError(key)
+        leaf.keys.pop(position)
+        leaf.values.pop(position)
+        self._size -= 1
+
+    # -- scans ---------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All (key, value) pairs in ascending key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next_leaf
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """(key, value) pairs with ``low <= key <= high`` (bounds optional)."""
+        if low is None:
+            leaf: Optional[_Leaf] = self._leftmost_leaf()
+            position = 0
+        else:
+            leaf, position = self._find(low)
+            if not include_low:
+                while (
+                    leaf is not None
+                    and position < len(leaf.keys)
+                    and leaf.keys[position] == low
+                ):
+                    position += 1
+        while leaf is not None:
+            while position < len(leaf.keys):
+                key = leaf.keys[position]
+                if high is not None:
+                    if key > high or (key == high and not include_high):
+                        return
+                yield key, leaf.values[position]
+                position += 1
+            leaf = leaf.next_leaf
+            position = 0
+
+    def prefix(self, prefix_key: Tuple[Any, ...]) -> Iterator[Tuple[Any, Any]]:
+        """All entries whose key tuple starts with ``prefix_key``."""
+        for key, value in self.range(low=prefix_key, include_low=True):
+            if key[: len(prefix_key)] != prefix_key:
+                return
+            yield key, value
+
+    def min_key(self) -> Any:
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            if leaf.keys:
+                return leaf.keys[0]
+            leaf = leaf.next_leaf
+        return None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Interior):
+            node = node.children[0]
+        return node  # type: ignore[return-value]
+
+    def _find(self, key: Any) -> Tuple[_Leaf, int]:
+        """Locate the leaf and position where ``key`` is or would be."""
+        node = self._root
+        while isinstance(node, _Interior):
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        leaf: _Leaf = node  # type: ignore[assignment]
+        return leaf, bisect.bisect_left(leaf.keys, key)
+
+    def _insert(
+        self, node: _Node, key: Any, value: Any
+    ) -> Optional[Tuple[Any, _Node]]:
+        """Recursive insert; returns (separator, new right sibling) on split."""
+        if isinstance(node, _Leaf):
+            position = bisect.bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position] = value
+                return None
+            node.keys.insert(position, key)
+            node.values.insert(position, value)
+            self._size += 1
+            if len(node.keys) <= self._order:
+                return None
+            return self._split_leaf(node)
+
+        interior: _Interior = node
+        index = bisect.bisect_right(interior.keys, key)
+        split = self._insert(interior.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        interior.keys.insert(index, separator)
+        interior.children.insert(index + 1, right)
+        if len(interior.keys) <= self._order:
+            return None
+        return self._split_interior(interior)
+
+    def _split_leaf(self, leaf: _Leaf) -> Tuple[Any, _Leaf]:
+        middle = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[middle:]
+        right.values = leaf.values[middle:]
+        leaf.keys = leaf.keys[:middle]
+        leaf.values = leaf.values[:middle]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        return right.keys[0], right
+
+    def _split_interior(self, node: _Interior) -> Tuple[Any, _Interior]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Interior()
+        right.keys = node.keys[middle + 1 :]
+        right.children = node.children[middle + 1 :]
+        node.keys = node.keys[:middle]
+        node.children = node.children[: middle + 1]
+        return separator, right

@@ -1,0 +1,35 @@
+"""Clocks: wall time for production, logical time for deterministic tests."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+
+def wall_clock() -> dt.datetime:
+    """The default clock: naive local wall time."""
+    return dt.datetime.now()
+
+
+class LogicalClock:
+    """Deterministic clock that advances a fixed step per reading.
+
+    Tests and benchmarks use this so commit timestamps, digest times and
+    ledger views are reproducible run to run.
+    """
+
+    def __init__(
+        self,
+        start: dt.datetime = dt.datetime(2024, 1, 1, 0, 0, 0),
+        step: dt.timedelta = dt.timedelta(seconds=1),
+    ) -> None:
+        self._now = start
+        self._step = step
+
+    def __call__(self) -> dt.datetime:
+        current = self._now
+        self._now = current + self._step
+        return current
+
+    def advance(self, delta: dt.timedelta) -> None:
+        """Jump the clock forward (e.g. to simulate elapsed days)."""
+        self._now += delta

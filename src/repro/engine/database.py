@@ -1,0 +1,431 @@
+"""The Database facade: catalog + tables + WAL + transactions + recovery.
+
+Lifecycle
+---------
+
+* ``Database.open(path)`` either bootstraps a fresh database directory or
+  recovers an existing one: load the last checkpoint image, replay the WAL
+  (redo of committed transactions — the engine never flushes uncommitted
+  changes, so no undo phase is needed), rebuild indexes, and hand the ledger
+  layer its recovered commit payloads (paper §3.3.2).
+
+* ``checkpoint()`` quiesces (no active transactions), flushes every heap and
+  index image plus the catalog and the ledger's checkpoint state, then
+  starts a fresh WAL epoch.  Recovery time is bounded by the WAL written
+  since the last checkpoint.
+
+* ``simulate_crash()`` drops the process state without checkpointing, so a
+  subsequent ``open`` exercises real crash recovery.
+
+Directory layout::
+
+    <path>/checkpoint.json          catalog + ledger state + WAL epoch
+    <path>/table_<id>.tbl           heap image per table
+    <path>/table_<id>.<index>.idx   heap image per nonclustered index
+    <path>/wal.<epoch>.log          the live WAL
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import os
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.engine.catalog import Catalog, TableInfo
+from repro.engine.clock import wall_clock
+from repro.engine.heap import HeapFile, RowId
+from repro.engine.hooks import EngineHooks
+from repro.engine.locks import LockManager
+from repro.engine.schema import IndexDefinition, TableSchema
+from repro.engine.table import Table
+from repro.engine.transaction import Transaction, TransactionManager
+from repro.engine.wal import (
+    COMMIT,
+    DDL,
+    DELETE,
+    INSERT,
+    WalRecord,
+    WalWriter,
+    read_wal,
+)
+from repro.errors import TransactionError
+
+_CHECKPOINT_FILE = "checkpoint.json"
+
+
+class Database:
+    """One database instance rooted at a directory."""
+
+    def __init__(
+        self,
+        path: str,
+        hooks: Optional[EngineHooks] = None,
+        sync: bool = False,
+        clock: Optional[Callable[[], dt.datetime]] = None,
+    ) -> None:
+        self.path = path
+        self.catalog = Catalog()
+        self._tables: Dict[int, Table] = {}
+        self._hooks = hooks or EngineHooks()
+        self._sync = sync
+        self.clock = clock or wall_clock
+        self._epoch = 0
+        self._wal: Optional[WalWriter] = None
+        self._lock_manager = LockManager()
+        self._txn_manager: Optional[TransactionManager] = None
+        self._closed = False
+        self.recovered_ledger_state: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        hooks: Optional[EngineHooks] = None,
+        sync: bool = False,
+        clock: Optional[Callable[[], dt.datetime]] = None,
+    ) -> "Database":
+        """Open (bootstrapping or recovering) the database at ``path``."""
+        db = cls(path, hooks=hooks, sync=sync, clock=clock)
+        os.makedirs(path, exist_ok=True)
+        checkpoint_path = os.path.join(path, _CHECKPOINT_FILE)
+        has_checkpoint = os.path.exists(checkpoint_path)
+        has_wal = os.path.exists(db._wal_path(0))
+        if has_checkpoint or has_wal:
+            db._recover(checkpoint_path if has_checkpoint else None)
+        else:
+            db._bootstrap()
+        return db
+
+    def _bootstrap(self) -> None:
+        self._epoch = 0
+        self._wal = WalWriter(self._wal_path(self._epoch), sync=self._sync)
+        self._txn_manager = TransactionManager(
+            self._wal, self._lock_manager, self._hooks, self.clock
+        )
+        self._hooks.on_recovery_complete({})
+
+    def _recover(self, checkpoint_path: Optional[str]) -> None:
+        if checkpoint_path is not None:
+            with open(checkpoint_path, "r", encoding="utf-8") as f:
+                checkpoint = json.load(f)
+        else:
+            # Crash before the first checkpoint: everything lives in wal.0.
+            checkpoint = {
+                "epoch": 0,
+                "next_tid": 1,
+                "catalog": Catalog().to_dict(),
+                "ledger_state": {},
+            }
+        self._epoch = checkpoint["epoch"]
+        self.catalog = Catalog.from_dict(checkpoint["catalog"])
+        next_tid = checkpoint["next_tid"]
+
+        wal_records = list(read_wal(self._wal_path(self._epoch)))
+
+        # A later catalog snapshot in the WAL supersedes the checkpoint's.
+        committed: Dict[int, Dict[str, Any]] = {}
+        for record in wal_records:
+            if record.kind == DDL and record.payload.get("catalog"):
+                self.catalog = Catalog.from_dict(record.payload["catalog"])
+            elif record.kind == COMMIT:
+                committed[record.payload["tid"]] = record.payload
+                next_tid = max(next_tid, record.payload["tid"] + 1)
+            elif record.kind == "BEGIN":
+                next_tid = max(next_tid, record.payload["tid"] + 1)
+
+        # Load heap images for every table in the (final) catalog.
+        self._wal = WalWriter(self._wal_path(self._epoch), sync=self._sync)
+        for info in self.catalog.tables():
+            self._tables[info.table_id] = self._materialize_table(info, load=True)
+
+        # Redo phase: reapply committed data records in log order.
+        redo_count = 0
+        for record in wal_records:
+            if record.kind not in (INSERT, DELETE):
+                continue
+            payload = record.payload
+            if payload["tid"] not in committed:
+                continue  # loser: never flushed, nothing to redo or undo
+            table = self._tables.get(payload["table_id"])
+            if table is None:
+                continue  # table dropped later in the log
+            rid = RowId(payload["page"], payload["slot"])
+            if record.kind == INSERT:
+                table.heap.restore(rid, bytes.fromhex(payload["rec"]))
+            else:
+                table.heap.clear(rid)
+            redo_count += 1
+
+        # Rebuild access paths.  After redo the nonclustered images on disk
+        # are stale, so they are rebuilt from the base tables; on a clean
+        # restart (empty redo) the persisted index images — tampered or not —
+        # are loaded as-is.
+        for table in self._tables.values():
+            if redo_count:
+                table.rebuild_indexes()
+            else:
+                table.load_indexes_from_storage()
+
+        self._txn_manager = TransactionManager(
+            self._wal, self._lock_manager, self._hooks, self.clock, next_tid
+        )
+
+        self.recovered_ledger_state = checkpoint.get("ledger_state", {})
+        for tid in sorted(committed):
+            ledger_payload = committed[tid].get("ledger")
+            if ledger_payload is not None:
+                self._hooks.on_recovered_commit(ledger_payload)
+        self._hooks.on_recovery_complete(self.recovered_ledger_state)
+
+    def close(self) -> None:
+        """Checkpoint and release file handles."""
+        if self._closed:
+            return
+        self.checkpoint()
+        assert self._wal is not None
+        self._wal.close()
+        self._closed = True
+
+    def simulate_crash(self) -> None:
+        """Abandon all in-memory state as a crash would.
+
+        The WAL handle is closed (its contents are already on the OS side);
+        heaps, indexes and the catalog are NOT flushed.  Reopen with
+        :meth:`open` to run crash recovery.
+        """
+        assert self._wal is not None
+        self._wal.close()
+        self._closed = True
+
+    # ------------------------------------------------------------------
+    # Hooks wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def hooks(self) -> EngineHooks:
+        return self._hooks
+
+    def set_hooks(self, hooks: EngineHooks) -> None:
+        """Install the ledger layer's hooks (done once at startup)."""
+        self._hooks = hooks
+        if self._txn_manager is not None:
+            self._txn_manager.set_hooks(hooks)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self, schema: TableSchema, options: Optional[Dict[str, Any]] = None
+    ) -> Table:
+        """Create a table; DDL is auto-durable via a catalog-snapshot record."""
+        info = self.catalog.create_table(schema, options)
+        table = self._materialize_table(info, load=False)
+        self._tables[info.table_id] = table
+        self._log_ddl(f"CREATE TABLE {schema.name}")
+        return table
+
+    def drop_table_physical(self, name: str) -> None:
+        """Physically drop a table (regular tables only; the ledger layer
+        intercepts drops of ledger tables and renames instead, §3.5.2)."""
+        info = self.catalog.drop_table(name)
+        self._tables.pop(info.table_id, None)
+        for suffix in self._table_file_suffixes(info):
+            file_path = os.path.join(self.path, suffix)
+            if os.path.exists(file_path):
+                os.remove(file_path)
+        self._log_ddl(f"DROP TABLE {name}")
+
+    def rename_table(self, old_name: str, new_name: str) -> None:
+        info = self.catalog.rename_table(old_name, new_name)
+        self._tables[info.table_id].schema = info.schema
+        self._log_ddl(f"RENAME TABLE {old_name} TO {new_name}")
+
+    def replace_table_schema(self, table_id: int, schema: TableSchema) -> None:
+        """Install an evolved schema for a table (ADD/DROP COLUMN...)."""
+        self.catalog.replace_schema(table_id, schema)
+        self._tables[table_id].replace_schema(schema)
+        self._log_ddl(f"ALTER TABLE {schema.name}")
+
+    def update_table_options(self, table_id: int, updates: Dict[str, Any]) -> None:
+        """Merge option keys into a table's catalog entry, durably."""
+        info = self.catalog.get_by_id(table_id)
+        info.options.update(updates)
+        self._log_ddl(f"ALTER TABLE {info.name} SET OPTIONS")
+
+    def create_index(self, table_name: str, definition: IndexDefinition) -> None:
+        info = self.catalog.get(table_name)
+        schema = info.schema.with_index(definition)
+        self.catalog.replace_schema(info.table_id, schema)
+        table = self._tables[info.table_id]
+        table.schema = schema
+        table.create_nonclustered_index(definition)
+        self._log_ddl(f"CREATE INDEX {definition.name} ON {table_name}")
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        info = self.catalog.get(table_name)
+        schema = info.schema.without_index(index_name)
+        self.catalog.replace_schema(info.table_id, schema)
+        table = self._tables[info.table_id]
+        table.schema = schema
+        table.drop_nonclustered_index(index_name)
+        index_file = os.path.join(
+            self.path, f"table_{info.table_id}.{index_name}.idx"
+        )
+        if os.path.exists(index_file):
+            os.remove(index_file)
+        self._log_ddl(f"DROP INDEX {index_name} ON {table_name}")
+
+    def _log_ddl(self, statement: str) -> None:
+        assert self._wal is not None
+        self._wal.append(
+            WalRecord(
+                DDL, {"statement": statement, "catalog": self.catalog.to_dict()}
+            )
+        )
+        self._wal.flush()
+
+    # ------------------------------------------------------------------
+    # Table access
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        return self._tables[self.catalog.get(name).table_id]
+
+    def table_by_id(self, table_id: int) -> Table:
+        return self._tables[self.catalog.get_by_id(table_id).table_id]
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.exists(name)
+
+    def tables(self) -> List[Table]:
+        return [self._tables[info.table_id] for info in self.catalog.tables()]
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    def begin(self, username: str = "app_user") -> Transaction:
+        assert self._txn_manager is not None
+        return self._txn_manager.begin(username)
+
+    def commit(self, txn: Transaction) -> Optional[Dict[str, Any]]:
+        assert self._txn_manager is not None
+        return self._txn_manager.commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        assert self._txn_manager is not None
+        self._txn_manager.rollback(txn)
+
+    def savepoint(self, txn: Transaction, name: str) -> None:
+        assert self._txn_manager is not None
+        self._txn_manager.savepoint(txn, name)
+
+    def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
+        assert self._txn_manager is not None
+        self._txn_manager.rollback_to_savepoint(txn, name)
+
+    @property
+    def active_transactions(self) -> List[Transaction]:
+        assert self._txn_manager is not None
+        return self._txn_manager.active_transactions
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush all storage images and start a new WAL epoch.
+
+        Checkpoints are quiesced: active transactions must finish first, so
+        the flushed images contain only committed data (NO-STEAL) and
+        recovery needs no undo phase.
+        """
+        assert self._wal is not None and self._txn_manager is not None
+        if self._txn_manager.active_transactions:
+            raise TransactionError(
+                "checkpoint requires quiescence; active transactions: "
+                f"{[t.tid for t in self._txn_manager.active_transactions]}"
+            )
+        self._hooks.on_checkpoint()
+        for info in self.catalog.tables():
+            table = self._tables[info.table_id]
+            table.heap.flush(os.path.join(self.path, f"table_{info.table_id}.tbl"))
+            for index in table.nonclustered.values():
+                index.heap.flush(
+                    os.path.join(self.path, f"table_{info.table_id}.{index.name}.idx")
+                )
+        new_epoch = self._epoch + 1
+        checkpoint = {
+            "epoch": new_epoch,
+            "next_tid": self._peek_next_tid(),
+            "catalog": self.catalog.to_dict(),
+            "ledger_state": self._hooks.checkpoint_state(),
+        }
+        tmp = os.path.join(self.path, _CHECKPOINT_FILE + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(checkpoint, f)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, os.path.join(self.path, _CHECKPOINT_FILE))
+
+        old_wal = self._wal
+        self._wal = WalWriter(self._wal_path(new_epoch), sync=self._sync)
+        self._txn_manager.set_wal(self._wal)
+        for table in self._tables.values():
+            table.set_wal(self._wal)
+        old_wal.close()
+        old_path = self._wal_path(self._epoch)
+        if os.path.exists(old_path):
+            os.remove(old_path)
+        self._epoch = new_epoch
+
+    def _peek_next_tid(self) -> int:
+        assert self._txn_manager is not None
+        return self._txn_manager._next_tid  # noqa: SLF001 - same subsystem
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _wal_path(self, epoch: int) -> str:
+        return os.path.join(self.path, f"wal.{epoch}.log")
+
+    def _materialize_table(self, info: TableInfo, load: bool) -> Table:
+        assert self._wal is not None
+        heap: Optional[HeapFile] = None
+        if load:
+            heap_path = os.path.join(self.path, f"table_{info.table_id}.tbl")
+            if os.path.exists(heap_path):
+                heap = HeapFile.load(info.name, heap_path)
+        table = Table(
+            info.table_id,
+            info.schema,
+            self._wal,
+            hooks_ref=lambda: self._hooks,
+            options=info.options,
+            heap=heap,
+            lock_manager=self._lock_manager,
+        )
+        if load:
+            for index in table.nonclustered.values():
+                index_path = os.path.join(
+                    self.path, f"table_{info.table_id}.{index.name}.idx"
+                )
+                if os.path.exists(index_path):
+                    index.heap = HeapFile.load(index.heap.name, index_path)
+        return table
+
+    def _table_file_suffixes(self, info: TableInfo) -> List[str]:
+        suffixes = [f"table_{info.table_id}.tbl"]
+        for definition in info.schema.indexes:
+            suffixes.append(f"table_{info.table_id}.{definition.name}.idx")
+        return suffixes
+
+    def __repr__(self) -> str:
+        return f"<Database {self.path!r} tables={len(self._tables)}>"

@@ -1,0 +1,210 @@
+"""Scalar expressions evaluated against named row contexts.
+
+The SQL front-end compiles WHERE/SET/SELECT expressions into these trees;
+programmatic callers can build them directly or pass plain callables where
+an expression is expected (see :func:`as_predicate`).
+
+Rows are mappings from column name to Python value.  SQL three-valued logic
+is approximated the way applications expect: comparisons with NULL yield
+False (not NULL), and ``IS NULL`` exists for explicit NULL tests.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Tuple
+
+from repro.errors import SqlBindError
+
+RowContext = Mapping[str, Any]
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def evaluate(self, row: RowContext) -> Any:
+        raise NotImplementedError
+
+    def references(self) -> Tuple[str, ...]:
+        """Column names this expression reads (for binding checks)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, row: RowContext) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+
+    def evaluate(self, row: RowContext) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise SqlBindError(f"unknown column {self.name!r}") from None
+
+    def references(self) -> Tuple[str, ...]:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_COMPARISONS: dict = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: dict = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "%": operator.mod,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: RowContext) -> Any:
+        if self.op in ("AND", "OR"):
+            left = bool(self.left.evaluate(row))
+            if self.op == "AND":
+                return left and bool(self.right.evaluate(row))
+            return left or bool(self.right.evaluate(row))
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if self.op in _COMPARISONS:
+            if left is None or right is None:
+                return False  # SQL: comparisons with NULL are not TRUE
+            return _COMPARISONS[self.op](left, right)
+        if self.op in _ARITHMETIC:
+            if left is None or right is None:
+                return None  # NULL propagates through arithmetic
+            return _ARITHMETIC[self.op](left, right)
+        raise SqlBindError(f"unknown operator {self.op!r}")
+
+    def references(self) -> Tuple[str, ...]:
+        return self.left.references() + self.right.references()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NotOp(Expression):
+    operand: Expression
+
+    def evaluate(self, row: RowContext) -> Any:
+        return not bool(self.operand.evaluate(row))
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class IsNullOp(Expression):
+    operand: Expression
+    negated: bool = False
+
+    def evaluate(self, row: RowContext) -> Any:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negated else is_null
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {suffix})"
+
+
+@dataclass(frozen=True)
+class LikeOp(Expression):
+    """SQL LIKE with ``%`` (any run) and ``_`` (any single character)."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def evaluate(self, row: RowContext) -> Any:
+        import re
+
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        regex = "^" + "".join(
+            ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+            for ch in self.pattern
+        ) + "$"
+        matched = re.match(regex, str(value)) is not None
+        return not matched if self.negated else matched
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+    def __str__(self) -> str:
+        negation = "NOT " if self.negated else ""
+        return f"({self.operand} {negation}LIKE {self.pattern!r})"
+
+
+@dataclass(frozen=True)
+class InOp(Expression):
+    operand: Expression
+    choices: Tuple[Any, ...]
+
+    def evaluate(self, row: RowContext) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return value in self.choices
+
+    def references(self) -> Tuple[str, ...]:
+        return self.operand.references()
+
+
+Predicate = Callable[[RowContext], bool]
+
+
+def as_predicate(condition: Any) -> Predicate:
+    """Normalize an Expression / callable / None into a row predicate."""
+    if condition is None:
+        return lambda row: True
+    if isinstance(condition, Expression):
+        return lambda row: bool(condition.evaluate(row))
+    if callable(condition):
+        return condition
+    raise SqlBindError(
+        f"cannot use {type(condition).__name__} as a predicate"
+    )
+
+
+def column(name: str) -> ColumnRef:
+    """Shorthand constructor used throughout tests and examples."""
+    return ColumnRef(name)
+
+
+def eq(name: str, value: Any) -> BinaryOp:
+    """Shorthand for the ubiquitous ``column = literal`` predicate."""
+    return BinaryOp("=", ColumnRef(name), Literal(value))

@@ -1,0 +1,185 @@
+"""Heap files: a table's record storage as a sequence of slotted pages.
+
+A heap file owns the page images for one table (or one nonclustered index).
+Pages live in memory and are flushed to a single on-disk file at checkpoint;
+:meth:`HeapFile.load` reads them back.  RowIds — ``(page_id, slot)`` pairs —
+are stable for the lifetime of a record.
+
+The heap deliberately exposes :meth:`tamper_record`: the paper's threat model
+includes adversaries who edit database files directly, bypassing the engine,
+the WAL and the ledger.  Tampering goes straight into the page image, exactly
+like an attacker with filesystem access, and is invisible to every layer
+above until ledger verification recomputes the hashes.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.engine.pager import PAGE_SIZE, Page
+from repro.errors import StorageError
+
+_FILE_MAGIC = b"SLHF"
+_FILE_HEADER = struct.Struct(">4sI")  # magic, page count
+
+
+@dataclass(frozen=True, order=True)
+class RowId:
+    """Physical address of a record: page number and slot within the page."""
+
+    page_id: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"RowId({self.page_id}:{self.slot})"
+
+
+class HeapFile:
+    """Page-based record storage for one table or index.
+
+    Insert placement uses a simple free-space cache: the lowest page known to
+    have room is tried first, falling back to appending a fresh page.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._pages: List[Page] = []
+        self._first_free_hint = 0
+
+    # -- record operations ----------------------------------------------------
+
+    def insert(self, record: bytes) -> RowId:
+        """Insert a record somewhere with room; returns its new RowId."""
+        for page_id in range(self._first_free_hint, len(self._pages)):
+            page = self._pages[page_id]
+            if page.can_fit(len(record)):
+                slot = page.insert(record)
+                self._first_free_hint = page_id
+                return RowId(page_id, slot)
+            if (
+                page_id == self._first_free_hint
+                and page.free_space_after_compaction() < 128
+            ):
+                # Nearly full page: stop re-probing it on every insert.
+                self._first_free_hint = page_id + 1
+        page = self._append_page()
+        slot = page.insert(record)
+        self._first_free_hint = max(self._first_free_hint, 0)
+        return RowId(page.page_id, slot)
+
+    def read(self, rid: RowId) -> bytes:
+        """Read the record at ``rid``; raises when absent."""
+        return self._page(rid.page_id).read(rid.slot)
+
+    def exists(self, rid: RowId) -> bool:
+        if not 0 <= rid.page_id < len(self._pages):
+            return False
+        return self._pages[rid.page_id].is_live(rid.slot)
+
+    def delete(self, rid: RowId) -> None:
+        """Remove the record at ``rid``."""
+        self._page(rid.page_id).delete(rid.slot)
+        self._first_free_hint = min(self._first_free_hint, rid.page_id)
+
+    def overwrite(self, rid: RowId, record: bytes) -> None:
+        """Replace the record at ``rid`` in place (RowId preserved)."""
+        self._page(rid.page_id).overwrite(rid.slot, record)
+
+    # -- recovery (idempotent) ---------------------------------------------------
+
+    def restore(self, rid: RowId, record: bytes) -> None:
+        """Force ``rid`` to contain ``record`` (redo); creates pages/slots."""
+        while len(self._pages) <= rid.page_id:
+            self._append_page()
+        self._pages[rid.page_id].restore(rid.slot, record)
+
+    def clear(self, rid: RowId) -> None:
+        """Force ``rid`` to be empty (redo of a delete); idempotent."""
+        if rid.page_id < len(self._pages):
+            self._pages[rid.page_id].clear(rid.slot)
+            self._first_free_hint = min(self._first_free_hint, rid.page_id)
+
+    # -- scanning -------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RowId, bytes]]:
+        """Yield every live record in physical (page, slot) order."""
+        for page in self._pages:
+            for slot, record in page.records():
+                yield RowId(page.page_id, slot), record
+
+    def record_count(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    # -- tampering (storage-level attack surface) ---------------------------------
+
+    def tamper_record(self, rid: RowId, record: bytes) -> None:
+        """Overwrite record bytes directly in the page image.
+
+        This bypasses the WAL, the transaction manager and the ledger — it
+        models an adversary editing the database files.  Nothing above the
+        storage layer observes the change until verification.
+        """
+        self._page(rid.page_id).overwrite(rid.slot, record)
+
+    def tamper_delete(self, rid: RowId) -> None:
+        """Drop a record directly from the page image (history erasure)."""
+        self._page(rid.page_id).delete(rid.slot)
+
+    def raw_page(self, page_id: int) -> bytearray:
+        """The mutable page buffer itself, for byte-level attacks."""
+        return self._page(page_id).buf
+
+    # -- persistence -------------------------------------------------------------
+
+    def flush(self, path: str) -> None:
+        """Write all pages to ``path`` atomically (write-then-rename)."""
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as f:
+            f.write(_FILE_HEADER.pack(_FILE_MAGIC, len(self._pages)))
+            for page in self._pages:
+                f.write(page.buf)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, name: str, path: str) -> "HeapFile":
+        """Load a heap file previously written by :meth:`flush`."""
+        heap = cls(name)
+        with open(path, "rb") as f:
+            header = f.read(_FILE_HEADER.size)
+            if len(header) != _FILE_HEADER.size:
+                raise StorageError(f"heap file {path!r} truncated header")
+            magic, page_count = _FILE_HEADER.unpack(header)
+            if magic != _FILE_MAGIC:
+                raise StorageError(f"heap file {path!r} has bad magic {magic!r}")
+            for page_id in range(page_count):
+                buf = bytearray(f.read(PAGE_SIZE))
+                if len(buf) != PAGE_SIZE:
+                    raise StorageError(f"heap file {path!r} truncated at page {page_id}")
+                heap._pages.append(Page(page_id, buf))
+        return heap
+
+    # -- internals ------------------------------------------------------------------
+
+    def _page(self, page_id: int) -> Page:
+        if not 0 <= page_id < len(self._pages):
+            raise StorageError(
+                f"page {page_id} does not exist in heap {self.name!r}"
+            )
+        return self._pages[page_id]
+
+    def _append_page(self) -> Page:
+        page = Page(len(self._pages))
+        self._pages.append(page)
+        return page
+
+    def __repr__(self) -> str:
+        return f"<HeapFile {self.name!r} pages={len(self._pages)}>"

@@ -1,0 +1,81 @@
+"""Extension points the ledger layer plugs into the engine.
+
+The paper integrates the ledger at specific places inside SQL Server:
+DML query plans (row hashing, history maintenance, §3.2), the transaction
+commit path (transaction entries ride on COMMIT log records, §3.3.2),
+savepoints (Merkle state snapshots, §3.2.1), checkpoints (flushing the
+in-memory transaction queue), and crash recovery (reconstructing that queue
+from COMMIT records).  :class:`EngineHooks` is the engine-side contract for
+all of those; the engine itself has no ledger knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.engine.table import Table
+    from repro.engine.transaction import Transaction
+
+
+class EngineHooks:
+    """No-op default implementation; the ledger layer overrides these.
+
+    Every method is optional to override.  DML hooks run *before* the storage
+    mutation, so they can populate hidden system columns on the row that is
+    about to be stored and hash exactly what storage will hold.
+    """
+
+    def before_insert(
+        self, txn: "Transaction", table: "Table", row: List[Any]
+    ) -> List[Any]:
+        """Called before a row is stored; returns the (possibly amended) row."""
+        return row
+
+    def before_update(
+        self,
+        txn: "Transaction",
+        table: "Table",
+        old_row: Sequence[Any],
+        new_row: List[Any],
+    ) -> List[Any]:
+        """Called before an update; returns the amended new version."""
+        return new_row
+
+    def before_delete(
+        self, txn: "Transaction", table: "Table", old_row: Sequence[Any]
+    ) -> None:
+        """Called before a row is removed from the table."""
+
+    def pre_commit(self, txn: "Transaction") -> Optional[Dict[str, Any]]:
+        """Build the ledger payload to embed in the COMMIT WAL record."""
+        return None
+
+    def post_commit(self, txn: "Transaction", payload: Optional[Dict[str, Any]]) -> None:
+        """Called after the COMMIT record is durably appended."""
+
+    def on_rollback(self, txn: "Transaction") -> None:
+        """Called when a transaction aborts (discard ledger state)."""
+
+    def on_savepoint(self, txn: "Transaction", name: str) -> Any:
+        """Snapshot ledger state for a savepoint; returned value is opaque."""
+        return None
+
+    def on_rollback_to_savepoint(
+        self, txn: "Transaction", name: str, snapshot: Any
+    ) -> None:
+        """Restore ledger state captured by :meth:`on_savepoint`."""
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Ledger state to persist inside the checkpoint image."""
+        return {}
+
+    def on_checkpoint(self) -> None:
+        """Called during checkpoint, before state is gathered; flush queues."""
+
+    def on_recovered_commit(self, payload: Dict[str, Any]) -> None:
+        """Analysis-phase callback: a committed transaction's ledger payload."""
+
+    def on_recovery_complete(self, checkpoint_state: Dict[str, Any]) -> None:
+        """Called once redo finished; ``checkpoint_state`` is what
+        :meth:`checkpoint_state` returned at the last checkpoint."""

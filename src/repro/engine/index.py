@@ -1,0 +1,175 @@
+"""Clustered and nonclustered indexes.
+
+The clustered index maps primary-key tuples to heap RowIds; there is exactly
+one per table when a primary key is declared (tables without one are heaps
+ordered by RowId, like SQL Server).
+
+Nonclustered indexes matter to the ledger because they *duplicate* table data
+in storage that can be tampered with independently of the base table
+(verification invariant 5, §3.4.1).  To model that faithfully, each
+nonclustered index owns its own :class:`~repro.engine.heap.HeapFile` holding
+a full copy of every indexed record, plus a B+ tree for lookups.  Tampering
+with the index heap leaves the base table untouched — only invariant 5
+catches it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.engine.btree import BPlusTree
+from repro.engine.heap import HeapFile, RowId
+from repro.engine.record import decode_record, key_tuple
+from repro.engine.schema import IndexDefinition, TableSchema
+from repro.errors import ConstraintError, StorageError
+
+
+class ClusteredIndex:
+    """Unique primary-key index: PK tuple → base-table RowId."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        if not schema.primary_key:
+            raise StorageError(
+                f"table {schema.name!r} has no primary key for a clustered index"
+            )
+        self._key_ordinals = schema.primary_key_ordinals()
+        self._tree = BPlusTree()
+
+    def key_of(self, row: Sequence[Any]) -> Tuple:
+        return key_tuple([row[o] for o in self._key_ordinals])
+
+    def insert(self, row: Sequence[Any], rid: RowId) -> None:
+        key = self.key_of(row)
+        if key in self._tree:
+            raise ConstraintError(
+                f"duplicate primary key {tuple(row[o] for o in self._key_ordinals)!r}"
+            )
+        self._tree.insert(key, rid)
+
+    def delete(self, row: Sequence[Any]) -> None:
+        try:
+            self._tree.delete(self.key_of(row))
+        except KeyError:
+            raise StorageError("clustered index entry missing for deleted row") from None
+
+    def seek(self, key_values: Sequence[Any]) -> Optional[RowId]:
+        return self._tree.get(key_tuple(key_values))
+
+    def scan(self) -> Iterator[Tuple[Tuple, RowId]]:
+        """All entries in primary-key order."""
+        return self._tree.items()
+
+    def range(self, low=None, high=None, **kwargs) -> Iterator[Tuple[Tuple, RowId]]:
+        low_key = key_tuple(low) if low is not None else None
+        high_key = key_tuple(high) if high is not None else None
+        return self._tree.range(low_key, high_key, **kwargs)
+
+    def seek_prefix(self, prefix_values: Sequence[Any]) -> Iterator[RowId]:
+        """RowIds of all rows whose leading key columns equal the prefix."""
+        for _, rid in self._tree.prefix(key_tuple(prefix_values)):
+            yield rid
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+
+class NonclusteredIndex:
+    """Secondary index with its own duplicated storage.
+
+    Every base-table record is copied verbatim into the index heap (a
+    covering index).  The B+ tree maps
+    ``(index key..., base_rid components)`` to the copy's location, so
+    duplicate index keys are supported.
+    """
+
+    def __init__(self, table_name: str, definition: IndexDefinition,
+                 schema: TableSchema) -> None:
+        self.definition = definition
+        self.name = definition.name
+        self._schema = schema
+        self._key_ordinals = tuple(
+            schema.column(name).ordinal for name in definition.column_names
+        )
+        self.heap = HeapFile(f"{table_name}.{definition.name}")
+        self._tree = BPlusTree()
+
+    def _tree_key(self, row: Sequence[Any], base_rid: RowId) -> Tuple:
+        return key_tuple([row[o] for o in self._key_ordinals]) + (
+            base_rid.page_id,
+            base_rid.slot,
+        )
+
+    def insert(self, row: Sequence[Any], record: bytes, base_rid: RowId) -> None:
+        """Add the record copy for a newly stored base row."""
+        if self.definition.unique:
+            prefix = key_tuple([row[o] for o in self._key_ordinals])
+            if next(self._tree.prefix(prefix), None) is not None:
+                raise ConstraintError(
+                    f"duplicate key in unique index {self.name!r}"
+                )
+        index_rid = self.heap.insert(record)
+        self._tree.insert(self._tree_key(row, base_rid), (index_rid, base_rid))
+
+    def delete(self, row: Sequence[Any], base_rid: RowId) -> None:
+        """Remove the record copy when the base row goes away."""
+        tree_key = self._tree_key(row, base_rid)
+        entry = self._tree.get(tree_key)
+        if entry is None:
+            raise StorageError(
+                f"nonclustered index {self.name!r} entry missing for {base_rid}"
+            )
+        index_rid, _ = entry
+        self._tree.delete(tree_key)
+        self.heap.delete(index_rid)
+
+    def seek(self, key_values: Sequence[Any]) -> Iterator[RowId]:
+        """Base RowIds of rows whose index key equals ``key_values``."""
+        prefix = key_tuple(key_values)
+        for _, (_, base_rid) in self._tree.prefix(prefix):
+            yield base_rid
+
+    def scan_records(self) -> Iterator[bytes]:
+        """Raw duplicated records straight from the index's own storage.
+
+        Verification invariant 5 reads these — *not* the base table — so
+        index-only tampering is visible.
+        """
+        for _, record in self.heap.scan():
+            yield record
+
+    def rebuild(self, base_records: Iterator[Tuple[RowId, bytes]]) -> None:
+        """Rebuild storage and tree from base-table records (recovery path)."""
+        self.heap = HeapFile(self.heap.name)
+        self._tree = BPlusTree()
+        for base_rid, record in base_records:
+            row = decode_record(self._schema, record)
+            index_rid = self.heap.insert(record)
+            self._tree.insert(self._tree_key(row, base_rid), (index_rid, base_rid))
+
+    def reattach_schema(self, schema: TableSchema) -> None:
+        """Point the index at an evolved schema (ordinals are stable)."""
+        self._schema = schema
+
+    def load_tree_from_heap(self, base_lookup) -> None:
+        """Rebuild only the B+ tree from this index's own heap (clean load).
+
+        ``base_lookup(row) -> RowId`` resolves each duplicated record back to
+        its base RowId via the clustered index.  Unresolvable records keep a
+        sentinel RowId: they are unreachable for queries but still appear in
+        :meth:`scan_records`, so verification sees exactly what storage holds.
+        """
+        self._tree = BPlusTree()
+        for index_rid, record in self.heap.scan():
+            try:
+                row = decode_record(self._schema, record)
+                base_rid = base_lookup(row)
+            except Exception:
+                row = None
+                base_rid = None
+            if row is None:
+                continue
+            resolved = base_rid if base_rid is not None else RowId(-1, -1)
+            self._tree.insert(self._tree_key(row, resolved), (index_rid, resolved))
+
+    def __len__(self) -> int:
+        return len(self._tree)

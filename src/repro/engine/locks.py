@@ -1,0 +1,62 @@
+"""Table-level lock manager.
+
+The engine executes one statement at a time per process (Python), but
+transactions still interleave: several may be open concurrently, and the
+ledger's block builder runs between user transactions.  Table-level
+shared/exclusive locks catch genuine conflicts; because there is no blocking
+scheduler, a conflicting acquisition raises :class:`LockError` immediately
+(NOWAIT semantics), which also makes deadlock impossible.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Set, Tuple
+
+from repro.errors import LockError
+
+
+class LockMode(Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """Grants table-level S/X locks to transaction ids, NOWAIT style."""
+
+    def __init__(self) -> None:
+        # table_id -> {tid: mode}
+        self._held: Dict[int, Dict[int, LockMode]] = {}
+
+    def acquire(self, tid: int, table_id: int, mode: LockMode) -> None:
+        """Acquire (or upgrade) a lock; raises :class:`LockError` on conflict."""
+        holders = self._held.setdefault(table_id, {})
+        current = holders.get(tid)
+        if current == LockMode.EXCLUSIVE or current == mode:
+            return
+        others = {t: m for t, m in holders.items() if t != tid}
+        if mode == LockMode.SHARED:
+            if any(m == LockMode.EXCLUSIVE for m in others.values()):
+                raise LockError(
+                    f"transaction {tid} cannot take S lock on table {table_id}: "
+                    "held exclusively by another transaction"
+                )
+        else:
+            if others:
+                raise LockError(
+                    f"transaction {tid} cannot take X lock on table {table_id}: "
+                    f"held by transactions {sorted(others)}"
+                )
+        holders[tid] = mode
+
+    def release_all(self, tid: int) -> None:
+        """Release every lock held by ``tid`` (commit/abort)."""
+        for holders in self._held.values():
+            holders.pop(tid, None)
+
+    def locks_held(self, tid: int) -> Set[Tuple[int, LockMode]]:
+        return {
+            (table_id, holders[tid])
+            for table_id, holders in self._held.items()
+            if tid in holders
+        }

@@ -1,0 +1,152 @@
+"""Physical record format and the bridge to the hashable serialization.
+
+Rows are stored in pages as *records*: a NULL bitmap followed by
+length-prefixed canonical value encodings.  This is the byte string an
+attacker edits when they "modify the data bypassing the database layer and
+directly updating it in storage" (threat model, §2.5.2) — and also the byte
+string recovery redoes from the WAL.
+
+A separate function, :func:`hashable_payload`, produces the canonical
+serialization defined by the paper (§3.2) — with type ids, type metadata and
+ordinals — that feeds the Merkle leaf hash.  The two formats are distinct on
+purpose: the storage format is optimized for space, the hashed format for
+unambiguous interpretation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+from repro.crypto.serialization import RowSerializer, SerializedColumn
+from repro.engine.schema import TableSchema
+from repro.errors import StorageError
+
+_COUNT = struct.Struct(">H")
+_VALUE_LEN = struct.Struct(">I")
+
+_ROW_SERIALIZER = RowSerializer()
+
+
+def encode_record(schema: TableSchema, row: Sequence[Any]) -> bytes:
+    """Encode a validated physical row into storage bytes.
+
+    Layout: ``uint16 column_count | null_bitmap | (uint32 len | value)*``
+    where values appear for non-NULL columns only, in ordinal order.
+    """
+    count = len(schema.columns)
+    if len(row) != count:
+        raise StorageError(
+            f"row width {len(row)} does not match schema width {count}"
+        )
+    bitmap = bytearray((count + 7) // 8)
+    parts: List[bytes] = []
+    for column in schema.columns:
+        value = row[column.ordinal]
+        if value is None:
+            continue
+        bitmap[column.ordinal // 8] |= 1 << (column.ordinal % 8)
+        encoded = column.sql_type.encode(value)
+        parts.append(_VALUE_LEN.pack(len(encoded)))
+        parts.append(encoded)
+    return _COUNT.pack(count) + bytes(bitmap) + b"".join(parts)
+
+
+def decode_record(
+    schema: TableSchema, data: bytes, visible_only: bool = False
+) -> Tuple[Any, ...]:
+    """Decode storage bytes back into a physical row.
+
+    Decoding is strict — truncation, trailing bytes, or values that do not
+    parse under the declared types all raise :class:`StorageError`.  The
+    verification process relies on this: a tampered record either decodes to
+    different values (hash mismatch) or fails to decode at all.
+
+    ``visible_only`` skips materializing hidden and dropped column values
+    (their slots read as None): query scans never show them, and skipping
+    the value decode keeps the ledger's system columns nearly free on the
+    read path — as they are in the production system.
+    """
+    if len(data) < _COUNT.size:
+        raise StorageError("record shorter than header")
+    (count,) = _COUNT.unpack_from(data, 0)
+    if count > len(schema.columns):
+        raise StorageError(
+            f"record declares {count} columns, schema has only "
+            f"{len(schema.columns)}"
+        )
+    # count < len(schema.columns) is legal: records written before an ADD
+    # COLUMN simply lack the trailing slots, which read as NULL ("instant"
+    # column adds, §3.5.1).
+    bitmap_len = (count + 7) // 8
+    offset = _COUNT.size + bitmap_len
+    if len(data) < offset:
+        raise StorageError("record shorter than its NULL bitmap")
+    bitmap = data[_COUNT.size : offset]
+    row: List[Any] = [None] * len(schema.columns)
+    for column in schema.columns:
+        ordinal = column.ordinal
+        if ordinal >= count:
+            continue
+        if not bitmap[ordinal // 8] >> (ordinal % 8) & 1:
+            continue
+        if offset + _VALUE_LEN.size > len(data):
+            raise StorageError(f"truncated record at column {column.name!r}")
+        (value_len,) = _VALUE_LEN.unpack_from(data, offset)
+        offset += _VALUE_LEN.size
+        if offset + value_len > len(data):
+            raise StorageError(f"truncated value for column {column.name!r}")
+        if visible_only and (column.hidden or column.dropped):
+            offset += value_len
+            continue
+        encoded = data[offset : offset + value_len]
+        offset += value_len
+        try:
+            row[ordinal] = column.sql_type.decode(encoded)
+        except Exception as exc:
+            raise StorageError(
+                f"column {column.name!r} failed to decode: {exc}"
+            ) from exc
+    if offset != len(data):
+        raise StorageError(f"{len(data) - offset} trailing bytes after record")
+    return tuple(row)
+
+
+def hashable_payload(schema: TableSchema, row: Sequence[Any]) -> bytes:
+    """Produce the canonical hashed serialization of a row version (§3.2).
+
+    NULLs are skipped; each serialized column carries its ordinal, type id
+    and declared-type metadata so that metadata tampering is detectable.
+    Dropped columns keep contributing their (frozen) values, which is what
+    keeps historical hashes valid after a column drop (§3.5.2).
+    """
+    columns: List[SerializedColumn] = []
+    for column in schema.columns:
+        value = row[column.ordinal]
+        if value is None:
+            continue
+        columns.append(
+            SerializedColumn(
+                ordinal=column.ordinal,
+                type_id=column.sql_type.type_id,
+                type_meta=column.sql_type.type_meta(),
+                value=column.sql_type.encode(value),
+            )
+        )
+    return _ROW_SERIALIZER.serialize(columns)
+
+
+def key_tuple(values: Sequence[Any]) -> Tuple[Tuple[int, Any], ...]:
+    """Make index-key values totally orderable in the presence of NULLs.
+
+    Python cannot compare ``None`` with other values, so each key part
+    becomes ``(0, '')`` for NULL (sorting first, like SQL Server) or
+    ``(1, value)`` otherwise.
+    """
+    parts = []
+    for value in values:
+        if value is None:
+            parts.append((0, ""))
+        else:
+            parts.append((1, value))
+    return tuple(parts)

@@ -1,0 +1,361 @@
+"""Table: schema + heap + indexes + the DML operations that tie them together.
+
+This is where the ledger's DML-plan extensions (paper §3.2) attach: every
+insert/update/delete runs the registered :class:`EngineHooks` *before* the
+storage mutation, so the ledger can populate the hidden system columns and
+hash exactly the bytes that will be stored.  History-table maintenance is
+performed by the ledger layer through :meth:`system_insert`, which bypasses
+the hooks (history rows are hashed as part of the originating operation, not
+as fresh inserts).
+
+Updates are physically delete+insert: the row gets a new RowId, and the WAL
+carries a DELETE record (with the before-image) followed by an INSERT record.
+Redo replays both idempotently; undo reverts them in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.heap import HeapFile, RowId
+from repro.engine.index import ClusteredIndex, NonclusteredIndex
+from repro.engine.record import decode_record, encode_record, key_tuple
+from repro.engine.schema import IndexDefinition, TableSchema
+from repro.engine.transaction import Transaction
+from repro.engine.wal import DELETE, INSERT, WalRecord, WalWriter
+from repro.errors import ConstraintError, StorageError
+
+
+class Table:
+    """A stored table and its physical access paths."""
+
+    def __init__(
+        self,
+        table_id: int,
+        schema: TableSchema,
+        wal: WalWriter,
+        hooks_ref: Callable[[], Any],
+        options: Optional[Dict[str, Any]] = None,
+        heap: Optional[HeapFile] = None,
+        lock_manager=None,
+    ) -> None:
+        self.table_id = table_id
+        self.schema = schema
+        self.options = options if options is not None else {}
+        self._wal = wal
+        self._hooks_ref = hooks_ref
+        self._lock_manager = lock_manager
+        self.heap = heap if heap is not None else HeapFile(schema.name)
+        self.clustered: Optional[ClusteredIndex] = (
+            ClusteredIndex(schema) if schema.primary_key else None
+        )
+        self.nonclustered: Dict[str, NonclusteredIndex] = {}
+        for definition in schema.indexes:
+            self.nonclustered[definition.name] = NonclusteredIndex(
+                schema.name, definition, schema
+            )
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def set_wal(self, wal: WalWriter) -> None:
+        self._wal = wal
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _acquire_write_lock(self, txn: Transaction) -> None:
+        if self._lock_manager is not None:
+            from repro.engine.locks import LockMode
+
+            self._lock_manager.acquire(txn.tid, self.table_id, LockMode.EXCLUSIVE)
+
+    def insert(self, txn: Transaction, row: List[Any]) -> RowId:
+        """Insert a physical row through the full pipeline (hooks included)."""
+        txn.require_active()
+        self._acquire_write_lock(txn)
+        row = self._hooks_ref().before_insert(txn, self, row)
+        return self._store_row(txn, row)
+
+    def system_insert(self, txn: Transaction, row: List[Any]) -> RowId:
+        """Insert bypassing DML hooks (history-table maintenance, §3.2)."""
+        txn.require_active()
+        self._acquire_write_lock(txn)
+        return self._store_row(txn, row)
+
+    def delete_row(self, txn: Transaction, rid: RowId) -> Tuple[Any, ...]:
+        """Delete the row at ``rid``; returns the removed row."""
+        txn.require_active()
+        self._acquire_write_lock(txn)
+        old_record = self.heap.read(rid)
+        old_row = decode_record(self.schema, old_record)
+        self._hooks_ref().before_delete(txn, self, old_row)
+        self._remove_row(txn, rid, old_row, old_record)
+        return old_row
+
+    def update_row(
+        self, txn: Transaction, rid: RowId, new_row: List[Any]
+    ) -> RowId:
+        """Replace the row at ``rid`` with ``new_row``; returns the new RowId."""
+        txn.require_active()
+        self._acquire_write_lock(txn)
+        old_record = self.heap.read(rid)
+        old_row = decode_record(self.schema, old_record)
+        new_row = self._hooks_ref().before_update(txn, self, old_row, new_row)
+        validated = self.schema.validate_row(new_row)
+        new_record = encode_record(self.schema, validated)
+        # Pre-check constraints so the physical mutation cannot half-apply.
+        self._check_unique(validated, ignore_rid=rid, old_row=old_row)
+        self._remove_row(txn, rid, old_row, old_record)
+        return self._place_row(txn, validated, new_record)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def scan(
+        self, visible_only: bool = False
+    ) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:
+        """All rows in physical (RowId) order.
+
+        ``visible_only`` skips decoding hidden/dropped column values — the
+        fast path for query scans that never expose them.
+        """
+        for rid, record in self.heap.scan():
+            yield rid, decode_record(self.schema, record, visible_only)
+
+    def scan_clustered(self) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:
+        """All rows ordered by primary key (RowId order for heaps)."""
+        if self.clustered is None:
+            yield from self.scan()
+            return
+        for _, rid in self.clustered.scan():
+            yield rid, decode_record(self.schema, self.heap.read(rid))
+
+    def seek(self, pk_values: Sequence[Any]) -> Optional[Tuple[RowId, Tuple[Any, ...]]]:
+        """Point lookup by primary key."""
+        if self.clustered is None:
+            raise StorageError(f"table {self.name!r} has no primary key to seek")
+        rid = self.clustered.seek(pk_values)
+        if rid is None:
+            return None
+        return rid, decode_record(self.schema, self.heap.read(rid))
+
+    def seek_index(
+        self, index_name: str, key_values: Sequence[Any],
+        visible_only: bool = False,
+    ) -> Iterator[Tuple[RowId, Tuple[Any, ...]]]:
+        """Equality lookup through a nonclustered index."""
+        index = self.nonclustered[index_name]
+        for rid in index.seek(key_values):
+            yield rid, decode_record(self.schema, self.heap.read(rid), visible_only)
+
+    def row_count(self) -> int:
+        return self.heap.record_count()
+
+    # ------------------------------------------------------------------
+    # Schema evolution support
+    # ------------------------------------------------------------------
+
+    def replace_schema(self, schema: TableSchema) -> None:
+        """Swap the schema (ordinals stable); refresh index bindings.
+
+        Indexes no longer present in the new schema (e.g. because they
+        covered a dropped column) are discarded.
+        """
+        self.schema = schema
+        surviving = {definition.name for definition in schema.indexes}
+        for name in list(self.nonclustered):
+            if name not in surviving:
+                del self.nonclustered[name]
+        for index in self.nonclustered.values():
+            index.reattach_schema(schema)
+
+    def create_nonclustered_index(self, definition: IndexDefinition) -> None:
+        """Build a new nonclustered index over the existing rows."""
+        index = NonclusteredIndex(self.name, definition, self.schema)
+        index.rebuild(self.heap.scan())
+        self.nonclustered[definition.name] = index
+
+    def drop_nonclustered_index(self, name: str) -> None:
+        del self.nonclustered[name]
+
+    def rebuild_indexes(self) -> None:
+        """Rebuild every access path from the base heap (crash recovery)."""
+        if self.schema.primary_key:
+            self.clustered = ClusteredIndex(self.schema)
+            for rid, record in self.heap.scan():
+                row = decode_record(self.schema, record)
+                self.clustered.insert(row, rid)
+        for index in self.nonclustered.values():
+            index.rebuild(self.heap.scan())
+
+    def load_indexes_from_storage(self) -> None:
+        """Rebuild in-memory trees from persisted storage (clean restart).
+
+        The clustered tree is derived from the base heap; each nonclustered
+        tree is derived from *its own* heap file, so index-level tampering in
+        storage survives a clean restart — exactly the attack surface
+        verification invariant 5 covers.
+        """
+        if self.schema.primary_key:
+            self.clustered = ClusteredIndex(self.schema)
+            for rid, record in self.heap.scan():
+                row = decode_record(self.schema, record)
+                self.clustered.insert(row, rid)
+
+        def base_lookup(row: Sequence[Any]) -> Optional[RowId]:
+            if self.clustered is None:
+                return None
+            return self.clustered.seek(
+                [row[o] for o in self.schema.primary_key_ordinals()]
+            )
+
+        for index in self.nonclustered.values():
+            index.load_tree_from_heap(base_lookup)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _store_row(self, txn: Transaction, row: List[Any]) -> RowId:
+        validated = self.schema.validate_row(row)
+        record = encode_record(self.schema, validated)
+        self._check_unique(validated)
+        return self._place_row(txn, validated, record)
+
+    def _place_row(
+        self, txn: Transaction, validated: Tuple[Any, ...], record: bytes
+    ) -> RowId:
+        rid = self.heap.insert(record)
+        if self.clustered is not None:
+            self.clustered.insert(validated, rid)
+        for index in self.nonclustered.values():
+            index.insert(validated, record, rid)
+        self._wal.append(
+            WalRecord(
+                INSERT,
+                {
+                    "tid": txn.tid,
+                    "table_id": self.table_id,
+                    "page": rid.page_id,
+                    "slot": rid.slot,
+                    "rec": record.hex(),
+                },
+            )
+        )
+
+        def undo_insert() -> None:
+            # Compensation: the undo itself is logged, so that if the
+            # transaction later commits (savepoint rollback) redo replays
+            # the insert AND its reversal in order (ARIES CLR semantics).
+            self._physical_remove(rid, validated)
+            self._wal.append(
+                WalRecord(
+                    DELETE,
+                    {
+                        "tid": txn.tid,
+                        "table_id": self.table_id,
+                        "page": rid.page_id,
+                        "slot": rid.slot,
+                        "old": record.hex(),
+                        "clr": True,
+                    },
+                )
+            )
+
+        txn.record_undo(f"insert {self.name} {rid}", undo_insert)
+        return rid
+
+    def _remove_row(
+        self,
+        txn: Transaction,
+        rid: RowId,
+        old_row: Tuple[Any, ...],
+        old_record: bytes,
+    ) -> None:
+        self._physical_remove(rid, old_row)
+        self._wal.append(
+            WalRecord(
+                DELETE,
+                {
+                    "tid": txn.tid,
+                    "table_id": self.table_id,
+                    "page": rid.page_id,
+                    "slot": rid.slot,
+                    "old": old_record.hex(),
+                },
+            )
+        )
+
+        def undo_delete() -> None:
+            self._physical_restore(rid, old_row, old_record)
+            self._wal.append(
+                WalRecord(
+                    INSERT,
+                    {
+                        "tid": txn.tid,
+                        "table_id": self.table_id,
+                        "page": rid.page_id,
+                        "slot": rid.slot,
+                        "rec": old_record.hex(),
+                        "clr": True,
+                    },
+                )
+            )
+
+        txn.record_undo(f"delete {self.name} {rid}", undo_delete)
+
+    def _physical_remove(self, rid: RowId, row: Tuple[Any, ...]) -> None:
+        self.heap.delete(rid)
+        if self.clustered is not None:
+            self.clustered.delete(row)
+        for index in self.nonclustered.values():
+            index.delete(row, rid)
+
+    def _physical_restore(
+        self, rid: RowId, row: Tuple[Any, ...], record: bytes
+    ) -> None:
+        self.heap.restore(rid, record)
+        if self.clustered is not None:
+            self.clustered.insert(row, rid)
+        for index in self.nonclustered.values():
+            index.insert(row, record, rid)
+
+    def _check_unique(
+        self,
+        row: Tuple[Any, ...],
+        ignore_rid: Optional[RowId] = None,
+        old_row: Optional[Tuple[Any, ...]] = None,
+    ) -> None:
+        """Pre-validate uniqueness so storage mutations cannot half-apply."""
+        if self.clustered is not None:
+            existing = self.clustered.seek(
+                [row[o] for o in self.schema.primary_key_ordinals()]
+            )
+            if existing is not None and existing != ignore_rid:
+                pk = tuple(row[o] for o in self.schema.primary_key_ordinals())
+                raise ConstraintError(
+                    f"duplicate primary key {pk!r} in table {self.name!r}"
+                )
+        for index in self.nonclustered.values():
+            if not index.definition.unique:
+                continue
+            key_ordinals = [
+                self.schema.column(c).ordinal for c in index.definition.column_names
+            ]
+            new_key = [row[o] for o in key_ordinals]
+            if old_row is not None:
+                old_key = [old_row[o] for o in key_ordinals]
+                if key_tuple(old_key) == key_tuple(new_key):
+                    continue  # key unchanged; the existing entry is this row
+            for hit in index.seek(new_key):
+                if hit != ignore_rid:
+                    raise ConstraintError(
+                        f"duplicate key in unique index {index.name!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name!r} id={self.table_id}>"

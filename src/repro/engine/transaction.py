@@ -1,0 +1,179 @@
+"""Transactions: undo logging, savepoints, and the commit pipeline.
+
+Transactions apply changes to in-memory table state immediately and keep
+*undo actions* so a rollback (full or to a savepoint) can revert them.
+Durability comes from the WAL: data records are appended as changes happen,
+and the COMMIT record — carrying the ledger's transaction entry (§3.3.2) —
+is what makes the transaction durable.
+
+Savepoints capture both an undo-log position and a ledger snapshot (the
+Merkle hasher states); rolling back to a savepoint unwinds storage and
+restores the hashers in O(log N) per table (§3.2.1).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.engine.hooks import EngineHooks
+from repro.engine.locks import LockManager
+from repro.engine.wal import ABORT, BEGIN, COMMIT, WalRecord, WalWriter
+from repro.errors import SavepointError, TransactionError
+
+
+class TxnState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class UndoAction:
+    """A single revertible storage action, applied in reverse order."""
+
+    description: str
+    revert: Callable[[], None]
+
+
+@dataclass
+class _Savepoint:
+    name: str
+    undo_position: int
+    ledger_snapshot: Any
+
+
+class Transaction:
+    """One database transaction.
+
+    ``context`` is a scratch area for the ledger layer: it holds the
+    per-table Merkle hashers and operation sequence counters for this
+    transaction without the engine knowing their shape.
+    """
+
+    def __init__(self, tid: int, username: str, begin_time: dt.datetime) -> None:
+        self.tid = tid
+        self.username = username
+        self.begin_time = begin_time
+        self.commit_time: Optional[dt.datetime] = None
+        self.state = TxnState.ACTIVE
+        self.undo_log: List[UndoAction] = []
+        self.savepoints: List[_Savepoint] = []
+        self.context: Dict[str, Any] = {}
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.tid} is {self.state.value}, not active"
+            )
+
+    def record_undo(self, description: str, revert: Callable[[], None]) -> None:
+        """Register the inverse of a storage mutation just performed."""
+        self.undo_log.append(UndoAction(description, revert))
+
+    def __repr__(self) -> str:
+        return f"<Transaction tid={self.tid} state={self.state.value}>"
+
+
+class TransactionManager:
+    """Begins, commits and rolls back transactions against one database."""
+
+    def __init__(
+        self,
+        wal: WalWriter,
+        lock_manager: LockManager,
+        hooks: EngineHooks,
+        clock: Callable[[], dt.datetime],
+        next_tid: int = 1,
+    ) -> None:
+        self._wal = wal
+        self._locks = lock_manager
+        self._hooks = hooks
+        self._clock = clock
+        self._next_tid = next_tid
+        self._active: Dict[int, Transaction] = {}
+
+    @property
+    def hooks(self) -> EngineHooks:
+        return self._hooks
+
+    def set_hooks(self, hooks: EngineHooks) -> None:
+        self._hooks = hooks
+
+    def set_wal(self, wal: WalWriter) -> None:
+        self._wal = wal
+
+    def set_next_tid(self, next_tid: int) -> None:
+        self._next_tid = max(self._next_tid, next_tid)
+
+    @property
+    def active_transactions(self) -> List[Transaction]:
+        return list(self._active.values())
+
+    def begin(self, username: str = "app_user") -> Transaction:
+        """Start a new transaction and log BEGIN."""
+        tid = self._next_tid
+        self._next_tid += 1
+        txn = Transaction(tid, username, self._clock())
+        self._active[tid] = txn
+        self._wal.append(WalRecord(BEGIN, {"tid": tid, "username": username}))
+        return txn
+
+    def commit(self, txn: Transaction) -> Optional[Dict[str, Any]]:
+        """Commit: gather the ledger payload, append COMMIT, notify hooks.
+
+        Returns the ledger payload (block id / ordinal / entry) so callers —
+        e.g. receipt generation — can reference where the transaction landed.
+        """
+        txn.require_active()
+        txn.commit_time = self._clock()
+        payload = self._hooks.pre_commit(txn)
+        self._wal.append(
+            WalRecord(COMMIT, {"tid": txn.tid, "ledger": payload})
+        )
+        self._wal.flush()
+        txn.state = TxnState.COMMITTED
+        del self._active[txn.tid]
+        self._hooks.post_commit(txn, payload)
+        self._locks.release_all(txn.tid)
+        return payload
+
+    def rollback(self, txn: Transaction) -> None:
+        """Abort: apply all undo actions in reverse, log ABORT."""
+        txn.require_active()
+        for action in reversed(txn.undo_log):
+            action.revert()
+        txn.undo_log.clear()
+        self._wal.append(WalRecord(ABORT, {"tid": txn.tid}))
+        txn.state = TxnState.ABORTED
+        del self._active[txn.tid]
+        self._hooks.on_rollback(txn)
+        self._locks.release_all(txn.tid)
+
+    # -- savepoints (partial rollback, §3.2.1) ---------------------------------
+
+    def savepoint(self, txn: Transaction, name: str) -> None:
+        """Create (or replace) a named savepoint inside the transaction."""
+        txn.require_active()
+        snapshot = self._hooks.on_savepoint(txn, name)
+        txn.savepoints = [sp for sp in txn.savepoints if sp.name != name]
+        txn.savepoints.append(_Savepoint(name, len(txn.undo_log), snapshot))
+
+    def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
+        """Undo everything after the savepoint; the transaction stays active."""
+        txn.require_active()
+        for position, sp in enumerate(txn.savepoints):
+            if sp.name == name:
+                target = sp
+                # Later savepoints are invalidated (SQL Server semantics).
+                txn.savepoints = txn.savepoints[: position + 1]
+                break
+        else:
+            raise SavepointError(
+                f"savepoint {name!r} does not exist in transaction {txn.tid}"
+            )
+        while len(txn.undo_log) > target.undo_position:
+            txn.undo_log.pop().revert()
+        self._hooks.on_rollback_to_savepoint(txn, name, target.ledger_snapshot)

@@ -1,0 +1,141 @@
+"""Write-ahead log: append-only record stream with torn-tail detection.
+
+The WAL provides durability and atomicity for everything between
+checkpoints.  Records are framed as ``uint32 length | uint32 crc32 | payload``
+with a JSON payload (binary fields hex-encoded); a crash mid-write leaves a
+torn frame at the tail, which the reader detects via the CRC and discards —
+the classic ARIES behaviour.
+
+The ledger integration point (paper §3.3.2) is the COMMIT record: when a
+transaction commits, the ledger layer contributes its transaction entry
+(block id, ordinal within the block, serialized entry payload) which rides on
+the COMMIT record.  Recovery's analysis phase feeds those payloads back to
+the ledger so the in-memory transaction queue can be reconstructed after a
+crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import RecoveryError
+
+_FRAME = struct.Struct(">II")  # payload length, crc32
+
+# Record kinds.
+BEGIN = "BEGIN"
+INSERT = "INSERT"
+DELETE = "DELETE"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+DDL = "DDL"
+
+
+@dataclass
+class WalRecord:
+    """One log record.  ``payload`` contents depend on ``kind``:
+
+    * BEGIN:  ``tid``, ``username``
+    * INSERT: ``tid``, ``table_id``, ``page``, ``slot``, ``rec`` (hex record)
+    * DELETE: ``tid``, ``table_id``, ``page``, ``slot``, ``old`` (hex record)
+    * COMMIT: ``tid``, ``ledger`` (opaque dict from the ledger layer or None)
+    * ABORT:  ``tid``
+    * DDL:    ``catalog`` (full catalog snapshot) plus ``ledger_ddl`` metadata
+    """
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        return json.dumps(
+            {"kind": self.kind, **self.payload}, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "WalRecord":
+        decoded = json.loads(data.decode("utf-8"))
+        kind = decoded.pop("kind")
+        return cls(kind=kind, payload=decoded)
+
+
+class WalWriter:
+    """Appends records to a log file; returns byte-offset LSNs."""
+
+    def __init__(self, path: str, sync: bool = False) -> None:
+        self._path = path
+        self._sync = sync
+        self._file = open(path, "ab")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def append(self, record: WalRecord) -> int:
+        """Append one record; returns its LSN (starting byte offset)."""
+        payload = record.to_bytes()
+        lsn = self._file.tell()
+        self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._file.write(payload)
+        if self._sync:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        return lsn
+
+    def flush(self) -> None:
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+
+def read_wal(path: str) -> Iterator[WalRecord]:
+    """Yield records from a WAL file, stopping cleanly at a torn tail.
+
+    A frame whose length field runs past EOF or whose CRC mismatches marks
+    the point where a crash interrupted a write; everything before it is
+    intact (frames are written length-first and appends are sequential).
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as f:
+        while True:
+            header = f.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                return  # clean EOF or torn header
+            length, crc = _FRAME.unpack(header)
+            payload = f.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return  # torn tail
+            try:
+                yield WalRecord.from_bytes(payload)
+            except (ValueError, KeyError) as exc:
+                raise RecoveryError(f"corrupt WAL record in {path!r}: {exc}") from exc
+
+
+def analyze_wal(records: List[WalRecord]) -> Dict[str, Any]:
+    """ARIES analysis: classify transactions into winners and losers.
+
+    Returns a dict with ``committed`` (tid → COMMIT payload, in commit
+    order), ``aborted`` (set of tids) and ``catalog`` (the last DDL catalog
+    snapshot seen, or None).
+    """
+    committed: Dict[int, Dict[str, Any]] = {}
+    aborted = set()
+    catalog: Optional[dict] = None
+    for record in records:
+        if record.kind == COMMIT:
+            committed[record.payload["tid"]] = record.payload
+        elif record.kind == ABORT:
+            aborted.add(record.payload["tid"])
+        elif record.kind == DDL:
+            catalog = record.payload.get("catalog")
+    return {"committed": committed, "aborted": aborted, "catalog": catalog}

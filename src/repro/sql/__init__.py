@@ -1,0 +1,24 @@
+"""SQL front-end: a T-SQL-flavoured subset over the ledger database.
+
+The paper's central usability claim is that ledger tables require *no
+application changes*: the same SQL that works against regular tables works
+against ledger tables, with ``WITH (LEDGER = ON)`` as the only opt-in.  This
+package provides that surface::
+
+    db.sql("CREATE TABLE accounts (name VARCHAR(32) PRIMARY KEY, "
+           "balance INT) WITH (LEDGER = ON)")
+    db.sql("INSERT INTO accounts VALUES ('Nick', 100)")
+    db.sql("UPDATE accounts SET balance = 50 WHERE name = 'Nick'")
+    rows = db.sql("SELECT * FROM accounts_ledger ORDER BY "
+                  "ledger_transaction_id")
+
+Supported statements: CREATE TABLE (incl. ledger options), CREATE/DROP
+INDEX, DROP TABLE, ALTER TABLE ADD/DROP COLUMN, INSERT/UPDATE/DELETE,
+SELECT (WHERE / GROUP BY / ORDER BY / LIMIT, aggregates), and transaction
+control (BEGIN/COMMIT/ROLLBACK/SAVE TRANSACTION/ROLLBACK TO).  Ledger views
+are queryable as virtual ``<table>_ledger`` tables.
+"""
+
+from repro.sql.session import SqlSession
+
+__all__ = ["SqlSession"]

@@ -1,0 +1,564 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Any, List, Optional, Tuple
+
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    InOp,
+    IsNullOp,
+    LikeOp,
+    Literal,
+    NotOp,
+)
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import (
+    END,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OPERATOR,
+    PUNCT,
+    STRING,
+    Token,
+    tokenize,
+)
+
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+def parse(text: str):
+    """Parse one SQL statement into its AST node."""
+    return _Parser(tokenize(text)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != END:
+            self._position += 1
+        return token
+
+    def _accept(self, kind: str, value: str = None) -> Optional[Token]:
+        if self._peek().matches(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, value):
+            expected = value or kind
+            raise SqlSyntaxError(
+                f"expected {expected}, found {token}", token.line, token.column
+            )
+        return self._advance()
+
+    def _expect_name(self) -> str:
+        token = self._peek()
+        # Some keywords double as identifiers in practice (e.g. a table named
+        # "orders" is fine, but "KEY" is not); accept IDENT only.
+        if token.kind != IDENT:
+            raise SqlSyntaxError(
+                f"expected an identifier, found {token}", token.line, token.column
+            )
+        return self._advance().value
+
+    def _expect_column_name(self) -> str:
+        """An optionally qualified column reference: ``col`` or ``t.col``."""
+        name = self._expect_name()
+        if self._accept(PUNCT, "."):
+            name = f"{name}.{self._expect_name()}"
+        return name
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self):
+        token = self._peek()
+        if token.matches(KEYWORD, "SELECT"):
+            return self._parse_select()
+        if token.matches(KEYWORD, "INSERT"):
+            return self._parse_insert()
+        if token.matches(KEYWORD, "UPDATE"):
+            return self._parse_update()
+        if token.matches(KEYWORD, "DELETE"):
+            return self._parse_delete()
+        if token.matches(KEYWORD, "CREATE"):
+            return self._parse_create()
+        if token.matches(KEYWORD, "DROP"):
+            return self._parse_drop()
+        if token.matches(KEYWORD, "ALTER"):
+            return self._parse_alter()
+        if token.matches(KEYWORD, "BEGIN"):
+            self._advance()
+            self._accept(KEYWORD, "TRANSACTION")
+            self._end()
+            return ast.BeginTransaction()
+        if token.matches(KEYWORD, "COMMIT"):
+            self._advance()
+            self._accept(KEYWORD, "TRANSACTION")
+            self._end()
+            return ast.CommitTransaction()
+        if token.matches(KEYWORD, "ROLLBACK"):
+            self._advance()
+            if self._accept(KEYWORD, "TO"):
+                name = self._expect_name()
+                self._end()
+                return ast.RollbackTransaction(savepoint=name)
+            self._accept(KEYWORD, "TRANSACTION")
+            self._end()
+            return ast.RollbackTransaction()
+        if token.matches(KEYWORD, "SAVE"):
+            self._advance()
+            self._accept(KEYWORD, "TRANSACTION")
+            name = self._expect_name()
+            self._end()
+            return ast.SaveTransaction(name)
+        raise SqlSyntaxError(
+            f"unsupported statement starting with {token}", token.line, token.column
+        )
+
+    def _end(self) -> None:
+        token = self._peek()
+        if token.kind != END:
+            raise SqlSyntaxError(
+                f"unexpected trailing input: {token}", token.line, token.column
+            )
+
+    # -- SELECT -------------------------------------------------------------------
+
+    def _parse_select(self) -> ast.Select:
+        self._expect(KEYWORD, "SELECT")
+        items: Tuple[ast.SelectItem, ...] = ()
+        if self._accept(OPERATOR, "*"):
+            items = ()
+        else:
+            collected = [self._parse_select_item()]
+            while self._accept(PUNCT, ","):
+                collected.append(self._parse_select_item())
+            items = tuple(collected)
+        self._expect(KEYWORD, "FROM")
+        table = self._expect_name()
+        alias = self._advance().value if self._peek().kind == IDENT else None
+        joins = []
+        while True:
+            left_outer = False
+            if self._accept(KEYWORD, "LEFT"):
+                left_outer = True
+                self._expect(KEYWORD, "JOIN")
+            elif self._accept(KEYWORD, "INNER"):
+                self._expect(KEYWORD, "JOIN")
+            elif not self._accept(KEYWORD, "JOIN"):
+                break
+            join_table = self._expect_name()
+            join_alias = (
+                self._advance().value if self._peek().kind == IDENT
+                else join_table
+            )
+            self._expect(KEYWORD, "ON")
+            condition = self._parse_expression()
+            joins.append(
+                ast.JoinClause(
+                    table=join_table, alias=join_alias, on=condition,
+                    left_outer=left_outer,
+                )
+            )
+        where = None
+        if self._accept(KEYWORD, "WHERE"):
+            where = self._parse_expression()
+        group_by: Tuple[str, ...] = ()
+        if self._accept(KEYWORD, "GROUP"):
+            self._expect(KEYWORD, "BY")
+            names = [self._expect_column_name()]
+            while self._accept(PUNCT, ","):
+                names.append(self._expect_column_name())
+            group_by = tuple(names)
+        order_by: Tuple[Tuple[str, bool], ...] = ()
+        if self._accept(KEYWORD, "ORDER"):
+            self._expect(KEYWORD, "BY")
+            keys = [self._parse_order_key()]
+            while self._accept(PUNCT, ","):
+                keys.append(self._parse_order_key())
+            order_by = tuple(keys)
+        limit = None
+        if self._accept(KEYWORD, "LIMIT"):
+            limit = int(self._expect(NUMBER).value)
+        self._end()
+        return ast.Select(
+            table=table, items=items, where=where,
+            group_by=group_by, order_by=order_by, limit=limit,
+            alias=alias, joins=tuple(joins),
+        )
+
+    def _parse_order_key(self) -> Tuple[str, bool]:
+        name = self._expect_column_name()
+        descending = False
+        if self._accept(KEYWORD, "DESC"):
+            descending = True
+        else:
+            self._accept(KEYWORD, "ASC")
+        return name, descending
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.kind == KEYWORD and token.value.upper() in _AGGREGATES:
+            function = self._advance().value.upper()
+            self._expect(PUNCT, "(")
+            if self._accept(OPERATOR, "*"):
+                column = None
+            else:
+                column = self._expect_column_name()
+            self._expect(PUNCT, ")")
+            alias = self._parse_alias() or function.lower()
+            return ast.SelectItem(
+                alias=alias, aggregate=function, aggregate_column=column
+            )
+        expression = self._parse_expression()
+        alias = self._parse_alias()
+        if alias is None:
+            alias = str(expression) if not isinstance(expression, ColumnRef) else expression.name
+        return ast.SelectItem(alias=alias, expression=expression)
+
+    def _parse_alias(self) -> Optional[str]:
+        if self._accept(KEYWORD, "AS"):
+            return self._expect_name()
+        if self._peek().kind == IDENT:
+            return self._advance().value
+        return None
+
+    # -- DML --------------------------------------------------------------------
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect(KEYWORD, "INSERT")
+        self._expect(KEYWORD, "INTO")
+        table = self._expect_name()
+        columns: Tuple[str, ...] = ()
+        if self._accept(PUNCT, "("):
+            names = [self._expect_name()]
+            while self._accept(PUNCT, ","):
+                names.append(self._expect_name())
+            self._expect(PUNCT, ")")
+            columns = tuple(names)
+        self._expect(KEYWORD, "VALUES")
+        rows = [self._parse_value_row()]
+        while self._accept(PUNCT, ","):
+            rows.append(self._parse_value_row())
+        self._end()
+        return ast.Insert(table=table, columns=columns, rows=tuple(rows))
+
+    def _parse_value_row(self) -> Tuple[Any, ...]:
+        self._expect(PUNCT, "(")
+        values = [self._parse_literal_value()]
+        while self._accept(PUNCT, ","):
+            values.append(self._parse_literal_value())
+        self._expect(PUNCT, ")")
+        return tuple(values)
+
+    def _parse_update(self) -> ast.Update:
+        self._expect(KEYWORD, "UPDATE")
+        table = self._expect_name()
+        self._expect(KEYWORD, "SET")
+        assignments = [self._parse_assignment()]
+        while self._accept(PUNCT, ","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept(KEYWORD, "WHERE"):
+            where = self._parse_expression()
+        self._end()
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_assignment(self) -> Tuple[str, Expression]:
+        name = self._expect_name()
+        self._expect(OPERATOR, "=")
+        return name, self._parse_expression()
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect(KEYWORD, "DELETE")
+        self._expect(KEYWORD, "FROM")
+        table = self._expect_name()
+        where = None
+        if self._accept(KEYWORD, "WHERE"):
+            where = self._parse_expression()
+        self._end()
+        return ast.Delete(table=table, where=where)
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def _parse_create(self):
+        self._expect(KEYWORD, "CREATE")
+        if self._accept(KEYWORD, "TABLE"):
+            return self._parse_create_table()
+        unique = bool(self._accept(KEYWORD, "UNIQUE"))
+        self._expect(KEYWORD, "INDEX")
+        index = self._expect_name()
+        self._expect(KEYWORD, "ON")
+        table = self._expect_name()
+        self._expect(PUNCT, "(")
+        columns = [self._expect_name()]
+        while self._accept(PUNCT, ","):
+            columns.append(self._expect_name())
+        self._expect(PUNCT, ")")
+        self._end()
+        return ast.CreateIndex(
+            index=index, table=table, columns=tuple(columns), unique=unique
+        )
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        table = self._expect_name()
+        self._expect(PUNCT, "(")
+        columns: List[ast.ColumnDef] = []
+        primary_key: Tuple[str, ...] = ()
+        while True:
+            if self._accept(KEYWORD, "PRIMARY"):
+                self._expect(KEYWORD, "KEY")
+                self._expect(PUNCT, "(")
+                names = [self._expect_name()]
+                while self._accept(PUNCT, ","):
+                    names.append(self._expect_name())
+                self._expect(PUNCT, ")")
+                primary_key = tuple(names)
+            else:
+                columns.append(self._parse_column_def())
+            if not self._accept(PUNCT, ","):
+                break
+        self._expect(PUNCT, ")")
+        inline_pk = tuple(c.name for c in columns if c.primary_key)
+        if inline_pk and primary_key:
+            raise SqlSyntaxError("duplicate PRIMARY KEY specification")
+        primary_key = primary_key or inline_pk
+
+        ledger = False
+        append_only = False
+        if self._accept(KEYWORD, "WITH"):
+            self._expect(PUNCT, "(")
+            while True:
+                option = self._advance()
+                self._expect(OPERATOR, "=")
+                value = self._advance().value.upper()
+                enabled = value in ("ON", "TRUE", "1")
+                if option.value.upper() == "LEDGER":
+                    ledger = enabled
+                elif option.value.upper() == "APPEND_ONLY":
+                    append_only = enabled
+                else:
+                    raise SqlSyntaxError(
+                        f"unknown table option {option.value!r}",
+                        option.line, option.column,
+                    )
+                if not self._accept(PUNCT, ","):
+                    break
+            self._expect(PUNCT, ")")
+        self._end()
+        return ast.CreateTable(
+            table=table, columns=tuple(columns), primary_key=primary_key,
+            ledger=ledger, append_only=append_only,
+        )
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_name()
+        type_token = self._peek()
+        if type_token.kind not in (IDENT, KEYWORD):
+            raise SqlSyntaxError(
+                f"expected a type name, found {type_token}",
+                type_token.line, type_token.column,
+            )
+        type_name = self._advance().value
+        type_args: Tuple[int, ...] = ()
+        if self._accept(PUNCT, "("):
+            args = [int(self._expect(NUMBER).value)]
+            while self._accept(PUNCT, ","):
+                args.append(int(self._expect(NUMBER).value))
+            self._expect(PUNCT, ")")
+            type_args = tuple(args)
+        nullable = True
+        primary_key = False
+        while True:
+            if self._accept(KEYWORD, "NOT"):
+                self._expect(KEYWORD, "NULL")
+                nullable = False
+            elif self._accept(KEYWORD, "NULL"):
+                nullable = True
+            elif self._accept(KEYWORD, "PRIMARY"):
+                self._expect(KEYWORD, "KEY")
+                primary_key = True
+                nullable = False
+            else:
+                break
+        return ast.ColumnDef(
+            name=name, type_name=type_name, type_args=type_args,
+            nullable=nullable, primary_key=primary_key,
+        )
+
+    def _parse_drop(self):
+        self._expect(KEYWORD, "DROP")
+        if self._accept(KEYWORD, "TABLE"):
+            table = self._expect_name()
+            self._end()
+            return ast.DropTable(table=table)
+        self._expect(KEYWORD, "INDEX")
+        index = self._expect_name()
+        self._expect(KEYWORD, "ON")
+        table = self._expect_name()
+        self._end()
+        return ast.DropIndex(index=index, table=table)
+
+    def _parse_alter(self):
+        self._expect(KEYWORD, "ALTER")
+        self._expect(KEYWORD, "TABLE")
+        table = self._expect_name()
+        if self._accept(KEYWORD, "ADD"):
+            self._accept(KEYWORD, "COLUMN")
+            column = self._parse_column_def()
+            self._end()
+            return ast.AlterAddColumn(table=table, column=column)
+        self._expect(KEYWORD, "DROP")
+        self._expect(KEYWORD, "COLUMN")
+        column = self._expect_name()
+        self._end()
+        return ast.AlterDropColumn(table=table, column=column)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept(KEYWORD, "OR"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_not()
+        while self._accept(KEYWORD, "AND"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expression:
+        if self._accept(KEYWORD, "NOT"):
+            return NotOp(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == OPERATOR and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = self._advance().value
+            right = self._parse_additive()
+            return BinaryOp("!=" if op == "<>" else op, left, right)
+        if self._accept(KEYWORD, "IS"):
+            negated = bool(self._accept(KEYWORD, "NOT"))
+            self._expect(KEYWORD, "NULL")
+            return IsNullOp(left, negated=negated)
+        negated_match = bool(self._accept(KEYWORD, "NOT"))
+        if self._accept(KEYWORD, "LIKE"):
+            pattern_token = self._expect(STRING)
+            return LikeOp(left, pattern_token.value, negated=negated_match)
+        if self._accept(KEYWORD, "BETWEEN"):
+            low = self._parse_additive()
+            self._expect(KEYWORD, "AND")
+            high = self._parse_additive()
+            between = BinaryOp(
+                "AND", BinaryOp(">=", left, low), BinaryOp("<=", left, high)
+            )
+            return NotOp(between) if negated_match else between
+        if negated_match:
+            token = self._peek()
+            raise SqlSyntaxError(
+                "expected LIKE or BETWEEN after NOT", token.line, token.column
+            )
+        if self._accept(KEYWORD, "IN"):
+            self._expect(PUNCT, "(")
+            choices = [self._parse_literal_value()]
+            while self._accept(PUNCT, ","):
+                choices.append(self._parse_literal_value())
+            self._expect(PUNCT, ")")
+            return InOp(left, tuple(choices))
+        return left
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == OPERATOR and token.value in ("+", "-"):
+                op = self._advance().value
+                left = BinaryOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind == OPERATOR and token.value in ("*", "/", "%"):
+                op = self._advance().value
+                left = BinaryOp(op, left, self._parse_primary())
+            else:
+                return left
+
+    def _parse_primary(self) -> Expression:
+        token = self._peek()
+        if self._accept(PUNCT, "("):
+            inner = self._parse_expression()
+            self._expect(PUNCT, ")")
+            return inner
+        if token.kind == NUMBER:
+            return Literal(self._number(self._advance().value))
+        if token.kind == STRING:
+            return Literal(self._advance().value)
+        if token.matches(KEYWORD, "NULL"):
+            self._advance()
+            return Literal(None)
+        if token.matches(KEYWORD, "TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.matches(KEYWORD, "FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.kind == OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._parse_primary()
+            if isinstance(operand, Literal):
+                return Literal(-operand.value)
+            return BinaryOp("-", Literal(0), operand)
+        if token.kind == IDENT:
+            name = self._advance().value
+            if self._accept(PUNCT, "."):
+                name = f"{name}.{self._expect_name()}"
+            return ColumnRef(name)
+        raise SqlSyntaxError(
+            f"unexpected token {token} in expression", token.line, token.column
+        )
+
+    def _parse_literal_value(self) -> Any:
+        expression = self._parse_expression()
+        if not isinstance(expression, Literal):
+            row: dict = {}
+            try:
+                return expression.evaluate(row)  # constant-folds arithmetic
+            except Exception:
+                token = self._peek()
+                raise SqlSyntaxError(
+                    "only literal values are allowed here",
+                    token.line, token.column,
+                ) from None
+        return expression.value
+
+    @staticmethod
+    def _number(text: str) -> Any:
+        if "." in text:
+            return Decimal(text)
+        return int(text)

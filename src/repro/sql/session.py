@@ -1,0 +1,332 @@
+"""SQL session: binds parsed statements to the ledger database and runs them.
+
+A session carries optional explicit-transaction state (``BEGIN`` ...
+``COMMIT``); statements outside an explicit transaction auto-commit, like a
+default SQL Server session.  SELECT statements against ``<table>_ledger``
+names read the corresponding ledger view as a virtual table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.engine.expressions import as_predicate
+from repro.engine.operators import (
+    aggregate,
+    limit_rows,
+    seq_scan,
+    sort_rows,
+)
+from repro.engine.schema import Column, IndexDefinition, TableSchema
+from repro.engine.transaction import Transaction
+from repro.engine.types import type_from_name
+from repro.errors import SqlBindError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+class SqlSession:
+    """Executes SQL statements against one :class:`LedgerDatabase`."""
+
+    def __init__(self, db, username: str = "app_user") -> None:
+        self._db = db
+        self._username = username
+        self._txn: Optional[Transaction] = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    def execute(self, statement_text: str):
+        """Parse and run one statement.
+
+        Returns rows (list of dicts) for SELECT, an affected-row count for
+        DML, and None for DDL / transaction control.
+        """
+        statement = parse(statement_text)
+        handler = self._HANDLERS[type(statement)]
+        return handler(self, statement)
+
+    # ------------------------------------------------------------------
+    # Transaction control
+    # ------------------------------------------------------------------
+
+    def _run_begin(self, stmt: ast.BeginTransaction):
+        if self._txn is not None:
+            raise SqlBindError("a transaction is already in progress")
+        self._txn = self._db.begin(self._username)
+        return None
+
+    def _run_commit(self, stmt: ast.CommitTransaction):
+        if self._txn is None:
+            raise SqlBindError("no transaction in progress")
+        self._db.commit(self._txn)
+        self._txn = None
+        return None
+
+    def _run_rollback(self, stmt: ast.RollbackTransaction):
+        if self._txn is None:
+            raise SqlBindError("no transaction in progress")
+        if stmt.savepoint is not None:
+            self._db.rollback_to_savepoint(self._txn, stmt.savepoint)
+            return None
+        self._db.rollback(self._txn)
+        self._txn = None
+        return None
+
+    def _run_save(self, stmt: ast.SaveTransaction):
+        if self._txn is None:
+            raise SqlBindError("no transaction in progress")
+        self._db.savepoint(self._txn, stmt.name)
+        return None
+
+    def _autocommit(self, work):
+        """Run ``work(txn)`` in the open transaction or a one-shot one."""
+        if self._txn is not None:
+            return work(self._txn)
+        txn = self._db.begin(self._username)
+        try:
+            result = work(txn)
+        except Exception:
+            self._db.rollback(txn)
+            raise
+        self._db.commit(txn)
+        return result
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _build_column(definition: ast.ColumnDef) -> Column:
+        sql_type = type_from_name(definition.type_name, definition.type_args)
+        return Column(definition.name, sql_type, nullable=definition.nullable)
+
+    def _run_create_table(self, stmt: ast.CreateTable):
+        schema = TableSchema(
+            stmt.table,
+            [self._build_column(c) for c in stmt.columns],
+            primary_key=stmt.primary_key or None,
+        )
+        if stmt.ledger:
+            ledger_type = "append_only" if stmt.append_only else "updateable"
+            self._db.create_ledger_table(schema, ledger_type=ledger_type)
+        else:
+            self._db.create_table(schema)
+        return None
+
+    def _run_create_index(self, stmt: ast.CreateIndex):
+        self._db.create_index(
+            stmt.table,
+            IndexDefinition(stmt.index, tuple(stmt.columns), unique=stmt.unique),
+        )
+        return None
+
+    def _run_drop_index(self, stmt: ast.DropIndex):
+        self._db.drop_index(stmt.table, stmt.index)
+        return None
+
+    def _run_drop_table(self, stmt: ast.DropTable):
+        table = self._db.engine.table(stmt.table)
+        if table.options.get("role") == "ledger":
+            self._db.drop_ledger_table(stmt.table)
+        else:
+            self._db.engine.drop_table_physical(stmt.table)
+        return None
+
+    def _run_add_column(self, stmt: ast.AlterAddColumn):
+        column = self._build_column(stmt.column)
+        table = self._db.engine.table(stmt.table)
+        if table.options.get("role") == "ledger":
+            self._db.add_column(stmt.table, column)
+        else:
+            self._db.engine.replace_table_schema(
+                table.table_id, table.schema.with_column_added(column)
+            )
+        return None
+
+    def _run_drop_column(self, stmt: ast.AlterDropColumn):
+        table = self._db.engine.table(stmt.table)
+        if table.options.get("role") == "ledger":
+            self._db.drop_column(stmt.table, stmt.column)
+        else:
+            self._db.engine.replace_table_schema(
+                table.table_id, table.schema.with_column_dropped(stmt.column)
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _run_insert(self, stmt: ast.Insert):
+        table = self._db.engine.table(stmt.table)
+
+        def work(txn):
+            if stmt.columns:
+                count = 0
+                for values in stmt.rows:
+                    if len(values) != len(stmt.columns):
+                        raise SqlBindError(
+                            "INSERT value count does not match column list"
+                        )
+                    row = table.schema.row_from_mapping(
+                        dict(zip(stmt.columns, values))
+                    )
+                    table.insert(txn, row)
+                    count += 1
+                return count
+            from repro.engine.operators import insert_rows
+
+            return insert_rows(txn, table, stmt.rows)
+
+        return self._autocommit(work)
+
+    def _run_update(self, stmt: ast.Update):
+        assignments = {name: expr for name, expr in stmt.assignments}
+        return self._autocommit(
+            lambda txn: self._db.update(txn, stmt.table, assignments, stmt.where)
+        )
+
+    def _run_delete(self, stmt: ast.Delete):
+        return self._autocommit(
+            lambda txn: self._db.delete(txn, stmt.table, stmt.where)
+        )
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _source_rows(self, table_name: str) -> List[Dict[str, Any]]:
+        if self._db.engine.has_table(table_name):
+            table = self._db.engine.table(table_name)
+            return [named for _, named in seq_scan(table)]
+        # Virtual ledger views: <table>_ledger.
+        if table_name.endswith("_ledger"):
+            base = table_name[: -len("_ledger")]
+            if self._db.engine.has_table(base):
+                return self._db.ledger_view(base)
+        raise SqlBindError(f"unknown table or view {table_name!r}")
+
+    def _aliased_rows(
+        self, table_name: str, alias: str
+    ) -> List[Dict[str, Any]]:
+        """Source rows carrying both qualified (``alias.col``) and bare keys."""
+        rows = []
+        for source in self._source_rows(table_name):
+            row = {f"{alias}.{name}": value for name, value in source.items()}
+            row.update(source)
+            rows.append(row)
+        return rows
+
+    def _join_rows(self, stmt: ast.Select) -> List[Dict[str, Any]]:
+        """Nested-loop joins, left to right (INNER and LEFT OUTER)."""
+        left_alias = stmt.alias or stmt.table
+        rows = self._aliased_rows(stmt.table, left_alias)
+        for join in stmt.joins:
+            right_rows = self._aliased_rows(join.table, join.alias)
+            right_columns = set()
+            for right in right_rows:
+                right_columns.update(right)
+            predicate = as_predicate(join.on)
+            joined: List[Dict[str, Any]] = []
+            for left in rows:
+                matched = False
+                for right in right_rows:
+                    # Qualified keys never collide; ambiguous bare keys
+                    # resolve to the leftmost source (first wins).
+                    combined = {**right, **left}
+                    if predicate(combined):
+                        joined.append(combined)
+                        matched = True
+                if join.left_outer and not matched:
+                    padded = dict(left)
+                    padded.update(
+                        {k: None for k in right_columns if k not in padded}
+                    )
+                    joined.append(padded)
+            rows = joined
+        return rows
+
+    def _run_select(self, stmt: ast.Select):
+        if stmt.joins:
+            rows: Any = iter(self._join_rows(stmt))
+        elif stmt.alias:
+            rows = iter(self._aliased_rows(stmt.table, stmt.alias))
+        else:
+            rows = iter(self._source_rows(stmt.table))
+        if stmt.where is not None:
+            predicate = as_predicate(stmt.where)
+            rows = (row for row in rows if predicate(row))
+
+        has_aggregates = any(item.aggregate for item in stmt.items)
+        if has_aggregates or stmt.group_by:
+            aggregates = [
+                (item.alias, item.aggregate, item.aggregate_column)
+                for item in stmt.items
+                if item.aggregate
+            ]
+            plain = [item for item in stmt.items if not item.aggregate]
+            for item in plain:
+                name = getattr(item.expression, "name", None)
+                candidates = {name, item.alias}
+                if name and "." in name:
+                    candidates.add(name.split(".", 1)[1])
+                if not candidates & set(stmt.group_by):
+                    raise SqlBindError(
+                        f"column {item.alias!r} must appear in GROUP BY"
+                    )
+            rows = aggregate(rows, list(stmt.group_by), aggregates)
+            if plain:
+                # Re-expose grouped columns under their select aliases.
+                alias_map = {
+                    item.alias: getattr(item.expression, "name", item.alias)
+                    for item in plain
+                }
+                rows = (
+                    {
+                        **row,
+                        **{
+                            alias: row.get(source, row.get(
+                                source.split(".", 1)[-1]))
+                            for alias, source in alias_map.items()
+                        },
+                    }
+                    for row in rows
+                )
+            if stmt.order_by:
+                rows = sort_rows(rows, list(stmt.order_by))
+            if stmt.limit is not None:
+                rows = limit_rows(rows, stmt.limit)
+            return list(rows)
+
+        # Non-aggregated path: ORDER BY may reference source columns that
+        # the projection drops, so sort before projecting (SQL semantics).
+        if stmt.order_by:
+            rows = sort_rows(rows, list(stmt.order_by))
+        if stmt.limit is not None:
+            rows = limit_rows(rows, stmt.limit)
+        if stmt.items:
+            outputs = [(item.alias, item.expression) for item in stmt.items]
+            rows = (
+                {alias: expr.evaluate(row) for alias, expr in outputs}
+                for row in rows
+            )
+        return list(rows)
+
+    _HANDLERS = {
+        ast.BeginTransaction: _run_begin,
+        ast.CommitTransaction: _run_commit,
+        ast.RollbackTransaction: _run_rollback,
+        ast.SaveTransaction: _run_save,
+        ast.CreateTable: _run_create_table,
+        ast.CreateIndex: _run_create_index,
+        ast.DropIndex: _run_drop_index,
+        ast.DropTable: _run_drop_table,
+        ast.AlterAddColumn: _run_add_column,
+        ast.AlterDropColumn: _run_drop_column,
+        ast.Insert: _run_insert,
+        ast.Update: _run_update,
+        ast.Delete: _run_delete,
+        ast.Select: _run_select,
+    }

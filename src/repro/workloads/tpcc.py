@@ -1,0 +1,376 @@
+"""TPC-C-like order-processing workload (§4.1.1).
+
+A scaled-down wholesale-supplier schema with the nine standard TPC-C tables.
+Following the paper, the four order-related tables — ``orders``,
+``new_order``, ``order_line`` and ``history`` — are converted to ledger
+tables when ledger mode is on; the other five stay regular.  The transaction
+mix is the standard TPC-C blend (New-Order 45%, Payment 43%, Order-Status
+4%, Delivery 4%, Stock-Level 4%), which makes it extremely update-intensive
+— the paper's worst case for SQL Ledger.
+
+Everything is deterministic given the seed, so ledger and regular runs
+execute the same logical operations.
+"""
+
+from __future__ import annotations
+
+import random
+from decimal import Decimal
+from typing import Dict
+
+from repro.engine.expressions import BinaryOp, ColumnRef, Literal, eq
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DATETIME, DECIMAL, INT, VARCHAR
+
+#: Tables converted to ledger tables in the paper's TPC-C experiment.
+LEDGER_TABLES = ("orders", "new_order", "order_line", "history")
+
+ALL_TABLES = (
+    "warehouse", "district", "customer", "history", "new_order",
+    "orders", "order_line", "item", "stock",
+)
+
+
+def _and(*clauses):
+    condition = clauses[0]
+    for clause in clauses[1:]:
+        condition = BinaryOp("AND", condition, clause)
+    return condition
+
+
+def _schemas() -> Dict[str, TableSchema]:
+    return {
+        "warehouse": TableSchema(
+            "warehouse",
+            [
+                Column("w_id", INT, nullable=False),
+                Column("w_name", VARCHAR(10), nullable=False),
+                Column("w_ytd", DECIMAL(12, 2), nullable=False),
+            ],
+            primary_key=["w_id"],
+        ),
+        "district": TableSchema(
+            "district",
+            [
+                Column("d_id", INT, nullable=False),
+                Column("d_w_id", INT, nullable=False),
+                Column("d_name", VARCHAR(10), nullable=False),
+                Column("d_ytd", DECIMAL(12, 2), nullable=False),
+                Column("d_next_o_id", INT, nullable=False),
+            ],
+            primary_key=["d_w_id", "d_id"],
+        ),
+        "customer": TableSchema(
+            "customer",
+            [
+                Column("c_id", INT, nullable=False),
+                Column("c_d_id", INT, nullable=False),
+                Column("c_w_id", INT, nullable=False),
+                Column("c_name", VARCHAR(16), nullable=False),
+                Column("c_balance", DECIMAL(12, 2), nullable=False),
+                Column("c_ytd_payment", DECIMAL(12, 2), nullable=False),
+                Column("c_payment_cnt", INT, nullable=False),
+            ],
+            primary_key=["c_w_id", "c_d_id", "c_id"],
+        ),
+        "history": TableSchema(
+            "history",
+            [
+                Column("h_id", INT, nullable=False),
+                Column("h_c_id", INT, nullable=False),
+                Column("h_c_d_id", INT, nullable=False),
+                Column("h_c_w_id", INT, nullable=False),
+                Column("h_date", DATETIME, nullable=False),
+                Column("h_amount", DECIMAL(8, 2), nullable=False),
+            ],
+            primary_key=["h_id"],
+        ),
+        "new_order": TableSchema(
+            "new_order",
+            [
+                Column("no_o_id", INT, nullable=False),
+                Column("no_d_id", INT, nullable=False),
+                Column("no_w_id", INT, nullable=False),
+            ],
+            primary_key=["no_w_id", "no_d_id", "no_o_id"],
+        ),
+        "orders": TableSchema(
+            "orders",
+            [
+                Column("o_id", INT, nullable=False),
+                Column("o_d_id", INT, nullable=False),
+                Column("o_w_id", INT, nullable=False),
+                Column("o_c_id", INT, nullable=False),
+                Column("o_entry_d", DATETIME, nullable=False),
+                Column("o_carrier_id", INT),
+                Column("o_ol_cnt", INT, nullable=False),
+            ],
+            primary_key=["o_w_id", "o_d_id", "o_id"],
+        ),
+        "order_line": TableSchema(
+            "order_line",
+            [
+                Column("ol_o_id", INT, nullable=False),
+                Column("ol_d_id", INT, nullable=False),
+                Column("ol_w_id", INT, nullable=False),
+                Column("ol_number", INT, nullable=False),
+                Column("ol_i_id", INT, nullable=False),
+                Column("ol_quantity", INT, nullable=False),
+                Column("ol_amount", DECIMAL(8, 2), nullable=False),
+                Column("ol_delivery_d", DATETIME),
+            ],
+            primary_key=["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+        ),
+        "item": TableSchema(
+            "item",
+            [
+                Column("i_id", INT, nullable=False),
+                Column("i_name", VARCHAR(24), nullable=False),
+                Column("i_price", DECIMAL(7, 2), nullable=False),
+            ],
+            primary_key=["i_id"],
+        ),
+        "stock": TableSchema(
+            "stock",
+            [
+                Column("s_i_id", INT, nullable=False),
+                Column("s_w_id", INT, nullable=False),
+                Column("s_quantity", INT, nullable=False),
+                Column("s_ytd", INT, nullable=False),
+                Column("s_order_cnt", INT, nullable=False),
+            ],
+            primary_key=["s_w_id", "s_i_id"],
+        ),
+    }
+
+
+class TpccWorkload:
+    """Loads and drives the TPC-C-like workload against a LedgerDatabase."""
+
+    def __init__(
+        self,
+        db,
+        warehouses: int = 1,
+        districts_per_warehouse: int = 2,
+        customers_per_district: int = 10,
+        items: int = 50,
+        ledger: bool = True,
+        seed: int = 42,
+    ) -> None:
+        self.db = db
+        self.warehouses = warehouses
+        self.districts = districts_per_warehouse
+        self.customers = customers_per_district
+        self.items = items
+        self.ledger = ledger
+        self._rng = random.Random(seed)
+        self._next_history_id = 1
+        self.transactions_executed = 0
+        self.counts = {"new_order": 0, "payment": 0, "order_status": 0,
+                       "delivery": 0, "stock_level": 0}
+
+    # ------------------------------------------------------------------
+    # Schema + initial population
+    # ------------------------------------------------------------------
+
+    def create_schema(self) -> None:
+        for name, schema in _schemas().items():
+            if self.ledger and name in LEDGER_TABLES:
+                self.db.create_ledger_table(schema)
+            else:
+                self.db.create_table(schema)
+
+    def load(self) -> None:
+        """Populate the initial dataset in one transaction per table."""
+        db = self.db
+        txn = db.begin("loader")
+        for w in range(1, self.warehouses + 1):
+            db.insert(txn, "warehouse", [[w, f"WH{w}", "0.00"]])
+            for d in range(1, self.districts + 1):
+                db.insert(txn, "district", [[d, w, f"D{w}_{d}", "0.00", 1]])
+                db.insert(
+                    txn, "customer",
+                    [[c, d, w, f"Cust{w}_{d}_{c}", "0.00", "0.00", 0]
+                     for c in range(1, self.customers + 1)],
+                )
+        db.insert(
+            txn, "item",
+            [[i, f"Item{i}", f"{(i % 90) + 10}.00"] for i in range(1, self.items + 1)],
+        )
+        for w in range(1, self.warehouses + 1):
+            db.insert(
+                txn, "stock",
+                [[i, w, 100, 0, 0] for i in range(1, self.items + 1)],
+            )
+        db.commit(txn)
+
+    # ------------------------------------------------------------------
+    # Transaction mix
+    # ------------------------------------------------------------------
+
+    def run(self, transactions: int) -> None:
+        """Execute ``transactions`` using the standard TPC-C mix."""
+        for _ in range(transactions):
+            self.run_one()
+
+    def run_one(self) -> str:
+        """Execute one transaction drawn from the mix; returns its type."""
+        roll = self._rng.random()
+        if roll < 0.45:
+            kind = "new_order"
+            self.new_order()
+        elif roll < 0.88:
+            kind = "payment"
+            self.payment()
+        elif roll < 0.92:
+            kind = "order_status"
+            self.order_status()
+        elif roll < 0.96:
+            kind = "delivery"
+            self.delivery()
+        else:
+            kind = "stock_level"
+            self.stock_level()
+        self.transactions_executed += 1
+        self.counts[kind] += 1
+        return kind
+
+    # -- individual transaction types ------------------------------------------
+
+    def _pick_customer(self):
+        w = self._rng.randint(1, self.warehouses)
+        d = self._rng.randint(1, self.districts)
+        c = self._rng.randint(1, self.customers)
+        return w, d, c
+
+    def new_order(self) -> None:
+        """Insert an order with 5-15 order lines; update district and stock."""
+        db = self.db
+        w, d, c = self._pick_customer()
+        line_count = self._rng.randint(5, 15)
+        txn = db.begin("terminal")
+        (district,) = db.select(
+            "district", _and(eq("d_w_id", w), eq("d_id", d))
+        )
+        order_id = district["d_next_o_id"]
+        db.update(
+            txn, "district", {"d_next_o_id": order_id + 1},
+            _and(eq("d_w_id", w), eq("d_id", d)),
+        )
+        now = db.engine.clock()
+        db.insert(txn, "orders", [[order_id, d, w, c, now, None, line_count]])
+        db.insert(txn, "new_order", [[order_id, d, w]])
+        lines = []
+        for number in range(1, line_count + 1):
+            item = self._rng.randint(1, self.items)
+            quantity = self._rng.randint(1, 10)
+            lines.append(
+                [order_id, d, w, number, item, quantity,
+                 f"{quantity * 10}.00", None]
+            )
+            (stock,) = db.select(
+                "stock", _and(eq("s_w_id", w), eq("s_i_id", item))
+            )
+            new_quantity = stock["s_quantity"] - quantity
+            if new_quantity < 10:
+                new_quantity += 91
+            db.update(
+                txn, "stock",
+                {"s_quantity": new_quantity,
+                 "s_ytd": stock["s_ytd"] + quantity,
+                 "s_order_cnt": stock["s_order_cnt"] + 1},
+                _and(eq("s_w_id", w), eq("s_i_id", item)),
+            )
+        db.insert(txn, "order_line", lines)
+        db.commit(txn)
+
+    def payment(self) -> None:
+        """Update warehouse/district/customer YTD; append a history row."""
+        db = self.db
+        w, d, c = self._pick_customer()
+        amount = Decimal(self._rng.randint(1, 5000)) / 100
+        txn = db.begin("terminal")
+        (warehouse,) = db.select("warehouse", eq("w_id", w))
+        db.update(
+            txn, "warehouse",
+            {"w_ytd": warehouse["w_ytd"] + amount},
+            eq("w_id", w),
+        )
+        (district,) = db.select(
+            "district", _and(eq("d_w_id", w), eq("d_id", d))
+        )
+        db.update(
+            txn, "district", {"d_ytd": district["d_ytd"] + amount},
+            _and(eq("d_w_id", w), eq("d_id", d)),
+        )
+        (customer,) = db.select(
+            "customer", _and(eq("c_w_id", w), eq("c_d_id", d), eq("c_id", c))
+        )
+        db.update(
+            txn, "customer",
+            {"c_balance": customer["c_balance"] - amount,
+             "c_ytd_payment": customer["c_ytd_payment"] + amount,
+             "c_payment_cnt": customer["c_payment_cnt"] + 1},
+            _and(eq("c_w_id", w), eq("c_d_id", d), eq("c_id", c)),
+        )
+        history_id = self._next_history_id
+        self._next_history_id += 1
+        db.insert(
+            txn, "history",
+            [[history_id, c, d, w, db.engine.clock(), f"{amount:.2f}"]],
+        )
+        db.commit(txn)
+
+    def order_status(self) -> None:
+        """Read-only: a customer's most recent order and its lines."""
+        db = self.db
+        w, d, c = self._pick_customer()
+        orders = db.select(
+            "orders", _and(eq("o_w_id", w), eq("o_d_id", d), eq("o_c_id", c))
+        )
+        if not orders:
+            return
+        latest = max(orders, key=lambda o: o["o_id"])
+        db.select(
+            "order_line",
+            _and(eq("ol_w_id", w), eq("ol_d_id", d), eq("ol_o_id", latest["o_id"])),
+        )
+
+    def delivery(self) -> None:
+        """Deliver the oldest new order in each district of one warehouse."""
+        db = self.db
+        w = self._rng.randint(1, self.warehouses)
+        txn = db.begin("terminal")
+        for d in range(1, self.districts + 1):
+            pending = db.select(
+                "new_order", _and(eq("no_w_id", w), eq("no_d_id", d))
+            )
+            if not pending:
+                continue
+            oldest = min(pending, key=lambda row: row["no_o_id"])
+            order_id = oldest["no_o_id"]
+            db.delete(
+                txn, "new_order",
+                _and(eq("no_w_id", w), eq("no_d_id", d), eq("no_o_id", order_id)),
+            )
+            carrier = self._rng.randint(1, 10)
+            db.update(
+                txn, "orders", {"o_carrier_id": carrier},
+                _and(eq("o_w_id", w), eq("o_d_id", d), eq("o_id", order_id)),
+            )
+            db.update(
+                txn, "order_line", {"ol_delivery_d": db.engine.clock()},
+                _and(eq("ol_w_id", w), eq("ol_d_id", d), eq("ol_o_id", order_id)),
+            )
+        db.commit(txn)
+
+    def stock_level(self) -> None:
+        """Read-only: count low-stock items for one warehouse."""
+        db = self.db
+        w = self._rng.randint(1, self.warehouses)
+        low = db.select(
+            "stock",
+            _and(eq("s_w_id", w),
+                 BinaryOp("<", ColumnRef("s_quantity"), Literal(20))),
+        )
+        len(low)

@@ -1,0 +1,473 @@
+"""TPC-E-like brokerage workload (§4.1.1).
+
+Models the stock-brokerage scenario of TPC-E with its full set of 33 tables
+(scaled-down columns) and a read-heavy transaction mix approximating the
+official blend: roughly 77% of transactions are read-only (Trade-Status,
+Customer-Position, Market-Watch, Security-Detail, Broker-Volume) and 23%
+write (Trade-Order, Trade-Result, Market-Feed).
+
+Per the paper, *all 33 tables* become ledger tables when ledger mode is on —
+the data is financial, so everything needs tamper protection.  Because most
+transactions only read, the ledger overhead is far smaller than TPC-C's,
+which is exactly the contrast Figure 7 reports.
+"""
+
+from __future__ import annotations
+
+import random
+from decimal import Decimal
+from typing import Dict, List, Tuple
+
+from repro.engine.expressions import BinaryOp, eq
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import BIGINT, DATETIME, DECIMAL, INT, VARCHAR
+
+#: Compact column specs for all 33 TPC-E tables: (name, type, nullable).
+#: The first column(s) marked in PRIMARY_KEYS form each table's key.
+_TABLE_SPECS: Dict[str, List[Tuple[str, object, bool]]] = {
+    # -- customer domain ------------------------------------------------------
+    "customer": [("c_id", BIGINT, False), ("c_name", VARCHAR(32), False),
+                 ("c_tier", INT, False), ("c_ad_id", BIGINT, False)],
+    "customer_account": [("ca_id", BIGINT, False), ("ca_c_id", BIGINT, False),
+                         ("ca_b_id", BIGINT, False),
+                         ("ca_bal", DECIMAL(14, 2), False)],
+    "account_permission": [("ap_ca_id", BIGINT, False),
+                           ("ap_tax_id", VARCHAR(20), False),
+                           ("ap_acl", VARCHAR(4), False)],
+    "customer_taxrate": [("cx_c_id", BIGINT, False),
+                         ("cx_tx_id", VARCHAR(4), False)],
+    "taxrate": [("tx_id", VARCHAR(4), False), ("tx_name", VARCHAR(50), False),
+                ("tx_rate", DECIMAL(6, 5), False)],
+    "address": [("ad_id", BIGINT, False), ("ad_line1", VARCHAR(40), True),
+                ("ad_zc_code", VARCHAR(12), False)],
+    "zip_code": [("zc_code", VARCHAR(12), False), ("zc_town", VARCHAR(40), False),
+                 ("zc_div", VARCHAR(40), False)],
+    "watch_list": [("wl_id", BIGINT, False), ("wl_c_id", BIGINT, False)],
+    "watch_item": [("wi_wl_id", BIGINT, False), ("wi_s_symb", VARCHAR(8), False)],
+    # -- broker domain ----------------------------------------------------------
+    "broker": [("b_id", BIGINT, False), ("b_name", VARCHAR(32), False),
+               ("b_num_trades", BIGINT, False),
+               ("b_comm_total", DECIMAL(14, 2), False)],
+    "cash_transaction": [("ct_t_id", BIGINT, False), ("ct_dts", DATETIME, False),
+                         ("ct_amt", DECIMAL(12, 2), False),
+                         ("ct_name", VARCHAR(64), True)],
+    "charge": [("ch_tt_id", VARCHAR(4), False), ("ch_c_tier", INT, False),
+               ("ch_chrg", DECIMAL(8, 2), False)],
+    "commission_rate": [("cr_c_tier", INT, False), ("cr_tt_id", VARCHAR(4), False),
+                        ("cr_from_qty", INT, False),
+                        ("cr_rate", DECIMAL(6, 4), False)],
+    "settlement": [("se_t_id", BIGINT, False),
+                   ("se_cash_type", VARCHAR(24), False),
+                   ("se_cash_due_date", DATETIME, False),
+                   ("se_amt", DECIMAL(12, 2), False)],
+    "trade": [("t_id", BIGINT, False), ("t_dts", DATETIME, False),
+              ("t_st_id", VARCHAR(4), False), ("t_tt_id", VARCHAR(4), False),
+              ("t_s_symb", VARCHAR(8), False), ("t_qty", INT, False),
+              ("t_bid_price", DECIMAL(10, 2), False),
+              ("t_ca_id", BIGINT, False),
+              ("t_trade_price", DECIMAL(10, 2), True)],
+    "trade_history": [("th_t_id", BIGINT, False), ("th_dts", DATETIME, False),
+                      ("th_st_id", VARCHAR(4), False)],
+    "trade_request": [("tr_t_id", BIGINT, False), ("tr_tt_id", VARCHAR(4), False),
+                      ("tr_s_symb", VARCHAR(8), False), ("tr_qty", INT, False),
+                      ("tr_bid_price", DECIMAL(10, 2), False)],
+    "trade_type": [("tt_id", VARCHAR(4), False), ("tt_name", VARCHAR(12), False),
+                   ("tt_is_sell", INT, False), ("tt_is_mrkt", INT, False)],
+    "status_type": [("st_id", VARCHAR(4), False), ("st_name", VARCHAR(12), False)],
+    # -- market domain ------------------------------------------------------------
+    "company": [("co_id", BIGINT, False), ("co_name", VARCHAR(60), False),
+                ("co_in_id", VARCHAR(4), False), ("co_sp_rate", VARCHAR(4), True)],
+    "company_competitor": [("cp_co_id", BIGINT, False),
+                           ("cp_comp_co_id", BIGINT, False),
+                           ("cp_in_id", VARCHAR(4), False)],
+    "daily_market": [("dm_date", DATETIME, False), ("dm_s_symb", VARCHAR(8), False),
+                     ("dm_close", DECIMAL(10, 2), False),
+                     ("dm_high", DECIMAL(10, 2), False),
+                     ("dm_low", DECIMAL(10, 2), False),
+                     ("dm_vol", BIGINT, False)],
+    "exchange": [("ex_id", VARCHAR(8), False), ("ex_name", VARCHAR(40), False),
+                 ("ex_open", INT, False), ("ex_close", INT, False)],
+    "financial": [("fi_co_id", BIGINT, False), ("fi_year", INT, False),
+                  ("fi_qtr", INT, False), ("fi_revenue", DECIMAL(16, 2), False),
+                  ("fi_net_earn", DECIMAL(16, 2), False)],
+    "industry": [("in_id", VARCHAR(4), False), ("in_name", VARCHAR(40), False),
+                 ("in_sc_id", VARCHAR(4), False)],
+    "last_trade": [("lt_s_symb", VARCHAR(8), False), ("lt_dts", DATETIME, False),
+                   ("lt_price", DECIMAL(10, 2), False),
+                   ("lt_open_price", DECIMAL(10, 2), False),
+                   ("lt_vol", BIGINT, False)],
+    "news_item": [("ni_id", BIGINT, False), ("ni_headline", VARCHAR(80), False),
+                  ("ni_dts", DATETIME, False)],
+    "news_xref": [("nx_ni_id", BIGINT, False), ("nx_co_id", BIGINT, False)],
+    "sector": [("sc_id", VARCHAR(4), False), ("sc_name", VARCHAR(30), False)],
+    "security": [("s_symb", VARCHAR(8), False), ("s_issue", VARCHAR(8), False),
+                 ("s_st_id", VARCHAR(4), False), ("s_name", VARCHAR(60), False),
+                 ("s_ex_id", VARCHAR(8), False), ("s_co_id", BIGINT, False)],
+    # -- holdings ---------------------------------------------------------------------
+    "holding": [("h_t_id", BIGINT, False), ("h_ca_id", BIGINT, False),
+                ("h_s_symb", VARCHAR(8), False), ("h_dts", DATETIME, False),
+                ("h_price", DECIMAL(10, 2), False), ("h_qty", INT, False)],
+    "holding_history": [("hh_h_t_id", BIGINT, False),
+                        ("hh_t_id", BIGINT, False),
+                        ("hh_before_qty", INT, False),
+                        ("hh_after_qty", INT, False)],
+    "holding_summary": [("hs_ca_id", BIGINT, False),
+                        ("hs_s_symb", VARCHAR(8), False),
+                        ("hs_qty", INT, False)],
+}
+
+_PRIMARY_KEYS: Dict[str, Tuple[str, ...]] = {
+    "customer": ("c_id",),
+    "customer_account": ("ca_id",),
+    "account_permission": ("ap_ca_id", "ap_tax_id"),
+    "customer_taxrate": ("cx_c_id", "cx_tx_id"),
+    "taxrate": ("tx_id",),
+    "address": ("ad_id",),
+    "zip_code": ("zc_code",),
+    "watch_list": ("wl_id",),
+    "watch_item": ("wi_wl_id", "wi_s_symb"),
+    "broker": ("b_id",),
+    "cash_transaction": ("ct_t_id",),
+    "charge": ("ch_tt_id", "ch_c_tier"),
+    "commission_rate": ("cr_c_tier", "cr_tt_id", "cr_from_qty"),
+    "settlement": ("se_t_id",),
+    "trade": ("t_id",),
+    "trade_history": ("th_t_id", "th_st_id"),
+    "trade_request": ("tr_t_id",),
+    "trade_type": ("tt_id",),
+    "status_type": ("st_id",),
+    "company": ("co_id",),
+    "company_competitor": ("cp_co_id", "cp_comp_co_id"),
+    "daily_market": ("dm_date", "dm_s_symb"),
+    "exchange": ("ex_id",),
+    "financial": ("fi_co_id", "fi_year", "fi_qtr"),
+    "industry": ("in_id",),
+    "last_trade": ("lt_s_symb",),
+    "news_item": ("ni_id",),
+    "news_xref": ("nx_ni_id", "nx_co_id"),
+    "sector": ("sc_id",),
+    "security": ("s_symb",),
+    "holding": ("h_t_id",),
+    "holding_history": ("hh_h_t_id", "hh_t_id"),
+    "holding_summary": ("hs_ca_id", "hs_s_symb"),
+}
+
+#: Secondary indexes on the hot lookup paths (the real TPC-E kit mandates
+#: indexes on these foreign keys; without them every read becomes a scan).
+_INDEXES: Dict[str, List[Tuple[str, Tuple[str, ...]]]] = {
+    "trade": [("ix_trade_ca", ("t_ca_id",))],
+    "holding": [("ix_holding_ca", ("h_ca_id",))],
+    "customer_account": [("ix_ca_c", ("ca_c_id",)), ("ix_ca_b", ("ca_b_id",))],
+    "watch_list": [("ix_wl_c", ("wl_c_id",))],
+    "daily_market": [("ix_dm_symb", ("dm_s_symb",))],
+    "news_xref": [("ix_nx_co", ("nx_co_id",))],
+    "financial": [("ix_fi_co", ("fi_co_id",))],
+    "trade_history": [("ix_th_t", ("th_t_id",))],
+}
+
+TABLE_COUNT = 33
+assert len(_TABLE_SPECS) == TABLE_COUNT and len(_PRIMARY_KEYS) == TABLE_COUNT
+
+
+def _and(*clauses):
+    condition = clauses[0]
+    for clause in clauses[1:]:
+        condition = BinaryOp("AND", condition, clause)
+    return condition
+
+
+def tpce_schemas() -> Dict[str, TableSchema]:
+    from repro.engine.schema import IndexDefinition
+
+    schemas = {}
+    for name, spec in _TABLE_SPECS.items():
+        schemas[name] = TableSchema(
+            name,
+            [Column(c_name, c_type, nullable=c_null)
+             for c_name, c_type, c_null in spec],
+            primary_key=list(_PRIMARY_KEYS[name]),
+            indexes=[
+                IndexDefinition(ix_name, columns)
+                for ix_name, columns in _INDEXES.get(name, [])
+            ],
+        )
+    return schemas
+
+
+class TpceWorkload:
+    """Loads and drives the TPC-E-like workload against a LedgerDatabase."""
+
+    def __init__(
+        self,
+        db,
+        customers: int = 20,
+        securities: int = 10,
+        brokers: int = 3,
+        market_days: int = 30,
+        ledger: bool = True,
+        seed: int = 7,
+    ) -> None:
+        self.db = db
+        self.customers = customers
+        self.securities = securities
+        self.brokers = brokers
+        self.market_days = market_days
+        self.ledger = ledger
+        self._rng = random.Random(seed)
+        self._next_trade_id = 1
+        self._next_news_id = 1
+        self.transactions_executed = 0
+        self.counts: Dict[str, int] = {}
+
+    def _symbol(self, index: int) -> str:
+        return f"SYM{index:04d}"
+
+    # ------------------------------------------------------------------
+    # Schema + initial population
+    # ------------------------------------------------------------------
+
+    def create_schema(self) -> None:
+        for name, schema in tpce_schemas().items():
+            if self.ledger:
+                self.db.create_ledger_table(schema)
+            else:
+                self.db.create_table(schema)
+
+    def load(self) -> None:
+        db = self.db
+        txn = db.begin("loader")
+        now = db.engine.clock()
+        # Reference data.
+        db.insert(txn, "sector", [["TECH", "Technology"], ["FIN", "Finance"]])
+        db.insert(txn, "industry", [["SFT", "Software", "TECH"],
+                                    ["BNK", "Banking", "FIN"]])
+        db.insert(txn, "exchange", [["NYSE", "New York SE", 930, 1600],
+                                    ["NSDQ", "Nasdaq", 930, 1600]])
+        db.insert(txn, "status_type", [["CMPT", "Completed"], ["PNDG", "Pending"],
+                                       ["SBMT", "Submitted"]])
+        db.insert(txn, "trade_type", [["TMB", "Market-Buy", 0, 1],
+                                      ["TMS", "Market-Sell", 1, 1],
+                                      ["TLB", "Limit-Buy", 0, 0],
+                                      ["TLS", "Limit-Sell", 1, 0]])
+        db.insert(txn, "taxrate", [["US1", "US Federal", "0.25000"]])
+        db.insert(txn, "zip_code", [["98052", "Redmond", "WA"]])
+        for tier in (1, 2, 3):
+            for tt in ("TMB", "TMS", "TLB", "TLS"):
+                db.insert(txn, "charge", [[tt, tier, f"{tier * 5}.00"]])
+                db.insert(txn, "commission_rate", [[tier, tt, 0, "0.0150"]])
+        # Companies, securities, market state.
+        for i in range(1, self.securities + 1):
+            symbol = self._symbol(i)
+            db.insert(txn, "company",
+                      [[i, f"Company {i}", "SFT" if i % 2 else "BNK", "AAA"]])
+            db.insert(txn, "security",
+                      [[symbol, "COMMON", "CMPT", f"Security {i}",
+                        "NYSE" if i % 2 else "NSDQ", i]])
+            db.insert(txn, "last_trade",
+                      [[symbol, now, "25.00", "24.00", 0]])
+            import datetime as _dt
+
+            db.insert(txn, "daily_market",
+                      [[now - _dt.timedelta(days=day), symbol,
+                        f"{25 + (day % 5)}.00", f"{26 + (day % 5)}.00",
+                        f"{23 + (day % 5)}.00", 1000 + day]
+                       for day in range(self.market_days)])
+            db.insert(txn, "financial",
+                      [[i, 2018 + q // 4, (q % 4) + 1,
+                        f"{1000000 + q}.00", f"{100000 + q}.00"]
+                       for q in range(8)])
+            db.insert(txn, "company_competitor",
+                      [[i, (i % self.securities) + 1, "SFT"]])
+            news_base = (i - 1) * 3
+            db.insert(txn, "news_item",
+                      [[news_base + n, f"Headline {n} about company {i}", now]
+                       for n in range(1, 4)])
+            db.insert(txn, "news_xref",
+                      [[news_base + n, i] for n in range(1, 4)])
+        self._next_news_id = self.securities * 3 + 1
+        # Brokers, customers, accounts, watch lists.
+        for b in range(1, self.brokers + 1):
+            db.insert(txn, "broker", [[b, f"Broker {b}", 0, "0.00"]])
+        for c in range(1, self.customers + 1):
+            db.insert(txn, "address", [[c, f"{c} Main St", "98052"]])
+            db.insert(txn, "customer",
+                      [[c, f"Customer {c}", (c % 3) + 1, c]])
+            db.insert(txn, "customer_taxrate", [[c, "US1"]])
+            db.insert(txn, "customer_account",
+                      [[c, c, (c % self.brokers) + 1, "100000.00"]])
+            db.insert(txn, "account_permission",
+                      [[c, f"TAX{c:06d}", "0011"]])
+            db.insert(txn, "watch_list", [[c, c]])
+            db.insert(txn, "watch_item",
+                      [[c, self._symbol(((c + k) % self.securities) + 1)]
+                       for k in range(min(5, self.securities))])
+        db.commit(txn)
+
+    # ------------------------------------------------------------------
+    # Transaction mix (approximating TPC-E: ~77% read-only)
+    # ------------------------------------------------------------------
+
+    _MIX = (
+        ("trade_order", 0.12, True),
+        ("trade_result", 0.10, True),
+        ("market_feed", 0.01, True),
+        ("trade_status", 0.24, False),
+        ("customer_position", 0.16, False),
+        ("market_watch", 0.18, False),
+        ("security_detail", 0.14, False),
+        ("broker_volume", 0.05, False),
+    )
+
+    def run(self, transactions: int) -> None:
+        for _ in range(transactions):
+            self.run_one()
+
+    def run_one(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for kind, share, _, in self._MIX:
+            cumulative += share
+            if roll < cumulative:
+                break
+        getattr(self, kind)()
+        self.transactions_executed += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        return kind
+
+    # -- write transactions -------------------------------------------------------
+
+    def trade_order(self) -> None:
+        """Submit a trade: insert TRADE, TRADE_HISTORY, TRADE_REQUEST."""
+        db = self.db
+        account = self._rng.randint(1, self.customers)
+        symbol = self._symbol(self._rng.randint(1, self.securities))
+        trade_type = self._rng.choice(["TMB", "TMS", "TLB", "TLS"])
+        quantity = self._rng.randint(10, 100)
+        price = Decimal(self._rng.randint(2000, 3000)) / 100
+        trade_id = self._next_trade_id
+        self._next_trade_id += 1
+        txn = db.begin("brokerage")
+        now = db.engine.clock()
+        db.insert(txn, "trade",
+                  [[trade_id, now, "SBMT", trade_type, symbol, quantity,
+                    price, account, None]])
+        db.insert(txn, "trade_history", [[trade_id, now, "SBMT"]])
+        db.insert(txn, "trade_request",
+                  [[trade_id, trade_type, symbol, quantity, price]])
+        db.commit(txn)
+
+    def trade_result(self) -> None:
+        """Complete the oldest pending trade: settle cash, update holdings."""
+        db = self.db
+        pending = db.select("trade_request")
+        if not pending:
+            self.trade_order()
+            pending = db.select("trade_request")
+        request = min(pending, key=lambda r: r["tr_t_id"])
+        trade_id = request["tr_t_id"]
+        txn = db.begin("brokerage")
+        now = db.engine.clock()
+        price = request["tr_bid_price"]
+        amount = price * request["tr_qty"]
+        (trade,) = db.select("trade", eq("t_id", trade_id))
+        db.update(txn, "trade",
+                  {"t_st_id": "CMPT", "t_trade_price": price},
+                  eq("t_id", trade_id))
+        db.insert(txn, "trade_history", [[trade_id, now, "CMPT"]])
+        db.delete(txn, "trade_request", eq("tr_t_id", trade_id))
+        db.insert(txn, "settlement",
+                  [[trade_id, "Cash Account", now, amount]])
+        db.insert(txn, "cash_transaction",
+                  [[trade_id, now, amount, f"Trade {trade_id} settlement"]])
+        account = trade["t_ca_id"]
+        (ca,) = db.select("customer_account", eq("ca_id", account))
+        db.update(txn, "customer_account",
+                  {"ca_bal": ca["ca_bal"] - amount}, eq("ca_id", account))
+        (broker,) = db.select("broker", eq("b_id", ca["ca_b_id"]))
+        db.update(txn, "broker",
+                  {"b_num_trades": broker["b_num_trades"] + 1,
+                   "b_comm_total": broker["b_comm_total"] + amount / 100},
+                  eq("b_id", ca["ca_b_id"]))
+        db.insert(txn, "holding",
+                  [[trade_id, account, trade["t_s_symb"], now, price,
+                    trade["t_qty"]]])
+        db.insert(txn, "holding_history",
+                  [[trade_id, trade_id, 0, trade["t_qty"]]])
+        summary = db.select(
+            "holding_summary",
+            _and(eq("hs_ca_id", account), eq("hs_s_symb", trade["t_s_symb"])),
+        )
+        if summary:
+            db.update(
+                txn, "holding_summary",
+                {"hs_qty": summary[0]["hs_qty"] + trade["t_qty"]},
+                _and(eq("hs_ca_id", account), eq("hs_s_symb", trade["t_s_symb"])),
+            )
+        else:
+            db.insert(txn, "holding_summary",
+                      [[account, trade["t_s_symb"], trade["t_qty"]]])
+        db.commit(txn)
+
+    def market_feed(self) -> None:
+        """Tick the market: update LAST_TRADE for a batch of securities."""
+        db = self.db
+        txn = db.begin("market")
+        now = db.engine.clock()
+        for index in range(1, min(5, self.securities) + 1):
+            symbol = self._symbol(index)
+            (last,) = db.select("last_trade", eq("lt_s_symb", symbol))
+            delta = Decimal(self._rng.randint(-100, 100)) / 100
+            db.update(
+                txn, "last_trade",
+                {"lt_price": last["lt_price"] + delta, "lt_dts": now,
+                 "lt_vol": last["lt_vol"] + self._rng.randint(100, 1000)},
+                eq("lt_s_symb", symbol),
+            )
+        db.commit(txn)
+
+    # -- read-only transactions ---------------------------------------------------------
+
+    def trade_status(self) -> None:
+        account = self._rng.randint(1, self.customers)
+        trades = self.db.select("trade", eq("t_ca_id", account))
+        for trade in trades[:20]:
+            self.db.select("trade_history", eq("th_t_id", trade["t_id"]))
+
+    def customer_position(self) -> None:
+        customer = self._rng.randint(1, self.customers)
+        accounts = self.db.select("customer_account", eq("ca_c_id", customer))
+        for account in accounts:
+            holdings = self.db.select(
+                "holding_summary", eq("hs_ca_id", account["ca_id"])
+            )
+            for holding in holdings:
+                self.db.select("last_trade", eq("lt_s_symb", holding["hs_s_symb"]))
+                self.db.select("daily_market", eq("dm_s_symb", holding["hs_s_symb"]))
+            self.db.select("holding", eq("h_ca_id", account["ca_id"]))
+
+    def market_watch(self) -> None:
+        customer = self._rng.randint(1, self.customers)
+        lists = self.db.select("watch_list", eq("wl_c_id", customer))
+        for wl in lists:
+            for item in self.db.select("watch_item", eq("wi_wl_id", wl["wl_id"])):
+                self.db.select("last_trade", eq("lt_s_symb", item["wi_s_symb"]))
+                history = self.db.select(
+                    "daily_market", eq("dm_s_symb", item["wi_s_symb"])
+                )
+                if history:
+                    max(row["dm_high"] for row in history)
+                    min(row["dm_low"] for row in history)
+
+    def security_detail(self) -> None:
+        symbol = self._symbol(self._rng.randint(1, self.securities))
+        (security,) = self.db.select("security", eq("s_symb", symbol))
+        self.db.select("company", eq("co_id", security["s_co_id"]))
+        self.db.select("financial", eq("fi_co_id", security["s_co_id"]))
+        self.db.select("daily_market", eq("dm_s_symb", symbol))
+        for xref in self.db.select("news_xref", eq("nx_co_id", security["s_co_id"])):
+            self.db.select("news_item", eq("ni_id", xref["nx_ni_id"]))
+
+    def broker_volume(self) -> None:
+        broker = self._rng.randint(1, self.brokers)
+        self.db.select("broker", eq("b_id", broker))
+        self.db.select("customer_account", eq("ca_b_id", broker))

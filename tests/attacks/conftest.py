@@ -1,0 +1,3 @@
+"""Reuse the ledger-core fixtures for attack-toolkit tests."""
+
+from tests.core.conftest import accounts, db  # noqa: F401 - pytest fixtures

@@ -1,0 +1,70 @@
+"""The attack toolkit itself: silence before verification, error paths."""
+
+import pytest
+
+from repro.attacks import rewrite_row_value, tamper_nonclustered_index
+from repro.attacks.tamper import AttackFailed, tamper_transaction_entry
+from repro.engine.expressions import eq
+from repro.engine.schema import IndexDefinition
+
+from tests.core.conftest import accounts_schema, run
+
+
+class TestAttacksAreSilent:
+    """Attacks must not trip any check until verification runs —
+    otherwise they would not model the threat model's strong adversary."""
+
+    def test_rewritten_row_reads_back_tampered(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["Nick", 100]]))
+        rewrite_row_value(
+            accounts, lambda r: r["name"] == "Nick", "balance", 666
+        )
+        # Normal queries happily serve the tampered value.
+        assert db.select("accounts", eq("name", "Nick"))[0]["balance"] == 666
+
+    def test_tampered_row_remains_updatable(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["Nick", 100]]))
+        rewrite_row_value(
+            accounts, lambda r: r["name"] == "Nick", "balance", 666
+        )
+        run(db, "a", lambda t: db.update(
+            t, "accounts", {"balance": 667}, eq("name", "Nick")))
+        # The tampered version was retired into history, so even the NEW
+        # digest cannot whitewash the past: verification against any digest
+        # covering the original insert still fails.
+        report = db.verify([db.generate_digest()])
+        assert not report.ok
+
+    def test_index_tamper_served_through_index_seeks(self, db):
+        schema = accounts_schema("idx").with_index(
+            IndexDefinition("ix_bal", ("balance",))
+        )
+        table = db.create_ledger_table(schema)
+        run(db, "a", lambda t: db.insert(t, "idx", [["Nick", 100]]))
+        tamper_nonclustered_index(
+            table, "ix_bal", lambda r: r["name"] == "Nick", "name", "Evil"
+        )
+        # The base row is honest; only the duplicated index copy lies.
+        assert db.select("idx")[0]["name"] == "Nick"
+        index_rows = [r for r in table.nonclustered["ix_bal"].scan_records()]
+        assert len(index_rows) == 1
+
+
+class TestAttackPreconditions:
+    def test_rewrite_requires_matching_rows(self, db, accounts):
+        with pytest.raises(AttackFailed):
+            rewrite_row_value(accounts, lambda r: False, "balance", 0)
+
+    def test_entry_tamper_requires_flushed_entry(self, db, accounts):
+        with pytest.raises(AttackFailed):
+            tamper_transaction_entry(db, 424242, "ghost")
+
+    def test_index_tamper_requires_matching_records(self, db):
+        schema = accounts_schema("idx2").with_index(
+            IndexDefinition("ix", ("balance",))
+        )
+        table = db.create_ledger_table(schema)
+        with pytest.raises(AttackFailed):
+            tamper_nonclustered_index(
+                table, "ix", lambda r: True, "balance", 0
+            )

@@ -1,0 +1,127 @@
+"""Canonical serialization of transaction entries and block rows (§3.3.1)."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entries import (
+    BlockRow,
+    TransactionEntry,
+    decode_table_roots,
+    encode_table_roots,
+)
+from repro.crypto.hashing import sha256
+
+
+def entry(**overrides) -> TransactionEntry:
+    defaults = dict(
+        transaction_id=42,
+        block_id=3,
+        ordinal=7,
+        commit_time=dt.datetime(2021, 6, 20, 12, 0, 0, 123456),
+        username="panant",
+        table_roots=((5, sha256(b"roots")),),
+    )
+    defaults.update(overrides)
+    return TransactionEntry(**defaults)
+
+
+class TestTransactionEntry:
+    def test_payload_round_trip(self):
+        original = entry()
+        assert TransactionEntry.from_payload(original.to_payload()) == original
+
+    def test_row_round_trip(self):
+        original = entry()
+        assert TransactionEntry.from_row(original.to_row()) == original
+
+    def test_hash_covers_every_semantic_field(self):
+        base = entry().entry_hash()
+        assert entry(transaction_id=43).entry_hash() != base
+        assert entry(username="mallory").entry_hash() != base
+        assert entry(
+            commit_time=dt.datetime(2022, 1, 1)
+        ).entry_hash() != base
+        assert entry(
+            table_roots=((5, sha256(b"forged")),)
+        ).entry_hash() != base
+        assert entry(
+            table_roots=((5, sha256(b"roots")), (6, sha256(b"more"))),
+        ).entry_hash() != base
+
+    def test_hash_excludes_chain_position(self):
+        # Block id / ordinal are encoded by the leaf's position in the block
+        # Merkle tree, not by the entry hash itself.
+        assert entry(block_id=9, ordinal=0).entry_hash() == entry().entry_hash()
+
+    def test_table_roots_canonical_order(self):
+        a = entry(table_roots=((1, sha256(b"x")), (2, sha256(b"y"))))
+        b = entry(table_roots=((2, sha256(b"y")), (1, sha256(b"x"))))
+        assert a.entry_hash() == b.entry_hash()
+
+    def test_root_for_table(self):
+        e = entry()
+        assert e.root_for_table(5) == sha256(b"roots")
+        assert e.root_for_table(99) is None
+
+    def test_unicode_username(self):
+        e = entry(username="Παναγιώτης")
+        assert TransactionEntry.from_payload(e.to_payload()) == e
+        assert e.entry_hash()
+
+
+@given(
+    roots=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=10_000),
+            st.binary(min_size=32, max_size=32),
+        ),
+        max_size=8,
+        unique_by=lambda pair: pair[0],
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_table_roots_encoding_round_trip(roots):
+    canonical = tuple(sorted(roots))
+    assert decode_table_roots(encode_table_roots(canonical)) == canonical
+
+
+def block(**overrides) -> BlockRow:
+    defaults = dict(
+        block_id=4,
+        previous_block_hash=sha256(b"prev"),
+        transactions_root=sha256(b"root"),
+        transaction_count=100,
+        closed_time=dt.datetime(2021, 6, 20, 12, 0, 0),
+    )
+    defaults.update(overrides)
+    return BlockRow(**defaults)
+
+
+class TestBlockRow:
+    def test_row_round_trip(self):
+        original = block()
+        assert BlockRow.from_row(original.to_row()) == original
+
+    def test_genesis_block_null_previous(self):
+        genesis = block(block_id=0, previous_block_hash=None)
+        assert BlockRow.from_row(genesis.to_row()) == genesis
+        assert genesis.block_hash() != block().block_hash()
+
+    def test_hash_covers_every_field(self):
+        base = block().block_hash()
+        assert block(block_id=5).block_hash() != base
+        assert block(previous_block_hash=sha256(b"other")).block_hash() != base
+        assert block(transactions_root=sha256(b"other")).block_hash() != base
+        assert block(transaction_count=99).block_hash() != base
+        assert block(
+            closed_time=dt.datetime(2022, 1, 1)
+        ).block_hash() != base
+
+    def test_null_previous_distinct_from_zero_hash(self):
+        # None must not collide with an actual all-zero previous hash.
+        null_prev = block(previous_block_hash=None)
+        zero_prev = block(previous_block_hash=b"\x00" * 32)
+        assert null_prev.block_hash() != zero_prev.block_hash()

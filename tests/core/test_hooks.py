@@ -1,0 +1,116 @@
+"""Direct tests of the ledger's engine hooks (§3.2, §3.3.2)."""
+
+import pytest
+
+from repro.core import system_columns as sc
+from repro.core.entries import TransactionEntry
+from repro.crypto.merkle import merkle_root
+from repro.crypto.hashing import hash_leaf
+from repro.engine.record import hashable_payload
+
+from tests.core.conftest import accounts_schema, run
+
+
+class TestSystemOperationSuppression:
+    def test_suppressed_dml_bypasses_ledger(self, db, accounts):
+        txn = db.begin()
+        with db.hooks.system_operation():
+            db.insert(txn, "accounts", [["ghost", 0]])
+        payload = db.commit(txn)
+        # No ledger context was built, so the commit carries no entry.
+        assert payload is None
+        # The unledgered row now fails verification (as it must: suppression
+        # is an internal tool, not a loophole — anything written through it
+        # is only legitimate if covered some other way, as truncation does).
+        report = db.verify([db.generate_digest()])
+        assert not report.ok
+
+    def test_suppression_nests(self, db, accounts):
+        hooks = db.hooks
+        with hooks.system_operation():
+            with hooks.system_operation():
+                assert hooks._suppressed
+            assert hooks._suppressed
+        assert not hooks._suppressed
+
+
+class TestPerTransactionMerkleTrees:
+    def test_recorded_root_matches_manual_computation(self, db, accounts):
+        txn = db.begin("app")
+        db.insert(txn, "accounts", [["Nick", 100], ["Mary", 200]])
+        db.commit(txn)
+        entry = db.ledger.transaction_entry(txn.tid)
+        recorded = entry.root_for_table(accounts.table_id)
+
+        # Recompute by hand from the stored rows, ordered by sequence.
+        start_tid, start_seq = sc.start_ordinals(accounts.schema)
+        versions = sorted(
+            (row for _, row in accounts.scan() if row[start_tid] == txn.tid),
+            key=lambda row: row[start_seq],
+        )
+        leaves = [
+            hash_leaf(hashable_payload(accounts.schema, row))
+            for row in versions
+        ]
+        assert merkle_root(leaves) == recorded
+
+    def test_separate_tree_per_table(self, db, accounts):
+        other = db.create_ledger_table(accounts_schema("other"))
+        txn = db.begin("app")
+        db.insert(txn, "accounts", [["same", 1]])
+        db.insert(txn, "other", [["same", 1]])
+        db.commit(txn)
+        entry = db.ledger.transaction_entry(txn.tid)
+        roots = dict(entry.table_roots)
+        # Identical rows, but the trees are per-table; roots still match
+        # because content is equal — table identity comes from the key.
+        assert set(roots) == {accounts.table_id, other.table_id}
+
+    def test_sequence_spans_tables_within_transaction(self, db, accounts):
+        db.create_ledger_table(accounts_schema("other"))
+        txn = db.begin("app")
+        db.insert(txn, "accounts", [["a", 1]])
+        db.insert(txn, "other", [["b", 2]])
+        db.insert(txn, "accounts", [["c", 3]])
+        db.commit(txn)
+        accounts_events = [
+            e["ledger_sequence_number"]
+            for e in db.ledger_view("accounts")
+            if e["ledger_transaction_id"] == txn.tid
+        ]
+        other_events = [
+            e["ledger_sequence_number"]
+            for e in db.ledger_view("other")
+            if e["ledger_transaction_id"] == txn.tid
+        ]
+        assert sorted(accounts_events + other_events) == [0, 1, 2]
+
+
+class TestCommitPayloads:
+    def test_payload_round_trips_through_wal_form(self, db, accounts):
+        txn = db.begin("auditor")
+        db.insert(txn, "accounts", [["x", 1]])
+        payload = db.commit(txn)
+        entry = TransactionEntry.from_payload(payload)
+        assert entry.transaction_id == txn.tid
+        assert entry.username == "auditor"
+        assert entry == db.ledger.transaction_entry(txn.tid)
+
+    def test_read_only_transaction_has_no_payload(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["x", 1]]))
+        txn = db.begin("reader")
+        db.select("accounts")
+        assert db.commit(txn) is None
+
+
+class TestRegularTablesUntouched:
+    def test_regular_table_rows_not_stamped(self, db):
+        from repro.engine.schema import Column, TableSchema
+        from repro.engine.types import INT
+
+        plain = db.create_table(TableSchema("plain", [Column("id", INT)]))
+        txn = db.begin()
+        db.insert(txn, "plain", [[5]])
+        db.commit(txn)
+        (_, row), = plain.scan()
+        assert row == (5,)  # no hidden columns, no stamping

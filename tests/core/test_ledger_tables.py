@@ -1,0 +1,194 @@
+"""Ledger tables, history maintenance and ledger views (§2.1, §3.1, §3.2)."""
+
+import pytest
+
+from repro.core import system_columns as sc
+from repro.core.ledger_database import APPEND_ONLY
+from repro.engine.expressions import eq
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INT, VARCHAR
+from repro.errors import AppendOnlyViolationError, LedgerConfigurationError
+
+from tests.core.conftest import accounts_schema, run
+
+
+class TestSchemaExtension:
+    def test_system_columns_are_hidden(self, db, accounts):
+        assert accounts.schema.visible_names == ("name", "balance")
+        live_names = [c.name for c in accounts.schema.live_columns]
+        for name in sc.ALL_SYSTEM_COLUMNS:
+            assert name in live_names
+
+    def test_history_table_mirrors_schema_without_pk(self, db, accounts):
+        history = db.history_table("accounts")
+        assert history is not None
+        assert [c.name for c in history.schema.columns] == [
+            c.name for c in accounts.schema.columns
+        ]
+        assert history.schema.primary_key == ()
+
+    def test_append_only_has_no_history_and_no_end_columns(self, db):
+        table = db.create_ledger_table(
+            accounts_schema("audit_log"), ledger_type=APPEND_ONLY
+        )
+        assert table.options.get("history_table_id") is None
+        assert not sc.has_end_columns(table.schema)
+        assert table.schema.has_column(sc.START_TRANSACTION)
+
+    def test_unknown_ledger_type_rejected(self, db):
+        with pytest.raises(LedgerConfigurationError):
+            db.create_ledger_table(accounts_schema("bad"), ledger_type="wat")
+
+    def test_applications_see_only_visible_columns(self, db, accounts):
+        run(db, "app", lambda txn: db.insert(txn, "accounts", [["Nick", 100]]))
+        rows = db.select("accounts")
+        assert rows == [{"name": "Nick", "balance": 100}]
+
+    def test_system_columns_populated(self, db, accounts):
+        txn = run(db, "app", lambda t: db.insert(t, "accounts", [["Nick", 100]]))
+        (row,) = db.select("accounts", include_hidden=True)
+        assert row[sc.START_TRANSACTION] == txn.tid
+        assert row[sc.START_SEQUENCE] == 0
+        assert row[sc.END_TRANSACTION] is None
+
+
+class TestHistoryMaintenance:
+    def test_update_moves_old_version_to_history(self, db, accounts):
+        insert_txn = run(db, "a", lambda t: db.insert(t, "accounts", [["Nick", 100]]))
+        update_txn = run(
+            db, "b", lambda t: db.update(t, "accounts", {"balance": 50},
+                                         eq("name", "Nick"))
+        )
+        history = db.history_table("accounts")
+        rows = [
+            {c.name: r[c.ordinal] for c in history.schema.columns}
+            for _, r in history.scan()
+        ]
+        assert len(rows) == 1
+        old = rows[0]
+        assert old["balance"] == 100
+        assert old[sc.START_TRANSACTION] == insert_txn.tid
+        assert old[sc.END_TRANSACTION] == update_txn.tid
+        # Live table holds only the new version.
+        assert db.select("accounts") == [{"name": "Nick", "balance": 50}]
+
+    def test_delete_moves_row_to_history(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["Joe", 30]]))
+        run(db, "a", lambda t: db.delete(t, "accounts", eq("name", "Joe")))
+        assert db.select("accounts") == []
+        history = db.history_table("accounts")
+        assert history.row_count() == 1
+
+    def test_sequence_numbers_order_operations(self, db, accounts):
+        def work(txn):
+            db.insert(txn, "accounts", [["a", 1], ["b", 2]])
+            db.update(txn, "accounts", {"balance": 10}, eq("name", "a"))
+
+        txn = run(db, "app", work)
+        events = [
+            e for e in db.ledger_view("accounts")
+            if e["ledger_transaction_id"] == txn.tid
+        ]
+        sequences = [e["ledger_sequence_number"] for e in events]
+        assert sorted(sequences) == [0, 1, 2, 3]  # 2 inserts + new ver + old ver
+
+    def test_direct_history_modification_rejected(self, db, accounts):
+        history = db.history_table("accounts")
+        txn = db.begin()
+        with pytest.raises(LedgerConfigurationError):
+            history.insert(txn, history.schema.empty_row())
+        db.rollback(txn)
+
+    def test_rollback_leaves_no_history_residue(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["Nick", 100]]))
+        txn = db.begin()
+        db.update(txn, "accounts", {"balance": 0}, eq("name", "Nick"))
+        db.rollback(txn)
+        assert db.history_table("accounts").row_count() == 0
+        assert db.select("accounts") == [{"name": "Nick", "balance": 100}]
+
+
+class TestAppendOnly:
+    @pytest.fixture
+    def audit(self, db):
+        return db.create_ledger_table(
+            accounts_schema("audit_log"), ledger_type=APPEND_ONLY
+        )
+
+    def test_insert_allowed(self, db, audit):
+        run(db, "a", lambda t: db.insert(t, "audit_log", [["event", 1]]))
+        assert len(db.select("audit_log")) == 1
+
+    def test_update_rejected(self, db, audit):
+        run(db, "a", lambda t: db.insert(t, "audit_log", [["event", 1]]))
+        txn = db.begin()
+        with pytest.raises(AppendOnlyViolationError):
+            db.update(txn, "audit_log", {"balance": 2}, eq("name", "event"))
+        db.rollback(txn)
+
+    def test_delete_rejected(self, db, audit):
+        run(db, "a", lambda t: db.insert(t, "audit_log", [["event", 1]]))
+        txn = db.begin()
+        with pytest.raises(AppendOnlyViolationError):
+            db.delete(txn, "audit_log", eq("name", "event"))
+        db.rollback(txn)
+
+    def test_append_only_verifies(self, db, audit):
+        run(db, "a", lambda t: db.insert(t, "audit_log", [["event", 1]]))
+        report = db.verify([db.generate_digest()])
+        assert report.ok, report.summary()
+
+
+class TestLedgerViewFigure2:
+    """Reproduce the exact operation sequence of the paper's Figure 2."""
+
+    def test_figure2_ledger_view(self, db, accounts):
+        # Nick's account: inserted at $50, then updated to $100 (the figure's
+        # DELETE $50 + INSERT $100 pair under one transaction id).
+        t10 = run(db, "app", lambda t: db.insert(t, "accounts", [["Nick", 50]]))
+        t13 = run(db, "app", lambda t: db.insert(t, "accounts", [["John", 500]]))
+        t16 = run(db, "app", lambda t: db.insert(t, "accounts", [["Joe", 30]]))
+        t17 = run(db, "app", lambda t: db.insert(t, "accounts", [["Mary", 200]]))
+        t20 = run(
+            db, "app",
+            lambda t: db.update(t, "accounts", {"balance": 100}, eq("name", "Nick")),
+        )
+        t23 = run(db, "app", lambda t: db.delete(t, "accounts", eq("name", "Joe")))
+
+        view = db.ledger_view("accounts")
+        as_tuples = [
+            (e["name"], e["balance"], e["ledger_operation_type_desc"],
+             e["ledger_transaction_id"])
+            for e in view
+        ]
+        assert ("Nick", 50, "INSERT", t10.tid) in as_tuples
+        assert ("John", 500, "INSERT", t13.tid) in as_tuples
+        assert ("Joe", 30, "INSERT", t16.tid) in as_tuples
+        assert ("Mary", 200, "INSERT", t17.tid) in as_tuples
+        assert ("Nick", 50, "DELETE", t20.tid) in as_tuples
+        assert ("Nick", 100, "INSERT", t20.tid) in as_tuples
+        assert ("Joe", 30, "DELETE", t23.tid) in as_tuples
+        assert len(as_tuples) == 7
+
+        # Latest state matches the figure's Ledger table.
+        latest = {r["name"]: r["balance"] for r in db.select("accounts")}
+        assert latest == {"Nick": 100, "John": 500, "Mary": 200}
+
+        # History table matches the figure's History table.
+        history = db.history_table("accounts")
+        name_ord = history.schema.column("name").ordinal
+        balance_ord = history.schema.column("balance").ordinal
+        history_rows = sorted(
+            (row[name_ord], row[balance_ord]) for _, row in history.scan()
+        )
+        assert history_rows == [("Joe", 30), ("Nick", 50)]
+
+    def test_view_is_ordered_by_transaction_then_sequence(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["x", 1], ["y", 2]]))
+        run(db, "a", lambda t: db.update(t, "accounts", {"balance": 9},
+                                         eq("name", "x")))
+        view = db.ledger_view("accounts")
+        keys = [
+            (e["ledger_transaction_id"], e["ledger_sequence_number"]) for e in view
+        ]
+        assert keys == sorted(keys)

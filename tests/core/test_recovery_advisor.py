@@ -1,0 +1,132 @@
+"""The §3.7 recovery advisor: triage of failed verifications."""
+
+import pytest
+
+from repro.attacks import delete_history_row, fork_block, rewrite_row_value
+from repro.core.recovery_advisor import (
+    STRATEGY_CHAIN_COMPROMISED,
+    STRATEGY_NO_ACTION,
+    STRATEGY_RESTORE_AND_REPAIR,
+    STRATEGY_RESTORE_AND_REPLAY,
+    RecoveryAdvisor,
+)
+from repro.engine.expressions import eq
+
+from tests.core.conftest import accounts_schema, run
+
+
+@pytest.fixture
+def seeded(db, accounts):
+    db.create_ledger_table(accounts_schema("audit_notes"))
+    run(db, "a", lambda t: db.insert(t, "accounts", [["Nick", 100]]))
+    run(db, "a", lambda t: db.insert(t, "audit_notes", [["note1", 0]]))
+    run(db, "a", lambda t: db.update(
+        t, "accounts", {"balance": 50}, eq("name", "Nick")))
+    return db.generate_digest()
+
+
+@pytest.fixture
+def advisor(db):
+    # Balances drive later withdrawals: category-2 (operational) data.
+    return RecoveryAdvisor(db, operational_tables=["accounts"])
+
+
+class TestTriage:
+    def test_clean_report_needs_no_action(self, db, seeded, advisor):
+        plan = advisor.plan(db.verify([seeded]))
+        assert plan.strategy == STRATEGY_NO_ACTION
+
+    def test_passive_data_tamper_keeps_digests_valid(self, db, seeded, advisor):
+        rewrite_row_value(
+            db.ledger_table("audit_notes"), lambda r: r["name"] == "note1",
+            "balance", 9,
+        )
+        plan = advisor.plan(db.verify([seeded]))
+        assert plan.strategy == STRATEGY_RESTORE_AND_REPAIR
+        assert plan.affected_tables == ["audit_notes"]
+        assert plan.digests_remain_valid
+        assert "backup" in plan.steps[0]
+
+    def test_operational_data_tamper_requires_replay(self, db, seeded, advisor):
+        rewrite_row_value(
+            db.ledger_table("accounts"), lambda r: r["name"] == "Nick",
+            "balance", 1_000_000,
+        )
+        plan = advisor.plan(db.verify([seeded]))
+        assert plan.strategy == STRATEGY_RESTORE_AND_REPLAY
+        assert plan.affected_tables == ["accounts"]
+        assert not plan.digests_remain_valid
+        assert any("re-execute" in step for step in plan.steps)
+
+    def test_history_tamper_maps_to_base_table(self, db, seeded, advisor):
+        history = db.history_table("accounts")
+        delete_history_row(
+            db.ledger_table("accounts"), history, lambda r: r["name"] == "Nick"
+        )
+        plan = advisor.plan(db.verify([seeded]))
+        assert plan.affected_tables == ["accounts"]
+        assert plan.strategy == STRATEGY_RESTORE_AND_REPLAY
+
+    def test_chain_fork_is_worst_case(self, db, seeded, advisor):
+        fork_block(db, seeded.block_id)
+        plan = advisor.plan(db.verify([seeded]))
+        assert plan.strategy == STRATEGY_CHAIN_COMPROMISED
+        assert not plan.digests_remain_valid
+
+    def test_plan_identifies_earliest_transaction(self, db, seeded, advisor):
+        rewrite_row_value(
+            db.ledger_table("accounts"), lambda r: r["name"] == "Nick",
+            "balance", 1,
+        )
+        plan = advisor.plan(db.verify([seeded]))
+        assert plan.earliest_affected_transaction is not None
+        assert plan.earliest_affected_commit_time is not None
+        entry = db.ledger.transaction_entry(plan.earliest_affected_transaction)
+        assert entry is not None
+
+    def test_describe_is_readable(self, db, seeded, advisor):
+        rewrite_row_value(
+            db.ledger_table("accounts"), lambda r: r["name"] == "Nick",
+            "balance", 1,
+        )
+        text = advisor.plan(db.verify([seeded])).describe()
+        assert "recovery strategy" in text
+        assert "accounts" in text
+
+
+class TestEndToEndRepair:
+    def test_full_category1_repair_workflow(self, db, seeded, tmp_path):
+        """Follow the advisor's category-1 plan and end up verified."""
+        db.backup(str(tmp_path / "backup"))
+        rewrite_row_value(
+            db.ledger_table("audit_notes"), lambda r: r["name"] == "note1",
+            "balance", 9,
+        )
+        advisor = RecoveryAdvisor(db, operational_tables=["accounts"])
+        plan = advisor.plan(db.verify([seeded]))
+        assert plan.strategy == STRATEGY_RESTORE_AND_REPAIR
+
+        # Step 1-2: restore the backup beside production, copy authentic rows.
+        from repro.core.ledger_database import LedgerDatabase
+        from repro.engine.clock import LogicalClock
+        from repro.engine.record import encode_record
+
+        clean = LedgerDatabase.restore_backup(
+            str(tmp_path / "backup"), str(tmp_path / "clean"),
+            clock=LogicalClock(),
+        )
+        clean_table = clean.ledger_table("audit_notes")
+        victim_table = db.ledger_table("audit_notes")
+        authentic = {
+            row[0]: record
+            for (rid, record), (_, row) in zip(
+                clean_table.heap.scan(), clean_table.scan()
+            )
+        }
+        for rid, row in list(victim_table.scan()):
+            if row[0] in authentic:
+                victim_table.heap.tamper_record(rid, authentic[row[0]])
+
+        # Step 3: verification passes again with the ORIGINAL digest.
+        report = db.verify([seeded])
+        assert report.ok, report.summary()

@@ -1,0 +1,135 @@
+"""Verification internals: stats, scoping, warnings, uncovered data."""
+
+import pytest
+
+from repro.core.verification import SEVERITY_ERROR, SEVERITY_WARNING, Finding, VerificationReport
+from repro.errors import VerificationFailedError
+
+from tests.core.conftest import accounts_schema, run
+
+
+class TestReportSemantics:
+    def test_empty_report_is_ok(self):
+        report = VerificationReport()
+        assert report.ok
+        report.raise_if_failed()  # no-op
+
+    def test_warnings_do_not_fail(self):
+        report = VerificationReport(
+            findings=[Finding("digest", SEVERITY_WARNING, "stale digest")]
+        )
+        assert report.ok
+        assert len(report.warnings) == 1
+        report.raise_if_failed()
+
+    def test_errors_fail_and_raise(self):
+        report = VerificationReport(
+            findings=[Finding("chain", SEVERITY_ERROR, "broken link")]
+        )
+        assert not report.ok
+        with pytest.raises(VerificationFailedError) as excinfo:
+            report.raise_if_failed()
+        assert "broken link" in str(excinfo.value)
+
+    def test_summary_mentions_status(self):
+        assert "PASSED" in VerificationReport().summary()
+        failed = VerificationReport(
+            findings=[Finding("chain", SEVERITY_ERROR, "x")]
+        )
+        assert "FAILED" in failed.summary()
+
+    def test_finding_str(self):
+        finding = Finding("index", SEVERITY_ERROR, "mismatch", {"table": "t"})
+        assert "index" in str(finding)
+        assert "mismatch" in str(finding)
+
+
+class TestVerificationStats:
+    def test_stats_populated(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["Nick", 1]]))
+        report = db.verify([db.generate_digest()])
+        assert report.blocks_verified >= 1
+        assert report.transactions_verified >= 1
+        assert report.tables_verified >= 4  # accounts + 3 meta ledger tables
+        assert report.row_versions_hashed >= 1
+
+    def test_uncovered_transactions_counted(self, tmp_path):
+        """Transactions in the open block verify but are digest-uncovered."""
+        from repro.core.ledger_database import LedgerDatabase
+        from repro.engine.clock import LogicalClock
+
+        db = LedgerDatabase.open(str(tmp_path / "big"), block_size=10_000,
+                                 clock=LogicalClock())
+        db.create_ledger_table(accounts_schema())
+        run(db, "a", lambda t: db.insert(t, "accounts", [["covered", 1]]))
+        digest = db.generate_digest()  # closes the block
+        run(db, "a", lambda t: db.insert(t, "accounts", [["fresh", 2]]))
+        report = db.verify([digest])
+        assert report.ok
+        assert report.uncovered_transactions >= 1
+
+    def test_table_scoping_skips_other_tables(self, db, accounts):
+        db.create_ledger_table(accounts_schema("other"))
+        run(db, "a", lambda t: db.insert(t, "accounts", [["x", 1]]))
+        run(db, "a", lambda t: db.insert(t, "other", [["y", 2]]))
+        digest = db.generate_digest()
+        # Tamper the out-of-scope table...
+        from repro.attacks import rewrite_row_value
+
+        rewrite_row_value(
+            db.engine.table("other"), lambda r: r["name"] == "y", "balance", 0
+        )
+        # ...scoped verification of accounts alone passes,
+        scoped = db.verify([digest], table_names=["accounts"])
+        assert scoped.ok
+        # ...full verification fails.
+        full = db.verify([digest])
+        assert not full.ok
+
+    def test_foreign_digest_rejected(self, db, accounts, tmp_path):
+        from repro.core.ledger_database import LedgerDatabase
+        from repro.engine.clock import LogicalClock
+
+        run(db, "a", lambda t: db.insert(t, "accounts", [["x", 1]]))
+        other = LedgerDatabase.open(str(tmp_path / "other"), clock=LogicalClock())
+        foreign = other.generate_digest()
+        report = db.verify([foreign])
+        assert not report.ok
+        assert any("different database" in f.message for f in report.errors)
+
+    def test_no_digests_verifies_consistency_only(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["x", 1]]))
+        db.generate_digest()
+        report = db.verify([])
+        assert report.ok  # internal consistency holds; nothing anchored
+
+
+class TestLedgerSystemTablesAreProtected:
+    def test_metadata_ledger_tables_verified_too(self, db, accounts):
+        """Tampering the ledger *metadata* tables is caught like any other."""
+        from repro.attacks import rewrite_row_value
+        from repro.core.ledger_database import TABLES_META
+
+        run(db, "a", lambda t: db.insert(t, "accounts", [["x", 1]]))
+        digest = db.generate_digest()
+        rewrite_row_value(
+            db.engine.table(TABLES_META),
+            lambda r: r["table_name"] == "accounts",
+            "table_name", "innocent_name",
+        )
+        report = db.verify([digest])
+        assert not report.ok
+        assert any(TABLES_META in f.message for f in report.errors)
+
+    def test_truncation_ledger_table_is_append_only(self, db, accounts):
+        from repro.core.ledger_database import TRUNCATIONS_TABLE
+        from repro.crypto.hashing import sha256
+        from repro.errors import AppendOnlyViolationError
+
+        txn = db.begin()
+        db.insert(
+            txn, TRUNCATIONS_TABLE, [[99, 0, 0, sha256(b"anchor"), "note"]]
+        )
+        with pytest.raises(AppendOnlyViolationError):
+            db.delete(txn, TRUNCATIONS_TABLE)
+        db.rollback(txn)

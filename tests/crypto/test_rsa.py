@@ -1,0 +1,71 @@
+"""Tests for the pure-Python RSA signature scheme used by receipts."""
+
+import pytest
+
+from repro.crypto.rsa import RsaPublicKey, generate_keypair
+from repro.errors import SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    # 512-bit keys keep the test suite fast; the scheme is identical.
+    return generate_keypair(bits=512, seed=1234)
+
+
+class TestSignVerify:
+    def test_sign_then_verify(self, keypair):
+        message = b"block root digest"
+        signature = keypair.sign(message)
+        assert keypair.public.verify(message, signature)
+
+    def test_signature_is_deterministic(self, keypair):
+        message = b"same message"
+        assert keypair.sign(message) == keypair.sign(message)
+
+    def test_verify_rejects_wrong_message(self, keypair):
+        signature = keypair.sign(b"original")
+        assert not keypair.public.verify(b"tampered", signature)
+
+    def test_verify_rejects_bit_flipped_signature(self, keypair):
+        signature = bytearray(keypair.sign(b"message"))
+        signature[0] ^= 0x01
+        assert not keypair.public.verify(b"message", bytes(signature))
+
+    def test_verify_rejects_wrong_length_signature(self, keypair):
+        assert not keypair.public.verify(b"message", b"\x00" * 8)
+
+    def test_verify_rejects_signature_from_other_key(self, keypair):
+        other = generate_keypair(bits=512, seed=999)
+        signature = other.sign(b"message")
+        assert not keypair.public.verify(b"message", signature)
+
+    def test_signature_length_matches_modulus(self, keypair):
+        assert len(keypair.sign(b"m")) == keypair.public.byte_length
+
+
+class TestKeyGeneration:
+    def test_seeded_generation_is_reproducible(self):
+        a = generate_keypair(bits=512, seed=42)
+        b = generate_keypair(bits=512, seed=42)
+        assert a.public == b.public and a.d == b.d
+
+    def test_different_seeds_differ(self):
+        a = generate_keypair(bits=512, seed=1)
+        b = generate_keypair(bits=512, seed=2)
+        assert a.public != b.public
+
+    def test_modulus_has_requested_bit_length(self):
+        pair = generate_keypair(bits=512, seed=7)
+        assert pair.public.n.bit_length() == 512
+
+    def test_rejects_tiny_keys(self):
+        with pytest.raises(SignatureError):
+            generate_keypair(bits=256, seed=1)
+
+
+class TestPublicKeySerialization:
+    def test_dict_round_trip(self, keypair):
+        restored = RsaPublicKey.from_dict(keypair.public.to_dict())
+        assert restored == keypair.public
+        signature = keypair.sign(b"round trip")
+        assert restored.verify(b"round trip", signature)

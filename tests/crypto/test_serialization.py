@@ -1,0 +1,134 @@
+"""Tests for the canonical row serialization format (paper §3.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.serialization import (
+    RowSerializer,
+    SerializedColumn,
+    deserialize_row_payload,
+    serialize_columns,
+)
+from repro.errors import SerializationError
+
+
+def make_column(ordinal=0, type_id=1, type_meta=b"", value=b"abc"):
+    return SerializedColumn(
+        ordinal=ordinal, type_id=type_id, type_meta=type_meta, value=value
+    )
+
+
+class TestSerializeBasics:
+    def test_round_trip_single_column(self):
+        column = make_column(ordinal=2, type_id=7, type_meta=b"\x04", value=b"\x01\x02")
+        payload = serialize_columns([column])
+        assert deserialize_row_payload(payload) == (column,)
+
+    def test_round_trip_multiple_columns(self):
+        columns = [
+            make_column(ordinal=0, type_id=1, value=b"\x00\x00\x00\x12"),
+            make_column(ordinal=1, type_id=2, value=b"\x00\x34"),
+            make_column(ordinal=3, type_id=5, type_meta=b"\x00\x20", value=b"hello"),
+        ]
+        assert deserialize_row_payload(serialize_columns(columns)) == tuple(columns)
+
+    def test_empty_row_serializes(self):
+        payload = serialize_columns([])
+        assert deserialize_row_payload(payload) == ()
+
+    def test_rejects_out_of_order_ordinals(self):
+        columns = [make_column(ordinal=1), make_column(ordinal=0)]
+        with pytest.raises(SerializationError):
+            serialize_columns(columns)
+
+    def test_rejects_duplicate_ordinals(self):
+        columns = [make_column(ordinal=1), make_column(ordinal=1)]
+        with pytest.raises(SerializationError):
+            serialize_columns(columns)
+
+    def test_rejects_oversized_metadata(self):
+        with pytest.raises(SerializationError):
+            make_column(type_meta=b"x" * 256)
+
+    def test_rejects_out_of_range_ordinal(self):
+        with pytest.raises(SerializationError):
+            make_column(ordinal=70000)
+
+
+class TestMetadataTamperDetection:
+    """The Figure-4 attack: metadata changes must change the serialization."""
+
+    def test_type_swap_attack_changes_payload(self):
+        # Column1 INT = 0x12, Column2 SMALLINT = 0x34: raw value bytes are
+        # identical under the swapped declaration, but the serialized payload
+        # (and therefore the hash) must differ because type ids are embedded.
+        honest = serialize_columns([
+            make_column(ordinal=0, type_id=4, value=b"\x00\x00\x00\x12"),  # INT
+            make_column(ordinal=1, type_id=2, value=b"\x00\x34"),          # SMALLINT
+        ])
+        tampered = serialize_columns([
+            make_column(ordinal=0, type_id=2, value=b"\x00\x00"),
+            make_column(ordinal=1, type_id=4, value=b"\x00\x12\x00\x34"),
+        ])
+        assert honest != tampered
+
+    def test_null_shift_attack_changes_payload(self):
+        # Dropping a NULL column cannot let a later value masquerade under an
+        # earlier ordinal, because ordinals are explicit.
+        value_in_col1 = serialize_columns([make_column(ordinal=1, value=b"v")])
+        value_in_col0 = serialize_columns([make_column(ordinal=0, value=b"v")])
+        assert value_in_col0 != value_in_col1
+
+    def test_declared_length_change_changes_payload(self):
+        short = serialize_columns([make_column(type_meta=b"\x00\x10", value=b"v")])
+        long = serialize_columns([make_column(type_meta=b"\x00\x20", value=b"v")])
+        assert short != long
+
+
+class TestTruncationDetection:
+    def test_truncated_payload_rejected(self):
+        payload = serialize_columns([make_column(value=b"0123456789")])
+        for cut in (1, 5, len(payload) - 1):
+            with pytest.raises(SerializationError):
+                deserialize_row_payload(payload[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        payload = serialize_columns([make_column()])
+        with pytest.raises(SerializationError):
+            deserialize_row_payload(payload + b"\x00")
+
+    def test_bad_magic_rejected(self):
+        payload = serialize_columns([make_column()])
+        with pytest.raises(SerializationError):
+            deserialize_row_payload(b"XXXX" + payload[4:])
+
+
+column_strategy = st.builds(
+    SerializedColumn,
+    ordinal=st.integers(min_value=0, max_value=0xFFFF),
+    type_id=st.integers(min_value=0, max_value=0xFF),
+    type_meta=st.binary(max_size=8),
+    value=st.binary(max_size=64),
+)
+
+
+@given(st.lists(column_strategy, max_size=12, unique_by=lambda c: c.ordinal))
+@settings(max_examples=100, deadline=None)
+def test_round_trip_property(columns):
+    ordered = sorted(columns, key=lambda c: c.ordinal)
+    payload = RowSerializer().serialize(ordered)
+    assert deserialize_row_payload(payload) == tuple(ordered)
+
+
+@given(
+    st.lists(column_strategy, min_size=1, max_size=8, unique_by=lambda c: c.ordinal),
+    st.lists(column_strategy, min_size=1, max_size=8, unique_by=lambda c: c.ordinal),
+)
+@settings(max_examples=100, deadline=None)
+def test_distinct_rows_serialize_distinctly(columns_a, columns_b):
+    a = sorted(columns_a, key=lambda c: c.ordinal)
+    b = sorted(columns_b, key=lambda c: c.ordinal)
+    payload_a = RowSerializer().serialize(a)
+    payload_b = RowSerializer().serialize(b)
+    assert (payload_a == payload_b) == (a == b)

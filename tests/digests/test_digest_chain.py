@@ -1,0 +1,119 @@
+"""Property and unit tests for digest chain derivation (§3.3.1 req. 3)."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.digest import BlockHeader, DatabaseDigest, verify_digest_chain
+from repro.core.entries import BlockRow
+from repro.crypto.hashing import sha256
+
+
+def build_chain(length: int, salt: bytes = b"") -> list:
+    """A synthetic valid chain of block rows."""
+    blocks = []
+    previous = None
+    for block_id in range(length):
+        block = BlockRow(
+            block_id=block_id,
+            previous_block_hash=previous,
+            transactions_root=sha256(b"root-%d" % block_id + salt),
+            transaction_count=10 + block_id,
+            closed_time=dt.datetime(2021, 1, 1) + dt.timedelta(hours=block_id),
+        )
+        blocks.append(block)
+        previous = block.block_hash()
+    return blocks
+
+
+def digest_for(block: BlockRow, guid="g") -> DatabaseDigest:
+    return DatabaseDigest(
+        database_guid=guid,
+        database_create_time="2021-01-01T00:00:00",
+        block_id=block.block_id,
+        block_hash=block.block_hash(),
+        last_transaction_commit_time=block.closed_time,
+        digest_time=block.closed_time,
+    )
+
+
+def headers(blocks, low, high):
+    return [BlockHeader.from_block_row(b) for b in blocks[low:high + 1]]
+
+
+class TestChainDerivation:
+    @given(
+        length=st.integers(min_value=2, max_value=12),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_two_points_on_a_valid_chain_derive(self, length, data):
+        blocks = build_chain(length)
+        old_index = data.draw(st.integers(0, length - 2))
+        new_index = data.draw(st.integers(old_index + 1, length - 1))
+        assert verify_digest_chain(
+            digest_for(blocks[old_index]),
+            digest_for(blocks[new_index]),
+            headers(blocks, old_index + 1, new_index),
+        )
+
+    @given(
+        length=st.integers(min_value=3, max_value=10),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tampering_any_intermediate_header_breaks_derivation(
+        self, length, data
+    ):
+        blocks = build_chain(length)
+        chain_headers = headers(blocks, 1, length - 1)
+        victim = data.draw(st.integers(0, len(chain_headers) - 1))
+        forged = BlockHeader(
+            block_id=chain_headers[victim].block_id,
+            previous_block_hash=chain_headers[victim].previous_block_hash,
+            transactions_root=sha256(b"forged"),
+            transaction_count=chain_headers[victim].transaction_count,
+            closed_time=chain_headers[victim].closed_time,
+        )
+        chain_headers = (
+            chain_headers[:victim] + [forged] + chain_headers[victim + 1:]
+        )
+        assert not verify_digest_chain(
+            digest_for(blocks[0]), digest_for(blocks[-1]), chain_headers
+        )
+
+    def test_reordered_headers_rejected(self):
+        blocks = build_chain(5)
+        scrambled = headers(blocks, 1, 4)
+        scrambled[0], scrambled[1] = scrambled[1], scrambled[0]
+        assert not verify_digest_chain(
+            digest_for(blocks[0]), digest_for(blocks[4]), scrambled
+        )
+
+    def test_chain_from_different_history_rejected(self):
+        honest = build_chain(5)
+        forked = build_chain(5, salt=b"fork")
+        assert not verify_digest_chain(
+            digest_for(honest[0]), digest_for(forked[4]),
+            headers(forked, 1, 4),
+        )
+
+    def test_regressing_digest_rejected(self):
+        blocks = build_chain(4)
+        assert not verify_digest_chain(
+            digest_for(blocks[3]), digest_for(blocks[1]), []
+        )
+
+    def test_header_dict_round_trip(self):
+        blocks = build_chain(3)
+        header = BlockHeader.from_block_row(blocks[2])
+        restored = BlockHeader.from_dict(header.to_dict())
+        assert restored == header
+        assert restored.block_hash() == blocks[2].block_hash()
+
+    def test_genesis_header_round_trip(self):
+        genesis = BlockHeader.from_block_row(build_chain(1)[0])
+        assert genesis.previous_block_hash is None
+        assert BlockHeader.from_dict(genesis.to_dict()) == genesis

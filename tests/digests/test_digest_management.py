@@ -1,0 +1,212 @@
+"""Immutable blob storage and the digest manager (§2.4, §3.6)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.digests import DigestManager, GeoReplicaSimulator, ImmutableBlobStorage
+from repro.engine.clock import LogicalClock
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INT, VARCHAR
+from repro.errors import (
+    BlobNotFoundError,
+    ImmutabilityViolationError,
+    LedgerError,
+    ReplicationLagError,
+)
+
+
+@pytest.fixture
+def storage(tmp_path):
+    return ImmutableBlobStorage(str(tmp_path / "blobs"))
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = LedgerDatabase.open(
+        str(tmp_path / "db"), block_size=4, clock=LogicalClock()
+    )
+    database.create_ledger_table(
+        TableSchema(
+            "accounts",
+            [Column("name", VARCHAR(32), nullable=False), Column("balance", INT)],
+            primary_key=["name"],
+        )
+    )
+    return database
+
+
+def work(db, count=1, prefix="u"):
+    for i in range(count):
+        txn = db.begin("app")
+        db.insert(txn, "accounts", [[f"{prefix}{i}", i]])
+        db.commit(txn)
+
+
+class TestImmutableBlobStorage:
+    def test_put_get_round_trip(self, storage):
+        storage.put("c", "a.json", b"payload")
+        assert storage.get("c", "a.json") == b"payload"
+
+    def test_overwrite_refused(self, storage):
+        storage.put("c", "a.json", b"original")
+        with pytest.raises(ImmutabilityViolationError):
+            storage.put("c", "a.json", b"replacement")
+        with pytest.raises(ImmutabilityViolationError):
+            storage.overwrite("c", "a.json", b"replacement")
+        assert storage.get("c", "a.json") == b"original"
+
+    def test_delete_refused(self, storage):
+        storage.put("c", "a.json", b"x")
+        with pytest.raises(ImmutabilityViolationError):
+            storage.delete("c", "a.json")
+
+    def test_missing_blob(self, storage):
+        with pytest.raises(BlobNotFoundError):
+            storage.get("c", "missing.json")
+        assert not storage.exists("c", "missing.json")
+
+    def test_list_with_prefix(self, storage):
+        storage.put("c", "run1/a.json", b"1")
+        storage.put("c", "run1/b.json", b"2")
+        storage.put("c", "run2/a.json", b"3")
+        assert storage.list_blobs("c", prefix="run1/") == [
+            "run1/a.json", "run1/b.json",
+        ]
+        assert len(storage.list_blobs("c")) == 3
+
+    def test_path_traversal_rejected(self, storage):
+        with pytest.raises(ImmutabilityViolationError):
+            storage.put("c", "../escape", b"x")
+
+    def test_json_helpers(self, storage):
+        storage.put_json("c", "d.json", {"k": 1})
+        assert storage.get_json("c", "d.json") == {"k": 1}
+
+
+class TestDigestManager:
+    def test_upload_and_retrieve(self, db, storage):
+        manager = DigestManager(db, storage)
+        work(db)
+        digest = manager.upload_digest()
+        assert digest is not None
+        assert manager.latest_digest() == digest
+        assert db.verify(manager.digests_for_verification()).ok
+
+    def test_repeat_upload_same_block_is_idempotent(self, db, storage):
+        manager = DigestManager(db, storage)
+        work(db)
+        first = manager.upload_digest()
+        second = manager.upload_digest()  # no new transactions
+        assert first.block_id == second.block_id
+        assert len(manager.digests()) == 1
+
+    def test_sequential_uploads_chain(self, db, storage):
+        manager = DigestManager(db, storage)
+        for i in range(3):
+            work(db, count=4, prefix=f"r{i}_")
+            manager.upload_digest()
+        digests = manager.digests()
+        assert [d.block_id for d in digests] == sorted(d.block_id for d in digests)
+        assert db.verify(digests).ok
+
+    def test_fork_detected_on_upload(self, db, storage):
+        manager = DigestManager(db, storage)
+        work(db, count=4)
+        manager.upload_digest()
+        # Rewrite a block the previous digest covered, then add new work.
+        from repro.attacks import fork_block
+
+        fork_block(db, manager.latest_digest().block_id)
+        work(db, count=4, prefix="post_")
+        with pytest.raises(LedgerError, match="fork"):
+            manager.upload_digest()
+
+
+class TestGeoReplication:
+    def test_digest_deferred_while_lagging(self, tmp_path, storage):
+        clock = LogicalClock(step=dt.timedelta(seconds=1))
+        db = LedgerDatabase.open(str(tmp_path / "geo"), block_size=4, clock=clock)
+        db.create_ledger_table(
+            TableSchema(
+                "accounts",
+                [Column("name", VARCHAR(32), nullable=False)],
+                primary_key=["name"],
+            )
+        )
+        geo = GeoReplicaSimulator(
+            clock, lag=dt.timedelta(seconds=500),
+            alert_threshold=dt.timedelta(seconds=10_000),
+        )
+        manager = DigestManager(db, storage, geo=geo)
+        txn = db.begin()
+        db.insert(txn, "accounts", [["x"]])
+        db.commit(txn)
+        assert manager.upload_digest() is None  # deferred: not replicated yet
+        clock.advance(dt.timedelta(seconds=1000))  # replica catches up
+        assert manager.upload_digest() is not None
+
+    def test_pathological_lag_raises(self, tmp_path, storage):
+        clock = LogicalClock(step=dt.timedelta(seconds=1))
+        db = LedgerDatabase.open(str(tmp_path / "geo2"), block_size=4, clock=clock)
+        db.create_ledger_table(
+            TableSchema(
+                "accounts",
+                [Column("name", VARCHAR(32), nullable=False)],
+                primary_key=["name"],
+            )
+        )
+        geo = GeoReplicaSimulator(
+            clock, lag=dt.timedelta(hours=2),
+            alert_threshold=dt.timedelta(seconds=30),
+        )
+        manager = DigestManager(db, storage, geo=geo)
+        txn = db.begin()
+        db.insert(txn, "accounts", [["x"]])
+        db.commit(txn)
+        with pytest.raises(ReplicationLagError):
+            manager.upload_digest()
+
+
+class TestIncarnations:
+    def test_restore_creates_new_incarnation(self, db, storage, tmp_path):
+        manager = DigestManager(db, storage)
+        work(db)
+        manager.upload_digest()
+        db.backup(str(tmp_path / "bak"))
+        restored = LedgerDatabase.restore_backup(
+            str(tmp_path / "bak"), str(tmp_path / "restored"),
+            clock=LogicalClock(start=dt.datetime(2025, 6, 1)),
+        )
+        restored_manager = DigestManager(restored, storage)
+        txn = restored.begin()
+        restored.insert(txn, "accounts", [["after_restore", 1]])
+        restored.commit(txn)
+        restored_manager.upload_digest()
+        assert len(restored_manager.incarnations()) == 2
+        # Verification of the restored database consumes digests across
+        # incarnations (§3.6) and passes.
+        report = restored.verify(restored_manager.digests_for_verification())
+        assert report.ok, report.summary()
+
+    def test_incarnation_digests_reveal_restore_point(self, db, storage, tmp_path):
+        manager = DigestManager(db, storage)
+        work(db, count=4)
+        manager.upload_digest()
+        db.backup(str(tmp_path / "bak"))
+        # Original database advances past the backup...
+        work(db, count=4, prefix="lost_")
+        manager.upload_digest()
+        # ...then is "restored", losing that work.
+        restored = LedgerDatabase.restore_backup(
+            str(tmp_path / "bak"), str(tmp_path / "restored"),
+            clock=LogicalClock(start=dt.datetime(2025, 6, 1)),
+        )
+        restored_manager = DigestManager(restored, storage)
+        digests = restored_manager.digests_for_verification()
+        report = restored.verify(digests)
+        # The digest covering the lost work cannot be verified — exactly the
+        # signal that tells the user how far back the restore went.
+        assert not report.ok
+        assert any("not present" in f.message for f in report.errors)

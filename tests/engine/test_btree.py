@@ -1,0 +1,139 @@
+"""Unit and property tests for the B+ tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.btree import BPlusTree
+from repro.errors import StorageError
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(("x",)) is None
+        assert list(tree.items()) == []
+
+    def test_insert_get(self):
+        tree = BPlusTree()
+        tree.insert((1,), "one")
+        tree.insert((2,), "two")
+        assert tree.get((1,)) == "one"
+        assert tree.get((2,)) == "two"
+        assert len(tree) == 2
+
+    def test_insert_replaces_existing(self):
+        tree = BPlusTree()
+        tree.insert((1,), "old")
+        tree.insert((1,), "new")
+        assert tree.get((1,)) == "new"
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.insert((1,), "x")
+        tree.delete((1,))
+        assert tree.get((1,)) is None
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            BPlusTree().delete((1,))
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert((5,), None)  # None values are legal
+        assert (5,) in tree
+        assert (6,) not in tree
+
+    def test_order_minimum(self):
+        with pytest.raises(StorageError):
+            BPlusTree(order=2)
+
+
+class TestSplitsAndScans:
+    def test_many_inserts_stay_sorted(self):
+        tree = BPlusTree(order=4)  # force deep splits
+        import random
+
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            tree.insert((k,), k * 10)
+        assert [k for k, _ in tree.items()] == [(k,) for k in range(500)]
+        assert all(tree.get((k,)) == k * 10 for k in range(500))
+
+    def test_range_scan_inclusive(self):
+        tree = BPlusTree(order=4)
+        for k in range(100):
+            tree.insert((k,), k)
+        result = [k[0] for k, _ in tree.range((10,), (20,))]
+        assert result == list(range(10, 21))
+
+    def test_range_scan_exclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for k in range(30):
+            tree.insert((k,), k)
+        result = [
+            k[0]
+            for k, _ in tree.range((10,), (20,), include_low=False, include_high=False)
+        ]
+        assert result == list(range(11, 20))
+
+    def test_range_unbounded(self):
+        tree = BPlusTree(order=4)
+        for k in range(50):
+            tree.insert((k,), k)
+        assert len(list(tree.range(None, (9,)))) == 10
+        assert len(list(tree.range((40,), None))) == 10
+
+    def test_prefix_scan(self):
+        tree = BPlusTree(order=4)
+        for a in range(5):
+            for b in range(5):
+                tree.insert((a, b), (a, b))
+        hits = list(tree.prefix((2,)))
+        assert [k for k, _ in hits] == [(2, b) for b in range(5)]
+
+    def test_min_key(self):
+        tree = BPlusTree(order=4)
+        assert tree.min_key() is None
+        for k in (5, 3, 9):
+            tree.insert((k,), k)
+        assert tree.min_key() == (3,)
+        tree.delete((3,))
+        assert tree.min_key() == (5,)
+
+    def test_scan_skips_emptied_leaves(self):
+        tree = BPlusTree(order=4)
+        for k in range(40):
+            tree.insert((k,), k)
+        for k in range(10, 30):
+            tree.delete((k,))
+        assert [k[0] for k, _ in tree.items()] == list(range(10)) + list(range(30, 40))
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=200)),
+        max_size=300,
+    ),
+    st.integers(min_value=4, max_value=16),
+)
+@settings(max_examples=40, deadline=None)
+def test_matches_dict_model(operations, order):
+    """Random insert/delete sequences agree with a plain dict."""
+    tree = BPlusTree(order=order)
+    model = {}
+    for is_insert, key_int in operations:
+        key = (key_int,)
+        if is_insert:
+            tree.insert(key, key_int * 2)
+            model[key] = key_int * 2
+        elif key in model:
+            tree.delete(key)
+            del model[key]
+    assert dict(tree.items()) == model
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)

@@ -1,0 +1,120 @@
+"""Compensation-log-record behaviour: savepoint rollbacks survive crashes.
+
+Regression suite for the bug hypothesis found: without CLRs, a committed
+transaction's rolled-back-to-savepoint operations were replayed by redo and
+resurrected after a crash.
+"""
+
+import pytest
+
+from repro.engine.clock import LogicalClock
+from repro.engine.database import Database
+from repro.engine.expressions import eq
+from repro.engine.operators import delete_rows, insert_rows, seq_scan, update_rows
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INT, VARCHAR
+
+
+def make_db(path):
+    return Database.open(str(path), clock=LogicalClock())
+
+
+@pytest.fixture
+def db(tmp_path):
+    return make_db(tmp_path / "db")
+
+
+@pytest.fixture
+def items(db):
+    return db.create_table(
+        TableSchema(
+            "items",
+            [Column("id", INT, nullable=False), Column("v", VARCHAR(16))],
+            primary_key=["id"],
+        )
+    )
+
+
+def surviving_ids(database):
+    table = database.table("items")
+    return sorted(row["id"] for _, row in seq_scan(table))
+
+
+class TestSavepointCrashInteraction:
+    def test_rolled_back_insert_stays_dead_after_crash(self, db, items, tmp_path):
+        txn = db.begin()
+        insert_rows(txn, items, [[1, "keep"]])
+        db.savepoint(txn, "sp")
+        insert_rows(txn, items, [[2, "discard"]])
+        db.rollback_to_savepoint(txn, "sp")
+        db.commit(txn)
+        db.simulate_crash()
+        recovered = make_db(tmp_path / "db")
+        assert surviving_ids(recovered) == [1]
+
+    def test_rolled_back_delete_stays_alive_after_crash(self, db, items, tmp_path):
+        txn = db.begin()
+        insert_rows(txn, items, [[1, "keep"]])
+        db.commit(txn)
+        txn = db.begin()
+        db.savepoint(txn, "sp")
+        delete_rows(txn, items, eq("id", 1))
+        db.rollback_to_savepoint(txn, "sp")
+        db.commit(txn)
+        db.simulate_crash()
+        recovered = make_db(tmp_path / "db")
+        assert surviving_ids(recovered) == [1]
+
+    def test_rolled_back_update_restores_old_value_after_crash(
+        self, db, items, tmp_path
+    ):
+        txn = db.begin()
+        insert_rows(txn, items, [[1, "original"]])
+        db.commit(txn)
+        txn = db.begin()
+        db.savepoint(txn, "sp")
+        update_rows(txn, items, {"v": "changed"}, eq("id", 1))
+        db.rollback_to_savepoint(txn, "sp")
+        insert_rows(txn, items, [[2, "tail"]])
+        db.commit(txn)
+        db.simulate_crash()
+        recovered = make_db(tmp_path / "db")
+        table = recovered.table("items")
+        values = {row["id"]: row["v"] for _, row in seq_scan(table)}
+        assert values == {1: "original", 2: "tail"}
+
+    def test_repeated_savepoint_churn_then_crash(self, db, items, tmp_path):
+        txn = db.begin()
+        for i in range(5):
+            db.savepoint(txn, "sp")
+            insert_rows(txn, items, [[i + 10, "churn"]])
+            db.rollback_to_savepoint(txn, "sp")
+        insert_rows(txn, items, [[1, "final"]])
+        db.commit(txn)
+        db.simulate_crash()
+        recovered = make_db(tmp_path / "db")
+        assert surviving_ids(recovered) == [1]
+
+    def test_aborted_transaction_clrs_are_harmless(self, db, items, tmp_path):
+        txn = db.begin()
+        insert_rows(txn, items, [[1, "x"]])
+        db.rollback(txn)  # full rollback also emits CLRs
+        txn = db.begin()
+        insert_rows(txn, items, [[2, "y"]])
+        db.commit(txn)
+        db.simulate_crash()
+        recovered = make_db(tmp_path / "db")
+        assert surviving_ids(recovered) == [2]
+
+    def test_crash_mid_transaction_after_savepoint_rollback(
+        self, db, items, tmp_path
+    ):
+        txn = db.begin()
+        insert_rows(txn, items, [[1, "never-committed"]])
+        db.savepoint(txn, "sp")
+        insert_rows(txn, items, [[2, "also-never"]])
+        db.rollback_to_savepoint(txn, "sp")
+        # Crash with the transaction still open: loser, nothing survives.
+        db.simulate_crash()
+        recovered = make_db(tmp_path / "db")
+        assert surviving_ids(recovered) == []

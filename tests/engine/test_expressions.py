@@ -1,0 +1,143 @@
+"""Unit tests for the expression evaluator and access-path planning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    InOp,
+    IsNullOp,
+    Literal,
+    NotOp,
+    as_predicate,
+    column,
+    eq,
+)
+from repro.engine.operators import _collect_equalities
+from repro.errors import SqlBindError
+
+
+ROW = {"a": 5, "b": "text", "c": None, "d": 2.5}
+
+
+class TestEvaluation:
+    def test_literal_and_column(self):
+        assert Literal(42).evaluate(ROW) == 42
+        assert ColumnRef("a").evaluate(ROW) == 5
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SqlBindError):
+            ColumnRef("zzz").evaluate(ROW)
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", True), ("<=", True),
+         (">", False), (">=", False)],
+    )
+    def test_comparisons(self, op, expected):
+        expr = BinaryOp(op, ColumnRef("a"), Literal(7))
+        assert expr.evaluate(ROW) is expected
+
+    def test_null_comparisons_are_false(self):
+        for op in ("=", "!=", "<", ">"):
+            assert BinaryOp(op, ColumnRef("c"), Literal(1)).evaluate(ROW) is False
+
+    def test_null_arithmetic_propagates(self):
+        assert BinaryOp("+", ColumnRef("c"), Literal(1)).evaluate(ROW) is None
+
+    def test_arithmetic(self):
+        assert BinaryOp("+", ColumnRef("a"), Literal(3)).evaluate(ROW) == 8
+        assert BinaryOp("*", ColumnRef("d"), Literal(2)).evaluate(ROW) == 5.0
+        assert BinaryOp("%", ColumnRef("a"), Literal(3)).evaluate(ROW) == 2
+
+    def test_and_or_short_circuit(self):
+        true = eq("a", 5)
+        false = eq("a", 6)
+        assert BinaryOp("AND", true, false).evaluate(ROW) is False
+        assert BinaryOp("OR", false, true).evaluate(ROW) is True
+
+    def test_not(self):
+        assert NotOp(eq("a", 5)).evaluate(ROW) is False
+
+    def test_is_null(self):
+        assert IsNullOp(ColumnRef("c")).evaluate(ROW) is True
+        assert IsNullOp(ColumnRef("a")).evaluate(ROW) is False
+        assert IsNullOp(ColumnRef("c"), negated=True).evaluate(ROW) is False
+
+    def test_in(self):
+        assert InOp(ColumnRef("a"), (1, 5, 9)).evaluate(ROW) is True
+        assert InOp(ColumnRef("a"), (1, 9)).evaluate(ROW) is False
+        assert InOp(ColumnRef("c"), (None, 1)).evaluate(ROW) is False
+
+    def test_unknown_operator(self):
+        with pytest.raises(SqlBindError):
+            BinaryOp("^", Literal(1), Literal(2)).evaluate(ROW)
+
+    def test_references(self):
+        expr = BinaryOp("AND", eq("a", 1), IsNullOp(ColumnRef("b")))
+        assert set(expr.references()) == {"a", "b"}
+
+    def test_string_rendering(self):
+        assert "a" in str(eq("a", 1))
+        assert "IS NULL" in str(IsNullOp(column("c")))
+
+
+class TestAsPredicate:
+    def test_none_matches_everything(self):
+        assert as_predicate(None)(ROW) is True
+
+    def test_expression_wrapped(self):
+        assert as_predicate(eq("a", 5))(ROW) is True
+
+    def test_callable_passthrough(self):
+        assert as_predicate(lambda r: r["a"] > 1)(ROW) is True
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlBindError):
+            as_predicate(42)
+
+
+class TestEqualityExtraction:
+    """_collect_equalities drives index selection; it must be conservative."""
+
+    def test_single_equality(self):
+        assert _collect_equalities(eq("a", 1)) == {"a": 1}
+
+    def test_and_chain(self):
+        expr = BinaryOp("AND", eq("a", 1), BinaryOp("AND", eq("b", 2), eq("c", 3)))
+        assert _collect_equalities(expr) == {"a": 1, "b": 2, "c": 3}
+
+    def test_reversed_operands(self):
+        expr = BinaryOp("=", Literal(1), ColumnRef("a"))
+        assert _collect_equalities(expr) == {"a": 1}
+
+    def test_or_disqualifies(self):
+        expr = BinaryOp("OR", eq("a", 1), eq("b", 2))
+        assert _collect_equalities(expr) is None
+
+    def test_inequality_disqualifies(self):
+        expr = BinaryOp("AND", eq("a", 1), BinaryOp("<", ColumnRef("b"), Literal(2)))
+        assert _collect_equalities(expr) is None
+
+    def test_non_literal_equality_disqualifies(self):
+        expr = BinaryOp("=", ColumnRef("a"), ColumnRef("b"))
+        assert _collect_equalities(expr) is None
+
+    def test_callable_disqualifies(self):
+        assert _collect_equalities(lambda r: True) is None
+
+
+@given(
+    a=st.integers(min_value=-100, max_value=100),
+    threshold=st.integers(min_value=-100, max_value=100),
+)
+@settings(max_examples=50)
+def test_comparison_agrees_with_python(a, threshold):
+    row = {"x": a}
+    for op, native in (("<", a < threshold), ("<=", a <= threshold),
+                       (">", a > threshold), (">=", a >= threshold),
+                       ("=", a == threshold), ("!=", a != threshold)):
+        expr = BinaryOp(op, ColumnRef("x"), Literal(threshold))
+        assert expr.evaluate(row) is native

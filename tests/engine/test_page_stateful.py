@@ -1,0 +1,109 @@
+"""Stateful property test: slotted pages against a dict model.
+
+Random interleavings of insert / delete / overwrite / restore / compaction
+must agree with a dictionary model, and the page must survive a round trip
+through its byte buffer at any point (the persistence/tamper surface).
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.engine.pager import HEADER_SIZE, PAGE_SIZE, SLOT_SIZE, Page
+from repro.errors import StorageError
+
+record_data = st.binary(min_size=1, max_size=600)
+
+
+class PageMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.page = Page(0)
+        self.model = {}
+
+    # -- operations -----------------------------------------------------------
+
+    @rule(record=record_data)
+    def insert(self, record):
+        try:
+            slot = self.page.insert(record)
+        except StorageError:
+            # Only legal when the record genuinely cannot fit.
+            assert not self.page.can_fit(len(record))
+            return
+        assert slot not in self.model
+        self.model[slot] = record
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        slot = data.draw(st.sampled_from(sorted(self.model)))
+        self.page.delete(slot)
+        del self.model[slot]
+
+    @precondition(lambda self: self.model)
+    @rule(record=record_data, data=st.data())
+    def overwrite(self, record, data):
+        slot = data.draw(st.sampled_from(sorted(self.model)))
+        try:
+            self.page.overwrite(slot, record)
+        except StorageError:
+            # Growth that cannot fit even after compaction; old value intact.
+            assert self.page.read(slot) == self.model[slot]
+            return
+        self.model[slot] = record
+
+    @rule(slot=st.integers(min_value=0, max_value=40), record=record_data)
+    def restore(self, slot, record):
+        try:
+            self.page.restore(slot, record)
+        except StorageError:
+            return
+        self.model[slot] = record
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def clear(self, data):
+        slot = data.draw(st.sampled_from(sorted(self.model)))
+        self.page.clear(slot)
+        del self.model[slot]
+        self.page.clear(slot)  # idempotent
+
+    @rule()
+    def compact(self):
+        self.page._compact()
+
+    @rule()
+    def round_trip_through_bytes(self):
+        """Reload the page from its buffer — what persistence does."""
+        self.page = Page(0, bytearray(self.page.buf))
+
+    # -- invariants -------------------------------------------------------------
+
+    @invariant()
+    def contents_match_model(self):
+        live = dict(self.page.records())
+        assert live == self.model
+
+    @invariant()
+    def space_accounting_is_sane(self):
+        live_bytes = sum(len(r) for r in self.model.values())
+        expected_free = (
+            PAGE_SIZE - HEADER_SIZE - self.page.slot_count * SLOT_SIZE
+            - live_bytes
+        )
+        assert self.page.free_space_after_compaction() == expected_free
+        assert 0 <= self.page.free_space() <= expected_free
+
+
+PageMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+TestPageStateful = PageMachine.TestCase

@@ -1,0 +1,245 @@
+"""Tests for slotted pages and heap files."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.heap import HeapFile, RowId
+from repro.engine.pager import MAX_RECORD_SIZE, PAGE_SIZE, Page
+from repro.errors import StorageError
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+
+    def test_multiple_inserts_get_distinct_slots(self):
+        page = Page(0)
+        slots = [page.insert(f"rec{i}".encode()) for i in range(10)]
+        assert len(set(slots)) == 10
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == f"rec{i}".encode()
+
+    def test_delete_then_read_fails(self):
+        page = Page(0)
+        slot = page.insert(b"bye")
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.read(slot)
+
+    def test_double_delete_fails(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(StorageError):
+            page.delete(slot)
+
+    def test_dead_slot_is_reused(self):
+        page = Page(0)
+        slot_a = page.insert(b"a")
+        page.insert(b"b")
+        page.delete(slot_a)
+        slot_c = page.insert(b"c")
+        assert slot_c == slot_a
+        assert page.read(slot_c) == b"c"
+
+    def test_overwrite_shrinking(self):
+        page = Page(0)
+        slot = page.insert(b"long record here")
+        page.overwrite(slot, b"tiny")
+        assert page.read(slot) == b"tiny"
+
+    def test_overwrite_growing_with_compaction(self):
+        page = Page(0)
+        filler = [page.insert(b"x" * 700) for _ in range(10)]
+        for s in filler[::2]:
+            page.delete(s)
+        target = page.insert(b"y" * 100)
+        page.overwrite(target, b"z" * 2000)
+        assert page.read(target) == b"z" * 2000
+
+    def test_overwrite_too_large_rolls_back(self):
+        page = Page(0)
+        slot = page.insert(b"keep me")
+        page.insert(b"x" * 4000)
+        page.insert(b"x" * 3000)
+        with pytest.raises(StorageError):
+            page.overwrite(slot, b"y" * 5000)
+        assert page.read(slot) == b"keep me"
+
+    def test_page_full_raises(self):
+        page = Page(0)
+        page.insert(b"x" * 4000)
+        page.insert(b"x" * 4000)
+        with pytest.raises(StorageError):
+            page.insert(b"x" * 1000)
+
+    def test_record_size_limit(self):
+        page = Page(0)
+        with pytest.raises(StorageError):
+            page.insert(b"x" * (MAX_RECORD_SIZE + 1))
+        slot = page.insert(b"x" * MAX_RECORD_SIZE)
+        assert len(page.read(slot)) == MAX_RECORD_SIZE
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(StorageError):
+            Page(0).insert(b"")
+
+    def test_restore_creates_slots(self):
+        page = Page(0)
+        page.restore(3, b"redo record")
+        assert page.read(3) == b"redo record"
+        assert not page.is_live(0)
+        assert page.slot_count == 4
+
+    def test_restore_is_idempotent(self):
+        page = Page(0)
+        page.restore(1, b"same")
+        page.restore(1, b"same")
+        assert page.read(1) == b"same"
+
+    def test_clear_is_idempotent(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.clear(slot)
+        page.clear(slot)
+        assert not page.is_live(slot)
+
+    def test_records_iterates_live_only(self):
+        page = Page(0)
+        a = page.insert(b"a")
+        b = page.insert(b"b")
+        page.delete(a)
+        assert list(page.records()) == [(b, b"b")]
+
+    def test_compaction_preserves_contents(self):
+        page = Page(0)
+        slots = [page.insert(f"record-{i}".encode() * 10) for i in range(20)]
+        for s in slots[::3]:
+            page.delete(s)
+        survivors = {s: page.read(s) for s in slots if page.is_live(s)}
+        page._compact()
+        for slot, record in survivors.items():
+            assert page.read(slot) == record
+
+    def test_buffer_round_trip(self):
+        page = Page(5)
+        page.insert(b"persisted")
+        clone = Page(5, bytearray(page.buf))
+        assert clone.read(0) == b"persisted"
+        assert clone.page_id == 5
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StorageError):
+            Page(0, bytearray(PAGE_SIZE))
+
+
+class TestHeapFile:
+    def test_insert_read_round_trip(self):
+        heap = HeapFile("t")
+        rid = heap.insert(b"record one")
+        assert heap.read(rid) == b"record one"
+        assert heap.exists(rid)
+
+    def test_spills_to_new_pages(self):
+        heap = HeapFile("t")
+        rids = [heap.insert(b"x" * 4000) for _ in range(10)]
+        assert heap.page_count >= 5
+        assert len({r.page_id for r in rids}) >= 5
+
+    def test_delete(self):
+        heap = HeapFile("t")
+        rid = heap.insert(b"gone")
+        heap.delete(rid)
+        assert not heap.exists(rid)
+        with pytest.raises(StorageError):
+            heap.read(rid)
+
+    def test_space_reuse_after_delete(self):
+        heap = HeapFile("t")
+        rids = [heap.insert(b"x" * 4000) for _ in range(4)]
+        pages_before = heap.page_count
+        for rid in rids:
+            heap.delete(rid)
+        for _ in range(4):
+            heap.insert(b"y" * 4000)
+        assert heap.page_count == pages_before
+
+    def test_scan_order_and_contents(self):
+        heap = HeapFile("t")
+        expected = {}
+        for i in range(50):
+            record = f"row-{i}".encode()
+            expected[heap.insert(record)] = record
+        scanned = dict(heap.scan())
+        assert scanned == expected
+
+    def test_restore_clear_idempotent(self):
+        heap = HeapFile("t")
+        rid = RowId(2, 3)
+        heap.restore(rid, b"redo")
+        heap.restore(rid, b"redo")
+        assert heap.read(rid) == b"redo"
+        heap.clear(rid)
+        heap.clear(rid)
+        assert not heap.exists(rid)
+
+    def test_tamper_record_changes_bytes_silently(self):
+        heap = HeapFile("t")
+        rid = heap.insert(b"honest data")
+        heap.tamper_record(rid, b"evil data!!")
+        assert heap.read(rid) == b"evil data!!"
+
+    def test_flush_load_round_trip(self, tmp_path):
+        heap = HeapFile("t")
+        rids = {heap.insert(f"row-{i}".encode() * 50): i for i in range(200)}
+        path = os.path.join(tmp_path, "t.tbl")
+        heap.flush(path)
+        loaded = HeapFile.load("t", path)
+        assert dict(loaded.scan()) == dict(heap.scan())
+        for rid in rids:
+            assert loaded.read(rid) == heap.read(rid)
+
+    def test_load_rejects_bad_magic(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.tbl")
+        with open(path, "wb") as f:
+            f.write(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(StorageError):
+            HeapFile.load("t", path)
+
+    def test_load_rejects_truncated_file(self, tmp_path):
+        heap = HeapFile("t")
+        heap.insert(b"x")
+        path = os.path.join(tmp_path, "t.tbl")
+        heap.flush(path)
+        with open(path, "r+b") as f:
+            f.truncate(PAGE_SIZE // 2)
+        with pytest.raises(StorageError):
+            HeapFile.load("t", path)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), st.binary(min_size=1, max_size=300)),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_dict_model(self, operations):
+        """The heap behaves like a dict under random inserts and deletes."""
+        heap = HeapFile("t")
+        model = {}
+        live = []
+        for op, payload in operations:
+            if op == "insert" or not live:
+                rid = heap.insert(payload)
+                model[rid] = payload
+                live.append(rid)
+            else:
+                rid = live.pop(len(live) // 2)
+                heap.delete(rid)
+                del model[rid]
+        assert dict(heap.scan()) == model

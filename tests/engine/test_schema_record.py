@@ -1,0 +1,207 @@
+"""Tests for table schemas and the physical record format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.record import decode_record, encode_record, hashable_payload, key_tuple
+from repro.engine.schema import Column, IndexDefinition, TableSchema
+from repro.engine.types import BIGINT, DECIMAL, INT, VARCHAR
+from repro.errors import (
+    ColumnNotFoundError,
+    DuplicateObjectError,
+    StorageError,
+    TypeSystemError,
+)
+
+
+@pytest.fixture
+def accounts_schema():
+    return TableSchema(
+        "accounts",
+        [
+            Column("id", INT, nullable=False),
+            Column("name", VARCHAR(32), nullable=False),
+            Column("balance", DECIMAL(12, 2)),
+            Column("note", VARCHAR(100)),
+        ],
+        primary_key=["id"],
+    )
+
+
+class TestTableSchema:
+    def test_ordinals_assigned_in_order(self, accounts_schema):
+        assert [c.ordinal for c in accounts_schema.columns] == [0, 1, 2, 3]
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(DuplicateObjectError):
+            TableSchema("t", [Column("a", INT), Column("a", INT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(ColumnNotFoundError):
+            TableSchema("t", [Column("a", INT)], primary_key=["b"])
+
+    def test_column_lookup(self, accounts_schema):
+        assert accounts_schema.column("name").ordinal == 1
+        with pytest.raises(ColumnNotFoundError):
+            accounts_schema.column("missing")
+
+    def test_row_from_visible(self, accounts_schema):
+        row = accounts_schema.row_from_visible([1, "Nick", "100.00", None])
+        assert row == [1, "Nick", "100.00", None]
+
+    def test_row_from_visible_wrong_arity(self, accounts_schema):
+        with pytest.raises(TypeSystemError):
+            accounts_schema.row_from_visible([1, "Nick"])
+
+    def test_validate_row_enforces_not_null(self, accounts_schema):
+        with pytest.raises(TypeSystemError):
+            accounts_schema.validate_row([None, "Nick", None, None])
+
+    def test_hidden_columns_excluded_from_visible(self):
+        schema = TableSchema(
+            "t",
+            [Column("a", INT), Column("sys_tid", BIGINT, hidden=True)],
+        )
+        assert schema.visible_names == ("a",)
+        assert len(schema.live_columns) == 2
+
+    def test_with_column_added_preserves_ordinals(self, accounts_schema):
+        evolved = accounts_schema.with_column_added(Column("email", VARCHAR(64)))
+        assert evolved.column("email").ordinal == 4
+        assert evolved.column("id").ordinal == 0
+        # Original schema untouched.
+        assert not accounts_schema.has_column("email")
+
+    def test_with_column_dropped_hides_but_keeps_slot(self, accounts_schema):
+        evolved = accounts_schema.with_column_dropped("note")
+        assert not evolved.has_column("note")
+        assert len(evolved.columns) == 4  # physical slot retained
+        dropped = [c for c in evolved.columns if c.dropped]
+        assert len(dropped) == 1
+        assert dropped[0].name.startswith("MS_DroppedColumn_")
+
+    def test_cannot_drop_pk_column(self, accounts_schema):
+        with pytest.raises(TypeSystemError):
+            accounts_schema.with_column_dropped("id")
+
+    def test_readd_column_after_drop_gets_new_ordinal(self, accounts_schema):
+        evolved = accounts_schema.with_column_dropped("note")
+        readded = evolved.with_column_added(Column("note", VARCHAR(100)))
+        assert readded.column("note").ordinal == 4
+
+    def test_index_management(self, accounts_schema):
+        definition = IndexDefinition("ix_name", ("name",))
+        with_index = accounts_schema.with_index(definition)
+        assert with_index.index("ix_name") == definition
+        with pytest.raises(DuplicateObjectError):
+            with_index.with_index(definition)
+        without = with_index.without_index("ix_name")
+        assert not without.indexes
+
+    def test_index_on_missing_column_rejected(self, accounts_schema):
+        with pytest.raises(ColumnNotFoundError):
+            accounts_schema.with_index(IndexDefinition("ix_bad", ("missing",)))
+
+    def test_dict_round_trip(self, accounts_schema):
+        evolved = accounts_schema.with_column_dropped("note").with_index(
+            IndexDefinition("ix_name", ("name",), unique=True)
+        )
+        restored = TableSchema.from_dict(evolved.to_dict())
+        assert restored.to_dict() == evolved.to_dict()
+        assert restored.primary_key == ("id",)
+
+
+class TestRecordFormat:
+    def test_round_trip(self, accounts_schema):
+        row = accounts_schema.validate_row([7, "Mary", "200.50", None])
+        record = encode_record(accounts_schema, row)
+        assert decode_record(accounts_schema, record) == row
+
+    def test_all_null_optional_columns(self, accounts_schema):
+        row = accounts_schema.validate_row([7, "Mary", None, None])
+        assert decode_record(accounts_schema, encode_record(accounts_schema, row)) == row
+
+    def test_old_record_readable_after_add_column(self, accounts_schema):
+        row = accounts_schema.validate_row([7, "Mary", "200.50", "hi"])
+        record = encode_record(accounts_schema, row)
+        evolved = accounts_schema.with_column_added(Column("email", VARCHAR(64)))
+        decoded = decode_record(evolved, record)
+        assert decoded == row + (None,)
+
+    def test_record_with_more_columns_than_schema_rejected(self, accounts_schema):
+        row = accounts_schema.validate_row([7, "Mary", None, None])
+        record = encode_record(accounts_schema, row)
+        narrower = TableSchema("t", [Column("id", INT)])
+        with pytest.raises(StorageError):
+            decode_record(narrower, record)
+
+    def test_truncated_record_rejected(self, accounts_schema):
+        record = encode_record(
+            accounts_schema, accounts_schema.validate_row([7, "Mary", "1.00", "x"])
+        )
+        with pytest.raises(StorageError):
+            decode_record(accounts_schema, record[:-1])
+
+    def test_trailing_garbage_rejected(self, accounts_schema):
+        record = encode_record(
+            accounts_schema, accounts_schema.validate_row([7, "Mary", None, None])
+        )
+        with pytest.raises(StorageError):
+            decode_record(accounts_schema, record + b"!")
+
+    @given(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.text(max_size=32),
+        st.one_of(st.none(), st.text(max_size=100)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, ident, name, note):
+        schema = TableSchema(
+            "t",
+            [
+                Column("id", INT, nullable=False),
+                Column("name", VARCHAR(32), nullable=False),
+                Column("note", VARCHAR(100)),
+            ],
+        )
+        row = schema.validate_row([ident, name, note])
+        assert decode_record(schema, encode_record(schema, row)) == row
+
+
+class TestHashablePayload:
+    def test_null_columns_skipped(self, accounts_schema):
+        with_note = accounts_schema.validate_row([1, "a", None, "x"])
+        without_note = accounts_schema.validate_row([1, "a", None, None])
+        assert hashable_payload(accounts_schema, with_note) != hashable_payload(
+            accounts_schema, without_note
+        )
+
+    def test_payload_stable_after_add_column(self, accounts_schema):
+        row = accounts_schema.validate_row([1, "a", "9.99", None])
+        before = hashable_payload(accounts_schema, row)
+        evolved = accounts_schema.with_column_added(Column("email", VARCHAR(64)))
+        after = hashable_payload(evolved, tuple(row) + (None,))
+        assert before == after
+
+    def test_payload_stable_after_drop_column(self, accounts_schema):
+        row = accounts_schema.validate_row([1, "a", "9.99", "note!"])
+        before = hashable_payload(accounts_schema, row)
+        evolved = accounts_schema.with_column_dropped("note")
+        after = hashable_payload(evolved, row)
+        assert before == after
+
+    def test_type_metadata_affects_payload(self):
+        schema_a = TableSchema("t", [Column("v", VARCHAR(10))])
+        schema_b = TableSchema("t", [Column("v", VARCHAR(20))])
+        row = ("x",)
+        assert hashable_payload(schema_a, row) != hashable_payload(schema_b, row)
+
+
+class TestKeyTuple:
+    def test_nulls_sort_first(self):
+        assert key_tuple([None]) < key_tuple([0])
+        assert key_tuple([None]) < key_tuple([""])
+
+    def test_orders_values_naturally(self):
+        assert key_tuple([1, "a"]) < key_tuple([1, "b"]) < key_tuple([2, "a"])

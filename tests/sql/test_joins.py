@@ -1,0 +1,171 @@
+"""JOINs, aliases, LIKE and BETWEEN in the SQL front-end."""
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.engine.clock import LogicalClock
+from repro.errors import SqlSyntaxError
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
+    database.sql(
+        "CREATE TABLE customers (id INT NOT NULL PRIMARY KEY, "
+        "name VARCHAR(32) NOT NULL) WITH (LEDGER = ON)"
+    )
+    database.sql(
+        "CREATE TABLE orders (order_id INT NOT NULL PRIMARY KEY, "
+        "customer_id INT NOT NULL, total INT NOT NULL) WITH (LEDGER = ON)"
+    )
+    database.sql("INSERT INTO customers VALUES (1, 'Ada'), (2, 'Bob'), (3, 'Cy')")
+    database.sql(
+        "INSERT INTO orders VALUES (10, 1, 100), (11, 1, 250), (12, 2, 75)"
+    )
+    return database
+
+
+class TestJoinParsing:
+    def test_inner_join_ast(self):
+        stmt = parse(
+            "SELECT c.name, o.total FROM customers c "
+            "JOIN orders o ON c.id = o.customer_id"
+        )
+        assert stmt.alias == "c"
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].alias == "o"
+        assert not stmt.joins[0].left_outer
+
+    def test_left_join_ast(self):
+        stmt = parse(
+            "SELECT * FROM customers c LEFT JOIN orders o "
+            "ON c.id = o.customer_id"
+        )
+        assert stmt.joins[0].left_outer
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM a JOIN b")
+
+
+class TestJoinExecution:
+    def test_inner_join(self, db):
+        rows = db.sql(
+            "SELECT c.name AS name, o.total AS total FROM customers c "
+            "JOIN orders o ON c.id = o.customer_id ORDER BY total"
+        )
+        assert rows == [
+            {"name": "Bob", "total": 75},
+            {"name": "Ada", "total": 100},
+            {"name": "Ada", "total": 250},
+        ]
+
+    def test_left_join_pads_unmatched(self, db):
+        rows = db.sql(
+            "SELECT c.name AS name, o.order_id AS order_id FROM customers c "
+            "LEFT JOIN orders o ON c.id = o.customer_id ORDER BY name"
+        )
+        by_name = {}
+        for row in rows:
+            by_name.setdefault(row["name"], []).append(row["order_id"])
+        assert by_name["Cy"] == [None]
+        assert sorted(by_name["Ada"]) == [10, 11]
+
+    def test_join_with_where_and_aggregate(self, db):
+        rows = db.sql(
+            "SELECT c.name AS name, SUM(total) AS spent FROM customers c "
+            "JOIN orders o ON c.id = o.customer_id "
+            "WHERE o.total > 50 GROUP BY name ORDER BY spent DESC"
+        )
+        assert rows == [
+            {"name": "Ada", "spent": 350},
+            {"name": "Bob", "spent": 75},
+        ]
+
+    def test_join_against_ledger_view(self, db):
+        """Audit query: who changed what, joined back to customer names."""
+        db.sql("UPDATE orders SET total = 999 WHERE order_id = 10")
+        rows = db.sql(
+            "SELECT c.name AS name, v.total AS total, "
+            "v.ledger_operation_type_desc AS op "
+            "FROM orders_ledger v JOIN customers c ON v.customer_id = c.id "
+            "WHERE v.order_id = 10 "
+            "ORDER BY v.ledger_transaction_id, v.ledger_sequence_number"
+        )
+        assert [(r["name"], r["total"], r["op"]) for r in rows] == [
+            ("Ada", 100, "INSERT"),
+            ("Ada", 999, "INSERT"),
+            ("Ada", 100, "DELETE"),
+        ]
+
+    def test_three_way_join(self, db):
+        db.sql(
+            "CREATE TABLE regions (rid INT NOT NULL PRIMARY KEY, "
+            "rname VARCHAR(16) NOT NULL)"
+        )
+        db.sql("INSERT INTO regions VALUES (1, 'north')")
+        db.sql(
+            "CREATE TABLE customer_region (cid INT NOT NULL PRIMARY KEY, "
+            "rid INT NOT NULL)"
+        )
+        db.sql("INSERT INTO customer_region VALUES (1, 1), (2, 1)")
+        rows = db.sql(
+            "SELECT c.name AS name, r.rname AS region FROM customers c "
+            "JOIN customer_region cr ON c.id = cr.cid "
+            "JOIN regions r ON cr.rid = r.rid ORDER BY name"
+        )
+        assert rows == [
+            {"name": "Ada", "region": "north"},
+            {"name": "Bob", "region": "north"},
+        ]
+
+    def test_bare_names_resolve_when_unambiguous(self, db):
+        rows = db.sql(
+            "SELECT name, total FROM customers c "
+            "JOIN orders o ON id = customer_id ORDER BY total LIMIT 1"
+        )
+        assert rows == [{"name": "Bob", "total": 75}]
+
+
+class TestLikeAndBetween:
+    def test_like_patterns(self, db):
+        assert [r["name"] for r in db.sql(
+            "SELECT name FROM customers WHERE name LIKE 'A%'")] == ["Ada"]
+        assert [r["name"] for r in db.sql(
+            "SELECT name FROM customers WHERE name LIKE '_o_'")] == ["Bob"]
+        assert len(db.sql(
+            "SELECT name FROM customers WHERE name NOT LIKE 'A%'")) == 2
+
+    def test_like_escapes_regex_metacharacters(self, db):
+        db.sql("INSERT INTO customers VALUES (4, 'a.c')")
+        assert [r["name"] for r in db.sql(
+            "SELECT name FROM customers WHERE name LIKE 'a.c'")] == ["a.c"]
+        # The dot is literal: 'abc' must NOT match.
+        db.sql("INSERT INTO customers VALUES (5, 'abc')")
+        assert [r["name"] for r in db.sql(
+            "SELECT name FROM customers WHERE name LIKE 'a.c'")] == ["a.c"]
+
+    def test_between(self, db):
+        rows = db.sql(
+            "SELECT order_id FROM orders WHERE total BETWEEN 75 AND 100 "
+            "ORDER BY order_id"
+        )
+        assert [r["order_id"] for r in rows] == [10, 12]
+
+    def test_not_between(self, db):
+        rows = db.sql(
+            "SELECT order_id FROM orders WHERE total NOT BETWEEN 75 AND 100"
+        )
+        assert [r["order_id"] for r in rows] == [11]
+
+    def test_between_with_and_conjunction(self, db):
+        rows = db.sql(
+            "SELECT order_id FROM orders WHERE total BETWEEN 50 AND 300 "
+            "AND customer_id = 1 ORDER BY order_id"
+        )
+        assert [r["order_id"] for r in rows] == [10, 11]
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t WHERE a NOT 5")

@@ -1,0 +1,79 @@
+"""The `python -m repro` SQL shell (one-shot command mode)."""
+
+import pytest
+
+from repro.__main__ import Shell, main
+from repro.core.ledger_database import LedgerDatabase
+from repro.engine.clock import LogicalClock
+
+
+@pytest.fixture
+def shell(tmp_path):
+    db = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
+    return Shell(db)
+
+
+class TestOneShotCli:
+    def test_create_insert_select(self, tmp_path, capsys):
+        code = main([
+            str(tmp_path / "db"),
+            "-c", "CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)",
+            "-c", "INSERT INTO t VALUES (1), (2)",
+            "-c", "SELECT COUNT(*) AS n FROM t",
+        ])
+        assert code == 0
+        assert "2" in capsys.readouterr().out
+
+    def test_error_returns_nonzero(self, tmp_path, capsys):
+        code = main([str(tmp_path / "db"), "-c", "SELECT * FROM missing"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_database_persists_between_invocations(self, tmp_path, capsys):
+        main([str(tmp_path / "db"),
+              "-c", "CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)",
+              "-c", "INSERT INTO t VALUES (7)"])
+        capsys.readouterr()
+        code = main([str(tmp_path / "db"), "-c", "SELECT id FROM t"])
+        assert code == 0
+        assert "7" in capsys.readouterr().out
+
+
+class TestShellCommands:
+    def test_digest_then_verify(self, shell, capsys):
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_sql("INSERT INTO t VALUES (1)")
+        shell.run_command("\\digest")
+        shell.run_command("\\verify")
+        out = capsys.readouterr().out
+        assert "block_id" in out
+        assert "PASSED" in out
+        assert len(shell.digests) == 1
+
+    def test_tables_lists_roles(self, shell, capsys):
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_command("\\tables")
+        out = capsys.readouterr().out
+        assert "ledger" in out
+        assert "history" in out
+
+    def test_history_command(self, shell, capsys):
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_sql("INSERT INTO t VALUES (1)")
+        shell.run_sql("UPDATE t SET id = 2 WHERE id = 1")
+        shell.run_command("\\history t")
+        out = capsys.readouterr().out
+        assert "INSERT" in out and "DELETE" in out
+
+    def test_ops_command(self, shell, capsys):
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_command("\\ops")
+        assert "CREATE" in capsys.readouterr().out
+
+    def test_quit_returns_false(self, shell):
+        assert shell.run_command("\\quit") is False
+        assert shell.run_command("\\help") is True
+
+    def test_checkpoint(self, shell, capsys):
+        shell.run_command("\\checkpoint")
+        assert "checkpoint" in capsys.readouterr().out

@@ -1,0 +1,247 @@
+"""SQL front-end: lexer, parser and end-to-end statement execution."""
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.engine.clock import LogicalClock
+from repro.errors import SqlBindError, SqlSyntaxError
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+from repro.sql import ast
+
+
+@pytest.fixture
+def db(tmp_path):
+    return LedgerDatabase.open(
+        str(tmp_path / "db"), block_size=100, clock=LogicalClock()
+    )
+
+
+@pytest.fixture
+def accounts(db):
+    db.sql(
+        "CREATE TABLE accounts (name VARCHAR(32) NOT NULL PRIMARY KEY, "
+        "balance INT) WITH (LEDGER = ON)"
+    )
+    return db
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, b FROM t WHERE x = 1")
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "END"
+        assert tokens[0].matches("KEYWORD", "select")
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n")
+        assert [t.value for t in tokens[:2]] == ["SELECT", "1"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT ~x")
+
+
+class TestParser:
+    def test_create_table_with_ledger(self):
+        stmt = parse(
+            "CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10) NOT NULL) "
+            "WITH (LEDGER = ON, APPEND_ONLY = ON)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.ledger and stmt.append_only
+        assert stmt.primary_key == ("a",)
+
+    def test_composite_primary_key(self):
+        stmt = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ("a", "b")
+
+    def test_insert_multiple_rows(self):
+        stmt = parse("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert stmt.rows == ((1, "x"), (2, "y"))
+
+    def test_insert_with_columns(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, NULL)")
+        assert stmt.columns == ("a", "b")
+        assert stmt.rows == ((1, None),)
+
+    def test_update_with_where(self):
+        stmt = parse("UPDATE t SET a = a + 1, b = 'x' WHERE c >= 5 AND d IS NULL")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_select_full_clause_set(self):
+        stmt = parse(
+            "SELECT name, COUNT(*) AS n FROM t WHERE x > 1 GROUP BY name "
+            "ORDER BY n DESC LIMIT 10"
+        )
+        assert stmt.group_by == ("name",)
+        assert stmt.order_by == (("n", True),)
+        assert stmt.limit == 10
+
+    def test_negative_numbers_and_decimals(self):
+        stmt = parse("INSERT INTO t VALUES (-5, 1.25)")
+        from decimal import Decimal
+
+        assert stmt.rows == ((-5, Decimal("1.25")),)
+
+    def test_in_list(self):
+        stmt = parse("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert stmt.where is not None
+
+    def test_syntax_error_reports_location(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT FROM WHERE")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("COMMIT garbage")
+
+
+class TestExecution:
+    def test_insert_select_round_trip(self, accounts):
+        db = accounts
+        assert db.sql("INSERT INTO accounts VALUES ('Nick', 100)") == 1
+        rows = db.sql("SELECT * FROM accounts")
+        assert rows == [{"name": "Nick", "balance": 100}]
+
+    def test_update_and_delete(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('Nick', 100), ('John', 500)")
+        assert db.sql("UPDATE accounts SET balance = 50 WHERE name = 'Nick'") == 1
+        assert db.sql("DELETE FROM accounts WHERE name = 'John'") == 1
+        rows = db.sql("SELECT * FROM accounts")
+        assert rows == [{"name": "Nick", "balance": 50}]
+
+    def test_projection_and_expressions(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('Nick', 100)")
+        rows = db.sql("SELECT name, balance * 2 AS doubled FROM accounts")
+        assert rows == [{"name": "Nick", "doubled": 200}]
+
+    def test_aggregates(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('a', 10), ('b', 20), ('c', 30)")
+        (row,) = db.sql("SELECT COUNT(*) AS n, SUM(balance) AS total FROM accounts")
+        assert row == {"n": 3, "total": 60}
+
+    def test_group_by(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('a', 10), ('b', 10), ('c', 30)")
+        rows = db.sql(
+            "SELECT balance, COUNT(*) AS n FROM accounts GROUP BY balance "
+            "ORDER BY balance"
+        )
+        assert rows == [{"balance": 10, "n": 2}, {"balance": 30, "n": 1}]
+
+    def test_order_by_and_limit(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('a', 3), ('b', 1), ('c', 2)")
+        rows = db.sql("SELECT name FROM accounts ORDER BY balance DESC LIMIT 2")
+        assert [r["name"] for r in rows] == ["a", "c"]
+
+    def test_ledger_view_is_queryable(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('Nick', 100)")
+        db.sql("UPDATE accounts SET balance = 50 WHERE name = 'Nick'")
+        rows = db.sql(
+            "SELECT name, balance, ledger_operation_type_desc FROM "
+            "accounts_ledger ORDER BY ledger_transaction_id, "
+            "ledger_sequence_number"
+        )
+        operations = [r["ledger_operation_type_desc"] for r in rows]
+        assert operations == ["INSERT", "INSERT", "DELETE"]
+
+    def test_explicit_transaction_rollback(self, accounts):
+        db = accounts
+        db.sql("BEGIN TRANSACTION")
+        db.sql("INSERT INTO accounts VALUES ('temp', 1)")
+        db.sql("ROLLBACK")
+        assert db.sql("SELECT * FROM accounts") == []
+
+    def test_explicit_transaction_commit(self, accounts):
+        db = accounts
+        db.sql("BEGIN")
+        db.sql("INSERT INTO accounts VALUES ('kept', 1)")
+        db.sql("COMMIT")
+        assert len(db.sql("SELECT * FROM accounts")) == 1
+
+    def test_savepoint_via_sql(self, accounts):
+        db = accounts
+        db.sql("BEGIN")
+        db.sql("INSERT INTO accounts VALUES ('keep', 1)")
+        db.sql("SAVE TRANSACTION sp1")
+        db.sql("INSERT INTO accounts VALUES ('discard', 2)")
+        db.sql("ROLLBACK TO sp1")
+        db.sql("COMMIT")
+        assert [r["name"] for r in db.sql("SELECT * FROM accounts")] == ["keep"]
+
+    def test_autocommit_rolls_back_on_error(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('Nick', 100)")
+        with pytest.raises(Exception):
+            db.sql("INSERT INTO accounts VALUES ('Nick', 1)")  # dup PK
+        assert len(db.sql("SELECT * FROM accounts")) == 1
+        assert db.verify([db.generate_digest()]).ok
+
+    def test_append_only_via_sql(self, db):
+        db.sql(
+            "CREATE TABLE audit (event VARCHAR(64) NOT NULL) "
+            "WITH (LEDGER = ON, APPEND_ONLY = ON)"
+        )
+        db.sql("INSERT INTO audit VALUES ('login')")
+        from repro.errors import AppendOnlyViolationError
+
+        with pytest.raises(AppendOnlyViolationError):
+            db.sql("DELETE FROM audit")
+
+    def test_create_index_and_alter_table(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('Nick', 100)")
+        db.sql("CREATE INDEX ix_balance ON accounts (balance)")
+        db.sql("ALTER TABLE accounts ADD email VARCHAR(64)")
+        db.sql("INSERT INTO accounts VALUES ('Mary', 5, 'm@x.com')")
+        rows = db.sql("SELECT * FROM accounts WHERE email IS NOT NULL")
+        assert rows == [{"name": "Mary", "balance": 5, "email": "m@x.com"}]
+        db.sql("ALTER TABLE accounts DROP COLUMN email")
+        assert "email" not in db.sql("SELECT * FROM accounts LIMIT 1")[0]
+        assert db.verify([db.generate_digest()]).ok
+
+    def test_drop_ledger_table_via_sql_is_logical(self, accounts):
+        db = accounts
+        db.sql("INSERT INTO accounts VALUES ('Nick', 100)")
+        db.sql("DROP TABLE accounts")
+        assert not db.engine.has_table("accounts")
+        operations = [op["operation"] for op in db.table_operations_view()]
+        assert "DROP" in operations
+        assert db.verify([db.generate_digest()]).ok
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(SqlBindError):
+            db.sql("SELECT * FROM nope")
+
+    def test_non_grouped_column_rejected(self, accounts):
+        db = accounts
+        with pytest.raises(SqlBindError):
+            db.sql("SELECT name, COUNT(*) AS n FROM accounts")
+
+    def test_no_application_changes_claim(self, db):
+        """The same SQL works for regular and ledger tables (§2.1)."""
+        for name, options in (("plain_t", ""), ("ledger_t", " WITH (LEDGER = ON)")):
+            db.sql(
+                f"CREATE TABLE {name} (id INT PRIMARY KEY, v VARCHAR(8))"
+                f"{options}"
+            )
+            db.sql(f"INSERT INTO {name} VALUES (1, 'a'), (2, 'b')")
+            db.sql(f"UPDATE {name} SET v = 'z' WHERE id = 2")
+            db.sql(f"DELETE FROM {name} WHERE id = 1")
+            assert db.sql(f"SELECT * FROM {name}") == [{"id": 2, "v": "z"}]

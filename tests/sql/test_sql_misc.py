@@ -1,0 +1,79 @@
+"""Remaining SQL execution semantics and error-surface details."""
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.core.verification import SEVERITY_ERROR, Finding
+from repro.engine.clock import LogicalClock
+from repro.errors import SqlBindError, VerificationFailedError
+
+
+@pytest.fixture
+def db(tmp_path):
+    database = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
+    database.sql(
+        "CREATE TABLE accounts (name VARCHAR(16) NOT NULL PRIMARY KEY, "
+        "balance INT NOT NULL) WITH (LEDGER = ON)"
+    )
+    database.sql("INSERT INTO accounts VALUES ('a', 10), ('b', 20)")
+    return database
+
+
+class TestSelfReferencingUpdates:
+    def test_update_reads_current_row_values(self, db):
+        db.sql("UPDATE accounts SET balance = balance + 5")
+        assert {r["name"]: r["balance"] for r in db.sql(
+            "SELECT * FROM accounts")} == {"a": 15, "b": 25}
+
+    def test_update_with_cross_column_expression(self, db):
+        db.sql("UPDATE accounts SET balance = balance * 2 WHERE name = 'a'")
+        (row,) = db.sql("SELECT balance FROM accounts WHERE name = 'a'")
+        assert row["balance"] == 20
+
+    def test_self_update_is_fully_versioned(self, db):
+        for _ in range(3):
+            db.sql("UPDATE accounts SET balance = balance + 1 WHERE name = 'a'")
+        events = db.sql(
+            "SELECT balance FROM accounts_ledger WHERE name = 'a' AND "
+            "ledger_operation_type_desc = 'INSERT' "
+            "ORDER BY ledger_transaction_id, ledger_sequence_number"
+        )
+        assert [e["balance"] for e in events] == [10, 11, 12, 13]
+        assert db.verify([db.generate_digest()]).ok
+
+    def test_swap_style_update_uses_pre_update_row(self, db):
+        # Both assignments see the original row (SQL semantics).
+        db.sql("CREATE TABLE pair (id INT PRIMARY KEY, x INT, y INT)")
+        db.sql("INSERT INTO pair VALUES (1, 1, 2)")
+        db.sql("UPDATE pair SET x = y, y = x WHERE id = 1")
+        (row,) = db.sql("SELECT x, y FROM pair")
+        assert (row["x"], row["y"]) == (2, 1)
+
+
+class TestErrorSurface:
+    def test_update_unknown_column_rolls_back(self, db):
+        with pytest.raises(Exception):
+            db.sql("UPDATE accounts SET missing = 1")
+        assert len(db.sql("SELECT * FROM accounts")) == 2
+        assert db.verify([db.generate_digest()]).ok
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(SqlBindError):
+            db.sql("COMMIT")
+
+    def test_nested_begin_rejected(self, db):
+        db.sql("BEGIN")
+        with pytest.raises(SqlBindError):
+            db.sql("BEGIN")
+        db.sql("ROLLBACK")
+
+    def test_verification_error_truncates_long_finding_lists(self):
+        findings = [
+            Finding("table_root", SEVERITY_ERROR, f"finding number {i}")
+            for i in range(9)
+        ]
+        error = VerificationFailedError(findings)
+        message = str(error)
+        assert "9 finding(s)" in message
+        assert "+4 more" in message
+        assert len(error.findings) == 9

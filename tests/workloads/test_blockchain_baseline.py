@@ -1,0 +1,90 @@
+"""The Fabric-like blockchain baseline: pipeline correctness and cost model."""
+
+import pytest
+
+from repro.workloads.blockchain_baseline import BlockchainNetwork, BlockchainStats
+
+
+def payloads(n):
+    return [f"tx-{i}".encode() for i in range(n)]
+
+
+class TestPipeline:
+    def test_all_transactions_reach_all_validators(self):
+        network = BlockchainNetwork(block_max_transactions=10)
+        stats = network.run_workload(payloads(25))
+        assert stats.transactions == 25
+        for validator in network.validators:
+            assert len(validator.state) == 25
+
+    def test_blocks_cut_at_max_transactions(self):
+        network = BlockchainNetwork(block_max_transactions=10)
+        stats = network.run_workload(payloads(30))
+        assert stats.blocks == 3
+
+    def test_partial_block_flushed_on_timeout(self):
+        network = BlockchainNetwork(block_max_transactions=100)
+        stats = network.run_workload(payloads(7))
+        assert stats.blocks == 1
+        assert stats.transactions == 7
+
+    def test_validators_agree_on_chain(self):
+        network = BlockchainNetwork(block_max_transactions=5)
+        network.run_workload(payloads(20))
+        chains = [tuple(v.chain) for v in network.validators]
+        assert len(set(chains)) == 1
+        assert len(chains[0]) == 4
+
+    def test_chain_links_depend_on_content(self):
+        a = BlockchainNetwork(block_max_transactions=5, seed=1)
+        b = BlockchainNetwork(block_max_transactions=5, seed=1)
+        a.run_workload(payloads(5))
+        b.run_workload([p + b"!" for p in payloads(5)])
+        assert a.validators[0].chain != b.validators[0].chain
+
+
+class TestCostModel:
+    def test_latency_includes_network_and_consensus(self):
+        network = BlockchainNetwork(
+            network_one_way_ms=10, consensus_round_trips=2,
+            block_max_transactions=10,
+        )
+        stats = network.run_workload(payloads(10))
+        # Endorsement (2 hops) + ordering (2 RTTs) + gossip (1 hop):
+        # at least 2*10 + 2*2*10 + 10 = 70 ms of simulated network alone.
+        assert stats.mean_latency_ms >= 70
+
+    def test_more_validators_cost_more_compute(self):
+        # Validation work scales with the validator count; use a wide spread
+        # so the effect dominates the (identical) endorsement signing cost.
+        small = BlockchainNetwork(validators=1, block_max_transactions=50)
+        large = BlockchainNetwork(validators=16, block_max_transactions=50)
+        stats_small = small.run_workload(payloads(50))
+        stats_large = large.run_workload(payloads(50))
+        assert stats_large.compute_seconds > stats_small.compute_seconds
+
+    def test_throughput_accounts_for_virtual_time(self):
+        network = BlockchainNetwork(block_max_transactions=10)
+        stats = network.run_workload(payloads(10))
+        assert stats.total_seconds >= stats.simulated_network_seconds
+        assert stats.throughput_tps > 0
+
+    def test_empty_stats(self):
+        stats = BlockchainStats()
+        assert stats.throughput_tps == 0.0
+        assert stats.mean_latency_ms == 0.0
+
+    def test_orders_of_magnitude_slower_than_direct_hashing(self):
+        """The decentralization tax the paper quantifies (§4.1)."""
+        import hashlib
+        import time
+
+        items = payloads(50)
+        network = BlockchainNetwork()
+        stats = network.run_workload(items)
+
+        started = time.perf_counter()
+        for payload in items:
+            hashlib.sha256(payload).digest()
+        direct = time.perf_counter() - started
+        assert stats.total_seconds > direct * 100

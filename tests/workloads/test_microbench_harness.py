@@ -1,0 +1,112 @@
+"""Micro-benchmark substrate and experiment harness smoke tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.engine.clock import LogicalClock
+from repro.workloads import harness
+from repro.workloads.microbench import (
+    SingleRowDriver,
+    make_row,
+    record_width,
+    run_five_row_update_transactions,
+    wide_row_schema,
+)
+
+
+class TestMicrobench:
+    def test_row_width_is_260_bytes(self):
+        """The paper's experiments use 260-byte rows."""
+        assert record_width(wide_row_schema("w")) == 260
+
+    def test_index_variants_share_row_shape(self):
+        for count in (0, 1, 2, 4):
+            schema = wide_row_schema("w", count)
+            assert len(schema.indexes) == count
+            assert record_width(schema) == 260
+
+    def test_driver_operations(self, tmp_path):
+        db = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
+        db.create_ledger_table(wide_row_schema("wide", 1))
+        driver = SingleRowDriver(db, "wide")
+        driver.preload(10)
+        driver.insert_one()
+        driver.update_one(1)
+        driver.delete_one(2)
+        table = db.engine.table("wide")
+        assert table.row_count() == 10  # 10 preloaded + 1 - 1
+        assert db.history_table("wide").row_count() == 2  # update + delete
+        assert db.verify([db.generate_digest()]).ok
+
+    def test_five_row_update_pattern(self, tmp_path):
+        db = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
+        db.create_ledger_table(wide_row_schema("wide", 0))
+        txn = db.begin()
+        db.insert(txn, "wide", [make_row(i) for i in range(1, 21)])
+        db.commit(txn)
+        run_five_row_update_transactions(db, "wide", transactions=4)
+        assert db.history_table("wide").row_count() == 20
+        assert db.verify([db.generate_digest()]).ok
+
+
+class TestHarness:
+    """Small-size smoke runs: every experiment must produce sane output."""
+
+    def test_fig9_is_monotone(self):
+        results = harness.run_fig9(transaction_counts=(20, 60))
+        assert results[0][1] < results[1][1] * 1.5
+        text = harness.format_fig9(results)
+        assert "Figure 9" in text
+
+    def test_blockchain_comparison_shape(self):
+        results = harness.run_blockchain_comparison(transactions=60)
+        assert (
+            results["sql_ledger"]["throughput_tps"]
+            > results["blockchain"]["throughput_tps"]
+        )
+        assert (
+            results["sql_ledger"]["mean_latency_ms"]
+            < results["blockchain"]["mean_latency_ms"]
+        )
+        assert "SQL Ledger" in harness.format_blockchain(results)
+
+    def test_merkle_ablation_space_bound(self):
+        results = harness.run_merkle_ablation(leaf_counts=(1000,))
+        (count, _, state, _, nodes) = results[0]
+        assert state <= 11  # ceil(log2(1000)) + 1
+        assert nodes == 2000
+        assert "Ablation" in harness.format_merkle_ablation(results)
+
+    def test_block_size_ablation_runs(self):
+        results = harness.run_block_size_ablation(
+            block_sizes=(5, 50), transactions=40
+        )
+        by_size = {row[0]: row for row in results}
+        assert by_size[5][4] > by_size[50][4]  # more blocks at smaller size
+        assert "block size" in harness.format_block_size_ablation(results).lower()
+
+    def test_receipts_ablation_amortization(self):
+        results = harness.run_receipts_ablation(transactions=12)
+        assert results["amortized_receipts_per_s"] > 0
+        assert results["naive_signatures_per_s"] > 0
+        assert "receipt" in harness.format_receipts_ablation(results).lower()
+
+    def test_fig8_structure(self):
+        results = harness.run_fig8(
+            index_counts=(0,), operations_per_round=20, rounds=1
+        )
+        assert set(results) == {
+            ("INSERT", 0, "regular"), ("INSERT", 0, "ledger"),
+            ("UPDATE", 0, "regular"), ("UPDATE", 0, "ledger"),
+            ("DELETE", 0, "regular"), ("DELETE", 0, "ledger"),
+        }
+        assert all(value > 0 for value in results.values())
+        assert "Figure 8" in harness.format_fig8(results)
+
+    def test_cli_runs_one_experiment(self, capsys):
+        exit_code = harness.main(["merkle"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "streaming Merkle" in captured.out
