@@ -14,6 +14,8 @@ backslash prefix:
     \\history <table>      show the table's ledger view
     \\receipt <txid>       issue a transaction receipt (JSON)
     \\ops                  table-operations audit view (Figure 6)
+    \\stats                dump telemetry counters (Prometheus text format)
+    \\trace [n]            show the span tree of the last n statements (default 1)
     \\checkpoint           checkpoint the database
     \\help                 this text
     \\quit                 exit
@@ -27,6 +29,12 @@ from typing import List, Optional
 
 from repro.core.ledger_database import LedgerDatabase
 from repro.errors import ReproError
+from repro.obs import OBS
+
+
+def _render_value(value) -> str:
+    """SQL-style rendering of one cell: NULL for missing values."""
+    return "NULL" if value is None else str(value)
 
 
 def _print_rows(rows) -> None:
@@ -41,13 +49,18 @@ def _print_rows(rows) -> None:
         return
     columns = list(rows[0].keys())
     widths = {
-        c: max(len(c), *(len(str(r.get(c))) for r in rows)) for c in columns
+        c: max(len(c), *(len(_render_value(r.get(c))) for r in rows))
+        for c in columns
     }
     header = " | ".join(c.ljust(widths[c]) for c in columns)
     print(header)
     print("-+-".join("-" * widths[c] for c in columns))
     for row in rows:
-        print(" | ".join(str(row.get(c)).ljust(widths[c]) for c in columns))
+        print(
+            " | ".join(
+                _render_value(row.get(c)).ljust(widths[c]) for c in columns
+            )
+        )
     print(f"({len(rows)} rows)")
 
 
@@ -70,6 +83,7 @@ class Shell:
             digests = self.digests or [self.db.generate_digest()]
             report = self.db.verify(digests)
             print(report.summary())
+            print(report.timing_summary())
             for finding in report.findings:
                 print(f"  {finding}")
         elif command == "tables":
@@ -89,12 +103,32 @@ class Shell:
             print(self.db.transaction_receipt(int(parts[1])).to_json())
         elif command == "ops":
             _print_rows(self.db.table_operations_view())
+        elif command == "stats":
+            if not OBS.metrics.enabled:
+                print("telemetry is disabled (run without --no-telemetry)")
+            else:
+                print(self.db.get_metrics().exposition(), end="")
+        elif command == "trace":
+            self._print_traces(int(parts[1]) if len(parts) > 1 else 1)
         elif command == "checkpoint":
             self.db.checkpoint()
             print("checkpoint complete")
         else:
             print(__doc__)
         return True
+
+    def _print_traces(self, count: int) -> None:
+        from repro.obs.tracing import build_span_trees, render_span_tree
+
+        if not OBS.tracer.enabled:
+            print("tracing is disabled (run without --no-telemetry)")
+            return
+        roots = build_span_trees(self.db.trace_sink.spans())
+        statements = [r for r in roots if r.name == "sql.statement"]
+        if not statements:
+            print("(no statement traces recorded)")
+            return
+        print(render_span_tree(statements[-count:]))
 
     def run_sql(self, statement: str) -> None:
         _print_rows(self.db.sql(statement))
@@ -143,7 +177,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--block-size", type=int, default=None,
         help="ledger block size for a new database",
     )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="leave metrics and tracing disabled (\\stats will be empty)",
+    )
     args = parser.parse_args(argv)
+    if not args.no_telemetry:
+        OBS.enable()
     db = LedgerDatabase.open(args.database, block_size=args.block_size)
     shell = Shell(db)
     if args.command:
@@ -153,7 +193,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     shell.run_command(statement.strip())
                 else:
                     shell.run_sql(statement.rstrip(";"))
-            except ReproError as exc:
+            except (ReproError, ValueError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 1
         db.close()

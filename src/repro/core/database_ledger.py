@@ -17,6 +17,7 @@ the paper.
 from __future__ import annotations
 
 import datetime as dt
+import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.digest import BlockHeader, DatabaseDigest
@@ -28,12 +29,44 @@ from repro.engine.table import Table
 from repro.engine.transaction import Transaction
 from repro.engine.types import BIGINT, DATETIME, VARBINARY, VARCHAR
 from repro.errors import DigestError, LedgerError
+from repro.obs import OBS
 
 TRANSACTIONS_TABLE = "database_ledger_transactions"
 BLOCKS_TABLE = "database_ledger_blocks"
 
 #: The paper uses 100K transactions per block; tests and examples shrink it.
 DEFAULT_BLOCK_SIZE = 100_000
+
+_ENTRIES_ENQUEUED = OBS.metrics.counter(
+    "ledger_entries_enqueued_total",
+    "Transaction entries enqueued after durable commit",
+)
+_ENTRIES_FLUSHED = OBS.metrics.counter(
+    "ledger_entries_flushed_total",
+    "Transaction entries batch-inserted into the system table",
+)
+_QUEUE_DEPTH = OBS.metrics.gauge(
+    "ledger_queue_depth",
+    "Transaction entries currently waiting in the in-memory queue",
+)
+_BLOCKS_CLOSED = OBS.metrics.counter(
+    "ledger_blocks_closed_total", "Ledger blocks formed and appended"
+)
+_BLOCK_CLOSE_SECONDS = OBS.metrics.histogram(
+    "ledger_block_close_seconds",
+    "Time to form one block (flush, Merkle root, persist)",
+)
+_BLOCK_TRANSACTIONS = OBS.metrics.histogram(
+    "ledger_block_transactions",
+    "Transactions per closed block",
+    buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000),
+)
+_DIGESTS_GENERATED = OBS.metrics.counter(
+    "digest_generated_total", "Database digests generated"
+)
+_DIGEST_GENERATE_SECONDS = OBS.metrics.histogram(
+    "digest_generate_seconds", "Digest generation latency"
+)
 
 
 def _transactions_schema() -> TableSchema:
@@ -145,6 +178,9 @@ class DatabaseLedger:
     def enqueue(self, entry: TransactionEntry) -> None:
         """Queue a durably committed entry; close the block when it fills."""
         self._queue.append(entry)
+        if OBS.metrics.enabled:
+            _ENTRIES_ENQUEUED.inc()
+            _QUEUE_DEPTH.set(len(self._queue))
         if entry.ordinal + 1 >= self._block_size:
             self.close_open_block()
 
@@ -160,17 +196,23 @@ class DatabaseLedger:
         """
         if not self._queue:
             return 0
-        table = self._transactions_table()
-        txn = self._engine.begin(username="ledger_system")
-        try:
-            for entry in self._queue:
-                table.insert(txn, table.schema.row_from_visible(entry.to_row()))
-        except Exception:
-            self._engine.rollback(txn)
-            raise
-        self._engine.commit(txn)
-        flushed = len(self._queue)
-        self._queue.clear()
+        with OBS.tracer.span("ledger.flush_queue", entries=len(self._queue)):
+            table = self._transactions_table()
+            txn = self._engine.begin(username="ledger_system")
+            try:
+                for entry in self._queue:
+                    table.insert(
+                        txn, table.schema.row_from_visible(entry.to_row())
+                    )
+            except Exception:
+                self._engine.rollback(txn)
+                raise
+            self._engine.commit(txn)
+            flushed = len(self._queue)
+            self._queue.clear()
+        if OBS.metrics.enabled:
+            _ENTRIES_FLUSHED.inc(flushed)
+            _QUEUE_DEPTH.set(0)
         return flushed
 
     def close_open_block(self) -> Optional[BlockRow]:
@@ -183,29 +225,38 @@ class DatabaseLedger:
         """
         if self._open_ordinal == 0:
             return None
-        self.flush_queue()
-        closing_id = self._open_block_id
-        entries = self.transactions_in_block(closing_id)
-        if len(entries) != self._open_ordinal:
-            raise LedgerError(
-                f"block {closing_id} should hold {self._open_ordinal} entries "
-                f"but {len(entries)} were found"
+        started = time.perf_counter()
+        with OBS.tracer.span(
+            "block.append", block_id=self._open_block_id
+        ) as span:
+            self.flush_queue()
+            closing_id = self._open_block_id
+            entries = self.transactions_in_block(closing_id)
+            if len(entries) != self._open_ordinal:
+                raise LedgerError(
+                    f"block {closing_id} should hold {self._open_ordinal} "
+                    f"entries but {len(entries)} were found"
+                )
+            tree = MerkleTree([entry.entry_hash() for entry in entries])
+            previous_hash = self._previous_hash_for(closing_id)
+            block = BlockRow(
+                block_id=closing_id,
+                previous_block_hash=previous_hash,
+                transactions_root=tree.root(),
+                transaction_count=len(entries),
+                closed_time=self._engine.clock(),
             )
-        tree = MerkleTree([entry.entry_hash() for entry in entries])
-        previous_hash = self._previous_hash_for(closing_id)
-        block = BlockRow(
-            block_id=closing_id,
-            previous_block_hash=previous_hash,
-            transactions_root=tree.root(),
-            transaction_count=len(entries),
-            closed_time=self._engine.clock(),
-        )
-        table = self._blocks_table()
-        txn = self._engine.begin(username="ledger_system")
-        table.insert(txn, table.schema.row_from_visible(block.to_row()))
-        self._engine.commit(txn)
-        self._open_block_id = closing_id + 1
-        self._open_ordinal = 0
+            table = self._blocks_table()
+            txn = self._engine.begin(username="ledger_system")
+            table.insert(txn, table.schema.row_from_visible(block.to_row()))
+            self._engine.commit(txn)
+            self._open_block_id = closing_id + 1
+            self._open_ordinal = 0
+            span.set_attribute("transactions", block.transaction_count)
+        if OBS.metrics.enabled:
+            _BLOCKS_CLOSED.inc()
+            _BLOCK_TRANSACTIONS.observe(block.transaction_count)
+            _BLOCK_CLOSE_SECONDS.observe(time.perf_counter() - started)
         return block
 
     def _previous_hash_for(self, block_id: int) -> Optional[bytes]:
@@ -233,21 +284,27 @@ class DatabaseLedger:
         transaction (the paper's frequent-digest design keeps the window of
         uncovered data to seconds).
         """
-        self.close_open_block()
-        latest = self.latest_block()
-        if latest is None:
-            raise DigestError(
-                "the ledger is empty: no transactions have modified ledger tables"
+        started = time.perf_counter()
+        with OBS.tracer.span("digest.generate"):
+            self.close_open_block()
+            latest = self.latest_block()
+            if latest is None:
+                raise DigestError(
+                    "the ledger is empty: no transactions have modified "
+                    "ledger tables"
+                )
+            last_commit = self._last_commit_time_in_block(latest.block_id)
+            digest = DatabaseDigest(
+                database_guid=database_guid,
+                database_create_time=database_create_time,
+                block_id=latest.block_id,
+                block_hash=latest.block_hash(),
+                last_transaction_commit_time=last_commit,
+                digest_time=self._engine.clock(),
             )
-        last_commit = self._last_commit_time_in_block(latest.block_id)
-        return DatabaseDigest(
-            database_guid=database_guid,
-            database_create_time=database_create_time,
-            block_id=latest.block_id,
-            block_hash=latest.block_hash(),
-            last_transaction_commit_time=last_commit,
-            digest_time=self._engine.clock(),
-        )
+        _DIGESTS_GENERATED.inc()
+        _DIGEST_GENERATE_SECONDS.observe(time.perf_counter() - started)
+        return digest
 
     def _last_commit_time_in_block(self, block_id: int) -> dt.datetime:
         entries = self.transactions_in_block(block_id)

@@ -29,8 +29,27 @@ from repro.engine.record import hashable_payload
 from repro.engine.table import Table
 from repro.engine.transaction import Transaction
 from repro.errors import AppendOnlyViolationError, LedgerConfigurationError
+from repro.obs import OBS
 
 _CONTEXT_KEY = "ledger"
+
+_ROWS_HASHED = OBS.metrics.counter(
+    "ledger_rows_hashed_total",
+    "Row versions hashed into per-transaction Merkle trees, by operation",
+    ("op",),
+)
+_ROWS_HASHED_BY_OP = {
+    op: _ROWS_HASHED.labels(op) for op in ("insert", "update", "delete")
+}
+_LEDGER_TRANSACTIONS = OBS.metrics.counter(
+    "ledger_transactions_total",
+    "Committed transactions that touched ledger tables",
+)
+_LEDGER_TABLES_PER_TXN = OBS.metrics.histogram(
+    "ledger_tables_per_transaction",
+    "Distinct ledger tables touched per ledger transaction",
+    buckets=(1, 2, 3, 5, 8, 13, 21),
+)
 
 
 class _LedgerTxContext:
@@ -136,7 +155,7 @@ class LedgerHooks(EngineHooks):
             row[end_tid] = None
             row[end_seq] = None
         validated = list(table.schema.validate_row(row))
-        self._append_leaf(context, table, validated)
+        self._append_leaf(context, table, validated, "insert")
         return validated
 
     def before_update(
@@ -167,9 +186,9 @@ class LedgerHooks(EngineHooks):
         new_row[end_tid] = None
         new_row[end_seq] = None
         validated = list(table.schema.validate_row(new_row))
-        self._append_leaf(context, table, validated)
+        self._append_leaf(context, table, validated, "update")
         # Deleted version second: stamp its end columns, hash, move to history.
-        self._retire_version(txn, context, table, old_row)
+        self._retire_version(txn, context, table, old_row, "update")
         return validated
 
     def before_delete(
@@ -186,7 +205,7 @@ class LedgerHooks(EngineHooks):
             return
         self._require_updateable(table, "DELETE")
         context = self._context(txn)
-        self._retire_version(txn, context, table, old_row)
+        self._retire_version(txn, context, table, old_row, "delete")
 
     def _retire_version(
         self,
@@ -194,6 +213,7 @@ class LedgerHooks(EngineHooks):
         context: _LedgerTxContext,
         table: Table,
         old_row: Sequence[Any],
+        op: str,
     ) -> None:
         """Hash the outgoing version and persist it in the history table."""
         sequence = context.take_sequence()
@@ -201,15 +221,23 @@ class LedgerHooks(EngineHooks):
         retired = list(old_row)
         retired[end_tid] = txn.tid
         retired[end_seq] = sequence
-        self._append_leaf(context, table, retired)
+        self._append_leaf(context, table, retired, op)
         history = self._history_table(table)
         history.system_insert(txn, retired)
 
     def _append_leaf(
-        self, context: _LedgerTxContext, table: Table, row: Sequence[Any]
+        self, context: _LedgerTxContext, table: Table, row: Sequence[Any],
+        op: str,
     ) -> None:
-        payload = hashable_payload(table.schema, row)
-        context.hasher_for(table.table_id).append(hash_leaf(payload))
+        tracer = OBS.tracer
+        if tracer.enabled:
+            with tracer.span("ledger.hash", table=table.name, op=op):
+                payload = hashable_payload(table.schema, row)
+                context.hasher_for(table.table_id).append(hash_leaf(payload))
+        else:
+            payload = hashable_payload(table.schema, row)
+            context.hasher_for(table.table_id).append(hash_leaf(payload))
+        _ROWS_HASHED_BY_OP[op].inc()
 
     def _require_updateable(self, table: Table, operation: str) -> None:
         if table.options.get("ledger_type") == "append_only":
@@ -242,10 +270,16 @@ class LedgerHooks(EngineHooks):
         if context is None or not context.hashers:
             return None
         assert self._ledger is not None
-        table_roots: Tuple[Tuple[int, bytes], ...] = tuple(
-            sorted((tid, hasher.root()) for tid, hasher in context.hashers.items())
-        )
-        entry = self._ledger.assign(txn, table_roots)
+        with OBS.tracer.span("ledger.pre_commit", tid=txn.tid):
+            table_roots: Tuple[Tuple[int, bytes], ...] = tuple(
+                sorted(
+                    (tid, hasher.root())
+                    for tid, hasher in context.hashers.items()
+                )
+            )
+            entry = self._ledger.assign(txn, table_roots)
+        _LEDGER_TRANSACTIONS.inc()
+        _LEDGER_TABLES_PER_TXN.observe(len(table_roots))
         return entry.to_payload()
 
     def post_commit(self, txn: Transaction, payload: Optional[Dict[str, Any]]) -> None:

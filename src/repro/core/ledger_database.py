@@ -532,15 +532,57 @@ class LedgerDatabase:
     # Verification (§3.4)
     # ------------------------------------------------------------------
 
-    def verify(self, digests: Sequence[DatabaseDigest], table_names=None):
+    def verify(
+        self,
+        digests: Sequence[DatabaseDigest],
+        table_names=None,
+        progress=None,
+    ):
         """Run ledger verification against externally stored digests.
 
         Returns a :class:`repro.core.verification.VerificationReport`; raise
-        on failure by calling ``report.raise_if_failed()``.
+        on failure by calling ``report.raise_if_failed()``.  ``progress`` is
+        an optional callable receiving
+        :class:`repro.core.verification.VerificationProgress` events as the
+        run advances through invariants and scans rows/blocks.
         """
         from repro.core.verification import LedgerVerifier
 
-        return LedgerVerifier(self).verify(digests, table_names=table_names)
+        return LedgerVerifier(self, progress=progress).verify(
+            digests, table_names=table_names
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry (see repro.obs)
+    # ------------------------------------------------------------------
+
+    @property
+    def telemetry(self):
+        """The process-wide :class:`repro.obs.Telemetry` instance.
+
+        Telemetry is process-global (like a Prometheus default registry)
+        because instrumentation lives in modules that predate any database
+        instance; this accessor is the supported way to reach it from a
+        database handle.
+        """
+        from repro.obs import OBS
+
+        return OBS
+
+    def get_metrics(self):
+        """The metrics registry recording this process's ledger activity."""
+        return self.telemetry.metrics
+
+    @property
+    def trace_sink(self):
+        """The span recorder capturing pipeline traces (ring buffer)."""
+        return self.telemetry.tracer.recorder
+
+    def enable_telemetry(self, metrics: bool = True, tracing: bool = True) -> None:
+        self.telemetry.enable(metrics=metrics, tracing=tracing)
+
+    def disable_telemetry(self) -> None:
+        self.telemetry.disable()
 
     # ------------------------------------------------------------------
     # Receipts (§5.1)

@@ -27,8 +27,9 @@ one-to-one.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import system_columns as sc
 from repro.core.digest import DatabaseDigest
@@ -39,9 +40,29 @@ from repro.crypto.merkle import MerkleTree, merkle_root
 from repro.engine.record import decode_record, hashable_payload, key_tuple
 from repro.engine.table import Table
 from repro.errors import StorageError, VerificationFailedError
+from repro.obs import OBS
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
+
+_VERIFY_RUNS = OBS.metrics.counter(
+    "verify_runs_total", "Ledger verification runs started"
+)
+_VERIFY_INVARIANT_SECONDS = OBS.metrics.histogram(
+    "verify_invariant_seconds",
+    "Wall time spent in each verification invariant",
+    ("invariant",),
+)
+_VERIFY_ROWS_SCANNED = OBS.metrics.counter(
+    "verify_row_versions_scanned_total",
+    "Row versions re-hashed during verification",
+)
+_VERIFY_BLOCKS_SCANNED = OBS.metrics.counter(
+    "verify_blocks_scanned_total", "Blocks examined during verification"
+)
+
+#: Row-scan granularity at which verification reports progress.
+PROGRESS_INTERVAL = 1000
 
 
 @dataclass(frozen=True)
@@ -57,6 +78,48 @@ class Finding:
         return f"[{self.invariant}/{self.severity}] {self.message}"
 
 
+@dataclass(frozen=True)
+class VerificationProgress:
+    """One progress event emitted during a verification run.
+
+    ``phase`` is the invariant currently executing; ``phase_index`` /
+    ``phase_count`` locate it in the overall run.  ``current`` counts units
+    of work done inside the phase (blocks or row versions scanned);
+    ``total`` is the expected unit count when it is known up front.
+    """
+
+    phase: str
+    phase_index: int
+    phase_count: int
+    current: int = 0
+    total: Optional[int] = None
+    unit: str = ""
+
+    @property
+    def fraction(self) -> float:
+        """Overall completed fraction (phase granularity), in [0, 1]."""
+        if self.phase_count == 0:
+            return 1.0
+        within = 0.0
+        if self.total:
+            within = min(self.current / self.total, 1.0)
+        return min((self.phase_index + within) / self.phase_count, 1.0)
+
+    def __str__(self) -> str:
+        detail = ""
+        if self.current or self.total:
+            total = f"/{self.total}" if self.total is not None else ""
+            detail = f" ({self.current}{total} {self.unit or 'units'})"
+        return (
+            f"verify [{self.phase_index + 1}/{self.phase_count}] "
+            f"{self.phase}{detail} — {self.fraction * 100:.0f}%"
+        )
+
+
+#: Signature of the optional progress callback accepted by ``verify``.
+ProgressCallback = Callable[[VerificationProgress], None]
+
+
 @dataclass
 class VerificationReport:
     """Outcome of a verification run."""
@@ -67,6 +130,8 @@ class VerificationReport:
     tables_verified: int = 0
     row_versions_hashed: int = 0
     uncovered_transactions: int = 0
+    #: Wall seconds spent per invariant, in execution order.
+    invariant_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -95,40 +160,138 @@ class VerificationReport:
             f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
         )
 
+    def timing_summary(self) -> str:
+        """Per-invariant wall-time breakdown (the paper's Fig. 9 cost view)."""
+        if not self.invariant_timings:
+            return "no invariant timings recorded"
+        total = sum(self.invariant_timings.values()) or 1e-12
+        lines = ["invariant timings:"]
+        for name, seconds in self.invariant_timings.items():
+            lines.append(
+                f"  {name:<12} {seconds * 1000:>9.2f}ms "
+                f"({seconds / total * 100:>5.1f}%)"
+            )
+        return "\n".join(lines)
+
 
 class LedgerVerifier:
     """Runs the full verification process against one LedgerDatabase."""
 
-    def __init__(self, db) -> None:
+    def __init__(
+        self,
+        db,
+        progress: Optional[ProgressCallback] = None,
+        progress_interval: int = PROGRESS_INTERVAL,
+    ) -> None:
         self._db = db
         self._ledger = db.ledger
+        self._progress = progress
+        self._progress_interval = max(1, progress_interval)
+        self._phase = ""
+        self._phase_index = 0
+        self._phase_count = 0
+        self._phase_current = 0
+        self._phase_total: Optional[int] = None
+        self._phase_unit = ""
 
     def verify(
         self,
         digests: Sequence[DatabaseDigest],
         table_names: Optional[Sequence[str]] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> VerificationReport:
         """Verify the database against the given digests.
 
         ``table_names`` restricts invariants 4 and 5 to specific ledger
         tables (the reduced-cost option of §2.3); chain-level invariants
-        always run in full.
+        always run in full.  ``progress`` (or the constructor's callback) is
+        invoked with :class:`VerificationProgress` events as invariants start
+        and as rows/blocks are scanned, so long verifications can report
+        percent-complete.
         """
+        if progress is not None:
+            self._progress = progress
         report = VerificationReport()
-        # Make every committed entry visible relationally before checking.
-        self._ledger.flush_queue()
-        entries = {e.transaction_id: e for e in self._ledger.all_entries()}
-        blocks = {b.block_id: b for b in self._ledger.blocks()}
-        cutoff_tid = self._truncation_cutoff_tid()
+        _VERIFY_RUNS.inc()
+        with OBS.tracer.span("verify.run"):
+            # Make every committed entry visible relationally first.
+            self._ledger.flush_queue()
+            entries = {e.transaction_id: e for e in self._ledger.all_entries()}
+            blocks = {b.block_id: b for b in self._ledger.blocks()}
+            cutoff_tid = self._truncation_cutoff_tid()
+            tables = self._target_tables(table_names)
 
-        self._check_digests(report, digests, blocks)
-        self._check_chain(report, blocks)
-        self._check_block_roots(report, blocks, entries)
-        tables = self._target_tables(table_names)
-        self._check_table_roots(report, tables, entries, cutoff_tid)
-        self._check_indexes(report, tables)
-        self._check_views(report)
+            phases: List[Tuple[str, Callable[[], None], Optional[int], str]] = [
+                ("digest",
+                 lambda: self._check_digests(report, digests, blocks),
+                 len(digests), "digests"),
+                ("chain",
+                 lambda: self._check_chain(report, blocks),
+                 len(blocks), "blocks"),
+                ("block_root",
+                 lambda: self._check_block_roots(report, blocks, entries),
+                 len(blocks), "blocks"),
+                ("table_root",
+                 lambda: self._check_table_roots(
+                     report, tables, entries, cutoff_tid),
+                 None, "row versions"),
+                ("index",
+                 lambda: self._check_indexes(report, tables),
+                 len(tables), "tables"),
+                ("view",
+                 lambda: self._check_views(report),
+                 None, "views"),
+            ]
+            self._phase_count = len(phases)
+            for index, (name, check, total, unit) in enumerate(phases):
+                self._begin_phase(name, index, total, unit)
+                started = time.perf_counter()
+                with OBS.tracer.span(f"verify.{name}"):
+                    check()
+                elapsed = time.perf_counter() - started
+                report.invariant_timings[name] = elapsed
+                _VERIFY_INVARIANT_SECONDS.labels(name).observe(elapsed)
         return report
+
+    # ------------------------------------------------------------------
+    # Progress reporting
+    # ------------------------------------------------------------------
+
+    def _begin_phase(
+        self, name: str, index: int, total: Optional[int], unit: str
+    ) -> None:
+        self._phase = name
+        self._phase_index = index
+        self._phase_current = 0
+        self._phase_total = total
+        self._phase_unit = unit
+        self._emit_progress()
+
+    def _advance(self, units: int = 1, force: bool = False) -> None:
+        """Account for ``units`` of scan work inside the current phase."""
+        before = self._phase_current
+        self._phase_current = before + units
+        if self._progress is None:
+            return
+        if force or (
+            before // self._progress_interval
+            != self._phase_current // self._progress_interval
+        ):
+            self._emit_progress()
+
+    def _emit_progress(self) -> None:
+        if self._progress is None:
+            return
+        self._progress(
+            VerificationProgress(
+                phase=self._phase,
+                phase_index=self._phase_index,
+                phase_count=self._phase_count,
+                current=self._phase_current,
+                total=self._phase_total,
+                unit=self._phase_unit,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Invariant 1 — digests match recomputed block hashes
@@ -200,6 +363,8 @@ class LedgerVerifier:
         for block_id in block_ids:
             block = blocks[block_id]
             report.blocks_verified += 1
+            _VERIFY_BLOCKS_SCANNED.inc()
+            self._advance()
             if block_id == 0:
                 if block.previous_block_hash is not None:
                     report.findings.append(
@@ -364,6 +529,8 @@ class LedgerVerifier:
 
         def add(tid, seq, leaf) -> None:
             events.setdefault(tid, []).append((seq if seq is not None else -1, leaf))
+            _VERIFY_ROWS_SCANNED.inc()
+            self._advance()
 
         start_tid, start_seq = sc.start_ordinals(table.schema)
         for rid, record in table.heap.scan():

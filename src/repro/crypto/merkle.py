@@ -27,9 +27,22 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import HASH_SIZE, hash_interior, sha256
 from repro.errors import MerkleError
+from repro.obs import OBS
 
 #: Root reported for a tree with zero leaves (RFC 6962 convention).
 EMPTY_TREE_ROOT = sha256(b"")
+
+_LEAVES_APPENDED = OBS.metrics.counter(
+    "merkle_leaves_appended_total",
+    "Leaf digests appended to streaming Merkle hashers",
+)
+_NODES_BUILT = OBS.metrics.counter(
+    "merkle_nodes_built_total",
+    "Interior Merkle nodes computed, by implementation",
+    ("impl",),
+)
+_NODES_STREAMING = _NODES_BUILT.labels("streaming")
+_NODES_MATERIALIZED = _NODES_BUILT.labels("materialized")
 
 #: Opaque snapshot of a MerkleHasher: (leaf_count, pending node per level).
 MerkleState = Tuple[int, Tuple[Optional[bytes], ...]]
@@ -67,6 +80,7 @@ class MerkleHasher:
             )
         carry = leaf_hash
         level = 0
+        combined = 0
         while True:
             if level == len(self._pending):
                 self._pending.append(carry)
@@ -75,9 +89,14 @@ class MerkleHasher:
                 self._pending[level] = carry
                 break
             carry = hash_interior(self._pending[level], carry)
+            combined += 1
             self._pending[level] = None
             level += 1
         self._leaf_count += 1
+        if OBS.metrics.enabled:
+            _LEAVES_APPENDED.inc()
+            if combined:
+                _NODES_STREAMING.inc(combined)
 
     def root(self) -> bytes:
         """Compute the Merkle root over all leaves appended so far.
@@ -193,14 +212,18 @@ class MerkleTree:
                 raise MerkleError("all leaves must be 32-byte digests")
         self._levels: List[List[bytes]] = [level0]
         current = level0
+        built = 0
         while len(current) > 1:
             parent: List[bytes] = []
             for i in range(0, len(current) - 1, 2):
                 parent.append(hash_interior(current[i], current[i + 1]))
+            built += len(current) // 2
             if len(current) % 2 == 1:
                 parent.append(current[-1])  # promote unpaired node unchanged
             self._levels.append(parent)
             current = parent
+        if built and OBS.metrics.enabled:
+            _NODES_MATERIALIZED.inc(built)
 
     @property
     def leaf_count(self) -> int:

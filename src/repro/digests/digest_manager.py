@@ -30,6 +30,14 @@ from typing import Callable, Dict, List, Optional
 from repro.core.digest import DatabaseDigest, verify_digest_chain
 from repro.digests.blob_storage import ImmutableBlobStorage
 from repro.errors import LedgerError, ReplicationLagError
+from repro.obs import OBS
+
+_DIGEST_UPLOADS = OBS.metrics.counter(
+    "digest_uploads_total",
+    "Digest upload attempts, by outcome "
+    "(stored, duplicate, deferred, fork_detected)",
+    ("outcome",),
+)
 
 
 class GeoReplicaSimulator:
@@ -101,30 +109,38 @@ class DigestManager:
         :class:`LedgerError` when the new digest does not derive from the
         previously uploaded one — the fork-detection trip-wire.
         """
-        digest = self._db.generate_digest()
-        if self._geo is not None and not self._geo.check_issuable(
-            digest.last_transaction_commit_time
-        ):
-            return None
-        previous = self.latest_digest()
-        if previous is not None and previous.block_id <= digest.block_id:
-            headers = (
-                self._db.block_headers(previous.block_id + 1, digest.block_id)
-                if digest.block_id > previous.block_id
-                else []
-            )
-            if not verify_digest_chain(previous, digest, headers):
-                raise LedgerError(
-                    "fork detected: the new digest does not derive from the "
-                    "previously uploaded digest — the ledger has been "
-                    "rewritten since the last upload"
+        with OBS.tracer.span("digest.upload"):
+            digest = self._db.generate_digest()
+            if self._geo is not None and not self._geo.check_issuable(
+                digest.last_transaction_commit_time
+            ):
+                _DIGEST_UPLOADS.labels("deferred").inc()
+                return None
+            previous = self.latest_digest()
+            if previous is not None and previous.block_id <= digest.block_id:
+                headers = (
+                    self._db.block_headers(
+                        previous.block_id + 1, digest.block_id
+                    )
+                    if digest.block_id > previous.block_id
+                    else []
                 )
-        name = self._blob_name(digest)
-        if not self._storage.exists(self._container, name):
-            self._storage.put(
-                self._container, name, digest.to_json().encode("utf-8")
-            )
-        return digest
+                if not verify_digest_chain(previous, digest, headers):
+                    _DIGEST_UPLOADS.labels("fork_detected").inc()
+                    raise LedgerError(
+                        "fork detected: the new digest does not derive from "
+                        "the previously uploaded digest — the ledger has "
+                        "been rewritten since the last upload"
+                    )
+            name = self._blob_name(digest)
+            if self._storage.exists(self._container, name):
+                _DIGEST_UPLOADS.labels("duplicate").inc()
+            else:
+                self._storage.put(
+                    self._container, name, digest.to_json().encode("utf-8")
+                )
+                _DIGEST_UPLOADS.labels("stored").inc()
+            return digest
 
     def _blob_name(self, digest: DatabaseDigest) -> str:
         incarnation = _sanitize(digest.database_create_time)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import datetime as dt
 import json
 import os
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.engine.catalog import Catalog, TableInfo
@@ -50,8 +51,27 @@ from repro.engine.wal import (
     read_wal,
 )
 from repro.errors import TransactionError
+from repro.obs import OBS
 
 _CHECKPOINT_FILE = "checkpoint.json"
+
+_RECOVERY_RUNS = OBS.metrics.counter(
+    "recovery_runs_total", "Crash/restart recoveries performed"
+)
+_RECOVERY_PHASE_SECONDS = OBS.metrics.histogram(
+    "recovery_phase_seconds",
+    "Duration of each recovery phase (analysis, load, redo, indexes)",
+    ("phase",),
+)
+_RECOVERY_RECORDS_REPLAYED = OBS.metrics.counter(
+    "recovery_records_replayed_total", "Data records reapplied during redo"
+)
+_CHECKPOINTS = OBS.metrics.counter(
+    "engine_checkpoints_total", "Checkpoints taken"
+)
+_CHECKPOINT_SECONDS = OBS.metrics.histogram(
+    "engine_checkpoint_seconds", "Checkpoint duration"
+)
 
 
 class Database:
@@ -110,6 +130,11 @@ class Database:
         self._hooks.on_recovery_complete({})
 
     def _recover(self, checkpoint_path: Optional[str]) -> None:
+        _RECOVERY_RUNS.inc()
+        with OBS.tracer.span("recovery.run", path=self.path):
+            self._recover_phases(checkpoint_path)
+
+    def _recover_phases(self, checkpoint_path: Optional[str]) -> None:
         if checkpoint_path is not None:
             with open(checkpoint_path, "r", encoding="utf-8") as f:
                 checkpoint = json.load(f)
@@ -125,51 +150,76 @@ class Database:
         self.catalog = Catalog.from_dict(checkpoint["catalog"])
         next_tid = checkpoint["next_tid"]
 
-        wal_records = list(read_wal(self._wal_path(self._epoch)))
+        # Analysis phase: scan the WAL, classify winners, find the catalog.
+        phase_start = time.perf_counter()
+        with OBS.tracer.span("recovery.analysis"):
+            wal_records = list(read_wal(self._wal_path(self._epoch)))
+            # A later catalog snapshot in the WAL supersedes the checkpoint's.
+            committed: Dict[int, Dict[str, Any]] = {}
+            for record in wal_records:
+                if record.kind == DDL and record.payload.get("catalog"):
+                    self.catalog = Catalog.from_dict(record.payload["catalog"])
+                elif record.kind == COMMIT:
+                    committed[record.payload["tid"]] = record.payload
+                    next_tid = max(next_tid, record.payload["tid"] + 1)
+                elif record.kind == "BEGIN":
+                    next_tid = max(next_tid, record.payload["tid"] + 1)
+        _RECOVERY_PHASE_SECONDS.labels("analysis").observe(
+            time.perf_counter() - phase_start
+        )
 
-        # A later catalog snapshot in the WAL supersedes the checkpoint's.
-        committed: Dict[int, Dict[str, Any]] = {}
-        for record in wal_records:
-            if record.kind == DDL and record.payload.get("catalog"):
-                self.catalog = Catalog.from_dict(record.payload["catalog"])
-            elif record.kind == COMMIT:
-                committed[record.payload["tid"]] = record.payload
-                next_tid = max(next_tid, record.payload["tid"] + 1)
-            elif record.kind == "BEGIN":
-                next_tid = max(next_tid, record.payload["tid"] + 1)
-
-        # Load heap images for every table in the (final) catalog.
-        self._wal = WalWriter(self._wal_path(self._epoch), sync=self._sync)
-        for info in self.catalog.tables():
-            self._tables[info.table_id] = self._materialize_table(info, load=True)
+        # Load phase: heap images for every table in the (final) catalog.
+        phase_start = time.perf_counter()
+        with OBS.tracer.span("recovery.load"):
+            self._wal = WalWriter(self._wal_path(self._epoch), sync=self._sync)
+            for info in self.catalog.tables():
+                self._tables[info.table_id] = self._materialize_table(
+                    info, load=True
+                )
+        _RECOVERY_PHASE_SECONDS.labels("load").observe(
+            time.perf_counter() - phase_start
+        )
 
         # Redo phase: reapply committed data records in log order.
+        phase_start = time.perf_counter()
         redo_count = 0
-        for record in wal_records:
-            if record.kind not in (INSERT, DELETE):
-                continue
-            payload = record.payload
-            if payload["tid"] not in committed:
-                continue  # loser: never flushed, nothing to redo or undo
-            table = self._tables.get(payload["table_id"])
-            if table is None:
-                continue  # table dropped later in the log
-            rid = RowId(payload["page"], payload["slot"])
-            if record.kind == INSERT:
-                table.heap.restore(rid, bytes.fromhex(payload["rec"]))
-            else:
-                table.heap.clear(rid)
-            redo_count += 1
+        with OBS.tracer.span("recovery.redo") as redo_span:
+            for record in wal_records:
+                if record.kind not in (INSERT, DELETE):
+                    continue
+                payload = record.payload
+                if payload["tid"] not in committed:
+                    continue  # loser: never flushed, nothing to redo or undo
+                table = self._tables.get(payload["table_id"])
+                if table is None:
+                    continue  # table dropped later in the log
+                rid = RowId(payload["page"], payload["slot"])
+                if record.kind == INSERT:
+                    table.heap.restore(rid, bytes.fromhex(payload["rec"]))
+                else:
+                    table.heap.clear(rid)
+                redo_count += 1
+            redo_span.set_attribute("records", redo_count)
+        _RECOVERY_PHASE_SECONDS.labels("redo").observe(
+            time.perf_counter() - phase_start
+        )
+        if redo_count:
+            _RECOVERY_RECORDS_REPLAYED.inc(redo_count)
 
         # Rebuild access paths.  After redo the nonclustered images on disk
         # are stale, so they are rebuilt from the base tables; on a clean
         # restart (empty redo) the persisted index images — tampered or not —
         # are loaded as-is.
-        for table in self._tables.values():
-            if redo_count:
-                table.rebuild_indexes()
-            else:
-                table.load_indexes_from_storage()
+        phase_start = time.perf_counter()
+        with OBS.tracer.span("recovery.indexes"):
+            for table in self._tables.values():
+                if redo_count:
+                    table.rebuild_indexes()
+                else:
+                    table.load_indexes_from_storage()
+        _RECOVERY_PHASE_SECONDS.labels("indexes").observe(
+            time.perf_counter() - phase_start
+        )
 
         self._txn_manager = TransactionManager(
             self._wal, self._lock_manager, self._hooks, self.clock, next_tid
@@ -352,6 +402,14 @@ class Database:
                 "checkpoint requires quiescence; active transactions: "
                 f"{[t.tid for t in self._txn_manager.active_transactions]}"
             )
+        started = time.perf_counter()
+        with OBS.tracer.span("engine.checkpoint"):
+            self._checkpoint_inner()
+        _CHECKPOINTS.inc()
+        _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
+
+    def _checkpoint_inner(self) -> None:
+        assert self._wal is not None and self._txn_manager is not None
         self._hooks.on_checkpoint()
         for info in self.catalog.tables():
             table = self._tables[info.table_id]

@@ -14,6 +14,7 @@ restores the hashers in O(log N) per table (§3.2.1).
 from __future__ import annotations
 
 import datetime as dt
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional
@@ -22,6 +23,17 @@ from repro.engine.hooks import EngineHooks
 from repro.engine.locks import LockManager
 from repro.engine.wal import ABORT, BEGIN, COMMIT, WalRecord, WalWriter
 from repro.errors import SavepointError, TransactionError
+from repro.obs import OBS
+
+_TXN_COMMITS = OBS.metrics.counter(
+    "txn_commits_total", "Transactions committed"
+)
+_TXN_ROLLBACKS = OBS.metrics.counter(
+    "txn_rollbacks_total", "Transactions rolled back"
+)
+_TXN_COMMIT_SECONDS = OBS.metrics.histogram(
+    "txn_commit_seconds", "End-to-end commit latency (hooks + WAL + ledger)"
+)
 
 
 class TxnState(Enum):
@@ -128,16 +140,21 @@ class TransactionManager:
         e.g. receipt generation — can reference where the transaction landed.
         """
         txn.require_active()
-        txn.commit_time = self._clock()
-        payload = self._hooks.pre_commit(txn)
-        self._wal.append(
-            WalRecord(COMMIT, {"tid": txn.tid, "ledger": payload})
-        )
-        self._wal.flush()
-        txn.state = TxnState.COMMITTED
-        del self._active[txn.tid]
-        self._hooks.post_commit(txn, payload)
-        self._locks.release_all(txn.tid)
+        started = time.perf_counter()
+        with OBS.tracer.span("txn.commit", tid=txn.tid):
+            txn.commit_time = self._clock()
+            payload = self._hooks.pre_commit(txn)
+            with OBS.tracer.span("wal.commit", tid=txn.tid):
+                self._wal.append(
+                    WalRecord(COMMIT, {"tid": txn.tid, "ledger": payload})
+                )
+                self._wal.flush()
+            txn.state = TxnState.COMMITTED
+            del self._active[txn.tid]
+            self._hooks.post_commit(txn, payload)
+            self._locks.release_all(txn.tid)
+        _TXN_COMMITS.inc()
+        _TXN_COMMIT_SECONDS.observe(time.perf_counter() - started)
         return payload
 
     def rollback(self, txn: Transaction) -> None:
@@ -147,6 +164,7 @@ class TransactionManager:
             action.revert()
         txn.undo_log.clear()
         self._wal.append(WalRecord(ABORT, {"tid": txn.tid}))
+        _TXN_ROLLBACKS.inc()
         txn.state = TxnState.ABORTED
         del self._active[txn.tid]
         self._hooks.on_rollback(txn)

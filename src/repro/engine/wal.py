@@ -19,13 +19,28 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import RecoveryError
+from repro.obs import OBS
 
 _FRAME = struct.Struct(">II")  # payload length, crc32
+
+_WAL_APPENDS = OBS.metrics.counter(
+    "wal_appends_total", "WAL records appended, by record kind", ("kind",)
+)
+_WAL_BYTES = OBS.metrics.counter(
+    "wal_bytes_appended_total", "Bytes appended to the WAL (frames included)"
+)
+_WAL_FSYNCS = OBS.metrics.counter(
+    "wal_fsyncs_total", "fsync calls issued by the WAL writer"
+)
+_WAL_FSYNC_SECONDS = OBS.metrics.histogram(
+    "wal_fsync_seconds", "Latency of WAL flush+fsync calls"
+)
 
 # Record kinds.
 BEGIN = "BEGIN"
@@ -81,14 +96,28 @@ class WalWriter:
         lsn = self._file.tell()
         self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
         self._file.write(payload)
+        if OBS.metrics.enabled:
+            _WAL_APPENDS.labels(record.kind).inc()
+            _WAL_BYTES.inc(_FRAME.size + len(payload))
         if self._sync:
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            self._flush_and_sync()
         return lsn
 
     def flush(self) -> None:
-        self._file.flush()
         if self._sync:
+            self._flush_and_sync()
+        else:
+            self._file.flush()
+
+    def _flush_and_sync(self) -> None:
+        if OBS.metrics.enabled:
+            started = time.perf_counter()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            _WAL_FSYNCS.inc()
+            _WAL_FSYNC_SECONDS.observe(time.perf_counter() - started)
+        else:
+            self._file.flush()
             os.fsync(self._file.fileno())
 
     def close(self) -> None:

@@ -1,0 +1,117 @@
+"""Telemetry subsystem: metrics registry + pipeline tracer.
+
+The paper's evaluation (Figs. 7–9) argues about *where* ledger overhead
+comes from — row hashing vs. Merkle building vs. WAL writes vs. block
+appends vs. verification scans.  This package gives the reproduction the
+instrumentation to measure that decomposition directly:
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges and fixed-bucket
+  histograms with Prometheus text exposition and JSON snapshot/delta export;
+* :mod:`repro.obs.tracing` — nested spans with a ring-buffer recorder and an
+  optional JSONL exporter.
+
+Both hang off one process-wide :class:`Telemetry` instance, :data:`OBS`
+(mirroring the Prometheus client's default registry).  It starts
+**disabled**: every instrumentation point in the engine guards on a cheap
+``enabled`` check, so the hot paths pay a single attribute load and branch
+until someone opts in:
+
+    from repro.obs import OBS
+    OBS.enable()                 # counters + histograms + spans
+    ...
+    print(OBS.metrics.exposition())
+    trees = build_span_trees(OBS.tracer.recorder.spans())
+
+Naming conventions (documented in DESIGN.md): metric names are
+``<subsystem>_<what>_<unit>`` with subsystems ``sql``, ``ledger``,
+``merkle``, ``wal``, ``txn``, ``block``, ``digest``, ``verify``,
+``recovery`` and ``engine``; span names are ``<subsystem>.<operation>``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.tracing import (
+    JsonlExporter,
+    RingBufferRecorder,
+    Span,
+    SpanNode,
+    Tracer,
+    build_span_trees,
+    render_span_tree,
+)
+
+__all__ = [
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "JsonlExporter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "OBS",
+    "RingBufferRecorder",
+    "Span",
+    "SpanNode",
+    "Telemetry",
+    "Timer",
+    "Tracer",
+    "build_span_trees",
+    "disable_telemetry",
+    "enable_telemetry",
+    "render_span_tree",
+    "telemetry",
+]
+
+
+class Telemetry:
+    """A metrics registry and a tracer sharing one on/off switch."""
+
+    def __init__(self, enabled: bool = False, trace_capacity: int = 4096) -> None:
+        self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(
+            recorder=RingBufferRecorder(capacity=trace_capacity),
+            enabled=enabled,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.tracer.enabled
+
+    def enable(self, metrics: bool = True, tracing: bool = True) -> None:
+        if metrics:
+            self.metrics.enable()
+        if tracing:
+            self.tracer.enable()
+
+    def disable(self) -> None:
+        self.metrics.disable()
+        self.tracer.disable()
+
+    def reset(self) -> None:
+        """Zero metric values and drop recorded spans; families survive."""
+        self.metrics.reset()
+        self.tracer.reset()
+
+
+#: The process-default telemetry instance all instrumented modules use.
+OBS = Telemetry()
+
+
+def telemetry() -> Telemetry:
+    """The process-default :class:`Telemetry` instance."""
+    return OBS
+
+
+def enable_telemetry(metrics: bool = True, tracing: bool = True) -> Telemetry:
+    OBS.enable(metrics=metrics, tracing=tracing)
+    return OBS
+
+
+def disable_telemetry() -> Telemetry:
+    OBS.disable()
+    return OBS

@@ -1,0 +1,297 @@
+"""Tracing: nested spans over the ledger pipeline with a ring-buffer sink.
+
+A :class:`Tracer` produces :class:`Span` records — monotonic start time,
+duration, parent span id, free-form attributes — via the ``with
+tracer.span("name"):`` context manager.  Nesting is tracked per thread, so a
+span opened inside another span's ``with`` block automatically becomes its
+child; the resulting trees reproduce the paper's pipeline decomposition
+(parse → execute → hash → wal.commit → block.append) for any statement.
+
+Finished spans go to a bounded :class:`RingBufferRecorder` (newest spans
+win) and optionally to a :class:`JsonlExporter` that appends one JSON object
+per span to a file for offline analysis.
+
+When the tracer is disabled — the default — ``span()`` returns a shared
+no-op context manager without touching the recorder, keeping the hot paths
+at a single branch of overhead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) operation in the pipeline."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_ns: int
+    duration_ns: int = 0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "attributes": self.attributes,
+        }
+
+
+class _NoopSpan:
+    """Shared, stateless stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class RingBufferRecorder:
+    """Keeps the most recent ``capacity`` finished spans."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        """Recorded spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class JsonlExporter:
+    """Appends each finished span as one JSON line to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+
+    def record(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), separators=(",", ":"), default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+class _ActiveSpan:
+    """Context manager driving one recorded span's lifecycle."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        span = self._span
+        span.duration_ns = time.monotonic_ns() - span.start_ns
+        if exc_type is not None:
+            span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(span)
+        self._tracer._emit(span)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self._span.set_attribute(key, value)
+
+
+class Tracer:
+    """Produces nested spans; disabled (and free) unless enabled."""
+
+    def __init__(
+        self,
+        recorder: Optional[RingBufferRecorder] = None,
+        enabled: bool = False,
+    ) -> None:
+        self.enabled = enabled
+        # Explicit None check: an empty recorder is falsy (it has __len__).
+        self.recorder = recorder if recorder is not None else RingBufferRecorder()
+        self._exporters: List[JsonlExporter] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self.recorder.clear()
+
+    def add_exporter(self, exporter: JsonlExporter) -> None:
+        self._exporters.append(exporter)
+
+    def remove_exporter(self, exporter: JsonlExporter) -> None:
+        self._exporters.remove(exporter)
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span; use as ``with tracer.span("wal.commit") as sp:``.
+
+        Returns a shared no-op context manager when tracing is disabled.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        parent = self.current_span()
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start_ns=time.monotonic_ns(),
+            attributes=dict(attributes) if attributes else {},
+        )
+        return _ActiveSpan(self, span)
+
+    def current_span(self) -> Optional[Span]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+
+    def _emit(self, span: Span) -> None:
+        self.recorder.record(span)
+        for exporter in self._exporters:
+            exporter.record(span)
+
+
+# ---------------------------------------------------------------------------
+# Span-tree helpers (used by tests and the shell)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpanNode:
+    """One node of a reconstructed span tree."""
+
+    span: Span
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+    def child_names(self) -> List[str]:
+        return [child.name for child in self.children]
+
+    def find(self, name: str) -> Optional["SpanNode"]:
+        """Depth-first search for the first node with the given name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+
+def build_span_trees(spans: Iterable[Span]) -> List[SpanNode]:
+    """Reassemble recorded spans into forests ordered by start time.
+
+    Spans whose parent is not in the input (e.g. evicted from the ring
+    buffer) become roots.
+    """
+    nodes = {span.span_id: SpanNode(span) for span in spans}
+    roots: List[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.span.parent_id)
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.span.start_ns)
+    roots.sort(key=lambda n: n.span.start_ns)
+    return roots
+
+
+def render_span_tree(roots: List[SpanNode]) -> str:
+    """ASCII rendering of span forests (used by the shell's ``\\spans``)."""
+    lines: List[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        indent = "  " * depth
+        ms = node.span.duration_ns / 1e6
+        attrs = ""
+        if node.span.attributes:
+            attrs = " " + ", ".join(
+                f"{k}={v}" for k, v in node.span.attributes.items()
+            )
+        lines.append(f"{indent}{node.name} ({ms:.3f}ms){attrs}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)

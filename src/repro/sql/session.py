@@ -8,6 +8,7 @@ names read the corresponding ledger view as a virtual table.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.engine.expressions import as_predicate
@@ -21,8 +22,21 @@ from repro.engine.schema import Column, IndexDefinition, TableSchema
 from repro.engine.transaction import Transaction
 from repro.engine.types import type_from_name
 from repro.errors import SqlBindError
+from repro.obs import OBS
 from repro.sql import ast
 from repro.sql.parser import parse
+
+_SQL_STATEMENTS = OBS.metrics.counter(
+    "sql_statements_total", "SQL statements executed, by statement kind",
+    ("kind",),
+)
+_SQL_PARSE_SECONDS = OBS.metrics.histogram(
+    "sql_parse_seconds", "SQL lex+parse latency"
+)
+_SQL_EXECUTE_SECONDS = OBS.metrics.histogram(
+    "sql_execute_seconds", "SQL bind+execute latency, by statement kind",
+    ("kind",),
+)
 
 
 class SqlSession:
@@ -43,9 +57,23 @@ class SqlSession:
         Returns rows (list of dicts) for SELECT, an affected-row count for
         DML, and None for DDL / transaction control.
         """
-        statement = parse(statement_text)
-        handler = self._HANDLERS[type(statement)]
-        return handler(self, statement)
+        tracer = OBS.tracer
+        with tracer.span("sql.statement") as stmt_span:
+            started = time.perf_counter()
+            with tracer.span("sql.parse"):
+                statement = parse(statement_text)
+            _SQL_PARSE_SECONDS.observe(time.perf_counter() - started)
+            kind = type(statement).__name__
+            stmt_span.set_attribute("kind", kind)
+            _SQL_STATEMENTS.labels(kind).inc()
+            handler = self._HANDLERS[type(statement)]
+            started = time.perf_counter()
+            with tracer.span("sql.execute", kind=kind):
+                result = handler(self, statement)
+            _SQL_EXECUTE_SECONDS.labels(kind).observe(
+                time.perf_counter() - started
+            )
+            return result
 
     # ------------------------------------------------------------------
     # Transaction control

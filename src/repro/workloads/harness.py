@@ -18,10 +18,17 @@ import gc
 import statistics
 import tempfile
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.ledger_database import LedgerDatabase
 from repro.engine.clock import LogicalClock
+from repro.obs import OBS
+
+_ROUND_SECONDS = OBS.metrics.histogram(
+    "harness_round_seconds",
+    "Wall time of one measured harness round, by experiment",
+    ("experiment",),
+)
 
 
 def _fresh_db(block_size: int = 100_000) -> LedgerDatabase:
@@ -33,17 +40,62 @@ def _fresh_db(block_size: int = 100_000) -> LedgerDatabase:
 
 
 def _median_rate(build: Callable[[], object], run: Callable[[object], int],
-                 rounds: int = 3) -> float:
-    """Median operations/second over ``rounds`` fresh-state measurements."""
+                 rounds: int = 3, experiment: str = "unnamed") -> float:
+    """Median operations/second over ``rounds`` fresh-state measurements.
+
+    Each measured round is timed through the telemetry histogram
+    ``harness_round_seconds`` (the :class:`~repro.obs.metrics.Timer` exposes
+    the same measurement it records), so per-phase breakdowns and reported
+    rates come from one clock.
+    """
     rates = []
+    histogram = _ROUND_SECONDS.labels(experiment)
     for _ in range(rounds):
         subject = build()
         gc.collect()
-        started = time.perf_counter()
-        operations = run(subject)
-        elapsed = time.perf_counter() - started
-        rates.append(operations / elapsed)
+        with histogram.time() as timer:
+            operations = run(subject)
+        rates.append(operations / timer.elapsed)
     return statistics.median(rates)
+
+
+def measure_with_breakdown(fn: Callable[[], Any]) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``fn`` bracketed by registry snapshots; return (result, delta).
+
+    The delta is the JSON-friendly diff of every counter/histogram the run
+    moved — the per-phase breakdown (rows hashed, Merkle nodes, WAL bytes,
+    commit/fsync latency sums...) for exactly that experiment.
+    """
+    before = OBS.metrics.snapshot()
+    result = fn()
+    return result, OBS.metrics.delta(before)
+
+
+def format_breakdown(delta: Dict[str, Any], indent: str = "  ") -> str:
+    """Render the pipeline-phase counters of one experiment's registry delta."""
+    lines = ["per-phase telemetry breakdown:"]
+    for name in sorted(delta):
+        family = delta[name]
+        for sample in family.get("samples", []):
+            labels = sample.get("labels") or {}
+            suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in labels.items()) + "}"
+                if labels else ""
+            )
+            if family["type"] == "histogram":
+                count, total = sample["count"], sample["sum"]
+                if not count:
+                    continue
+                lines.append(
+                    f"{indent}{name}{suffix}: n={count} "
+                    f"sum={total * 1000:.2f}ms "
+                    f"mean={total / count * 1e6:.1f}µs"
+                )
+            else:
+                value = sample["value"]
+                rendered = int(value) if float(value).is_integer() else value
+                lines.append(f"{indent}{name}{suffix}: {rendered}")
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------
@@ -83,10 +135,12 @@ def run_fig7(
         ("TPC-E", tpce_builder, tpce_transactions),
     ):
         ledger_tps = _median_rate(
-            builder(True), lambda w, n=transactions: (w.run(n), n)[1], rounds
+            builder(True), lambda w, n=transactions: (w.run(n), n)[1], rounds,
+            experiment=f"fig7.{name}.ledger",
         )
         regular_tps = _median_rate(
-            builder(False), lambda w, n=transactions: (w.run(n), n)[1], rounds
+            builder(False), lambda w, n=transactions: (w.run(n), n)[1], rounds,
+            experiment=f"fig7.{name}.regular",
         )
         results[name] = {
             "ledger_tps": ledger_tps,
@@ -155,7 +209,10 @@ def run_fig8(
                 ("INSERT", run_inserts), ("UPDATE", run_updates),
                 ("DELETE", run_deletes),
             ):
-                rate = _median_rate(build, runner, rounds)
+                rate = _median_rate(
+                    build, runner, rounds,
+                    experiment=f"fig8.{mode}.{operation}.idx{index_count}",
+                )
                 results[(operation, index_count, mode)] = 1e6 / rate  # µs/op
     return results
 
@@ -475,22 +532,93 @@ _EXPERIMENTS = {
 }
 
 
+def run_obs_baseline(path: str = "BENCH_obs_baseline.json") -> Dict[str, Any]:
+    """Reduced Fig. 7/8 run with telemetry on; write per-phase breakdowns.
+
+    The output JSON records, for each experiment, the headline numbers plus
+    the registry delta the run produced — the committed reference point for
+    'what does one benchmark run cost at each pipeline phase'.
+    """
+    import json
+
+    was_enabled = OBS.metrics.enabled
+    OBS.enable(metrics=True, tracing=False)
+    try:
+        fig7, fig7_delta = measure_with_breakdown(
+            lambda: run_fig7(tpcc_transactions=100, tpce_transactions=150,
+                             rounds=1)
+        )
+        fig8, fig8_delta = measure_with_breakdown(
+            lambda: run_fig8(index_counts=(0, 2), operations_per_round=60,
+                             rounds=1)
+        )
+    finally:
+        if not was_enabled:
+            OBS.metrics.disable()
+    payload = {
+        "note": (
+            "Reduced Fig7/Fig8 run with telemetry enabled; deltas are the "
+            "registry diff attributable to each experiment."
+        ),
+        "fig7": {
+            "results": fig7,
+            "telemetry_delta": fig7_delta,
+        },
+        "fig8": {
+            "results": {
+                f"{op}/idx{idx}/{mode}": us
+                for (op, idx, mode), us in fig8.items()
+            },
+            "telemetry_delta": fig8_delta,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's evaluation tables and figures."
     )
+    # No argparse `choices` here: with nargs="*" argparse also validates the
+    # default against them (bpo-9625), so membership is checked below.
     parser.add_argument(
-        "experiments", nargs="*",
-        choices=[*_EXPERIMENTS, "all"], default=["all"],
-        help="which experiments to run (default: all)",
+        "experiments", nargs="*", default=[],
+        help=f"which experiments to run (default: all): "
+             f"{', '.join([*_EXPERIMENTS, 'all'])}",
+    )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable metrics and print a per-phase breakdown per experiment",
+    )
+    parser.add_argument(
+        "--obs-baseline", metavar="PATH", default=None,
+        help="run the reduced telemetry baseline and write it to PATH",
     )
     args = parser.parse_args(argv)
-    chosen = list(_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    if args.obs_baseline:
+        run_obs_baseline(args.obs_baseline)
+        print(f"wrote {args.obs_baseline}")
+        return 0
+    if args.telemetry:
+        OBS.enable(metrics=True, tracing=False)
+    selected = args.experiments or ["all"]
+    unknown = [e for e in selected if e not in _EXPERIMENTS and e != "all"]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    chosen = list(_EXPERIMENTS) if "all" in selected else selected
     for name in chosen:
         print()
-        print(_EXPERIMENTS[name]())
+        if args.telemetry:
+            text, delta = measure_with_breakdown(_EXPERIMENTS[name])
+            print(text)
+            print(format_breakdown(delta))
+        else:
+            print(_EXPERIMENTS[name]())
     return 0
 
 

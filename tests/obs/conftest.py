@@ -1,0 +1,20 @@
+"""Shared fixtures for telemetry tests.
+
+Telemetry is process-global (``repro.obs.OBS``), so every test that enables
+it must also restore the disabled default — otherwise unrelated tests would
+observe counters from earlier tests.
+"""
+
+import pytest
+
+from repro.obs import OBS
+
+
+@pytest.fixture
+def telemetry():
+    """The process telemetry, enabled for this test and reset afterwards."""
+    OBS.reset()
+    OBS.enable()
+    yield OBS
+    OBS.reset()
+    OBS.disable()

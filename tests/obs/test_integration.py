@@ -1,0 +1,129 @@
+"""Telemetry wired through the whole pipeline: one INSERT's span tree,
+end-to-end counters, and verification progress reporting."""
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.engine.clock import LogicalClock
+from repro.obs.tracing import build_span_trees
+
+
+@pytest.fixture
+def db(tmp_path, telemetry):
+    """block_size=1 so every commit closes a block inside the commit span."""
+    database = LedgerDatabase.open(
+        str(tmp_path / "db"), block_size=1, clock=LogicalClock()
+    )
+    yield database
+    database.close()
+
+
+def create_table(db):
+    db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+           "WITH (LEDGER = ON)")
+
+
+class TestInsertSpanTree:
+    def test_insert_produces_full_pipeline_tree(self, db, telemetry):
+        create_table(db)
+        telemetry.tracer.reset()  # only the INSERT's spans
+        db.sql("INSERT INTO t (id, v) VALUES (1, 'x')")
+
+        roots = build_span_trees(db.trace_sink.spans())
+        statements = [r for r in roots if r.name == "sql.statement"]
+        assert len(statements) == 1
+        statement = statements[0]
+        assert statement.span.attributes["kind"] == "Insert"
+        assert statement.child_names() == ["sql.parse", "sql.execute"]
+
+        execute = statement.find("sql.execute")
+        assert execute.find("ledger.hash") is not None
+        commit = execute.find("txn.commit")
+        assert commit is not None
+        assert commit.find("ledger.pre_commit") is not None
+        assert commit.find("wal.commit") is not None
+        assert commit.find("block.append") is not None
+
+        hash_span = execute.find("ledger.hash").span
+        assert hash_span.attributes == {"table": "t", "op": "insert"}
+
+    def test_nesting_is_ordered(self, db, telemetry):
+        create_table(db)
+        telemetry.tracer.reset()
+        db.sql("INSERT INTO t (id, v) VALUES (1, 'x')")
+        (statement,) = [
+            r for r in build_span_trees(db.trace_sink.spans())
+            if r.name == "sql.statement"
+        ]
+        parse, execute = statement.children
+        assert parse.span.start_ns <= execute.span.start_ns
+        assert statement.span.duration_ns >= execute.span.duration_ns
+
+
+class TestEndToEndCounters:
+    def test_quickstart_traffic_moves_every_acceptance_counter(
+        self, db, telemetry
+    ):
+        create_table(db)
+        for i in range(5):
+            db.sql(f"INSERT INTO t (id, v) VALUES ({i}, 'x{i}')")
+        db.sql("UPDATE t SET v = 'y' WHERE id = 2")
+        db.sql("DELETE FROM t WHERE id = 3")
+        db.generate_digest()
+
+        metrics = db.get_metrics()
+
+        def value(name, *labels):
+            family = metrics.get(name)
+            return family.labels(*labels).value if labels else family.value
+
+        assert value("ledger_rows_hashed_total", "insert") >= 5
+        assert value("ledger_rows_hashed_total", "update") >= 1
+        assert value("ledger_rows_hashed_total", "delete") >= 1
+        assert value("merkle_nodes_built_total", "streaming") > 0
+        assert value("wal_bytes_appended_total") > 0
+        assert value("ledger_blocks_closed_total") > 0
+        assert value("digest_generated_total") >= 1
+        assert metrics.get("txn_commit_seconds").count > 0
+
+    def test_verification_counters_and_progress(self, db, telemetry):
+        create_table(db)
+        for i in range(4):
+            db.sql(f"INSERT INTO t (id, v) VALUES ({i}, 'x{i}')")
+        digest = db.generate_digest()
+
+        events = []
+        report = db.verify([digest], progress=events.append)
+        assert report.ok
+        metrics = db.get_metrics()
+        assert metrics.get("verify_runs_total").value == 1
+        assert metrics.get("verify_blocks_scanned_total").value > 0
+        assert metrics.get("verify_row_versions_scanned_total").value > 0
+
+        assert events, "the progress callback must be invoked at least once"
+        phases = [e.phase for e in events]
+        assert phases[0] == "digest"
+        assert set(phases) >= {
+            "digest", "chain", "block_root", "table_root", "index", "view",
+        }
+        assert all(0.0 <= e.fraction <= 1.0 for e in events)
+        assert "verify [" in str(events[0])
+
+    def test_invariant_timings_cover_all_six_checks(self, db, telemetry):
+        create_table(db)
+        db.sql("INSERT INTO t (id, v) VALUES (1, 'x')")
+        report = db.verify([db.generate_digest()])
+        assert list(report.invariant_timings) == [
+            "digest", "chain", "block_root", "table_root", "index", "view",
+        ]
+        assert all(s >= 0 for s in report.invariant_timings.values())
+        assert "invariant timings" in report.timing_summary()
+
+    def test_disabled_telemetry_records_nothing(self, db, telemetry):
+        telemetry.disable()
+        telemetry.reset()
+        create_table(db)
+        db.sql("INSERT INTO t (id, v) VALUES (1, 'x')")
+        metrics = db.get_metrics()
+        assert metrics.get("ledger_rows_hashed_total").labels("insert").value == 0
+        assert db.trace_sink.spans() == []

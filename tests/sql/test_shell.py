@@ -2,15 +2,24 @@
 
 import pytest
 
-from repro.__main__ import Shell, main
+from repro.__main__ import Shell, _print_rows, _render_value, main
 from repro.core.ledger_database import LedgerDatabase
 from repro.engine.clock import LogicalClock
+from repro.obs import OBS
 
 
 @pytest.fixture
 def shell(tmp_path):
     db = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
     return Shell(db)
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    """main() enables process telemetry; leave it as we found it."""
+    yield
+    OBS.reset()
+    OBS.disable()
 
 
 class TestOneShotCli:
@@ -77,3 +86,53 @@ class TestShellCommands:
     def test_checkpoint(self, shell, capsys):
         shell.run_command("\\checkpoint")
         assert "checkpoint" in capsys.readouterr().out
+
+    def test_stats_reports_disabled_without_telemetry(self, shell, capsys):
+        shell.run_command("\\stats")
+        assert "disabled" in capsys.readouterr().out
+
+    def test_stats_dumps_counters(self, shell, capsys):
+        OBS.enable()
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_sql("INSERT INTO t VALUES (1)")
+        shell.run_command("\\stats")
+        out = capsys.readouterr().out
+        assert "ledger_rows_hashed_total" in out
+        assert "sql_statements_total" in out
+
+    def test_trace_shows_statement_tree(self, shell, capsys):
+        OBS.enable()
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_sql("INSERT INTO t VALUES (1)")
+        shell.run_command("\\trace")
+        out = capsys.readouterr().out
+        assert "sql.statement" in out
+        assert "sql.execute" in out
+
+
+class TestNullRendering:
+    def test_render_value_maps_none_to_null(self):
+        assert _render_value(None) == "NULL"
+        assert _render_value(0) == "0"
+        assert _render_value("None") == "None"
+
+    def test_print_rows_renders_sql_null(self, capsys):
+        _print_rows([
+            {"id": 1, "note": None},
+            {"id": None, "note": "x"},
+        ])
+        out = capsys.readouterr().out
+        assert "NULL" in out
+        assert "None" not in out
+
+    def test_shell_select_shows_null(self, shell, capsys):
+        shell.run_sql(
+            "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10)) "
+            "WITH (LEDGER = ON)"
+        )
+        shell.run_sql("INSERT INTO t (id, v) VALUES (1, NULL)")
+        capsys.readouterr()
+        shell.run_sql("SELECT * FROM t")
+        out = capsys.readouterr().out
+        assert "NULL" in out
+        assert "None" not in out
