@@ -16,6 +16,11 @@ backslash prefix:
     \\ops                  table-operations audit view (Figure 6)
     \\stats                dump telemetry counters (Prometheus text format)
     \\trace [n]            show the span tree of the last n statements (default 1)
+    \\monitor start [sec] | stop | status
+                          continuous-verification watchdog (default 5s cadence)
+    \\serve [port]         HTTP observability endpoint (/metrics /healthz
+                          /events /ledger); port 0 = ephemeral
+    \\events [n]           show the last n structured ledger events (default 20)
     \\checkpoint           checkpoint the database
     \\help                 this text
     \\quit                 exit
@@ -110,12 +115,47 @@ class Shell:
                 print(self.db.get_metrics().exposition(), end="")
         elif command == "trace":
             self._print_traces(int(parts[1]) if len(parts) > 1 else 1)
+        elif command == "monitor":
+            self._run_monitor(parts[1:])
+        elif command == "serve":
+            server = self.db.start_obs_server(
+                port=int(parts[1]) if len(parts) > 1 else 0
+            )
+            print(f"observability endpoint listening on {server.url}")
+        elif command == "events":
+            count = int(parts[1]) if len(parts) > 1 else 20
+            events = OBS.events.tail(count)
+            if not events:
+                print("(no events recorded)")
+            for event in events:
+                print(event)
         elif command == "checkpoint":
             self.db.checkpoint()
             print("checkpoint complete")
         else:
             print(__doc__)
         return True
+
+    def _run_monitor(self, args: List[str]) -> None:
+        action = args[0].lower() if args else "status"
+        if action == "start":
+            interval = float(args[1]) if len(args) > 1 else 5.0
+            monitor = self.db.start_monitor(interval=interval)
+            print(
+                f"continuous verification running every {monitor.interval}s"
+            )
+        elif action == "stop":
+            self.db.stop_monitor()
+            print("monitor stopped")
+        elif action == "status":
+            monitor = self.db.monitor
+            if monitor is None:
+                print("monitor is not running (\\monitor start)")
+                return
+            for key, value in monitor.status().items():
+                print(f"  {key:<24} {value}")
+        else:
+            raise ValueError(f"unknown monitor action {action!r}")
 
     def _print_traces(self, count: int) -> None:
         from repro.obs.tracing import build_span_trees, render_span_tree

@@ -257,6 +257,10 @@ class DatabaseLedger:
             _BLOCKS_CLOSED.inc()
             _BLOCK_TRANSACTIONS.observe(block.transaction_count)
             _BLOCK_CLOSE_SECONDS.observe(time.perf_counter() - started)
+        OBS.events.emit(
+            "ledger", "block.closed",
+            block_id=block.block_id, transactions=block.transaction_count,
+        )
         return block
 
     def _previous_hash_for(self, block_id: int) -> Optional[bytes]:
@@ -304,6 +308,11 @@ class DatabaseLedger:
             )
         _DIGESTS_GENERATED.inc()
         _DIGEST_GENERATE_SECONDS.observe(time.perf_counter() - started)
+        OBS.events.emit(
+            "digest", "digest.generated",
+            block_id=digest.block_id,
+            block_hash=digest.block_hash.hex(),
+        )
         return digest
 
     def _last_commit_time_in_block(self, block_id: int) -> dt.datetime:
@@ -325,6 +334,11 @@ class DatabaseLedger:
     def latest_block(self) -> Optional[BlockRow]:
         all_blocks = self.blocks()
         return all_blocks[-1] if all_blocks else None
+
+    def latest_block_id(self) -> int:
+        """Highest closed block id; ``first_block_id() - 1`` when none."""
+        latest = self.latest_block()
+        return latest.block_id if latest else self.first_block_id() - 1
 
     def blocks(self) -> List[BlockRow]:
         """All closed blocks ordered by block id.

@@ -23,6 +23,7 @@ from __future__ import annotations
 import datetime as dt
 import os
 import shutil
+import threading
 import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -42,6 +43,7 @@ from repro.engine.table import Table
 from repro.engine.transaction import Transaction
 from repro.engine.types import BIGINT, INT, VARBINARY, VARCHAR
 from repro.errors import LedgerConfigurationError, TableNotFoundError
+from repro.obs import OBS
 
 CONFIG_TABLE = "__ledger_config"
 VIEWS_TABLE = "__ledger_views"
@@ -73,6 +75,12 @@ class LedgerDatabase:
         self.ledger = ledger
         self._signing_key = None
         self._sql_session = None
+        #: Coarse lock serializing ledger mutation against watchtower reads.
+        #: The engine is not thread-safe; the SQL session, the continuous
+        #: monitor and the observability server all take this lock.
+        self.ledger_lock = threading.RLock()
+        self._monitor = None
+        self._obs_server = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -104,9 +112,16 @@ class LedgerDatabase:
             payloads, state = hooks.take_recovery_data()
             ledger.recover(payloads, state)
             db._load_truncation_anchor()
+            OBS.events.emit(
+                "recovery", "recovery.ledger_recovered",
+                path=path, queued_entries=len(payloads),
+                open_block_id=ledger.open_block_id,
+            )
         return db
 
     def close(self) -> None:
+        self.stop_monitor()
+        self.stop_obs_server()
         self.engine.close()
 
     def checkpoint(self) -> None:
@@ -328,6 +343,10 @@ class LedgerDatabase:
             txn = self.begin(username="ledger_system")
             self._register_ledger_table(txn, table)
             self.commit(txn)
+        OBS.events.emit(
+            "schema", "schema.table_created",
+            table=table.name, ledger_type=ledger_type,
+        )
         return table
 
     def create_table(self, schema: TableSchema) -> Table:
@@ -357,6 +376,10 @@ class LedgerDatabase:
         )
         self.commit(txn)
         self._update_view_registration(f"{name}_ledger", table)
+        OBS.events.emit(
+            "schema", "schema.table_dropped",
+            table=name, renamed_to=dropped_name,
+        )
         return dropped_name
 
     def create_index(self, table_name: str, definition: IndexDefinition) -> None:
@@ -578,11 +601,61 @@ class LedgerDatabase:
         """The span recorder capturing pipeline traces (ring buffer)."""
         return self.telemetry.tracer.recorder
 
-    def enable_telemetry(self, metrics: bool = True, tracing: bool = True) -> None:
-        self.telemetry.enable(metrics=metrics, tracing=tracing)
+    def enable_telemetry(
+        self, metrics: bool = True, tracing: bool = True, events: bool = True
+    ) -> None:
+        self.telemetry.enable(metrics=metrics, tracing=tracing, events=events)
 
     def disable_telemetry(self) -> None:
         self.telemetry.disable()
+
+    # ------------------------------------------------------------------
+    # Watchtower: continuous monitor + observability server
+    # ------------------------------------------------------------------
+
+    @property
+    def monitor(self):
+        """The attached :class:`repro.obs.monitor.ContinuousVerifier`, if any."""
+        return self._monitor
+
+    @property
+    def obs_server(self):
+        """The attached :class:`repro.obs.server.ObservabilityServer`, if any."""
+        return self._obs_server
+
+    def start_monitor(self, interval: float = 5.0, **kwargs):
+        """Start (or return) the continuous-verification monitor thread."""
+        if self._monitor is not None and self._monitor.running:
+            return self._monitor
+        from repro.obs.monitor import ContinuousVerifier
+
+        self._monitor = ContinuousVerifier(self, interval=interval, **kwargs)
+        self._monitor.start()
+        return self._monitor
+
+    def stop_monitor(self) -> None:
+        if self._monitor is not None:
+            self._monitor.stop()
+            self._monitor = None
+
+    def start_obs_server(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start the HTTP observability endpoint; returns the server.
+
+        ``port=0`` binds an ephemeral port — read it back from
+        ``server.port`` after this returns.
+        """
+        if self._obs_server is not None and self._obs_server.running:
+            return self._obs_server
+        from repro.obs.server import ObservabilityServer
+
+        self._obs_server = ObservabilityServer(db=self, host=host, port=port)
+        self._obs_server.start()
+        return self._obs_server
+
+    def stop_obs_server(self) -> None:
+        if self._obs_server is not None:
+            self._obs_server.stop()
+            self._obs_server = None
 
     # ------------------------------------------------------------------
     # Receipts (§5.1)

@@ -28,6 +28,7 @@ from typing import Optional, Set
 
 from repro.core import system_columns as sc
 from repro.errors import TruncationError
+from repro.obs import OBS
 
 
 def truncate_ledger(db, through_block: int, note: Optional[str] = None) -> dict:
@@ -76,7 +77,7 @@ def truncate_ledger(db, through_block: int, note: Optional[str] = None) -> dict:
     ledger.set_anchor(through_block, anchor_hash)
     _record_truncation(db, through_block, cutoff_tid, anchor_hash, note)
 
-    return {
+    summary = {
         "truncated_through_block": through_block,
         "truncated_through_tid": cutoff_tid,
         "blocks_removed": blocks_removed,
@@ -84,6 +85,8 @@ def truncate_ledger(db, through_block: int, note: Optional[str] = None) -> dict:
         "history_rows_removed": history_removed,
         "live_rows_reanchored": reanchored,
     }
+    OBS.events.emit("truncation", "truncation.completed", **summary)
+    return summary
 
 
 def _reanchor_live_rows(db, truncated_tids: Set[int]) -> int:

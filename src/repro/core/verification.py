@@ -60,6 +60,11 @@ _VERIFY_ROWS_SCANNED = OBS.metrics.counter(
 _VERIFY_BLOCKS_SCANNED = OBS.metrics.counter(
     "verify_blocks_scanned_total", "Blocks examined during verification"
 )
+_CALLBACK_ERRORS = OBS.metrics.counter(
+    "obs_callback_errors_total",
+    "Exceptions raised by user-supplied observability callbacks",
+    ("kind",),
+)
 
 #: Row-scan granularity at which verification reports progress.
 PROGRESS_INTERVAL = 1000
@@ -213,6 +218,7 @@ class LedgerVerifier:
             self._progress = progress
         report = VerificationReport()
         _VERIFY_RUNS.inc()
+        OBS.events.emit("verify", "verify.started", digests=len(digests))
         with OBS.tracer.span("verify.run"):
             # Make every committed entry visible relationally first.
             self._ledger.flush_queue()
@@ -249,8 +255,22 @@ class LedgerVerifier:
                 with OBS.tracer.span(f"verify.{name}"):
                     check()
                 elapsed = time.perf_counter() - started
+                self._end_phase()
                 report.invariant_timings[name] = elapsed
                 _VERIFY_INVARIANT_SECONDS.labels(name).observe(elapsed)
+            self._emit_done()
+        for finding in report.findings:
+            OBS.events.emit(
+                "verify", "verify.finding",
+                invariant=finding.invariant, severity=finding.severity,
+                message=finding.message,
+            )
+        OBS.events.emit(
+            "verify", "verify.passed" if report.ok else "verify.failed",
+            blocks=report.blocks_verified,
+            transactions=report.transactions_verified,
+            errors=len(report.errors), warnings=len(report.warnings),
+        )
         return report
 
     # ------------------------------------------------------------------
@@ -279,10 +299,31 @@ class LedgerVerifier:
         ):
             self._emit_progress()
 
+    def _end_phase(self) -> None:
+        """Force a final progress event at 100% for the finished phase.
+
+        Phases whose unit total was unknown up front (row-version scans)
+        learn it here — it is whatever was scanned — so the final event
+        always reports ``current == total`` even when the unit count is not
+        a multiple of ``progress_interval``.
+        """
+        if self._phase_total is None or self._phase_total < self._phase_current:
+            self._phase_total = self._phase_current
+        self._phase_current = self._phase_total
+        self._emit_progress()
+
+    def _emit_done(self) -> None:
+        """Terminal progress event for the whole run (fraction == 1.0)."""
+        self._dispatch(
+            VerificationProgress(
+                phase="done",
+                phase_index=self._phase_count,
+                phase_count=self._phase_count,
+            )
+        )
+
     def _emit_progress(self) -> None:
-        if self._progress is None:
-            return
-        self._progress(
+        self._dispatch(
             VerificationProgress(
                 phase=self._phase,
                 phase_index=self._phase_index,
@@ -293,6 +334,19 @@ class LedgerVerifier:
             )
         )
 
+    def _dispatch(self, event: VerificationProgress) -> None:
+        """Deliver one progress event, absorbing callback failures.
+
+        A broken user callback must never abort a verification run; failures
+        are counted on ``obs_callback_errors_total{kind="progress"}``.
+        """
+        if self._progress is None:
+            return
+        try:
+            self._progress(event)
+        except Exception:
+            _CALLBACK_ERRORS.labels("progress").inc()
+
     # ------------------------------------------------------------------
     # Invariant 1 — digests match recomputed block hashes
     # ------------------------------------------------------------------
@@ -300,6 +354,7 @@ class LedgerVerifier:
     def _check_digests(self, report, digests, blocks) -> None:
         guid = self._db.database_guid
         for digest in digests:
+            self._advance()
             if digest.database_guid != guid:
                 report.findings.append(
                     Finding(
@@ -403,6 +458,7 @@ class LedgerVerifier:
             by_block.setdefault(entry.block_id, []).append(entry)
         open_block = self._ledger.open_block_id
         for block_id, block in sorted(blocks.items()):
+            self._advance()
             block_entries = sorted(
                 by_block.get(block_id, []), key=lambda e: e.ordinal
             )
@@ -587,6 +643,7 @@ class LedgerVerifier:
 
     def _check_indexes(self, report, tables) -> None:
         for table in tables:
+            self._advance()
             candidates = [table]
             history_id = table.options.get("history_table_id")
             if history_id is not None:

@@ -111,11 +111,25 @@ class DigestManager:
         """
         with OBS.tracer.span("digest.upload"):
             digest = self._db.generate_digest()
-            if self._geo is not None and not self._geo.check_issuable(
-                digest.last_transaction_commit_time
-            ):
-                _DIGEST_UPLOADS.labels("deferred").inc()
-                return None
+            if self._geo is not None:
+                try:
+                    issuable = self._geo.check_issuable(
+                        digest.last_transaction_commit_time
+                    )
+                except ReplicationLagError as exc:
+                    OBS.events.emit(
+                        "digest", "digest.skipped",
+                        reason="replication_lag", block_id=digest.block_id,
+                        detail=str(exc),
+                    )
+                    raise
+                if not issuable:
+                    _DIGEST_UPLOADS.labels("deferred").inc()
+                    OBS.events.emit(
+                        "digest", "digest.skipped",
+                        reason="replication_deferred", block_id=digest.block_id,
+                    )
+                    return None
             previous = self.latest_digest()
             if previous is not None and previous.block_id <= digest.block_id:
                 headers = (
@@ -127,6 +141,12 @@ class DigestManager:
                 )
                 if not verify_digest_chain(previous, digest, headers):
                     _DIGEST_UPLOADS.labels("fork_detected").inc()
+                    OBS.events.emit(
+                        "tamper", "tamper.detected",
+                        source="digest_fork",
+                        previous_block=previous.block_id,
+                        block_id=digest.block_id,
+                    )
                     raise LedgerError(
                         "fork detected: the new digest does not derive from "
                         "the previously uploaded digest — the ledger has "
@@ -135,11 +155,19 @@ class DigestManager:
             name = self._blob_name(digest)
             if self._storage.exists(self._container, name):
                 _DIGEST_UPLOADS.labels("duplicate").inc()
+                OBS.events.emit(
+                    "digest", "digest.skipped",
+                    reason="duplicate", block_id=digest.block_id,
+                )
             else:
                 self._storage.put(
                     self._container, name, digest.to_json().encode("utf-8")
                 )
                 _DIGEST_UPLOADS.labels("stored").inc()
+                OBS.events.emit(
+                    "digest", "digest.uploaded",
+                    block_id=digest.block_id, blob=name,
+                )
             return digest
 
     def _blob_name(self, digest: DatabaseDigest) -> str:

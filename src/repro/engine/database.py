@@ -231,6 +231,11 @@ class Database:
             if ledger_payload is not None:
                 self._hooks.on_recovered_commit(ledger_payload)
         self._hooks.on_recovery_complete(self.recovered_ledger_state)
+        OBS.events.emit(
+            "recovery", "recovery.completed",
+            path=self.path, records_replayed=redo_count,
+            tables=len(self._tables), committed_transactions=len(committed),
+        )
 
     def close(self) -> None:
         """Checkpoint and release file handles."""

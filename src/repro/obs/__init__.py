@@ -8,9 +8,14 @@ instrumentation to measure that decomposition directly:
 * :mod:`repro.obs.metrics` — thread-safe counters, gauges and fixed-bucket
   histograms with Prometheus text exposition and JSON snapshot/delta export;
 * :mod:`repro.obs.tracing` — nested spans with a ring-buffer recorder and an
-  optional JSONL exporter.
+  optional JSONL exporter;
+* :mod:`repro.obs.events` — structured, append-only event log covering the
+  ledger lifecycle (blocks, digests, verification, tampering), feeding the
+  watchtower monitor (:mod:`repro.obs.monitor`) and the HTTP endpoint
+  (:mod:`repro.obs.server`).  The monitor and server are imported lazily by
+  their consumers — not here — to keep this package import-cycle free.
 
-Both hang off one process-wide :class:`Telemetry` instance, :data:`OBS`
+All hang off one process-wide :class:`Telemetry` instance, :data:`OBS`
 (mirroring the Prometheus client's default registry).  It starts
 **disabled**: every instrumentation point in the engine guards on a cheap
 ``enabled`` check, so the hot paths pay a single attribute load and branch
@@ -30,6 +35,7 @@ Naming conventions (documented in DESIGN.md): metric names are
 
 from __future__ import annotations
 
+from repro.obs.events import EVENT_SCHEMA_VERSION, Event, EventLog
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -50,6 +56,9 @@ from repro.obs.tracing import (
 __all__ = [
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "EVENT_SCHEMA_VERSION",
+    "Event",
+    "EventLog",
     "JsonlExporter",
     "MetricFamily",
     "MetricsRegistry",
@@ -69,33 +78,45 @@ __all__ = [
 
 
 class Telemetry:
-    """A metrics registry and a tracer sharing one on/off switch."""
+    """A metrics registry, a tracer and an event log sharing one switch."""
 
-    def __init__(self, enabled: bool = False, trace_capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        enabled: bool = False,
+        trace_capacity: int = 4096,
+        event_capacity: int = 4096,
+    ) -> None:
         self.metrics = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(
             recorder=RingBufferRecorder(capacity=trace_capacity),
             enabled=enabled,
         )
+        self.events = EventLog(capacity=event_capacity, enabled=enabled)
 
     @property
     def enabled(self) -> bool:
-        return self.metrics.enabled or self.tracer.enabled
+        return self.metrics.enabled or self.tracer.enabled or self.events.enabled
 
-    def enable(self, metrics: bool = True, tracing: bool = True) -> None:
+    def enable(
+        self, metrics: bool = True, tracing: bool = True, events: bool = True
+    ) -> None:
         if metrics:
             self.metrics.enable()
         if tracing:
             self.tracer.enable()
+        if events:
+            self.events.enable()
 
     def disable(self) -> None:
         self.metrics.disable()
         self.tracer.disable()
+        self.events.disable()
 
     def reset(self) -> None:
-        """Zero metric values and drop recorded spans; families survive."""
+        """Zero metric values, drop recorded spans and buffered events."""
         self.metrics.reset()
         self.tracer.reset()
+        self.events.reset()
 
 
 #: The process-default telemetry instance all instrumented modules use.
@@ -107,8 +128,10 @@ def telemetry() -> Telemetry:
     return OBS
 
 
-def enable_telemetry(metrics: bool = True, tracing: bool = True) -> Telemetry:
-    OBS.enable(metrics=metrics, tracing=tracing)
+def enable_telemetry(
+    metrics: bool = True, tracing: bool = True, events: bool = True
+) -> Telemetry:
+    OBS.enable(metrics=metrics, tracing=tracing, events=events)
     return OBS
 
 

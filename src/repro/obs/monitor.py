@@ -1,0 +1,356 @@
+"""Continuous verification: the watchtower's background verifier thread.
+
+The paper treats verification as something a user runs on demand; GlassDB
+and operational practice argue it must be *continuous* — a watchdog that
+re-verifies the ledger on a cadence and raises the alarm the moment an
+invariant stops holding.  :class:`ContinuousVerifier` is that watchdog:
+
+* every ``interval`` seconds it captures a digest of the current chain tip
+  (or calls a user-supplied ``digest_func`` that, say, pulls trusted digests
+  from blob storage), accumulates the captured digests as its trusted set,
+  and runs full ledger verification against them;
+* it tracks ``verified_through_block`` versus the current block height and
+  publishes the difference as the **verification lag** gauge — how many
+  closed blocks the watchdog has not yet vouched for;
+* it watches the table-operations view for new DROPs, catching the §3.5.2
+  drop-and-recreate swap that legitimately *passes* verification;
+* on any failure it emits a ``tamper.detected`` event, flips
+  :attr:`healthy` to False (surfacing as HTTP 503 on ``/healthz``) and
+  dispatches user-registered alert hooks.
+
+Alert hooks and the progress callback are guarded: a broken callback is
+counted on ``obs_callback_errors_total`` and never kills the monitor.
+
+The monitor serializes with SQL traffic through ``db.ledger_lock`` — the
+storage engine is single-threaded by design, so the watchdog takes the same
+coarse lock the SQL session does.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import DigestError, ReplicationLagError
+from repro.obs import OBS
+
+_MONITOR_CYCLES = OBS.metrics.counter(
+    "monitor_cycles_total",
+    "Continuous-verification cycles, by outcome "
+    "(passed, failed, skipped, idle, error)",
+    ("outcome",),
+)
+_MONITOR_CYCLE_SECONDS = OBS.metrics.histogram(
+    "monitor_cycle_seconds", "Wall time of one continuous-verification cycle"
+)
+_VERIFICATION_LAG = OBS.metrics.gauge(
+    "monitor_verification_lag_blocks",
+    "Closed blocks not yet covered by a passing verification",
+)
+_VERIFIED_THROUGH = OBS.metrics.gauge(
+    "monitor_verified_through_block",
+    "Highest block id covered by the last passing verification",
+)
+_BLOCK_HEIGHT = OBS.metrics.gauge(
+    "ledger_block_height", "Highest closed block id in the ledger"
+)
+_TAMPER_DETECTED = OBS.metrics.counter(
+    "monitor_tamper_detected_total",
+    "Tamper detections raised by the continuous monitor",
+)
+_CALLBACK_ERRORS = OBS.metrics.counter(
+    "obs_callback_errors_total",
+    "Exceptions raised by user-supplied observability callbacks",
+    ("kind",),
+)
+
+#: An alert hook receives (verdict: str, details: dict).
+AlertHook = Callable[[str, Dict[str, Any]], None]
+
+#: Trusted digests kept per monitor; the chain invariant covers every block
+#: regardless, so older digests add cost without adding detection power.
+TRUSTED_WINDOW = 16
+
+
+class ContinuousVerifier:
+    """Background thread re-verifying the ledger on a fixed cadence."""
+
+    def __init__(
+        self,
+        db,
+        interval: float = 5.0,
+        digest_func: Optional[Callable[[], Any]] = None,
+        alert_hooks: Sequence[AlertHook] = (),
+        table_names: Optional[Sequence[str]] = None,
+        watch_table_drops: bool = True,
+        stderr_alerts: bool = True,
+        capture_digests: bool = True,
+    ) -> None:
+        self._db = db
+        self.interval = interval
+        self._digest_func = digest_func
+        self._alert_hooks: List[AlertHook] = list(alert_hooks)
+        self._table_names = list(table_names) if table_names else None
+        self._watch_table_drops = watch_table_drops
+        self._stderr_alerts = stderr_alerts
+        self._capture_digests = capture_digests
+        self._trusted: List[Any] = []
+        self._known_drops: Optional[set] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._cycle_done = threading.Condition()
+        self.cycles = 0
+        self.failures = 0
+        self.last_verdict = "unknown"
+        self.verified_through_block = -1
+        self.block_height = -1
+        self.last_findings: List[str] = []
+        self.last_cycle_seconds = 0.0
+        self.last_error: Optional[str] = None
+        # The monitor *is* the consumer of the event trail: turn it on.
+        OBS.events.enable()
+
+    # ------------------------------------------------------------------
+    # Thread lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def healthy(self) -> bool:
+        """False once a cycle has failed verification (until acknowledged)."""
+        return self.last_verdict != "failed"
+
+    def start(self) -> "ContinuousVerifier":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="ledger-monitor", daemon=True
+        )
+        self._thread.start()
+        OBS.events.emit("monitor", "monitor.started", interval=self.interval)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        self._thread = None
+        OBS.events.emit("monitor", "monitor.stopped", cycles=self.cycles)
+
+    def add_alert_hook(self, hook: AlertHook) -> None:
+        self._alert_hooks.append(hook)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.run_cycle()
+            self._stop.wait(self.interval)
+
+    # ------------------------------------------------------------------
+    # One verification cycle
+    # ------------------------------------------------------------------
+
+    def run_cycle(self) -> str:
+        """Run one capture + verify pass; returns the cycle outcome."""
+        started = time.perf_counter()
+        try:
+            with self._db.ledger_lock:
+                outcome = self._cycle_locked()
+        except Exception as exc:  # the watchdog itself must not die
+            outcome = "error"
+            self.last_error = f"{type(exc).__name__}: {exc}"
+        self.last_cycle_seconds = time.perf_counter() - started
+        self.cycles += 1
+        _MONITOR_CYCLES.labels(outcome).inc()
+        _MONITOR_CYCLE_SECONDS.observe(self.last_cycle_seconds)
+        with self._cycle_done:
+            self._cycle_done.notify_all()
+        return outcome
+
+    def _cycle_locked(self) -> str:
+        captured = self._capture_digest()
+        if captured == "skipped":
+            return "skipped"
+        self.block_height = self._db.ledger.latest_block_id()
+        _BLOCK_HEIGHT.set(max(self.block_height, 0))
+        self._publish_lag()
+
+        verdict_details: Dict[str, Any] = {}
+        failed = False
+        if self._trusted:
+            report = self._db.verify(
+                self._trusted,
+                table_names=self._table_names,
+                progress=self._on_progress,
+            )
+            if report.ok:
+                self.verified_through_block = max(
+                    d.block_id for d in self._trusted
+                )
+                _VERIFIED_THROUGH.set(self.verified_through_block)
+            else:
+                failed = True
+                self.last_findings = [str(f) for f in report.errors]
+                verdict_details = {
+                    "source": "verification",
+                    "findings": self.last_findings[:10],
+                }
+        drops = self._check_table_drops()
+        if drops:
+            failed = True
+            self.last_findings = [
+                f"unexpected DROP of ledger table {name!r}" for name in drops
+            ]
+            verdict_details = {
+                "source": "table_ops",
+                "dropped_tables": sorted(drops),
+            }
+        self._publish_lag()
+
+        if failed:
+            self.failures += 1
+            self.last_verdict = "failed"
+            _TAMPER_DETECTED.inc()
+            OBS.events.emit("tamper", "tamper.detected", **verdict_details)
+            self._dispatch_alerts("failed", verdict_details)
+            return "failed"
+        if not self._trusted:
+            self.last_verdict = "idle"
+            return "idle"
+        self.last_verdict = "passed"
+        self.last_findings = []
+        return "passed"
+
+    def _capture_digest(self) -> Optional[str]:
+        """Extend the trusted digest set; 'skipped' aborts this cycle."""
+        try:
+            if self._digest_func is not None:
+                digest = self._digest_func()
+            elif self._capture_digests:
+                digest = self._db.generate_digest()
+            else:
+                return None
+        except DigestError:
+            return None  # empty ledger: nothing to verify yet
+        except ReplicationLagError:
+            OBS.events.emit(
+                "monitor", "monitor.cycle_skipped", reason="replication_lag"
+            )
+            return "skipped"
+        if digest is None:
+            return None
+        if not self._trusted or digest.block_id > self._trusted[-1].block_id:
+            self._trusted.append(digest)
+            del self._trusted[:-TRUSTED_WINDOW]
+        return None
+
+    def _check_table_drops(self) -> set:
+        """New DROP entries in the table-operations view since the baseline.
+
+        The §3.5.2 drop-and-recreate swap passes verification by design; the
+        paper's answer is the table-operations view (Figure 6), so the
+        watchdog reads it every cycle and alerts on drops it has not been
+        told about.  Drops present when the monitor started are assumed
+        intended.
+        """
+        if not self._watch_table_drops:
+            return set()
+        drops = {
+            op["table_name"]
+            for op in self._db.table_operations_view()
+            if op["operation"] == "DROP"
+        }
+        if self._known_drops is None:
+            self._known_drops = drops
+            return set()
+        new = drops - self._known_drops
+        return new
+
+    def acknowledge_table_drops(self) -> None:
+        """Accept all current DROPs (and a failed verdict caused by them)."""
+        with self._db.ledger_lock:
+            self._known_drops = {
+                op["table_name"]
+                for op in self._db.table_operations_view()
+                if op["operation"] == "DROP"
+            }
+        if self.last_verdict == "failed":
+            self.last_verdict = "unknown"
+            self.last_findings = []
+
+    def _publish_lag(self) -> None:
+        _VERIFICATION_LAG.set(self.verification_lag)
+
+    @property
+    def verification_lag(self) -> int:
+        """Closed blocks beyond the last block a passing run covered."""
+        if self.block_height < 0:
+            return 0
+        return max(0, self.block_height - self.verified_through_block)
+
+    # ------------------------------------------------------------------
+    # Alerting and progress
+    # ------------------------------------------------------------------
+
+    def _dispatch_alerts(self, verdict: str, details: Dict[str, Any]) -> None:
+        if self._stderr_alerts:
+            print(
+                f"[ledger-monitor] TAMPER DETECTED ({details.get('source')}): "
+                f"{'; '.join(self.last_findings[:3]) or details}",
+                file=sys.stderr,
+            )
+        for hook in self._alert_hooks:
+            try:
+                hook(verdict, details)
+            except Exception:
+                _CALLBACK_ERRORS.labels("alert").inc()
+
+    def _on_progress(self, event) -> None:
+        # Reserved for surfacing long verifications; kept cheap on purpose.
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection / test support
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "running": self.running,
+            "healthy": self.healthy,
+            "interval": self.interval,
+            "cycles": self.cycles,
+            "failures": self.failures,
+            "last_verdict": self.last_verdict,
+            "verified_through_block": self.verified_through_block,
+            "block_height": self.block_height,
+            "verification_lag": self.verification_lag,
+            "trusted_digests": len(self._trusted),
+            "last_findings": self.last_findings,
+            "last_cycle_seconds": self.last_cycle_seconds,
+            "last_error": self.last_error,
+        }
+
+    def wait_for_cycle(self, timeout: float = 10.0) -> bool:
+        """Block until the next cycle completes (False on timeout)."""
+        with self._cycle_done:
+            return self._cycle_done.wait(timeout)
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: float = 10.0
+    ) -> bool:
+        """Block until ``predicate()`` holds, re-checked after every cycle."""
+        deadline = time.monotonic() + timeout
+        if predicate():
+            return True
+        with self._cycle_done:
+            while time.monotonic() < deadline:
+                self._cycle_done.wait(min(0.25, timeout))
+                if predicate():
+                    return True
+        return predicate()

@@ -1,0 +1,202 @@
+"""HTTP observability endpoint: metrics, health, events and ledger state.
+
+A stdlib-only (`http.server`) endpoint exposing the watchtower to external
+scrapers and dashboards:
+
+* ``GET /metrics`` — Prometheus text exposition of the process registry;
+* ``GET /healthz`` — JSON liveness + the monitor's last verification
+  verdict; returns **503** once the continuous monitor has detected
+  tampering, so ordinary HTTP health checking doubles as tamper alerting;
+* ``GET /events?since=N&category=...&name=...&limit=K`` — the structured
+  event log, filtered and paginated by sequence number;
+* ``GET /ledger`` — chain summary: block height, pending entries, digest
+  and verification lag.
+
+The server binds 127.0.0.1 by default and serves from a daemon thread;
+``port=0`` picks an ephemeral port (read back via :attr:`port`), which is
+what the tests use.  Reads touching the database take ``db.ledger_lock``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import OBS
+
+
+class ObservabilityServer:
+    """Serves /metrics, /healthz, /events and /ledger over HTTP."""
+
+    def __init__(
+        self,
+        db=None,
+        monitor=None,
+        event_log=None,
+        metrics=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._db = db
+        self._monitor = monitor
+        self._event_log = event_log if event_log is not None else OBS.events
+        self._metrics = metrics if metrics is not None else OBS.metrics
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._httpd is not None
+
+    def start(self) -> "ObservabilityServer":
+        if self.running:
+            return self
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="obs-server", daemon=True
+        )
+        self._thread.start()
+        OBS.events.emit(
+            "monitor", "server.started", host=self.host, port=self.port
+        )
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        OBS.events.emit("monitor", "server.stopped", port=self.port)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _resolve_monitor(self):
+        """The explicit monitor, else whatever is attached to the db now.
+
+        Resolved per request so a monitor started *after* the server still
+        shows up on /healthz.
+        """
+        if self._monitor is not None:
+            return self._monitor
+        if self._db is not None:
+            return getattr(self._db, "monitor", None)
+        return None
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, format: str, *args: Any) -> None:
+                return  # keep test output and shells quiet
+
+            def do_GET(self) -> None:
+                parsed = urlparse(self.path)
+                query = parse_qs(parsed.query)
+                try:
+                    if parsed.path == "/metrics":
+                        self._send(
+                            200,
+                            server._metrics.exposition(),
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    elif parsed.path == "/healthz":
+                        status, body = server._render_health()
+                        self._send_json(status, body)
+                    elif parsed.path == "/events":
+                        self._send_json(200, server._render_events(query))
+                    elif parsed.path == "/ledger":
+                        self._send_json(200, server._render_ledger())
+                    else:
+                        self._send_json(404, {"error": "not found"})
+                except Exception as exc:
+                    self._send_json(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+
+            def _send(self, status: int, body: str, content_type: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+                self._send(
+                    status,
+                    json.dumps(body, indent=2, default=str),
+                    "application/json",
+                )
+
+        return Handler
+
+    # ------------------------------------------------------------------
+    # Endpoint renderers
+    # ------------------------------------------------------------------
+
+    def _render_health(self):
+        monitor = self._resolve_monitor()
+        if monitor is None:
+            return 200, {"status": "ok", "monitor": "not-running"}
+        status = monitor.status()
+        if not monitor.healthy:
+            return 503, {"status": "tamper-detected", "monitor": status}
+        return 200, {"status": "ok", "monitor": status}
+
+    def _render_events(self, query) -> Dict[str, Any]:
+        def _first(key: str) -> Optional[str]:
+            values = query.get(key)
+            return values[0] if values else None
+
+        since = int(_first("since") or -1)
+        limit = int(_first("limit") or 256)
+        events = self._event_log.read(
+            since=since,
+            category=_first("category"),
+            name=_first("name"),
+            limit=limit,
+        )
+        return {
+            "events": [event.to_dict() for event in events],
+            "next_since": events[-1].seq if events else since,
+        }
+
+    def _render_ledger(self) -> Dict[str, Any]:
+        if self._db is None:
+            return {"error": "no database attached"}
+        monitor = self._resolve_monitor()
+        with self._db.ledger_lock:
+            ledger = self._db.ledger
+            body: Dict[str, Any] = {
+                "block_height": ledger.latest_block_id(),
+                "open_block_id": ledger.open_block_id,
+                "pending_entries": ledger.pending_entries,
+                "block_size": ledger.block_size,
+            }
+        if monitor is not None:
+            body["verified_through_block"] = monitor.verified_through_block
+            body["verification_lag"] = monitor.verification_lag
+            body["last_verdict"] = monitor.last_verdict
+        return body

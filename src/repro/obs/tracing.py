@@ -37,6 +37,9 @@ class Span:
     start_ns: int
     duration_ns: int = 0
     attributes: Dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock start (epoch seconds) so exported traces can be correlated
+    #: with the structured event log; 0.0 when unknown (legacy spans).
+    start_unix: float = 0.0
 
     def set_attribute(self, key: str, value: Any) -> None:
         self.attributes[key] = value
@@ -51,6 +54,7 @@ class Span:
             "parent_id": self.parent_id,
             "name": self.name,
             "start_ns": self.start_ns,
+            "start_unix": self.start_unix,
             "duration_ns": self.duration_ns,
             "attributes": self.attributes,
         }
@@ -196,6 +200,7 @@ class Tracer:
             name=name,
             start_ns=time.monotonic_ns(),
             attributes=dict(attributes) if attributes else {},
+            start_unix=time.time(),
         )
         return _ActiveSpan(self, span)
 
@@ -288,7 +293,12 @@ def render_span_tree(roots: List[SpanNode]) -> str:
             attrs = " " + ", ".join(
                 f"{k}={v}" for k, v in node.span.attributes.items()
             )
-        lines.append(f"{indent}{node.name} ({ms:.3f}ms){attrs}")
+        stamp = ""
+        if node.span.start_unix:
+            wall = time.localtime(node.span.start_unix)
+            millis = int((node.span.start_unix % 1) * 1000)
+            stamp = time.strftime(" @%H:%M:%S", wall) + f".{millis:03d}"
+        lines.append(f"{indent}{node.name} ({ms:.3f}ms){stamp}{attrs}")
         for child in node.children:
             visit(child, depth + 1)
 

@@ -58,7 +58,9 @@ class SqlSession:
         DML, and None for DDL / transaction control.
         """
         tracer = OBS.tracer
-        with tracer.span("sql.statement") as stmt_span:
+        # Serialize against the watchtower monitor and observability server:
+        # the storage engine itself is not thread-safe.
+        with self._db.ledger_lock, tracer.span("sql.statement") as stmt_span:
             started = time.perf_counter()
             with tracer.span("sql.parse"):
                 statement = parse(statement_text)

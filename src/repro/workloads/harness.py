@@ -50,12 +50,18 @@ def _median_rate(build: Callable[[], object], run: Callable[[object], int],
     """
     rates = []
     histogram = _ROUND_SECONDS.labels(experiment)
-    for _ in range(rounds):
+    for round_index in range(rounds):
         subject = build()
         gc.collect()
         with histogram.time() as timer:
             operations = run(subject)
         rates.append(operations / timer.elapsed)
+        OBS.events.emit(
+            "harness", "harness.round",
+            experiment=experiment, round=round_index,
+            operations=operations, seconds=timer.elapsed,
+            rate=operations / timer.elapsed,
+        )
     return statistics.median(rates)
 
 
@@ -599,7 +605,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--obs-baseline", metavar="PATH", default=None,
         help="run the reduced telemetry baseline and write it to PATH",
     )
+    parser.add_argument(
+        "--events-out", metavar="PATH", default=None,
+        help="append structured ledger events (harness.round, block.closed, "
+             "...) as JSONL to PATH",
+    )
     args = parser.parse_args(argv)
+    if args.events_out:
+        OBS.events.attach_file(args.events_out)
+        OBS.events.enable()
     if args.obs_baseline:
         run_obs_baseline(args.obs_baseline)
         print(f"wrote {args.obs_baseline}")

@@ -1,0 +1,157 @@
+"""Event-log unit tests: schema, filters, persistence, rotation, concurrency."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import OBS
+from repro.obs.events import EVENT_SCHEMA_VERSION, Event, EventLog
+
+
+class TestEventRecord:
+    def test_roundtrip(self):
+        event = Event(
+            seq=7, ts=1722800000.5, category="ledger", name="block.closed",
+            payload={"block_id": 3, "transactions": 12},
+        )
+        again = Event.from_dict(json.loads(json.dumps(event.to_dict())))
+        assert again == event
+        assert again.schema == EVENT_SCHEMA_VERSION
+
+    def test_str_contains_name_and_payload(self):
+        event = Event(seq=1, ts=0.0, category="digest",
+                      name="digest.generated", payload={"block_id": 5})
+        text = str(event)
+        assert "digest.generated" in text
+        assert "block_id=5" in text
+
+
+class TestEventLog:
+    def test_disabled_by_default(self):
+        log = EventLog()
+        assert log.emit("ledger", "block.closed") is None
+        assert log.read() == []
+
+    def test_emit_assigns_monotonic_sequence(self):
+        log = EventLog(enabled=True)
+        first = log.emit("a", "x")
+        second = log.emit("a", "y")
+        assert (first.seq, second.seq) == (0, 1)
+
+    def test_read_filters(self):
+        log = EventLog(enabled=True)
+        log.emit("ledger", "block.closed", block_id=0)
+        log.emit("digest", "digest.generated", block_id=0)
+        log.emit("ledger", "block.closed", block_id=1)
+        assert [e.payload["block_id"]
+                for e in log.read(category="ledger")] == [0, 1]
+        assert len(log.read(name="digest.generated")) == 1
+        assert [e.seq for e in log.read(since=0)] == [1, 2]
+        assert [e.seq for e in log.read(limit=2)] == [0, 1]
+
+    def test_tail_returns_newest(self):
+        log = EventLog(enabled=True)
+        for i in range(10):
+            log.emit("a", "x", i=i)
+        assert [e.payload["i"] for e in log.tail(3)] == [7, 8, 9]
+
+    def test_memory_ring_is_bounded(self):
+        log = EventLog(capacity=4, enabled=True)
+        for i in range(10):
+            log.emit("a", "x", i=i)
+        assert [e.payload["i"] for e in log.read()] == [6, 7, 8, 9]
+
+    def test_file_persistence_and_readback(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(capacity=2, enabled=True)  # tiny ring: disk must serve
+        log.attach_file(path)
+        for i in range(8):
+            log.emit("a", "x", i=i)
+        assert [e.payload["i"] for e in log.read()] == list(range(8))
+        with open(path, encoding="utf-8") as fh:
+            assert len(fh.readlines()) == 8
+
+    def test_reset_restarts_sequence(self):
+        log = EventLog(enabled=True)
+        log.emit("a", "x")
+        log.reset()
+        assert log.emit("a", "y").seq == 0
+
+    def test_nonserializable_payload_degrades_to_str(self, tmp_path):
+        log = EventLog(enabled=True)
+        log.attach_file(str(tmp_path / "events.jsonl"))
+        log.emit("a", "x", anchor=b"\x01\x02")
+        (event,) = log.read()
+        assert "\\x01" in event.payload["anchor"] or "1" in event.payload["anchor"]
+
+
+class TestRotation:
+    def test_rotation_produces_segments(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(capacity=4, enabled=True)
+        log.attach_file(path, max_bytes=256, max_segments=4)
+        for i in range(40):
+            log.emit("a", "x", i=i)
+        assert log.rotations > 0
+        assert len(log.segment_paths()) > 1
+
+    def test_oldest_segment_is_discarded(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(enabled=True)
+        log.attach_file(path, max_bytes=128, max_segments=2)
+        for i in range(200):
+            log.emit("a", "x", i=i)
+        assert len(log.segment_paths()) <= 3  # live + at most 2 rotated
+        # The retained trail is the *newest* suffix of the sequence.
+        seqs = [e.seq for e in log.read()]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 199
+
+    def test_concurrent_emitters_across_rotated_segments(self, tmp_path):
+        """N threads x M events -> exactly N*M records, strictly increasing
+        seq, reassembled in order across rotated segments."""
+        threads_n, events_m = 8, 50
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(capacity=16, enabled=True)  # ring far too small
+        log.attach_file(path, max_bytes=2048, max_segments=64)
+        barrier = threading.Barrier(threads_n)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for i in range(events_m):
+                log.emit("worker", "tick", worker=worker_id, i=i)
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        events = log.read()
+        assert len(events) == threads_n * events_m
+        assert [e.seq for e in events] == list(range(threads_n * events_m))
+        assert log.rotations > 0
+        # Per-thread emission order survives the global interleaving.
+        for worker_id in range(threads_n):
+            ours = [e.payload["i"] for e in events
+                    if e.payload["worker"] == worker_id]
+            assert ours == list(range(events_m))
+
+
+class TestTelemetryIntegration:
+    def test_obs_has_event_log(self, telemetry):
+        assert telemetry.events.enabled
+        telemetry.events.emit("a", "x")
+        assert len(telemetry.events.read()) == 1
+
+    def test_disable_covers_events(self):
+        OBS.enable()
+        try:
+            assert OBS.events.enabled
+        finally:
+            OBS.disable()
+            OBS.reset()
+        assert not OBS.events.enabled

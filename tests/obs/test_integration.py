@@ -109,6 +109,36 @@ class TestEndToEndCounters:
         assert all(0.0 <= e.fraction <= 1.0 for e in events)
         assert "verify [" in str(events[0])
 
+    def test_every_phase_reports_final_progress_at_100(self, db, telemetry):
+        # An interval far larger than any unit count means no interval
+        # crossings ever fire — the final per-phase event must still arrive
+        # with current == total, and the run must end with a done event.
+        from repro.core.verification import LedgerVerifier
+
+        create_table(db)
+        for i in range(7):  # awkward: not a multiple of any round interval
+            db.sql(f"INSERT INTO t (id, v) VALUES ({i}, 'x{i}')")
+        digest = db.generate_digest()
+
+        events = []
+        verifier = LedgerVerifier(
+            db, progress=events.append, progress_interval=10_000
+        )
+        report = verifier.verify([digest])
+        assert report.ok
+
+        by_phase = {}
+        for event in events:
+            by_phase.setdefault(event.phase, []).append(event)
+        for phase in ("digest", "chain", "block_root", "table_root",
+                      "index", "view"):
+            final = by_phase[phase][-1]
+            assert final.total is not None, phase
+            assert final.current == final.total, phase
+        done = events[-1]
+        assert done.phase == "done"
+        assert done.fraction == 1.0
+
     def test_invariant_timings_cover_all_six_checks(self, db, telemetry):
         create_table(db)
         db.sql("INSERT INTO t (id, v) VALUES (1, 'x')")

@@ -114,6 +114,45 @@ class TestJsonlExporter:
         assert lines[0]["parent_id"] == lines[1]["span_id"]
 
 
+class TestWallClock:
+    def test_span_records_epoch_timestamp(self):
+        import time
+
+        before = time.time()
+        tracer = make_tracer()
+        with tracer.span("stamped"):
+            pass
+        after = time.time()
+        (span,) = tracer.recorder.spans()
+        assert before <= span.start_unix <= after
+        assert span.to_dict()["start_unix"] == span.start_unix
+
+    def test_exported_jsonl_carries_wall_clock(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        tracer = make_tracer()
+        exporter = JsonlExporter(path)
+        tracer.add_exporter(exporter)
+        with tracer.span("stamped"):
+            pass
+        exporter.close()
+        (line,) = [json.loads(l) for l in open(path, encoding="utf-8")]
+        assert line["start_unix"] > 1_000_000_000  # a real epoch timestamp
+
+    def test_renderer_shows_wall_clock_stamp(self):
+        tracer = make_tracer()
+        with tracer.span("stamped"):
+            pass
+        text = render_span_tree(build_span_trees(tracer.recorder.spans()))
+        import re
+
+        assert re.search(r"@\d{2}:\d{2}:\d{2}\.\d{3}", text)
+
+    def test_renderer_omits_stamp_for_unstamped_spans(self):
+        spans = [Span(span_id=1, parent_id=None, name="legacy", start_ns=0)]
+        text = render_span_tree(build_span_trees(spans))
+        assert "@" not in text
+
+
 class TestSpanTrees:
     def test_build_and_render(self):
         tracer = make_tracer()

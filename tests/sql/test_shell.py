@@ -110,6 +110,55 @@ class TestShellCommands:
         assert "sql.execute" in out
 
 
+class TestWatchtowerCommands:
+    def test_monitor_start_status_stop(self, shell, capsys):
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_sql("INSERT INTO t VALUES (1)")
+        try:
+            shell.run_command("\\monitor start 60")
+            assert "continuous verification" in capsys.readouterr().out
+            shell.db.monitor.wait_for(
+                lambda: shell.db.monitor.cycles >= 1, timeout=10.0
+            )
+            shell.run_command("\\monitor status")
+            out = capsys.readouterr().out
+            assert "last_verdict" in out
+            assert "verification_lag" in out
+        finally:
+            shell.run_command("\\monitor stop")
+        assert "monitor stopped" in capsys.readouterr().out
+        assert shell.db.monitor is None
+
+    def test_monitor_status_when_not_running(self, shell, capsys):
+        shell.run_command("\\monitor status")
+        assert "not running" in capsys.readouterr().out
+
+    def test_monitor_unknown_action_is_an_error(self, shell):
+        with pytest.raises(ValueError):
+            shell.run_command("\\monitor frobnicate")
+
+    def test_serve_reports_url(self, shell, capsys):
+        try:
+            shell.run_command("\\serve")
+            out = capsys.readouterr().out
+            assert "listening on http://127.0.0.1:" in out
+            assert shell.db.obs_server.running
+        finally:
+            shell.db.stop_obs_server()
+
+    def test_events_command(self, shell, capsys):
+        shell.run_command("\\events")
+        assert "no events recorded" in capsys.readouterr().out
+        OBS.events.enable()
+        shell.run_sql("CREATE TABLE t (id INT PRIMARY KEY) WITH (LEDGER = ON)")
+        shell.run_sql("INSERT INTO t VALUES (1)")
+        shell.run_command("\\digest")
+        capsys.readouterr()
+        shell.run_command("\\events 5")
+        out = capsys.readouterr().out
+        assert "digest.generated" in out
+
+
 class TestNullRendering:
     def test_render_value_maps_none_to_null(self):
         assert _render_value(None) == "NULL"

@@ -110,3 +110,45 @@ class TestHarness:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "streaming Merkle" in captured.out
+
+    def test_median_rate_emits_per_round_events(self):
+        from repro.obs import OBS
+
+        OBS.events.enable()
+        try:
+            harness._median_rate(
+                build=lambda: None, run=lambda subject: 10,
+                rounds=2, experiment="unit-test",
+            )
+            rounds = OBS.events.read(category="harness", name="harness.round")
+        finally:
+            OBS.reset()
+            OBS.disable()
+        assert [e.payload["round"] for e in rounds] == [0, 1]
+        assert all(
+            {"experiment", "operations", "seconds", "rate"}
+            <= set(e.payload) for e in rounds
+        )
+        assert rounds[0].payload["experiment"] == "unit-test"
+        assert rounds[0].payload["operations"] == 10
+
+    def test_cli_events_out_attaches_jsonl_sink(self, tmp_path, capsys):
+        import json
+        import os
+
+        from repro.obs import OBS
+
+        path = str(tmp_path / "events.jsonl")
+        try:
+            exit_code = harness.main(["merkle", "--events-out", path])
+            assert OBS.events.path == path
+        finally:
+            OBS.events.detach_file()
+            OBS.reset()
+            OBS.disable()
+        capsys.readouterr()
+        assert exit_code == 0
+        assert os.path.exists(path)
+        # Whatever was emitted must be well-formed JSONL.
+        for line in open(path, encoding="utf-8"):
+            json.loads(line)
