@@ -1,13 +1,30 @@
 """The Database Ledger: transaction entries, blocks, and digests (§2.2, §3.3).
 
 Committed transactions that touched ledger tables become *transaction
-entries*.  Entries are assigned a (block id, ordinal) at commit time and ride
-on the COMMIT WAL record; they then sit in an **in-memory queue** until a
-checkpoint batches them into the ``database_ledger_transactions`` system
-table — the contention-avoiding design of §3.3.2.  When a block fills (or a
-digest is requested), the block builder drains the queue, computes the Merkle
-root over the block's entry hashes and the hash of the previous block, and
-persists the closed block in ``database_ledger_blocks``.
+entries*.  Entries are assigned a (block id, ordinal) at commit time by the
+**sequencer** and ride on the COMMIT WAL record; they then sit in an
+**in-memory queue** until a checkpoint batches them into the
+``database_ledger_transactions`` system table — the contention-avoiding
+design of §3.3.2.
+
+Block formation is *staged* (§4.2): when the sequencer hands out the last
+ordinal of a block it **seals** the block — pure in-memory bookkeeping on the
+commit hot path — and block *closure* (Merkle root over the entry hashes,
+hash chaining, persistence into ``database_ledger_blocks``) happens later,
+off the critical path, driven by the block-builder thread of
+:class:`repro.core.pipeline.LedgerPipeline` or by an explicit ``drain()``.
+
+Concurrency is per stage rather than one coarse mutex:
+
+* ``sequencer_lock`` — guards ordinal/block assignment and sealing;
+* ``queue_lock`` — guards the entry queue and per-block enqueue accounting
+  (its condition variable is how ``drain()`` waits for in-flight commits);
+* ``storage_lock`` — guards every storage-engine access (the engine itself
+  is not thread-safe); block closure, verification scans and SQL execution
+  all serialize on it.
+
+Lock hierarchy (acquire left to right, never the reverse):
+``storage_lock`` → ``sequencer_lock`` → ``queue_lock``.
 
 Both system tables are ordinary relational tables: their integrity is
 protected by the chain itself plus externally stored digests, exactly as in
@@ -17,8 +34,19 @@ the paper.
 from __future__ import annotations
 
 import datetime as dt
+import threading
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.digest import BlockHeader, DatabaseDigest
 from repro.core.entries import BlockRow, TransactionEntry
@@ -49,6 +77,13 @@ _QUEUE_DEPTH = OBS.metrics.gauge(
     "ledger_queue_depth",
     "Transaction entries currently waiting in the in-memory queue",
 )
+_SEALED_PENDING = OBS.metrics.gauge(
+    "ledger_sealed_blocks_pending",
+    "Blocks sealed by the sequencer but not yet closed by the block builder",
+)
+_BLOCKS_SEALED = OBS.metrics.counter(
+    "ledger_blocks_sealed_total", "Blocks sealed by the sequencer"
+)
 _BLOCKS_CLOSED = OBS.metrics.counter(
     "ledger_blocks_closed_total", "Ledger blocks formed and appended"
 )
@@ -60,6 +95,12 @@ _BLOCK_TRANSACTIONS = OBS.metrics.histogram(
     "ledger_block_transactions",
     "Transactions per closed block",
     buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000),
+)
+_STAGE_SECONDS = OBS.metrics.histogram(
+    "pipeline_stage_seconds",
+    "Wall time per commit-pipeline stage operation "
+    "(seal, flush, close, drain)",
+    ("stage",),
 )
 _DIGESTS_GENERATED = OBS.metrics.counter(
     "digest_generated_total", "Database digests generated"
@@ -106,9 +147,24 @@ class DatabaseLedger:
             raise LedgerError("block size must be at least 1")
         self._engine = engine
         self._block_size = block_size
+        #: Stage locks.  ``storage_lock`` is shared with every consumer of
+        #: the (single-threaded) storage engine via LedgerDatabase/pipeline.
+        self.storage_lock = threading.RLock()
+        self.sequencer_lock = threading.RLock()
+        self.queue_lock = threading.RLock()
+        self._queue_cv = threading.Condition(self.queue_lock)
         self._queue: List[TransactionEntry] = []
         self._open_block_id = 0
         self._open_ordinal = 0
+        #: Sealed-but-unclosed blocks in id order: (block_id, entry_count).
+        self._sealed: Deque[Tuple[int, int]] = deque()
+        #: Durably enqueued entries per not-yet-closed block (cumulative —
+        #: flushing the queue to the system table does not decrement it).
+        self._enqueued: Dict[int, int] = {}
+        #: Cached highest closed block id (no storage scan; -1 when none).
+        self._closed_height = -1
+        #: Pipeline wake-up: invoked when a sealed block becomes closable.
+        self._sealed_ready_callback: Optional[Callable[[], None]] = None
         # Set after truncation: (last truncated block id, its hash).
         self._anchor: Optional[Tuple[int, bytes]] = None
 
@@ -138,7 +194,24 @@ class DatabaseLedger:
     @property
     def pending_entries(self) -> int:
         """Entries still in the in-memory queue (not yet in the system table)."""
-        return len(self._queue)
+        with self.queue_lock:
+            return len(self._queue)
+
+    @property
+    def closed_block_height(self) -> int:
+        """Highest closed block id, served from cache (no storage access)."""
+        return self._closed_height
+
+    def sealed_pending(self) -> int:
+        """Blocks sealed by the sequencer but not yet closed."""
+        with self.queue_lock:
+            return len(self._sealed)
+
+    def set_sealed_ready_callback(
+        self, callback: Optional[Callable[[], None]]
+    ) -> None:
+        """Install the pipeline's wake-up for newly closable sealed blocks."""
+        self._sealed_ready_callback = callback
 
     def set_anchor(self, block_id: int, block_hash: bytes) -> None:
         """Install the truncation anchor: the chain now starts after it."""
@@ -153,7 +226,7 @@ class DatabaseLedger:
         return self._anchor[0] + 1 if self._anchor else 0
 
     # ------------------------------------------------------------------
-    # Commit-path integration (called by the ledger hooks)
+    # Stage 2 — the sequencer (called by the ledger hooks at commit)
     # ------------------------------------------------------------------
 
     def assign(
@@ -161,46 +234,123 @@ class DatabaseLedger:
     ) -> TransactionEntry:
         """Assign the committing transaction its slot in the chain (§3.3.2).
 
-        Pure in-memory bookkeeping — this runs on the commit hot path.
+        Pure in-memory bookkeeping — this runs on the commit hot path.  When
+        the assignment fills the open block, the block is *sealed* (also pure
+        bookkeeping); Merkle root computation and persistence happen later,
+        off the commit path.
         """
         assert txn.commit_time is not None
-        entry = TransactionEntry(
-            transaction_id=txn.tid,
-            block_id=self._open_block_id,
-            ordinal=self._open_ordinal,
-            commit_time=txn.commit_time,
-            username=txn.username,
-            table_roots=table_roots,
-        )
-        self._open_ordinal += 1
+        with self.sequencer_lock:
+            entry = TransactionEntry(
+                transaction_id=txn.tid,
+                block_id=self._open_block_id,
+                ordinal=self._open_ordinal,
+                commit_time=txn.commit_time,
+                username=txn.username,
+                table_roots=table_roots,
+            )
+            self._open_ordinal += 1
+            if self._open_ordinal >= self._block_size:
+                self._seal_locked()
         return entry
 
-    def enqueue(self, entry: TransactionEntry) -> None:
-        """Queue a durably committed entry; close the block when it fills."""
-        self._queue.append(entry)
+    def seal_open_block(self) -> Optional[int]:
+        """Seal the open block if it holds any entries; returns its id.
+
+        Empty open blocks are never sealed, so the chain never contains
+        empty blocks.
+        """
+        with self.sequencer_lock:
+            return self._seal_locked()
+
+    def _seal_locked(self) -> Optional[int]:
+        """Seal under ``sequencer_lock``: publish (id, count), advance."""
+        if self._open_ordinal == 0:
+            return None
+        started = time.perf_counter()
+        sealed_id = self._open_block_id
+        count = self._open_ordinal
+        with self.queue_lock:
+            self._sealed.append((sealed_id, count))
+            if OBS.metrics.enabled:
+                _SEALED_PENDING.set(len(self._sealed))
+        self._open_block_id = sealed_id + 1
+        self._open_ordinal = 0
         if OBS.metrics.enabled:
-            _ENTRIES_ENQUEUED.inc()
-            _QUEUE_DEPTH.set(len(self._queue))
-        if entry.ordinal + 1 >= self._block_size:
-            self.close_open_block()
+            _BLOCKS_SEALED.inc()
+            _STAGE_SECONDS.labels("seal").observe(time.perf_counter() - started)
+        OBS.events.emit(
+            "ledger", "block.sealed", block_id=sealed_id, transactions=count
+        )
+        return sealed_id
+
+    def enqueue(self, entry: TransactionEntry) -> None:
+        """Queue a durably committed entry (stage 2 → stage 3 handoff).
+
+        Never closes blocks inline: when the entry completes a sealed block
+        the registered pipeline callback is invoked so the block builder
+        picks it up asynchronously.
+        """
+        ready = False
+        with self.queue_lock:
+            self._queue.append(entry)
+            self._enqueued[entry.block_id] = (
+                self._enqueued.get(entry.block_id, 0) + 1
+            )
+            if self._sealed:
+                head_id, head_count = self._sealed[0]
+                ready = self._enqueued.get(head_id, 0) >= head_count
+            if OBS.metrics.enabled:
+                _ENTRIES_ENQUEUED.inc()
+                _QUEUE_DEPTH.set(len(self._queue))
+            self._queue_cv.notify_all()
+        if ready and self._sealed_ready_callback is not None:
+            self._sealed_ready_callback()
+
+    def wait_for_sealed_entries(self, timeout: float) -> bool:
+        """Wait until every sealed block has all its entries enqueued.
+
+        Returns False on timeout (an in-flight commit has an assigned slot
+        in a sealed block but has not reached post-commit yet).
+        """
+        deadline = time.monotonic() + timeout
+        with self.queue_lock:
+            while True:
+                incomplete = [
+                    block_id
+                    for block_id, count in self._sealed
+                    if self._enqueued.get(block_id, 0) < count
+                ]
+                if not incomplete:
+                    return True
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._queue_cv.wait(remaining)
 
     # ------------------------------------------------------------------
-    # Queue flushing and block building
+    # Queue flushing and block building (stage 3)
     # ------------------------------------------------------------------
 
     def flush_queue(self) -> int:
         """Batch-insert queued entries into the transactions system table.
 
         Runs at checkpoint (§3.3.2) and before block closure/verification.
-        Returns the number of entries flushed.
+        Returns the number of entries flushed.  Entries enqueued while the
+        flush transaction runs are left for the next flush.
         """
-        if not self._queue:
+        with self.queue_lock:
+            snapshot = list(self._queue)
+        if not snapshot:
             return 0
-        with OBS.tracer.span("ledger.flush_queue", entries=len(self._queue)):
+        started = time.perf_counter()
+        with self.storage_lock, OBS.tracer.span(
+            "ledger.flush_queue", entries=len(snapshot)
+        ):
             table = self._transactions_table()
             txn = self._engine.begin(username="ledger_system")
             try:
-                for entry in self._queue:
+                for entry in snapshot:
                     table.insert(
                         txn, table.schema.row_from_visible(entry.to_row())
                     )
@@ -208,39 +358,81 @@ class DatabaseLedger:
                 self._engine.rollback(txn)
                 raise
             self._engine.commit(txn)
-            flushed = len(self._queue)
-            self._queue.clear()
+        with self.queue_lock:
+            del self._queue[: len(snapshot)]
+            if OBS.metrics.enabled:
+                _QUEUE_DEPTH.set(len(self._queue))
         if OBS.metrics.enabled:
-            _ENTRIES_FLUSHED.inc(flushed)
-            _QUEUE_DEPTH.set(0)
-        return flushed
+            _ENTRIES_FLUSHED.inc(len(snapshot))
+            _STAGE_SECONDS.labels("flush").observe(time.perf_counter() - started)
+        return len(snapshot)
+
+    def next_ready_block(self) -> Optional[Tuple[int, int]]:
+        """The oldest sealed block whose entries are all enqueued, if any."""
+        with self.queue_lock:
+            if not self._sealed:
+                return None
+            block_id, count = self._sealed[0]
+            if self._enqueued.get(block_id, 0) < count:
+                return None
+            return block_id, count
+
+    def close_next_ready_block(self) -> Optional[BlockRow]:
+        """Close the oldest closable sealed block; None when nothing is ready.
+
+        Takes ``storage_lock`` for the closure; safe to call concurrently
+        from the block builder and a draining consumer.
+        """
+        with self.storage_lock:
+            ready = self.next_ready_block()
+            if ready is None:
+                return None
+            block_id, count = ready
+            block = self._close_block(block_id, count)
+            with self.queue_lock:
+                self._sealed.popleft()
+                self._enqueued.pop(block_id, None)
+                if OBS.metrics.enabled:
+                    _SEALED_PENDING.set(len(self._sealed))
+            self._closed_height = block_id
+            return block
 
     def close_open_block(self) -> Optional[BlockRow]:
-        """Close the open block if it holds any transactions.
+        """Synchronous path: seal the open block and close everything ready.
+
+        Returns the last block closed, or None if nothing was closable.
+        Closing an empty open block is a no-op — no empty blocks are ever
+        emitted.  Consumers that must also wait for in-flight concurrent
+        commits should use :meth:`repro.core.pipeline.LedgerPipeline.drain`.
+        """
+        self.seal_open_block()
+        last: Optional[BlockRow] = None
+        while True:
+            block = self.close_next_ready_block()
+            if block is None:
+                return last
+            last = block
+
+    def _close_block(self, block_id: int, expected_count: int) -> BlockRow:
+        """Form and persist one sealed block (requires ``storage_lock``).
 
         Retrieves the block's entries (queue + system table), computes the
-        Merkle root over their hashes and the previous block's hash, and
-        persists the block row.  Returns the new block, or None if the open
-        block was empty.
+        Merkle root over their hashes and the hash of the previous block,
+        and persists the block row.
         """
-        if self._open_ordinal == 0:
-            return None
         started = time.perf_counter()
-        with OBS.tracer.span(
-            "block.append", block_id=self._open_block_id
-        ) as span:
+        with OBS.tracer.span("block.append", block_id=block_id) as span:
             self.flush_queue()
-            closing_id = self._open_block_id
-            entries = self.transactions_in_block(closing_id)
-            if len(entries) != self._open_ordinal:
+            entries = self.transactions_in_block(block_id)
+            if len(entries) != expected_count:
                 raise LedgerError(
-                    f"block {closing_id} should hold {self._open_ordinal} "
+                    f"block {block_id} should hold {expected_count} "
                     f"entries but {len(entries)} were found"
                 )
             tree = MerkleTree([entry.entry_hash() for entry in entries])
-            previous_hash = self._previous_hash_for(closing_id)
+            previous_hash = self._previous_hash_for(block_id)
             block = BlockRow(
-                block_id=closing_id,
+                block_id=block_id,
                 previous_block_hash=previous_hash,
                 transactions_root=tree.root(),
                 transaction_count=len(entries),
@@ -250,13 +442,13 @@ class DatabaseLedger:
             txn = self._engine.begin(username="ledger_system")
             table.insert(txn, table.schema.row_from_visible(block.to_row()))
             self._engine.commit(txn)
-            self._open_block_id = closing_id + 1
-            self._open_ordinal = 0
             span.set_attribute("transactions", block.transaction_count)
         if OBS.metrics.enabled:
             _BLOCKS_CLOSED.inc()
             _BLOCK_TRANSACTIONS.observe(block.transaction_count)
-            _BLOCK_CLOSE_SECONDS.observe(time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            _BLOCK_CLOSE_SECONDS.observe(elapsed)
+            _STAGE_SECONDS.labels("close").observe(elapsed)
         OBS.events.emit(
             "ledger", "block.closed",
             block_id=block.block_id, transactions=block.transaction_count,
@@ -286,10 +478,11 @@ class DatabaseLedger:
 
         Forces the open block to close so the digest covers every committed
         transaction (the paper's frequent-digest design keeps the window of
-        uncovered data to seconds).
+        uncovered data to seconds).  Concurrent callers should drain the
+        pipeline first so in-flight commits are covered too.
         """
         started = time.perf_counter()
-        with OBS.tracer.span("digest.generate"):
+        with self.storage_lock, OBS.tracer.span("digest.generate"):
             self.close_open_block()
             latest = self.latest_block()
             if latest is None:
@@ -347,13 +540,16 @@ class DatabaseLedger:
         undecodable records: a tampered or erased block row must degrade to
         "missing" so verification can report it instead of crashing.
         """
-        table = self._blocks_table()
-        found = []
-        for _, row in table.scan():
-            try:
-                found.append(BlockRow.from_row(table.schema.visible_values(row)))
-            except Exception:
-                continue
+        with self.storage_lock:
+            table = self._blocks_table()
+            found = []
+            for _, row in table.scan():
+                try:
+                    found.append(
+                        BlockRow.from_row(table.schema.visible_values(row))
+                    )
+                except Exception:
+                    continue
         found.sort(key=lambda b: b.block_id)
         return found
 
@@ -368,7 +564,9 @@ class DatabaseLedger:
         return headers
 
     def transaction_entry(self, transaction_id: int) -> Optional[TransactionEntry]:
-        for entry in self._queue:
+        with self.queue_lock:
+            queued = list(self._queue)
+        for entry in queued:
             if entry.transaction_id == transaction_id:
                 return entry
         for entry in self._stored_entries():
@@ -379,28 +577,33 @@ class DatabaseLedger:
     def transactions_in_block(self, block_id: int) -> List[TransactionEntry]:
         """Entries of one block, ordered by ordinal (queue included)."""
         entries = [e for e in self._stored_entries() if e.block_id == block_id]
-        entries.extend(e for e in self._queue if e.block_id == block_id)
+        with self.queue_lock:
+            entries.extend(
+                e for e in self._queue if e.block_id == block_id
+            )
         entries.sort(key=lambda e: e.ordinal)
         return entries
 
     def all_entries(self) -> List[TransactionEntry]:
         """Every known entry (system table + queue), by transaction id."""
         entries = self._stored_entries()
-        entries.extend(self._queue)
+        with self.queue_lock:
+            entries.extend(self._queue)
         entries.sort(key=lambda e: e.transaction_id)
         return entries
 
     def _stored_entries(self) -> List[TransactionEntry]:
         """Entries from the system table; undecodable rows degrade to missing."""
-        table = self._transactions_table()
-        entries = []
-        for _, row in table.scan():
-            try:
-                entries.append(
-                    TransactionEntry.from_row(table.schema.visible_values(row))
-                )
-            except Exception:
-                continue
+        with self.storage_lock:
+            table = self._transactions_table()
+            entries = []
+            for _, row in table.scan():
+                try:
+                    entries.append(
+                        TransactionEntry.from_row(table.schema.visible_values(row))
+                    )
+                except Exception:
+                    continue
         return entries
 
     # ------------------------------------------------------------------
@@ -408,22 +611,25 @@ class DatabaseLedger:
     # ------------------------------------------------------------------
 
     def checkpoint_state(self) -> Dict[str, int]:
-        return {
-            "open_block_id": self._open_block_id,
-            "open_ordinal": self._open_ordinal,
-        }
+        with self.sequencer_lock:
+            return {
+                "open_block_id": self._open_block_id,
+                "open_ordinal": self._open_ordinal,
+            }
 
     def recover(
         self,
         recovered_payloads: Sequence[dict],
         checkpoint_state: Dict[str, int],
     ) -> None:
-        """Reconstruct the in-memory queue and block counters after restart.
+        """Reconstruct queue, block counters and sealed blocks after restart.
 
         ``recovered_payloads`` are the ledger payloads of COMMIT records
         found in the WAL (analysis phase, §3.3.2).  Entries already batched
         into the system table before the crash are deduplicated by
-        transaction id.
+        transaction id.  Blocks that were sealed (fully assigned) but not
+        closed before the crash are re-sealed so the block builder finishes
+        them.
         """
         known: Set[int] = set()
         table = self._transactions_table()
@@ -442,14 +648,36 @@ class DatabaseLedger:
         # further if entries (drained or queued) were already assigned past
         # it before the crash.
         latest = self.latest_block()
+        latest_closed = (
+            latest.block_id if latest is not None else self.first_block_id() - 1
+        )
+        self._closed_height = latest_closed
         open_block = checkpoint_state.get("open_block_id", 0)
-        if latest is not None:
-            open_block = max(open_block, latest.block_id + 1)
+        open_block = max(open_block, latest_closed + 1)
+        entry_counts: Dict[int, int] = {}
         for entry in self.all_entries():
+            if entry.block_id > latest_closed:
+                entry_counts[entry.block_id] = (
+                    entry_counts.get(entry.block_id, 0) + 1
+                )
             if entry.block_id >= open_block:
                 open_block = entry.block_id
         self._open_block_id = open_block
         self._open_ordinal = self._next_ordinal_in(open_block)
+
+        # Rebuild stage-3 bookkeeping: blocks older than the open one were
+        # sealed before the crash; the open block is re-sealed if full.
+        self._sealed = deque(
+            (block_id, entry_counts[block_id])
+            for block_id in sorted(entry_counts)
+            if block_id < open_block
+        )
+        self._enqueued = dict(entry_counts)
+        if self._open_ordinal >= self._block_size:
+            self._seal_locked()
+        if OBS.metrics.enabled:
+            _SEALED_PENDING.set(len(self._sealed))
+            _QUEUE_DEPTH.set(len(self._queue))
 
     def _next_ordinal_in(self, block_id: int) -> int:
         """Highest assigned ordinal + 1 within ``block_id`` (table + queue)."""

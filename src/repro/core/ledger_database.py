@@ -23,7 +23,6 @@ from __future__ import annotations
 import datetime as dt
 import os
 import shutil
-import threading
 import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -35,6 +34,7 @@ from repro.core.ledger_view import (
     canonical_view_definition,
     ledger_view_rows,
 )
+from repro.core.pipeline import LedgerPipeline
 from repro.engine.database import Database
 from repro.engine.expressions import eq
 from repro.engine.operators import delete_rows, insert_rows, update_rows
@@ -73,14 +73,25 @@ class LedgerDatabase:
         self.engine = engine
         self.hooks = hooks
         self.ledger = ledger
+        #: Stage 3 of the commit pipeline: the background block builder and
+        #: the ``drain()`` barrier (started by :meth:`open`).
+        self.pipeline = LedgerPipeline(ledger)
         self._signing_key = None
         self._sql_session = None
-        #: Coarse lock serializing ledger mutation against watchtower reads.
-        #: The engine is not thread-safe; the SQL session, the continuous
-        #: monitor and the observability server all take this lock.
-        self.ledger_lock = threading.RLock()
         self._monitor = None
         self._obs_server = None
+
+    @property
+    def ledger_lock(self):
+        """The storage-stage lock serializing access to the engine.
+
+        Historical alias: before the staged pipeline this was a coarse
+        database-wide mutex.  It is now the ledger's ``storage_lock`` — the
+        innermost stage lock — which the SQL session, the continuous
+        monitor and direct-API consumers take per operation, while
+        sequencing and queueing proceed under their own locks.
+        """
+        return self.ledger.storage_lock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -117,17 +128,34 @@ class LedgerDatabase:
                 path=path, queued_entries=len(payloads),
                 open_block_id=ledger.open_block_id,
             )
+        db.pipeline.start()
         return db
 
     def close(self) -> None:
+        """Stop every background thread, then close the engine.
+
+        Order matters: the monitor and HTTP server read through the ledger,
+        and the block builder writes through the engine — all must be
+        stopped and joined before the engine goes away so no daemon thread
+        leaks into the next test or touches a closed database.
+        """
         self.stop_monitor()
         self.stop_obs_server()
+        if not self.engine.closed:
+            self.pipeline.stop(drain=True)
+        else:
+            self.pipeline.stop(drain=False)
         self.engine.close()
 
     def checkpoint(self) -> None:
-        self.engine.checkpoint()
+        """Checkpoint the engine after closing every closable block."""
+        with self.ledger.storage_lock:
+            self.pipeline.drain(seal_open=False)
+            self.engine.checkpoint()
 
     def simulate_crash(self) -> None:
+        """Crash without draining: sealed blocks are left for recovery."""
+        self.pipeline.stop(drain=False)
         self.engine.simulate_crash()
 
     def backup(self, destination: str) -> None:
@@ -292,19 +320,31 @@ class LedgerDatabase:
     # ------------------------------------------------------------------
 
     def begin(self, username: str = "app_user") -> Transaction:
-        return self.engine.begin(username)
+        with self.ledger.storage_lock:
+            return self.engine.begin(username)
 
     def commit(self, txn: Transaction) -> Optional[Dict[str, Any]]:
-        return self.engine.commit(txn)
+        """Commit under the storage lock.
+
+        Holding the storage lock across the whole commit (sequencer
+        assignment through post-commit enqueue) is what lets a drain that
+        already holds the storage lock assume every sealed block's entries
+        are enqueued — the pipeline's no-deadlock invariant.
+        """
+        with self.ledger.storage_lock:
+            return self.engine.commit(txn)
 
     def rollback(self, txn: Transaction) -> None:
-        self.engine.rollback(txn)
+        with self.ledger.storage_lock:
+            self.engine.rollback(txn)
 
     def savepoint(self, txn: Transaction, name: str) -> None:
-        self.engine.savepoint(txn, name)
+        with self.ledger.storage_lock:
+            self.engine.savepoint(txn, name)
 
     def rollback_to_savepoint(self, txn: Transaction, name: str) -> None:
-        self.engine.rollback_to_savepoint(txn, name)
+        with self.ledger.storage_lock:
+            self.engine.rollback_to_savepoint(txn, name)
 
     # ------------------------------------------------------------------
     # Ledger table DDL (§2.1, §3.1)
@@ -322,6 +362,14 @@ class LedgerDatabase:
                 f"unknown ledger type {ledger_type!r}; use "
                 f"{UPDATEABLE!r} or {APPEND_ONLY!r}"
             )
+        with self.ledger.storage_lock:
+            return self._create_ledger_table_locked(
+                schema, ledger_type, _register
+            )
+
+    def _create_ledger_table_locked(
+        self, schema: TableSchema, ledger_type: str, _register: bool
+    ) -> Table:
         extended = sc.extend_with_system_columns(
             schema, include_end=(ledger_type == UPDATEABLE)
         )
@@ -360,6 +408,10 @@ class LedgerDatabase:
         recorded in the ledger metadata tables, so the drop shows up in the
         table-operations view (Figure 6) and survives verification.
         """
+        with self.ledger.storage_lock:
+            return self._drop_ledger_table_locked(name)
+
+    def _drop_ledger_table_locked(self, name: str) -> str:
         table = self.ledger_table(name)
         dropped_name = f"MS_DroppedTable_{name}_{table.table_id}"
         self.engine.rename_table(name, dropped_name)
@@ -483,7 +535,8 @@ class LedgerDatabase:
         self, txn: Transaction, table_name: str, rows: Sequence[Sequence[Any]]
     ) -> int:
         """Insert rows given in visible-column order."""
-        return insert_rows(txn, self.engine.table(table_name), rows)
+        with self.ledger.storage_lock:
+            return insert_rows(txn, self.engine.table(table_name), rows)
 
     def update(
         self,
@@ -492,10 +545,14 @@ class LedgerDatabase:
         assignments: Dict[str, Any],
         where: Any = None,
     ) -> int:
-        return update_rows(txn, self.engine.table(table_name), assignments, where)
+        with self.ledger.storage_lock:
+            return update_rows(
+                txn, self.engine.table(table_name), assignments, where
+            )
 
     def delete(self, txn: Transaction, table_name: str, where: Any = None) -> int:
-        return delete_rows(txn, self.engine.table(table_name), where)
+        with self.ledger.storage_lock:
+            return delete_rows(txn, self.engine.table(table_name), where)
 
     def select(
         self,
@@ -505,11 +562,14 @@ class LedgerDatabase:
     ) -> List[Dict[str, Any]]:
         from repro.engine.operators import access_path
 
-        table = self.engine.table(table_name)
-        return [
-            named
-            for _, named in access_path(table, where, include_hidden=include_hidden)
-        ]
+        with self.ledger.storage_lock:
+            table = self.engine.table(table_name)
+            return [
+                named
+                for _, named in access_path(
+                    table, where, include_hidden=include_hidden
+                )
+            ]
 
     # ------------------------------------------------------------------
     # Ledger views (§2.1)
@@ -543,7 +603,12 @@ class LedgerDatabase:
     # ------------------------------------------------------------------
 
     def generate_digest(self) -> DatabaseDigest:
-        """Close the open block and export the Database Digest."""
+        """Drain the pipeline, close the open block, export the Digest.
+
+        The drain barrier waits for in-flight concurrent commits, so the
+        digest covers every transaction that committed before this call.
+        """
+        self.pipeline.drain(seal_open=True)
         return self.ledger.generate_digest(
             self.database_guid, self.database_create_time
         )
@@ -724,11 +789,19 @@ class LedgerDatabase:
     # ------------------------------------------------------------------
 
     def sql(self, statement: str):
-        """Execute a SQL statement through the SQL front-end."""
-        if self._sql_session is None:
-            from repro.sql.session import SqlSession
+        """Execute a SQL statement through the SQL front-end.
 
-            self._sql_session = SqlSession(self)
+        Note the shared default session carries transaction state (BEGIN /
+        COMMIT), so interleaving multi-statement transactions from several
+        threads through *this* helper is ill-defined; concurrent drivers
+        should create one :class:`repro.sql.session.SqlSession` per thread.
+        """
+        if self._sql_session is None:
+            with self.ledger.storage_lock:
+                if self._sql_session is None:
+                    from repro.sql.session import SqlSession
+
+                    self._sql_session = SqlSession(self)
         return self._sql_session.execute(statement)
 
     def __repr__(self) -> str:

@@ -1,0 +1,208 @@
+"""Staged commit pipeline: asynchronous block building and the drain barrier.
+
+The commit path is split into three stages (SQL Ledger §4.2):
+
+1. **Row hashing** — streaming per-(transaction, table) Merkle leaves,
+   computed inline by the ledger hooks while rows are written;
+2. **Sequencing** — at commit, the sequencer assigns the transaction its
+   ``(block id, ordinal)`` slot and seals the block when it fills — pure
+   in-memory bookkeeping, so commits never wait on block formation;
+3. **Block building** — this module's background thread drains sealed
+   blocks: flushes the entry queue, computes the Merkle root, chains and
+   persists the block row.
+
+Consumers that need a *closed* chain tip — digest generation, receipts,
+truncation, checkpointing, clean shutdown — call :meth:`LedgerPipeline.drain`
+instead of freezing all SQL execution behind one coarse mutex.  ``drain``
+waits for in-flight commits to land in the queue, seals the open block
+(optionally), and closes every closable block before returning.
+
+The builder thread is event-driven: it sleeps on a condition variable and
+is woken by the ledger's sealed-ready callback whenever an ``enqueue``
+completes a sealed block.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import LedgerError
+from repro.obs import OBS
+
+_BUILDER_CYCLES = OBS.metrics.counter(
+    "pipeline_builder_cycles_total",
+    "Block-builder wake-ups by outcome",
+    ("outcome",),
+)
+_BUILDER_RUNNING = OBS.metrics.gauge(
+    "pipeline_builder_running",
+    "1 while the block-builder thread is alive",
+)
+_DRAINS = OBS.metrics.counter(
+    "pipeline_drains_total", "Pipeline drain barriers executed"
+)
+_STAGE_SECONDS = OBS.metrics.histogram(
+    "pipeline_stage_seconds",
+    "Wall time per commit-pipeline stage operation "
+    "(seal, flush, close, drain)",
+    ("stage",),
+)
+
+#: How long a drain waits for in-flight commits before giving up.  Commits
+#: hold the storage lock from sequencing through enqueue, so under the lock
+#: hierarchy this only trips if a committing thread died mid-commit.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+
+class LedgerPipeline:
+    """Owns the block-builder thread and the drain barrier for one ledger."""
+
+    def __init__(self, ledger) -> None:
+        self._ledger = ledger
+        self._wakeup = threading.Condition()
+        self._pending_wakeups = 0
+        self._stop_requested = False
+        self._thread: Optional[threading.Thread] = None
+        self._blocks_built = 0
+        self._builder_errors = 0
+        self._drains = 0
+        self._last_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "LedgerPipeline":
+        if self.running:
+            return self
+        self._stop_requested = False
+        # Prime one wakeup: sealed blocks may already be waiting (recovered
+        # after a crash, or sealed while the builder was stopped).
+        self._pending_wakeups = 1
+        self._ledger.set_sealed_ready_callback(self._notify)
+        self._thread = threading.Thread(
+            target=self._run, name="ledger-block-builder", daemon=True
+        )
+        self._thread.start()
+        if OBS.metrics.enabled:
+            _BUILDER_RUNNING.set(1)
+        OBS.events.emit("ledger", "pipeline.started")
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop and join the builder thread.
+
+        With ``drain=True`` (clean shutdown) all sealed work is finished
+        first; with ``drain=False`` (crash simulation) the thread exits as
+        soon as it observes the stop flag, leaving sealed blocks for
+        recovery.
+        """
+        if self._thread is None:
+            return
+        if drain and self._thread.is_alive():
+            self.drain(seal_open=False)
+        with self._wakeup:
+            self._stop_requested = True
+            self._wakeup.notify_all()
+        self._thread.join(timeout=timeout)
+        leaked = self._thread.is_alive()
+        self._thread = None
+        self._ledger.set_sealed_ready_callback(None)
+        if OBS.metrics.enabled:
+            _BUILDER_RUNNING.set(0)
+        OBS.events.emit(
+            "ledger", "pipeline.stopped",
+            blocks_built=self._blocks_built, joined=not leaked,
+        )
+        if leaked:
+            raise LedgerError("block-builder thread did not stop in time")
+
+    # ------------------------------------------------------------------
+    # The drain barrier
+    # ------------------------------------------------------------------
+
+    def drain(
+        self, seal_open: bool = True, timeout: float = DEFAULT_DRAIN_TIMEOUT
+    ) -> None:
+        """Barrier: wait for in-flight commits, close every closable block.
+
+        With ``seal_open=True`` the open block is sealed first (if it holds
+        any entries — empty blocks are never emitted), so afterwards every
+        committed transaction is covered by a closed block.  With
+        ``seal_open=False`` only already-sealed blocks are closed, which
+        preserves the open block — verification uses this to keep reporting
+        entries of the open block as "uncovered".
+        """
+        started = time.perf_counter()
+        if seal_open:
+            self._ledger.seal_open_block()
+        if not self._ledger.wait_for_sealed_entries(timeout):
+            raise LedgerError(
+                "pipeline drain timed out waiting for in-flight commits"
+            )
+        while self._ledger.close_next_ready_block() is not None:
+            pass
+        self._drains += 1
+        if OBS.metrics.enabled:
+            _DRAINS.inc()
+            _STAGE_SECONDS.labels("drain").observe(
+                time.perf_counter() - started
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "running": self.running,
+            "blocks_built": self._blocks_built,
+            "builder_errors": self._builder_errors,
+            "drains": self._drains,
+            "sealed_pending": self._ledger.sealed_pending(),
+            "queue_depth": self._ledger.pending_entries,
+            "last_error": self._last_error,
+        }
+
+    # ------------------------------------------------------------------
+    # Builder thread
+    # ------------------------------------------------------------------
+
+    def _notify(self) -> None:
+        with self._wakeup:
+            self._pending_wakeups += 1
+            self._wakeup.notify_all()
+
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                while self._pending_wakeups == 0 and not self._stop_requested:
+                    self._wakeup.wait()
+                if self._stop_requested:
+                    return
+                self._pending_wakeups = 0
+            try:
+                built = 0
+                while not self._stop_requested:
+                    block = self._ledger.close_next_ready_block()
+                    if block is None:
+                        break
+                    built += 1
+                self._blocks_built += built
+                if OBS.metrics.enabled:
+                    outcome = "built" if built else "idle"
+                    _BUILDER_CYCLES.labels(outcome).inc()
+            except Exception as exc:  # keep the builder alive; surface it
+                self._builder_errors += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                if OBS.metrics.enabled:
+                    _BUILDER_CYCLES.labels("error").inc()
+                OBS.events.emit(
+                    "ledger", "pipeline.builder_error", error=self._last_error
+                )

@@ -86,11 +86,11 @@ def generate_receipt(db, transaction_id: int) -> TransactionReceipt:
         )
     block = db.ledger.block(entry.block_id)
     if block is None:
-        # The transaction sits in the still-open block; close it so a
-        # signed, chain-linked block exists to anchor the receipt.
-        block = db.ledger.close_open_block()
-        if block is None or block.block_id != entry.block_id:
-            block = db.ledger.block(entry.block_id)
+        # The transaction sits in a still-open or sealed-but-unclosed
+        # block; drain the pipeline so a signed, chain-linked block exists
+        # to anchor the receipt.
+        db.pipeline.drain(seal_open=True)
+        block = db.ledger.block(entry.block_id)
         if block is None:
             raise ReceiptError(
                 f"block {entry.block_id} for transaction {transaction_id} "

@@ -35,10 +35,19 @@ def truncate_ledger(db, through_block: int, note: Optional[str] = None) -> dict:
     """Truncate all ledger data up to and including ``through_block``.
 
     Returns a summary dict with the numbers of blocks, transaction entries
-    and history rows removed and live rows re-anchored.
+    and history rows removed and live rows re-anchored.  Holds the storage
+    lock throughout, so concurrent commits observe truncation atomically.
     """
+    with db.ledger.storage_lock:
+        return _truncate_locked(db, through_block, note)
+
+
+def _truncate_locked(db, through_block: int, note: Optional[str]) -> dict:
     ledger = db.ledger
-    ledger.close_open_block()
+    # Barrier, not a synchronous close: waits for in-flight commits and
+    # lets the block builder finish sealed blocks; empty open blocks are
+    # simply not emitted.
+    db.pipeline.drain(seal_open=True)
     target = ledger.block(through_block)
     if target is None:
         raise TruncationError(

@@ -219,8 +219,14 @@ class LedgerVerifier:
         report = VerificationReport()
         _VERIFY_RUNS.inc()
         OBS.events.emit("verify", "verify.started", digests=len(digests))
-        with OBS.tracer.span("verify.run"):
-            # Make every committed entry visible relationally first.
+        # Hold the storage lock for the whole run: verification reads many
+        # tables and must see one consistent snapshot of the chain.
+        with self._ledger.storage_lock, OBS.tracer.span("verify.run"):
+            # Drain the pipeline without sealing the open block: sealed
+            # blocks close so the chain tip is complete, queued entries
+            # become visible relationally, and open-block entries keep
+            # verifying as "uncovered transactions".
+            self._db.pipeline.drain(seal_open=False)
             self._ledger.flush_queue()
             entries = {e.transaction_id: e for e in self._ledger.all_entries()}
             blocks = {b.block_id: b for b in self._ledger.blocks()}

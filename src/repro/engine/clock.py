@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import datetime as dt
+import threading
 
 
 def wall_clock() -> dt.datetime:
@@ -24,12 +25,18 @@ class LogicalClock:
     ) -> None:
         self._now = start
         self._step = step
+        # Readings must stay unique under concurrent commits: commit
+        # timestamps seed ledger entries, and two threads sharing a tick
+        # would make runs non-reproducible in a different way each time.
+        self._lock = threading.Lock()
 
     def __call__(self) -> dt.datetime:
-        current = self._now
-        self._now = current + self._step
-        return current
+        with self._lock:
+            current = self._now
+            self._now = current + self._step
+            return current
 
     def advance(self, delta: dt.timedelta) -> None:
         """Jump the clock forward (e.g. to simulate elapsed days)."""
-        self._now += delta
+        with self._lock:
+            self._now += delta

@@ -237,6 +237,11 @@ class Database:
             tables=len(self._tables), committed_transactions=len(committed),
         )
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` or :meth:`simulate_crash` ran."""
+        return self._closed
+
     def close(self) -> None:
         """Checkpoint and release file handles."""
         if self._closed:

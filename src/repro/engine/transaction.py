@@ -14,6 +14,7 @@ restores the hashers in O(log N) per table (§3.2.1).
 from __future__ import annotations
 
 import datetime as dt
+import threading
 import time
 from dataclasses import dataclass
 from enum import Enum
@@ -106,6 +107,10 @@ class TransactionManager:
         self._clock = clock
         self._next_tid = next_tid
         self._active: Dict[int, Transaction] = {}
+        # Guards tid allocation and the active-transaction map; concurrent
+        # sessions begin/commit from different threads (storage mutation is
+        # serialized one level up by the ledger's storage lock).
+        self._state_lock = threading.Lock()
 
     @property
     def hooks(self) -> EngineHooks:
@@ -118,18 +123,21 @@ class TransactionManager:
         self._wal = wal
 
     def set_next_tid(self, next_tid: int) -> None:
-        self._next_tid = max(self._next_tid, next_tid)
+        with self._state_lock:
+            self._next_tid = max(self._next_tid, next_tid)
 
     @property
     def active_transactions(self) -> List[Transaction]:
-        return list(self._active.values())
+        with self._state_lock:
+            return list(self._active.values())
 
     def begin(self, username: str = "app_user") -> Transaction:
         """Start a new transaction and log BEGIN."""
-        tid = self._next_tid
-        self._next_tid += 1
-        txn = Transaction(tid, username, self._clock())
-        self._active[tid] = txn
+        with self._state_lock:
+            tid = self._next_tid
+            self._next_tid += 1
+            txn = Transaction(tid, username, self._clock())
+            self._active[tid] = txn
         self._wal.append(WalRecord(BEGIN, {"tid": tid, "username": username}))
         return txn
 
@@ -150,7 +158,8 @@ class TransactionManager:
                 )
                 self._wal.flush()
             txn.state = TxnState.COMMITTED
-            del self._active[txn.tid]
+            with self._state_lock:
+                del self._active[txn.tid]
             self._hooks.post_commit(txn, payload)
             self._locks.release_all(txn.tid)
         _TXN_COMMITS.inc()
@@ -166,7 +175,8 @@ class TransactionManager:
         self._wal.append(WalRecord(ABORT, {"tid": txn.tid}))
         _TXN_ROLLBACKS.inc()
         txn.state = TxnState.ABORTED
-        del self._active[txn.tid]
+        with self._state_lock:
+            del self._active[txn.tid]
         self._hooks.on_rollback(txn)
         self._locks.release_all(txn.tid)
 

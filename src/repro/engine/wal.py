@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -85,6 +86,10 @@ class WalWriter:
         self._path = path
         self._sync = sync
         self._file = open(path, "ab")
+        # Frames must hit the file whole and in LSN order even when several
+        # threads commit at once; interleaved writes would tear frames
+        # mid-file rather than only at the tail.
+        self._lock = threading.Lock()
 
     @property
     def path(self) -> str:
@@ -93,21 +98,23 @@ class WalWriter:
     def append(self, record: WalRecord) -> int:
         """Append one record; returns its LSN (starting byte offset)."""
         payload = record.to_bytes()
-        lsn = self._file.tell()
-        self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
-        self._file.write(payload)
+        with self._lock:
+            lsn = self._file.tell()
+            self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+            self._file.write(payload)
+            if self._sync:
+                self._flush_and_sync()
         if OBS.metrics.enabled:
             _WAL_APPENDS.labels(record.kind).inc()
             _WAL_BYTES.inc(_FRAME.size + len(payload))
-        if self._sync:
-            self._flush_and_sync()
         return lsn
 
     def flush(self) -> None:
-        if self._sync:
-            self._flush_and_sync()
-        else:
-            self._file.flush()
+        with self._lock:
+            if self._sync:
+                self._flush_and_sync()
+            else:
+                self._file.flush()
 
     def _flush_and_sync(self) -> None:
         if OBS.metrics.enabled:
@@ -121,9 +128,10 @@ class WalWriter:
             os.fsync(self._file.fileno())
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
 
 
 def read_wal(path: str) -> Iterator[WalRecord]:

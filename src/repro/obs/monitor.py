@@ -22,8 +22,10 @@ Alert hooks and the progress callback are guarded: a broken callback is
 counted on ``obs_callback_errors_total`` and never kills the monitor.
 
 The monitor serializes with SQL traffic through ``db.ledger_lock`` — the
-storage engine is single-threaded by design, so the watchdog takes the same
-coarse lock the SQL session does.
+ledger's *storage-stage* lock.  The storage engine is single-threaded by
+design, so the watchdog takes the same lock SQL sessions take per
+statement; sequencing and entry queueing proceed under their own stage
+locks, so commits only wait for the monitor at the storage stage.
 """
 
 from __future__ import annotations

@@ -184,17 +184,27 @@ class ObservabilityServer:
         }
 
     def _render_ledger(self) -> Dict[str, Any]:
+        """Chain summary from the pipeline's in-memory counters.
+
+        Deliberately avoids the storage lock: block height comes from the
+        ledger's cached closed-block height and the rest from per-stage
+        counters, so a long-running verification or SQL statement never
+        stalls dashboard reads.
+        """
         if self._db is None:
             return {"error": "no database attached"}
         monitor = self._resolve_monitor()
-        with self._db.ledger_lock:
-            ledger = self._db.ledger
-            body: Dict[str, Any] = {
-                "block_height": ledger.latest_block_id(),
-                "open_block_id": ledger.open_block_id,
-                "pending_entries": ledger.pending_entries,
-                "block_size": ledger.block_size,
-            }
+        ledger = self._db.ledger
+        body: Dict[str, Any] = {
+            "block_height": ledger.closed_block_height,
+            "open_block_id": ledger.open_block_id,
+            "pending_entries": ledger.pending_entries,
+            "sealed_blocks_pending": ledger.sealed_pending(),
+            "block_size": ledger.block_size,
+        }
+        pipeline = getattr(self._db, "pipeline", None)
+        if pipeline is not None:
+            body["pipeline"] = pipeline.stats()
         if monitor is not None:
             body["verified_through_block"] = monitor.verified_through_block
             body["verification_lag"] = monitor.verification_lag

@@ -46,6 +46,10 @@ class SqlSession:
         self._db = db
         self._username = username
         self._txn: Optional[Transaction] = None
+        #: Ledger payload of the session's most recent commit (block id,
+        #: ordinal, serialized entry) — lets concurrent drivers attribute
+        #: per-commit latency to the slot the transaction landed in.
+        self.last_commit_payload: Optional[Dict[str, Any]] = None
 
     @property
     def in_transaction(self) -> bool:
@@ -54,12 +58,15 @@ class SqlSession:
     def execute(self, statement_text: str):
         """Parse and run one statement.
 
+        Sessions are single-threaded but many sessions may execute
+        concurrently: the whole statement runs under the ledger's storage
+        lock (the storage engine is not thread-safe), while the sequencer
+        and entry queue advance under their own stage locks.
+
         Returns rows (list of dicts) for SELECT, an affected-row count for
         DML, and None for DDL / transaction control.
         """
         tracer = OBS.tracer
-        # Serialize against the watchtower monitor and observability server:
-        # the storage engine itself is not thread-safe.
         with self._db.ledger_lock, tracer.span("sql.statement") as stmt_span:
             started = time.perf_counter()
             with tracer.span("sql.parse"):
@@ -90,7 +97,7 @@ class SqlSession:
     def _run_commit(self, stmt: ast.CommitTransaction):
         if self._txn is None:
             raise SqlBindError("no transaction in progress")
-        self._db.commit(self._txn)
+        self.last_commit_payload = self._db.commit(self._txn)
         self._txn = None
         return None
 
@@ -120,7 +127,7 @@ class SqlSession:
         except Exception:
             self._db.rollback(txn)
             raise
-        self._db.commit(txn)
+        self.last_commit_payload = self._db.commit(txn)
         return result
 
     # ------------------------------------------------------------------

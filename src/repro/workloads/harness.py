@@ -524,6 +524,173 @@ def format_receipts_ablation(results) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Staged commit pipeline — concurrent commit latency and boundary spikes
+# ---------------------------------------------------------------------------
+
+def run_pipeline_bench(
+    threads: int = 4,
+    transactions_per_thread: int = 150,
+    block_size: int = 50,
+) -> Dict[str, Any]:
+    """Concurrent commit benchmark for the staged pipeline.
+
+    ``threads`` SQL sessions insert single rows concurrently; each commit's
+    latency is recorded and attributed, via the session's last commit
+    payload, to the ordinal slot the transaction landed in.  A *boundary*
+    commit is the one receiving the last ordinal of a block — the commit
+    that, before the staged pipeline, paid for Merkle root + block hash
+    inline.  The run ends with a drain, a digest, full verification, and a
+    strict gap-free check of every (block, ordinal) assignment.
+    """
+    import threading as _threading
+
+    from repro.sql.session import SqlSession
+
+    db = _fresh_db(block_size=block_size)
+    db.sql(
+        "CREATE TABLE pipeline_bench (id INT PRIMARY KEY, v VARCHAR(32)) "
+        "WITH (LEDGER = ON)"
+    )
+
+    latencies: List[List[Tuple[float, int, int]]] = [[] for _ in range(threads)]
+    errors: List[BaseException] = []
+    barrier = _threading.Barrier(threads)
+
+    def worker(index: int) -> None:
+        session = SqlSession(db, username=f"worker{index}")
+        samples = latencies[index]
+        try:
+            barrier.wait()
+            for i in range(transactions_per_thread):
+                row_id = index * transactions_per_thread + i
+                started = time.perf_counter()
+                session.execute(
+                    f"INSERT INTO pipeline_bench (id, v) "
+                    f"VALUES ({row_id}, 'w{index}')"
+                )
+                elapsed = time.perf_counter() - started
+                payload = session.last_commit_payload
+                samples.append(
+                    (elapsed, payload["block"], payload["ordinal"])
+                )
+        except BaseException as exc:  # surfaced to the caller below
+            errors.append(exc)
+
+    gc.collect()
+    started = time.perf_counter()
+    pool = [
+        _threading.Thread(target=worker, args=(index,), name=f"bench-w{index}")
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    digest = db.generate_digest()
+    report = db.verify([digest])
+
+    # Strict gap-free check: within every block the assigned ordinals must
+    # be exactly 0..count-1, and block ids must be contiguous.
+    entries = db.ledger.all_entries()
+    by_block: Dict[int, List[int]] = {}
+    for entry in entries:
+        by_block.setdefault(entry.block_id, []).append(entry.ordinal)
+    gaps = []
+    for block_id, ordinals in sorted(by_block.items()):
+        expected = list(range(len(ordinals)))
+        if sorted(ordinals) != expected:
+            gaps.append((block_id, sorted(ordinals)))
+    block_ids = sorted(by_block)
+    contiguous = block_ids == list(
+        range(block_ids[0], block_ids[0] + len(block_ids))
+    )
+
+    all_samples = [s for per_thread in latencies for s in per_thread]
+    commit_ms = sorted(s[0] * 1000.0 for s in all_samples)
+    boundary_ms = sorted(
+        s[0] * 1000.0 for s in all_samples if s[2] == block_size - 1
+    )
+    median_ms = statistics.median(commit_ms)
+    total = threads * transactions_per_thread
+    result = {
+        "threads": threads,
+        "transactions": total,
+        "block_size": block_size,
+        "wall_seconds": wall_seconds,
+        "throughput_tps": total / wall_seconds,
+        "median_commit_ms": median_ms,
+        "p99_commit_ms": commit_ms[int(len(commit_ms) * 0.99) - 1],
+        "max_commit_ms": commit_ms[-1],
+        "boundary_commits": len(boundary_ms),
+        "median_boundary_commit_ms": (
+            statistics.median(boundary_ms) if boundary_ms else None
+        ),
+        "boundary_over_median": (
+            statistics.median(boundary_ms) / median_ms if boundary_ms else None
+        ),
+        "verification_ok": report.ok,
+        "ordinals_gap_free": not gaps and contiguous,
+        "blocks_closed": len(db.ledger.blocks()),
+        "pipeline": db.pipeline.stats(),
+    }
+    db.close()
+    return result
+
+
+def format_pipeline(results: Dict[str, Any]) -> str:
+    boundary = results["median_boundary_commit_ms"]
+    ratio = results["boundary_over_median"]
+    lines = [
+        "Staged commit pipeline (§4.2): concurrent commits, async block "
+        "closure.",
+        f"threads={results['threads']} transactions={results['transactions']} "
+        f"block_size={results['block_size']}",
+        f"throughput:        {results['throughput_tps']:>10.0f} tps",
+        f"median commit:     {results['median_commit_ms']:>10.3f} ms",
+        f"p99 commit:        {results['p99_commit_ms']:>10.3f} ms",
+        f"boundary commit:   "
+        + (f"{boundary:>10.3f} ms ({ratio:.2f}x median; "
+           f"{results['boundary_commits']} samples)"
+           if boundary is not None else "       n/a"),
+        f"verification:      {'passed' if results['verification_ok'] else 'FAILED'}",
+        f"ordinals gap-free: {results['ordinals_gap_free']}",
+        f"blocks closed:     {results['blocks_closed']} "
+        f"(async builds: {results['pipeline']['blocks_built']})",
+    ]
+    return "\n".join(lines)
+
+
+def run_pipeline_baseline(
+    path: str = "BENCH_pipeline_baseline.json", threads: int = 4
+) -> Dict[str, Any]:
+    """Run the pipeline bench at 1 thread and ``threads`` threads; persist.
+
+    The committed JSON is the perf-trajectory reference point: single-thread
+    commit latency, multi-thread throughput, and the boundary-commit ratio
+    that the staged pipeline is supposed to keep near 1x.
+    """
+    import json
+
+    payload = {
+        "note": (
+            "Staged-pipeline baseline: commit latency with async block "
+            "closure; boundary commits no longer pay Merkle root + block "
+            "hash inline."
+        ),
+        "single_thread": run_pipeline_bench(threads=1),
+        "concurrent": run_pipeline_bench(threads=threads),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -535,6 +702,7 @@ _EXPERIMENTS = {
     "merkle": lambda: format_merkle_ablation(run_merkle_ablation()),
     "blocksize": lambda: format_block_size_ablation(run_block_size_ablation()),
     "receipts": lambda: format_receipts_ablation(run_receipts_ablation()),
+    "pipeline": lambda: format_pipeline(run_pipeline_bench()),
 }
 
 
@@ -610,13 +778,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="append structured ledger events (harness.round, block.closed, "
              "...) as JSONL to PATH",
     )
+    parser.add_argument(
+        "--concurrency", type=int, metavar="N", default=4,
+        help="thread count for the 'pipeline' experiment (default: 4)",
+    )
+    parser.add_argument(
+        "--pipeline-baseline", metavar="PATH", default=None,
+        help="run the staged-pipeline benchmark (1 thread and --concurrency "
+             "threads) and write the baseline JSON to PATH",
+    )
     args = parser.parse_args(argv)
+    if args.concurrency < 1:
+        parser.error("--concurrency must be at least 1")
+    _EXPERIMENTS["pipeline"] = lambda: format_pipeline(
+        run_pipeline_bench(threads=args.concurrency)
+    )
     if args.events_out:
         OBS.events.attach_file(args.events_out)
         OBS.events.enable()
     if args.obs_baseline:
         run_obs_baseline(args.obs_baseline)
         print(f"wrote {args.obs_baseline}")
+        return 0
+    if args.pipeline_baseline:
+        run_pipeline_baseline(args.pipeline_baseline, threads=args.concurrency)
+        print(f"wrote {args.pipeline_baseline}")
         return 0
     if args.telemetry:
         OBS.enable(metrics=True, tracing=False)
