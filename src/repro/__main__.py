@@ -9,15 +9,20 @@ Inside the shell, statements end with ``;``.  Ledger-specific commands use a
 backslash prefix:
 
     \\digest               extract a database digest (JSON)
-    \\verify               verify against all digests issued this session
+    \\verify [--parallel N]
+                          verify against all digests issued this session;
+                          --parallel fans scans out over N worker processes
     \\tables               list tables with their ledger roles
     \\history <table>      show the table's ledger view
     \\receipt <txid>       issue a transaction receipt (JSON)
     \\ops                  table-operations audit view (Figure 6)
     \\stats                dump telemetry counters (Prometheus text format)
     \\trace [n]            show the span tree of the last n statements (default 1)
-    \\monitor start [sec] | stop | status
-                          continuous-verification watchdog (default 5s cadence)
+    \\monitor start [sec] [--incremental] [--deep N] [--parallel N] | stop | status
+                          continuous-verification watchdog (default 5s
+                          cadence); --incremental verifies only the delta
+                          per cycle with a full deep scan every N cycles
+                          (--deep, default 5); --parallel sets worker count
     \\serve [port]         HTTP observability endpoint (/metrics /healthz
                           /events /ledger); port 0 = ephemeral
     \\events [n]           show the last n structured ledger events (default 20)
@@ -85,10 +90,19 @@ class Shell:
             self.digests.append(digest)
             print(digest.to_json())
         elif command == "verify":
+            parallelism = 1
+            flags = parts[1:]
+            if "--parallel" in flags:
+                position = flags.index("--parallel")
+                parallelism = int(flags[position + 1])
             digests = self.digests or [self.db.generate_digest()]
-            report = self.db.verify(digests)
+            report = self.db.verify(digests, parallelism=parallelism)
             print(report.summary())
             print(report.timing_summary())
+            print(
+                f"snapshot capture (lock held): "
+                f"{report.snapshot_seconds * 1000:.2f}ms"
+            )
             for finding in report.findings:
                 print(f"  {finding}")
         elif command == "tables":
@@ -139,11 +153,27 @@ class Shell:
     def _run_monitor(self, args: List[str]) -> None:
         action = args[0].lower() if args else "status"
         if action == "start":
-            interval = float(args[1]) if len(args) > 1 else 5.0
-            monitor = self.db.start_monitor(interval=interval)
-            print(
-                f"continuous verification running every {monitor.interval}s"
-            )
+            options = args[1:]
+            interval = 5.0
+            if options and not options[0].startswith("--"):
+                interval = float(options.pop(0))
+            kwargs = {}
+            if "--incremental" in options:
+                kwargs["incremental"] = True
+            if "--deep" in options:
+                position = options.index("--deep")
+                kwargs["deep_scan_every"] = int(options[position + 1])
+            if "--parallel" in options:
+                position = options.index("--parallel")
+                kwargs["parallelism"] = int(options[position + 1])
+            monitor = self.db.start_monitor(interval=interval, **kwargs)
+            description = f"continuous verification running every {monitor.interval}s"
+            if monitor.incremental:
+                description += (
+                    f" (incremental, deep scan every "
+                    f"{monitor.deep_scan_every} cycles)"
+                )
+            print(description)
         elif action == "stop":
             self.db.stop_monitor()
             print("monitor stopped")

@@ -625,6 +625,10 @@ class LedgerDatabase:
         digests: Sequence[DatabaseDigest],
         table_names=None,
         progress=None,
+        parallelism: int = 1,
+        mode: str = "full",
+        checkpoint=None,
+        build_checkpoint: bool = False,
     ):
         """Run ledger verification against externally stored digests.
 
@@ -633,11 +637,24 @@ class LedgerDatabase:
         an optional callable receiving
         :class:`repro.core.verification.VerificationProgress` events as the
         run advances through invariants and scans rows/blocks.
+
+        Verification only holds the storage lock while it captures its
+        snapshot; the invariant checks run concurrently with commits.
+        ``parallelism`` fans the scan-heavy invariants out over worker
+        processes; ``mode="incremental"`` with a ``checkpoint`` from a prior
+        passing run verifies only the delta (falling back to a full scan
+        whenever the checkpoint is unusable); ``build_checkpoint`` asks a
+        passing run to produce the next checkpoint.
         """
         from repro.core.verification import LedgerVerifier
 
         return LedgerVerifier(self, progress=progress).verify(
-            digests, table_names=table_names
+            digests,
+            table_names=table_names,
+            parallelism=parallelism,
+            mode=mode,
+            checkpoint=checkpoint,
+            build_checkpoint=build_checkpoint,
         )
 
     # ------------------------------------------------------------------

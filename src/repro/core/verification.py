@@ -23,6 +23,27 @@ canonically re-derived definition (§3.4.2).
 The reproduction executes the checks as Python scans rather than generated
 SQL, but the decomposition mirrors the paper's five verification queries
 one-to-one.
+
+Execution model (§2.3, §6 — verification must not stall the OLTP path):
+
+* **Snapshot-then-verify.**  The storage lock is held only while
+  :func:`repro.core.verify_snapshot.capture_snapshot` materializes immutable
+  references to blocks, entries, and stored records; every hash is then
+  recomputed off-lock, so commits proceed concurrently with verification.
+* **Parallel invariants** (``parallelism=N``).  The scan-heavy phases fan
+  out over a fork-based worker pool (:mod:`repro.core.verify_parallel`):
+  block roots per chunk, table/index scans per record range, and the chain
+  segmented into ranges stitched at boundary hashes.
+* **Incremental mode** (``mode="incremental"`` + a
+  :class:`repro.core.verify_checkpoint.VerificationCheckpoint`).  Digest,
+  chain, and block-root invariants still run in full (they are cheap —
+  O(blocks + entries) small-buffer hashes); the expensive row-version
+  invariant recomputes each table's Merkle *frontier* over the already-
+  verified transaction prefix and compares it to the checkpoint, then
+  checks per-transaction roots only for new transactions.  The index
+  invariant is deferred to scheduled deep scans.  Any frontier mismatch
+  escalates to a full scan within the same call — the checkpoint is an
+  optimization, never a trust root.
 """
 
 from __future__ import annotations
@@ -31,14 +52,25 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core import system_columns as sc
 from repro.core.digest import DatabaseDigest
-from repro.core.entries import TransactionEntry
-from repro.core.ledger_view import canonical_view_definition
-from repro.crypto.hashing import hash_leaf
-from repro.crypto.merkle import MerkleTree, merkle_root
-from repro.engine.record import decode_record, hashable_payload, key_tuple
-from repro.engine.table import Table
+from repro.core.verify_checkpoint import TableFrontier, VerificationCheckpoint
+from repro.core.verify_parallel import (
+    VerifyPool,
+    block_root_task,
+    chain_segment_task,
+    events_task,
+    keyed_leaves_task,
+    split_ranges,
+)
+from repro.core.verify_snapshot import (
+    RelationSnapshot,
+    TableSnapshot,
+    VerificationSnapshot,
+    cached_record_events,
+    capture_snapshot,
+)
+from repro.crypto.hashing import LeafHashCache
+from repro.crypto.merkle import MerkleHasher, MerkleTree, merkle_root
 from repro.errors import StorageError, VerificationFailedError
 from repro.obs import OBS
 
@@ -47,6 +79,11 @@ SEVERITY_WARNING = "warning"
 
 _VERIFY_RUNS = OBS.metrics.counter(
     "verify_runs_total", "Ledger verification runs started"
+)
+_VERIFY_MODE_RUNS = OBS.metrics.counter(
+    "verify_mode_runs_total",
+    "Ledger verification runs by executed mode",
+    ("mode",),
 )
 _VERIFY_INVARIANT_SECONDS = OBS.metrics.histogram(
     "verify_invariant_seconds",
@@ -60,6 +97,24 @@ _VERIFY_ROWS_SCANNED = OBS.metrics.counter(
 _VERIFY_BLOCKS_SCANNED = OBS.metrics.counter(
     "verify_blocks_scanned_total", "Blocks examined during verification"
 )
+_VERIFY_PARALLEL_TASKS = OBS.metrics.counter(
+    "verify_parallel_tasks_total",
+    "Verification work units dispatched to the worker pool, by phase",
+    ("phase",),
+)
+_VERIFY_CACHE_LOOKUPS = OBS.metrics.counter(
+    "verify_leaf_cache_lookups_total",
+    "Leaf-hash cache lookups during verification, by result",
+    ("result",),
+)
+_VERIFY_ESCALATIONS = OBS.metrics.counter(
+    "verify_incremental_escalations_total",
+    "Incremental runs escalated to a full scan by a frontier mismatch",
+)
+_VERIFY_FALLBACKS = OBS.metrics.counter(
+    "verify_checkpoint_fallbacks_total",
+    "Incremental runs that fell back to a full scan (unusable checkpoint)",
+)
 _CALLBACK_ERRORS = OBS.metrics.counter(
     "obs_callback_errors_total",
     "Exceptions raised by user-supplied observability callbacks",
@@ -68,6 +123,14 @@ _CALLBACK_ERRORS = OBS.metrics.counter(
 
 #: Row-scan granularity at which verification reports progress.
 PROGRESS_INTERVAL = 1000
+
+#: Process-wide leaf-hash cache shared by all verifiers (monitor + ad hoc).
+_GLOBAL_LEAF_CACHE = LeafHashCache()
+
+
+def leaf_cache() -> LeafHashCache:
+    """The process-wide leaf-hash cache used by default."""
+    return _GLOBAL_LEAF_CACHE
 
 
 @dataclass(frozen=True)
@@ -137,6 +200,23 @@ class VerificationReport:
     uncovered_transactions: int = 0
     #: Wall seconds spent per invariant, in execution order.
     invariant_timings: Dict[str, float] = field(default_factory=dict)
+    #: Mode that actually executed ("full" or "incremental").
+    mode: str = "full"
+    #: Worker processes that actually ran (1 = serial).
+    parallelism: int = 1
+    #: Seconds the storage lock was held capturing the snapshot.
+    snapshot_seconds: float = 0.0
+    #: Leaf-hash cache traffic attributable to this run.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Invariants deferred to deep scans (incremental mode only).
+    skipped_invariants: List[str] = field(default_factory=list)
+    #: True when a frontier mismatch escalated incremental -> full.
+    escalated: bool = False
+    #: Why an incremental request fell back to a full scan, if it did.
+    fallback_reason: Optional[str] = None
+    #: Checkpoint built by this run (only when requested and passing).
+    built_checkpoint: Optional[VerificationCheckpoint] = None
 
     @property
     def ok(self) -> bool:
@@ -157,8 +237,17 @@ class VerificationReport:
 
     def summary(self) -> str:
         status = "PASSED" if self.ok else "FAILED"
+        extras = []
+        if self.mode != "full":
+            extras.append(self.mode)
+        if self.parallelism > 1:
+            extras.append(f"{self.parallelism} workers")
+        if self.escalated:
+            extras.append("escalated")
+        detail = f" [{', '.join(extras)}]" if extras else ""
         return (
-            f"ledger verification {status}: {self.blocks_verified} blocks, "
+            f"ledger verification {status}{detail}: "
+            f"{self.blocks_verified} blocks, "
             f"{self.transactions_verified} transactions, "
             f"{self.tables_verified} tables, "
             f"{self.row_versions_hashed} row versions hashed, "
@@ -187,23 +276,32 @@ class LedgerVerifier:
         db,
         progress: Optional[ProgressCallback] = None,
         progress_interval: int = PROGRESS_INTERVAL,
+        cache: Optional[LeafHashCache] = None,
     ) -> None:
         self._db = db
         self._ledger = db.ledger
         self._progress = progress
         self._progress_interval = max(1, progress_interval)
+        self._cache = _GLOBAL_LEAF_CACHE if cache is None else cache
         self._phase = ""
         self._phase_index = 0
         self._phase_count = 0
         self._phase_current = 0
         self._phase_total: Optional[int] = None
         self._phase_unit = ""
+        self._escalate_reason: Optional[str] = None
+        self._events_by_table: Dict[int, Dict[Optional[int], List[Tuple[int, bytes]]]] = {}
 
     def verify(
         self,
         digests: Sequence[DatabaseDigest],
         table_names: Optional[Sequence[str]] = None,
         progress: Optional[ProgressCallback] = None,
+        parallelism: int = 1,
+        mode: str = "full",
+        checkpoint: Optional[VerificationCheckpoint] = None,
+        build_checkpoint: bool = False,
+        snapshot: Optional[VerificationSnapshot] = None,
     ) -> VerificationReport:
         """Verify the database against the given digests.
 
@@ -213,58 +311,101 @@ class LedgerVerifier:
         invoked with :class:`VerificationProgress` events as invariants start
         and as rows/blocks are scanned, so long verifications can report
         percent-complete.
+
+        ``parallelism`` fans scan-heavy phases out over N worker processes
+        (full mode; serial fallback where fork is unavailable).  ``mode``
+        selects full or incremental verification; incremental requires a
+        usable ``checkpoint`` and otherwise falls back to full.
+        ``build_checkpoint`` asks a passing run to produce the checkpoint
+        for the next incremental cycle.  ``snapshot`` reuses an
+        already-captured snapshot (internal; used by escalation).
         """
+        if mode not in ("full", "incremental"):
+            raise ValueError(f"unknown verification mode {mode!r}")
         if progress is not None:
             self._progress = progress
         report = VerificationReport()
         _VERIFY_RUNS.inc()
-        OBS.events.emit("verify", "verify.started", digests=len(digests))
-        # Hold the storage lock for the whole run: verification reads many
-        # tables and must see one consistent snapshot of the chain.
-        with self._ledger.storage_lock, OBS.tracer.span("verify.run"):
-            # Drain the pipeline without sealing the open block: sealed
-            # blocks close so the chain tip is complete, queued entries
-            # become visible relationally, and open-block entries keep
-            # verifying as "uncovered transactions".
-            self._db.pipeline.drain(seal_open=False)
-            self._ledger.flush_queue()
-            entries = {e.transaction_id: e for e in self._ledger.all_entries()}
-            blocks = {b.block_id: b for b in self._ledger.blocks()}
-            cutoff_tid = self._truncation_cutoff_tid()
-            tables = self._target_tables(table_names)
+        OBS.events.emit(
+            "verify", "verify.started",
+            digests=len(digests), mode=mode, parallelism=parallelism,
+        )
+        if snapshot is None:
+            snapshot = capture_snapshot(self._db, table_names)
+        report.snapshot_seconds = snapshot.capture_seconds
 
-            phases: List[Tuple[str, Callable[[], None], Optional[int], str]] = [
-                ("digest",
-                 lambda: self._check_digests(report, digests, blocks),
-                 len(digests), "digests"),
-                ("chain",
-                 lambda: self._check_chain(report, blocks),
-                 len(blocks), "blocks"),
-                ("block_root",
-                 lambda: self._check_block_roots(report, blocks, entries),
-                 len(blocks), "blocks"),
-                ("table_root",
-                 lambda: self._check_table_roots(
-                     report, tables, entries, cutoff_tid),
-                 None, "row versions"),
-                ("index",
-                 lambda: self._check_indexes(report, tables),
-                 len(tables), "tables"),
-                ("view",
-                 lambda: self._check_views(report),
-                 None, "views"),
-            ]
-            self._phase_count = len(phases)
-            for index, (name, check, total, unit) in enumerate(phases):
-                self._begin_phase(name, index, total, unit)
-                started = time.perf_counter()
-                with OBS.tracer.span(f"verify.{name}"):
-                    check()
-                elapsed = time.perf_counter() - started
-                self._end_phase()
-                report.invariant_timings[name] = elapsed
-                _VERIFY_INVARIANT_SECONDS.labels(name).observe(elapsed)
-            self._emit_done()
+        if mode == "incremental":
+            checkpoint, fallback_reason = self._usable_checkpoint(
+                checkpoint, snapshot
+            )
+            if checkpoint is None:
+                mode = "full"
+                report.fallback_reason = fallback_reason
+                _VERIFY_FALLBACKS.inc()
+        report.mode = mode
+        self._escalate_reason = None
+        self._events_by_table = {}
+        cache_hits0 = self._cache.hits
+        cache_misses0 = self._cache.misses
+
+        pool: Optional[VerifyPool] = None
+        if mode == "full" and parallelism > 1:
+            pool = VerifyPool(snapshot, parallelism)
+        report.parallelism = pool.processes if pool and pool.parallel else 1
+        _VERIFY_MODE_RUNS.labels(mode).inc()
+
+        try:
+            with OBS.tracer.span("verify.run"):
+                self._run_phases(
+                    report, digests, snapshot, mode, checkpoint, pool,
+                    build_checkpoint,
+                )
+                self._emit_done()
+        finally:
+            if pool is not None:
+                pool.close()
+
+        report.cache_hits = self._cache.hits - cache_hits0
+        report.cache_misses = self._cache.misses - cache_misses0
+        if OBS.metrics.enabled:
+            if report.cache_hits:
+                _VERIFY_CACHE_LOOKUPS.labels("hit").inc(report.cache_hits)
+            if report.cache_misses:
+                _VERIFY_CACHE_LOOKUPS.labels("miss").inc(report.cache_misses)
+
+        if self._escalate_reason is not None:
+            # The incremental frontier did not match the checkpoint.  The
+            # full scan is the authority: rerun everything off the same
+            # snapshot and report its verdict (the escalation itself is
+            # surfaced as a warning so operators can investigate).
+            _VERIFY_ESCALATIONS.inc()
+            reason = self._escalate_reason
+            OBS.events.emit("verify", "verify.escalated", reason=reason)
+            full_report = self.verify(
+                digests,
+                table_names=table_names,
+                parallelism=parallelism,
+                mode="full",
+                build_checkpoint=build_checkpoint,
+                snapshot=snapshot,
+            )
+            full_report.escalated = True
+            full_report.findings.insert(
+                0,
+                Finding(
+                    "table_root", SEVERITY_WARNING,
+                    "incremental verification escalated to a full scan: "
+                    + reason,
+                    {"reason": reason},
+                ),
+            )
+            return full_report
+
+        if build_checkpoint and report.ok:
+            report.built_checkpoint = self._build_checkpoint(
+                snapshot, checkpoint if mode == "incremental" else None
+            )
+
         for finding in report.findings:
             OBS.events.emit(
                 "verify", "verify.finding",
@@ -276,8 +417,93 @@ class LedgerVerifier:
             blocks=report.blocks_verified,
             transactions=report.transactions_verified,
             errors=len(report.errors), warnings=len(report.warnings),
+            mode=report.mode,
         )
         return report
+
+    def _run_phases(
+        self, report, digests, snapshot, mode, checkpoint, pool,
+        build_checkpoint,
+    ) -> None:
+        collect_streams = build_checkpoint or mode == "incremental"
+        if mode == "incremental":
+            phases: List[Tuple[str, Callable[[], None], Optional[int], str]] = [
+                ("digest",
+                 lambda: self._check_digests(report, digests, snapshot),
+                 len(digests), "digests"),
+                ("chain",
+                 lambda: self._check_chain_incremental(
+                     report, snapshot, checkpoint),
+                 len(snapshot.blocks), "blocks"),
+                ("block_root",
+                 lambda: self._check_block_roots_serial(report, snapshot),
+                 len(snapshot.blocks), "blocks"),
+                ("table_root",
+                 lambda: self._check_table_roots_incremental(
+                     report, snapshot, checkpoint),
+                 None, "row versions"),
+                ("view",
+                 lambda: self._check_views(report, snapshot),
+                 None, "views"),
+            ]
+            report.skipped_invariants = ["index"]
+        elif pool is not None and pool.parallel:
+            phases = [
+                ("digest",
+                 lambda: self._check_digests(report, digests, snapshot),
+                 len(digests), "digests"),
+                ("chain",
+                 lambda: self._check_chain_parallel(report, snapshot, pool),
+                 len(snapshot.blocks), "blocks"),
+                ("block_root",
+                 lambda: self._check_block_roots_parallel(
+                     report, snapshot, pool),
+                 len(snapshot.blocks), "blocks"),
+                ("table_root",
+                 lambda: self._check_table_roots_parallel(
+                     report, snapshot, pool, collect_streams),
+                 None, "row versions"),
+                ("index",
+                 lambda: self._check_indexes_parallel(report, snapshot, pool),
+                 len(snapshot.tables), "tables"),
+                ("view",
+                 lambda: self._check_views(report, snapshot),
+                 None, "views"),
+            ]
+        else:
+            phases = [
+                ("digest",
+                 lambda: self._check_digests(report, digests, snapshot),
+                 len(digests), "digests"),
+                ("chain",
+                 lambda: self._check_chain_serial(report, snapshot),
+                 len(snapshot.blocks), "blocks"),
+                ("block_root",
+                 lambda: self._check_block_roots_serial(report, snapshot),
+                 len(snapshot.blocks), "blocks"),
+                ("table_root",
+                 lambda: self._check_table_roots_serial(
+                     report, snapshot, collect_streams),
+                 None, "row versions"),
+                ("index",
+                 lambda: self._check_indexes_serial(report, snapshot),
+                 len(snapshot.tables), "tables"),
+                ("view",
+                 lambda: self._check_views(report, snapshot),
+                 None, "views"),
+            ]
+        self._phase_count = len(phases)
+        for index, (name, check, total, unit) in enumerate(phases):
+            self._begin_phase(name, index, total, unit)
+            started = time.perf_counter()
+            with OBS.tracer.span(f"verify.{name}"):
+                check()
+            elapsed = time.perf_counter() - started
+            self._end_phase()
+            report.invariant_timings[name] = elapsed
+            _VERIFY_INVARIANT_SECONDS.labels(name).observe(elapsed)
+            if self._escalate_reason is not None:
+                break  # the full rescan re-runs everything anyway
 
     # ------------------------------------------------------------------
     # Progress reporting
@@ -354,11 +580,26 @@ class LedgerVerifier:
             _CALLBACK_ERRORS.labels("progress").inc()
 
     # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wrap_findings(report, findings: List[Dict[str, Any]]) -> None:
+        for data in findings:
+            report.findings.append(
+                Finding(
+                    data["invariant"], data["severity"], data["message"],
+                    data.get("context", {}),
+                )
+            )
+
+    # ------------------------------------------------------------------
     # Invariant 1 — digests match recomputed block hashes
     # ------------------------------------------------------------------
 
-    def _check_digests(self, report, digests, blocks) -> None:
-        guid = self._db.database_guid
+    def _check_digests(self, report, digests, snapshot) -> None:
+        guid = snapshot.database_guid
+        blocks = snapshot.blocks
         for digest in digests:
             self._advance()
             if digest.database_guid != guid:
@@ -370,7 +611,7 @@ class LedgerVerifier:
                     )
                 )
                 continue
-            if digest.block_id < self._ledger.first_block_id():
+            if digest.block_id < snapshot.first_block_id:
                 report.findings.append(
                     Finding(
                         "digest", SEVERITY_WARNING,
@@ -405,12 +646,10 @@ class LedgerVerifier:
     # Invariant 2 — the blockchain links verify
     # ------------------------------------------------------------------
 
-    def _check_chain(self, report, blocks) -> None:
-        if not blocks:
-            return
-        first_expected = self._ledger.first_block_id()
+    def _report_chain_gaps(self, report, snapshot) -> List[int]:
+        blocks = snapshot.blocks
         block_ids = sorted(blocks)
-        expected = list(range(first_expected, block_ids[-1] + 1))
+        expected = list(range(snapshot.first_block_id, block_ids[-1] + 1))
         if block_ids != expected:
             missing = sorted(set(expected) - set(blocks))
             report.findings.append(
@@ -420,7 +659,14 @@ class LedgerVerifier:
                     {"missing": missing},
                 )
             )
-        anchor = self._ledger.anchor
+        return block_ids
+
+    def _check_chain_serial(self, report, snapshot) -> None:
+        blocks = snapshot.blocks
+        if not blocks:
+            return
+        block_ids = self._report_chain_gaps(report, snapshot)
+        anchor = snapshot.anchor
         for block_id in block_ids:
             block = blocks[block_id]
             report.blocks_verified += 1
@@ -454,20 +700,130 @@ class LedgerVerifier:
                     )
                 )
 
+    def _check_chain_parallel(self, report, snapshot, pool) -> None:
+        """Segmented chain check: workers hash ranges, boundaries stitch.
+
+        Each worker recomputes the hashes *inside* its contiguous segment
+        and reports the segment's first stored previous-hash and last
+        recomputed hash; the parent compares those at segment boundaries,
+        so every block is hashed exactly once across the pool.
+        """
+        blocks = snapshot.blocks
+        if not blocks:
+            return
+        block_ids = self._report_chain_gaps(report, snapshot)
+        anchor = snapshot.anchor
+
+        # Contiguous runs (gaps split runs; gap findings already reported).
+        runs: List[List[int]] = []
+        for block_id in block_ids:
+            if runs and block_id == runs[-1][-1] + 1:
+                runs[-1].append(block_id)
+            else:
+                runs.append([block_id])
+
+        segments: List[List[int]] = []
+        for run in runs:
+            for start, end in split_ranges(len(run), pool.processes):
+                segments.append(run[start:end])
+        if OBS.metrics.enabled:
+            _VERIFY_PARALLEL_TASKS.labels("chain").inc(len(segments))
+
+        def on_result(result) -> None:
+            report.blocks_verified += result["count"]
+            _VERIFY_BLOCKS_SCANNED.inc(result["count"])
+            self._advance(result["count"])
+
+        results = pool.run(chain_segment_task, segments, on_result)
+
+        previous: Optional[Dict[str, Any]] = None
+        for result in results:
+            self._wrap_findings(report, result["findings"])
+            first_id = result["first_id"]
+            stored_prev = result["stored_prev"]
+            if previous is not None and first_id == previous["last_id"] + 1:
+                expected_prev: Optional[bytes] = previous["last_hash"]
+            elif first_id == 0:
+                if stored_prev is not None:
+                    report.findings.append(
+                        Finding(
+                            "chain", SEVERITY_ERROR,
+                            "block 0 must record a null previous-block hash",
+                            {"block_id": 0},
+                        )
+                    )
+                previous = result
+                continue
+            elif anchor is not None and first_id == anchor[0] + 1:
+                expected_prev = anchor[1]
+            else:
+                previous = result
+                continue  # run starts at a gap, already reported
+            if stored_prev != expected_prev:
+                report.findings.append(
+                    Finding(
+                        "chain", SEVERITY_ERROR,
+                        f"block {first_id} records a previous-block hash "
+                        f"that does not match the recomputed hash of block "
+                        f"{first_id - 1}",
+                        {"block_id": first_id},
+                    )
+                )
+            previous = result
+
+    def _check_chain_incremental(self, report, snapshot, checkpoint) -> None:
+        """Full chain check plus the checkpoint chained-hash cross-check.
+
+        Chain hashing is cheap (one small SHA-256 per block), so incremental
+        cycles still recompute every link — tampering *before* the
+        checkpoint is caught immediately, not deferred to a deep scan.  The
+        checkpoint's recorded block hash is additionally compared against
+        the recomputed hash of that block, anchoring this cycle to the last
+        passing run.
+        """
+        self._check_chain_serial(report, snapshot)
+        if checkpoint is None:
+            return
+        block = snapshot.blocks.get(checkpoint.block_id)
+        if block is not None and block.block_hash() != checkpoint.block_hash:
+            report.findings.append(
+                Finding(
+                    "chain", SEVERITY_ERROR,
+                    f"recomputed hash of block {checkpoint.block_id} does "
+                    "not match the chained hash recorded by the last "
+                    "passing verification",
+                    {"block_id": checkpoint.block_id},
+                )
+            )
+
     # ------------------------------------------------------------------
     # Invariant 3 — block transaction roots
     # ------------------------------------------------------------------
 
-    def _check_block_roots(self, report, blocks, entries) -> None:
-        by_block: Dict[int, List[TransactionEntry]] = {}
-        for entry in entries.values():
-            by_block.setdefault(entry.block_id, []).append(entry)
-        open_block = self._ledger.open_block_id
-        for block_id, block in sorted(blocks.items()):
-            self._advance()
-            block_entries = sorted(
-                by_block.get(block_id, []), key=lambda e: e.ordinal
+    def _report_unchained_entries(self, report, snapshot) -> None:
+        """Entries referencing blocks outside the chain (shared by modes)."""
+        for block_id, block_entries in snapshot.entries_by_block.items():
+            if block_id in snapshot.blocks:
+                continue
+            if block_id >= snapshot.open_block_id:
+                # Entries of the still-open block: internally consistent but
+                # not yet covered by any digest (§3.4.1).
+                report.uncovered_transactions += len(block_entries)
+                continue
+            report.findings.append(
+                Finding(
+                    "block_root", SEVERITY_ERROR,
+                    f"{len(block_entries)} transaction(s) reference block "
+                    f"{block_id} which is not part of the blockchain",
+                    {"block_id": block_id},
+                )
             )
+
+    def _check_block_roots_serial(self, report, snapshot) -> None:
+        by_block = snapshot.entries_by_block
+        for block_id, block in sorted(snapshot.blocks.items()):
+            self._advance()
+            block_entries = by_block.get(block_id, [])
             tree = MerkleTree([e.entry_hash() for e in block_entries])
             if tree.root() != block.transactions_root:
                 report.findings.append(
@@ -488,241 +844,371 @@ class LedgerVerifier:
                     )
                 )
             report.transactions_verified += len(block_entries)
-        for block_id, block_entries in by_block.items():
-            if block_id in blocks:
-                continue
-            if block_id >= open_block and self._ledger.block(block_id) is None:
-                # Entries of the still-open block: internally consistent but
-                # not yet covered by any digest (§3.4.1).
-                report.uncovered_transactions += len(block_entries)
-                continue
-            report.findings.append(
-                Finding(
-                    "block_root", SEVERITY_ERROR,
-                    f"{len(block_entries)} transaction(s) reference block "
-                    f"{block_id} which is not part of the blockchain",
-                    {"block_id": block_id},
-                )
-            )
+        self._report_unchained_entries(report, snapshot)
+
+    def _check_block_roots_parallel(self, report, snapshot, pool) -> None:
+        block_ids = sorted(snapshot.blocks)
+        chunks = [
+            block_ids[start:end]
+            for start, end in split_ranges(len(block_ids), pool.processes)
+        ]
+        if OBS.metrics.enabled:
+            _VERIFY_PARALLEL_TASKS.labels("block_root").inc(len(chunks))
+
+        results = []
+        for chunk, result in zip(chunks, pool.run(block_root_task, chunks)):
+            report.transactions_verified += result["transactions"]
+            self._advance(len(chunk))
+            results.append(result)
+        for result in results:
+            self._wrap_findings(report, result["findings"])
+        self._report_unchained_entries(report, snapshot)
 
     # ------------------------------------------------------------------
     # Invariant 4 — per-transaction table Merkle roots
     # ------------------------------------------------------------------
 
-    def _target_tables(self, table_names) -> List[Table]:
-        tables = self._db.ledger_tables()
-        if table_names is None:
-            return tables
-        wanted = set(table_names)
-        return [t for t in tables if t.name in wanted]
-
-    def _check_table_roots(self, report, tables, entries, cutoff_tid) -> None:
-        for table in tables:
-            report.tables_verified += 1
-            events = self._collect_events(report, table)
-            for tid, leaves in sorted(events.items()):
-                if tid is None:
-                    report.findings.append(
-                        Finding(
-                            "table_root", SEVERITY_ERROR,
-                            f"table {table.name!r} holds row versions with "
-                            "missing transaction ids",
-                            {"table": table.name},
-                        )
-                    )
-                    continue
-                entry = entries.get(tid)
-                if entry is None:
-                    if cutoff_tid is not None and tid <= cutoff_tid:
-                        continue  # the transaction was legally truncated
-                    report.findings.append(
-                        Finding(
-                            "table_root", SEVERITY_ERROR,
-                            f"rows in table {table.name!r} reference "
-                            f"transaction {tid} which is not recorded in the "
-                            "ledger",
-                            {"table": table.name, "transaction_id": tid},
-                        )
-                    )
-                    continue
-                leaves.sort(key=lambda pair: pair[0])
-                computed = merkle_root([leaf for _, leaf in leaves])
-                recorded = entry.root_for_table(table.table_id)
-                report.row_versions_hashed += len(leaves)
-                if recorded is None:
-                    report.findings.append(
-                        Finding(
-                            "table_root", SEVERITY_ERROR,
-                            f"transaction {tid} touched table {table.name!r} "
-                            "but its ledger entry records no root for it",
-                            {"table": table.name, "transaction_id": tid},
-                        )
-                    )
-                elif computed != recorded:
-                    report.findings.append(
-                        Finding(
-                            "table_root", SEVERITY_ERROR,
-                            f"Merkle root for transaction {tid} over table "
-                            f"{table.name!r} does not match the ledger",
-                            {"table": table.name, "transaction_id": tid},
-                        )
-                    )
-            # The reverse direction: entries claiming updates this table
-            # cannot substantiate.
-            for tid, entry in entries.items():
-                if entry.root_for_table(table.table_id) is None:
-                    continue
-                if tid not in events:
-                    report.findings.append(
-                        Finding(
-                            "table_root", SEVERITY_ERROR,
-                            f"transaction {tid} recorded updates to table "
-                            f"{table.name!r} but no matching row versions "
-                            "exist",
-                            {"table": table.name, "transaction_id": tid},
-                        )
-                    )
-
-    def _collect_events(
-        self, report, table: Table
+    def _collect_events_serial(
+        self, report, table: TableSnapshot
     ) -> Dict[Optional[int], List[Tuple[int, bytes]]]:
-        """Rebuild (sequence, leaf hash) events per transaction (§3.4.1-4)."""
+        """Rebuild (sequence, leaf hash) events per transaction (§3.4.1-4).
+
+        Serial path: cache-assisted, advancing progress per row version so
+        long scans report fine-grained percent-complete.
+        """
         events: Dict[Optional[int], List[Tuple[int, bytes]]] = {}
-
-        def add(tid, seq, leaf) -> None:
-            events.setdefault(tid, []).append((seq if seq is not None else -1, leaf))
-            _VERIFY_ROWS_SCANNED.inc()
-            self._advance()
-
-        start_tid, start_seq = sc.start_ordinals(table.schema)
-        for rid, record in table.heap.scan():
-            try:
-                row = decode_record(table.schema, record)
-            except StorageError as exc:
-                report.findings.append(
-                    Finding(
-                        "table_root", SEVERITY_ERROR,
-                        f"row {rid} in table {table.name!r} failed to decode: "
-                        f"{exc}",
-                        {"table": table.name},
-                    )
-                )
-                continue
-            leaf = hash_leaf(hashable_payload(table.schema, row))
-            add(row[start_tid], row[start_seq], leaf)
-
-        history_id = table.options.get("history_table_id")
-        if history_id is not None:
-            history = self._db.engine.table_by_id(history_id)
-            h_start_tid, h_start_seq = sc.start_ordinals(history.schema)
-            h_end_tid, h_end_seq = sc.end_ordinals(history.schema)
-            for rid, record in history.heap.scan():
+        scanned = 0
+        for relation in table.relations():
+            kind = "history table" if relation.is_history else "table"
+            for rid, record in relation.records:
                 try:
-                    row = decode_record(history.schema, record)
+                    derived, _ = cached_record_events(
+                        relation, record, self._cache
+                    )
                 except StorageError as exc:
                     report.findings.append(
                         Finding(
                             "table_root", SEVERITY_ERROR,
-                            f"row {rid} in history table {history.name!r} "
-                            f"failed to decode: {exc}",
-                            {"table": history.name},
+                            f"row {rid} in {kind} {relation.name!r} failed "
+                            f"to decode: {exc}",
+                            {"table": relation.name},
                         )
                     )
                     continue
-                # As-created form: the end columns were NULL when the
-                # creating transaction hashed this version.
-                created = sc.mask_end_columns(history.schema, row)
-                add(
-                    row[h_start_tid], row[h_start_seq],
-                    hash_leaf(hashable_payload(history.schema, created)),
-                )
-                # As-deleted form: hashed by the deleting transaction.
-                add(
-                    row[h_end_tid], row[h_end_seq],
-                    hash_leaf(hashable_payload(history.schema, row)),
-                )
+                for tid, seq, leaf in derived:
+                    events.setdefault(tid, []).append((seq, leaf))
+                    scanned += 1
+                    self._advance()
+        _VERIFY_ROWS_SCANNED.inc(scanned)
         return events
+
+    def _check_events_against_entries(
+        self, report, snapshot, table: TableSnapshot, events,
+        new_tids_only_above: Optional[int] = None,
+    ) -> None:
+        """Compare per-transaction event roots against ledger entries.
+
+        ``new_tids_only_above`` limits the comparison (and the reverse
+        direction) to transactions above the given id — the incremental
+        path, where older transactions are covered by the frontier check.
+        """
+        entries = snapshot.entries
+        cutoff_tid = snapshot.cutoff_tid
+        floor = new_tids_only_above
+        for tid, leaves in sorted(
+            events.items(), key=lambda item: (item[0] is None, item[0] or 0)
+        ):
+            if tid is None:
+                report.findings.append(
+                    Finding(
+                        "table_root", SEVERITY_ERROR,
+                        f"table {table.name!r} holds row versions with "
+                        "missing transaction ids",
+                        {"table": table.name},
+                    )
+                )
+                continue
+            if floor is not None and tid <= floor:
+                continue
+            entry = entries.get(tid)
+            if entry is None:
+                if cutoff_tid is not None and tid <= cutoff_tid:
+                    continue  # the transaction was legally truncated
+                report.findings.append(
+                    Finding(
+                        "table_root", SEVERITY_ERROR,
+                        f"rows in table {table.name!r} reference "
+                        f"transaction {tid} which is not recorded in the "
+                        "ledger",
+                        {"table": table.name, "transaction_id": tid},
+                    )
+                )
+                continue
+            leaves = sorted(leaves, key=lambda pair: pair[0])
+            computed = merkle_root([leaf for _, leaf in leaves])
+            recorded = entry.root_for_table(table.table_id)
+            report.row_versions_hashed += len(leaves)
+            if recorded is None:
+                report.findings.append(
+                    Finding(
+                        "table_root", SEVERITY_ERROR,
+                        f"transaction {tid} touched table {table.name!r} "
+                        "but its ledger entry records no root for it",
+                        {"table": table.name, "transaction_id": tid},
+                    )
+                )
+            elif computed != recorded:
+                report.findings.append(
+                    Finding(
+                        "table_root", SEVERITY_ERROR,
+                        f"Merkle root for transaction {tid} over table "
+                        f"{table.name!r} does not match the ledger",
+                        {"table": table.name, "transaction_id": tid},
+                    )
+                )
+        # The reverse direction: entries claiming updates this table
+        # cannot substantiate.
+        for tid, entry in entries.items():
+            if entry.root_for_table(table.table_id) is None:
+                continue
+            if floor is not None and tid <= floor:
+                continue
+            if tid not in events:
+                report.findings.append(
+                    Finding(
+                        "table_root", SEVERITY_ERROR,
+                        f"transaction {tid} recorded updates to table "
+                        f"{table.name!r} but no matching row versions "
+                        "exist",
+                        {"table": table.name, "transaction_id": tid},
+                    )
+                )
+
+    def _check_table_roots_serial(
+        self, report, snapshot, collect_streams: bool
+    ) -> None:
+        for table in snapshot.tables:
+            report.tables_verified += 1
+            events = self._collect_events_serial(report, table)
+            if collect_streams:
+                self._events_by_table[table.table_id] = events
+            self._check_events_against_entries(report, snapshot, table, events)
+
+    def _check_table_roots_parallel(
+        self, report, snapshot, pool, collect_streams: bool
+    ) -> None:
+        """Fan the row-version scans out as record-range tasks.
+
+        Every (relation, record-range) chunk is an independent task, so a
+        single large table still saturates the pool.  Workers do the
+        expensive decode + serialize + hash; the parent merges the partial
+        per-transaction event maps (order-preserving: tasks arrive in
+        submission order) and runs the cheap root comparisons.
+        """
+        args_list: List[Tuple[int, str, int, int]] = []
+        for table_index, table in enumerate(snapshot.tables):
+            for which, relation in (
+                ("base", table.base), ("history", table.history)
+            ):
+                if relation is None:
+                    continue
+                for start, end in split_ranges(
+                    len(relation.records), pool.processes
+                ):
+                    args_list.append((table_index, which, start, end))
+        if OBS.metrics.enabled:
+            _VERIFY_PARALLEL_TASKS.labels("table_root").inc(len(args_list))
+
+        merged: Dict[int, Dict[Optional[int], List[Tuple[int, bytes]]]] = {}
+
+        def on_result(result) -> None:
+            _VERIFY_ROWS_SCANNED.inc(result["scanned"])
+            self._advance(result["scanned"])
+
+        results = pool.run(events_task, args_list, on_result)
+        for args, result in zip(args_list, results):
+            table_index = args[0]
+            events = merged.setdefault(table_index, {})
+            for tid, pairs in result["events"].items():
+                events.setdefault(tid, []).extend(pairs)
+            self._wrap_findings(report, result["findings"])
+
+        for table_index, table in enumerate(snapshot.tables):
+            report.tables_verified += 1
+            events = merged.get(table_index, {})
+            if collect_streams:
+                self._events_by_table[table.table_id] = events
+            self._check_events_against_entries(report, snapshot, table, events)
+
+    def _check_table_roots_incremental(
+        self, report, snapshot, checkpoint
+    ) -> None:
+        """Root checks for the delta; leaf counting for the verified prefix.
+
+        The scan still visits every record — that is how new transactions
+        are discovered — but events at or below the checkpoint's
+        ``max_tid`` are only *counted* against the stored frontier, not
+        re-hashed.  An added or deleted pre-checkpoint row version changes
+        the count and escalates to a full scan immediately; a same-count
+        byte rewrite of old data is caught by the next deep scan, whose
+        full rebuild ignores the checkpoint entirely.  The deep-scan
+        cadence, not the checkpoint, is the trust boundary: the checkpoint
+        only bounds how much work a clean cycle repeats.
+        """
+        for table in snapshot.tables:
+            report.tables_verified += 1
+            events = self._collect_events_serial(report, table)
+            self._events_by_table[table.table_id] = events
+            frontier = checkpoint.tables.get(table.table_id)
+            if frontier is None:
+                # Table unknown to the checkpoint (created since, or the
+                # checkpoint was built with a table filter): check in full.
+                self._check_events_against_entries(
+                    report, snapshot, table, events
+                )
+                continue
+            old_leaves = 0
+            for tid, pairs in events.items():
+                if tid is None or tid > checkpoint.max_tid:
+                    continue
+                old_leaves += len(pairs)
+            if old_leaves != frontier.leaf_count:
+                self._escalate_reason = (
+                    f"table {table.name!r} has {old_leaves} row versions "
+                    f"at or below checkpoint transaction "
+                    f"{checkpoint.max_tid}, but the checkpoint frontier "
+                    f"recorded {frontier.leaf_count}"
+                )
+                return
+            self._check_events_against_entries(
+                report, snapshot, table, events,
+                new_tids_only_above=checkpoint.max_tid,
+            )
 
     # ------------------------------------------------------------------
     # Invariant 5 — nonclustered indexes match their base tables
     # ------------------------------------------------------------------
 
-    def _check_indexes(self, report, tables) -> None:
-        for table in tables:
+    def _keyed_leaves_serial(
+        self, report, relation: RelationSnapshot, records
+    ) -> List[Tuple[Tuple, bytes]]:
+        keyed: List[Tuple[Tuple, bytes]] = []
+        for record in records:
+            try:
+                derived, order_key = cached_record_events(
+                    relation, record, self._cache
+                )
+            except StorageError as exc:
+                report.findings.append(
+                    Finding(
+                        "index", SEVERITY_ERROR,
+                        f"record in {relation.name!r} failed to decode "
+                        f"during index verification: {exc}",
+                        {"table": relation.name},
+                    )
+                )
+                continue
+            keyed.append((order_key, derived[-1][2]))
+        return keyed
+
+    @staticmethod
+    def _root_of_keyed(keyed: List[Tuple[Tuple, bytes]]) -> bytes:
+        keyed = sorted(keyed, key=lambda pair: pair[0])
+        return merkle_root([leaf for _, leaf in keyed])
+
+    def _check_indexes_serial(self, report, snapshot) -> None:
+        for table in snapshot.tables:
             self._advance()
-            candidates = [table]
-            history_id = table.options.get("history_table_id")
-            if history_id is not None:
-                candidates.append(self._db.engine.table_by_id(history_id))
-            for target in candidates:
-                if not target.nonclustered:
+            for relation in table.relations():
+                if not relation.index_records:
                     continue
-                base_root = self._rows_root(report, target, target.heap.scan())
-                for index in target.nonclustered.values():
-                    index_root = self._rows_root(
-                        report, target,
-                        ((None, record) for record in index.scan_records()),
+                base_root = self._root_of_keyed(
+                    self._keyed_leaves_serial(
+                        report, relation,
+                        (record for _, record in relation.records),
+                    )
+                )
+                for index_name, records in relation.index_records.items():
+                    index_root = self._root_of_keyed(
+                        self._keyed_leaves_serial(report, relation, records)
                     )
                     if index_root != base_root:
                         report.findings.append(
                             Finding(
                                 "index", SEVERITY_ERROR,
-                                f"nonclustered index {index.name!r} on "
-                                f"{target.name!r} is not equivalent to the "
-                                "base table",
-                                {"table": target.name, "index": index.name},
+                                f"nonclustered index {index_name!r} on "
+                                f"{relation.name!r} is not equivalent to "
+                                "the base table",
+                                {
+                                    "table": relation.name,
+                                    "index": index_name,
+                                },
                             )
                         )
 
-    def _rows_root(self, report, table: Table, records) -> bytes:
-        """Merkle root over decoded records, ordered by clustered key."""
-        keyed = []
-        key_ordinals = table.schema.primary_key_ordinals()
-        for rid, record in records:
-            try:
-                row = decode_record(table.schema, record)
-            except StorageError as exc:
-                report.findings.append(
-                    Finding(
-                        "index", SEVERITY_ERROR,
-                        f"record in {table.name!r} failed to decode during "
-                        f"index verification: {exc}",
-                        {"table": table.name},
-                    )
+    def _check_indexes_parallel(self, report, snapshot, pool) -> None:
+        args_list: List[Tuple[int, str, Optional[str], int, int]] = []
+        for table_index, table in enumerate(snapshot.tables):
+            for which, relation in (
+                ("base", table.base), ("history", table.history)
+            ):
+                if relation is None or not relation.index_records:
+                    continue
+                for start, end in split_ranges(
+                    len(relation.records), pool.processes
+                ):
+                    args_list.append((table_index, which, None, start, end))
+                for index_name, records in relation.index_records.items():
+                    for start, end in split_ranges(
+                        len(records), pool.processes
+                    ):
+                        args_list.append(
+                            (table_index, which, index_name, start, end)
+                        )
+        if OBS.metrics.enabled:
+            _VERIFY_PARALLEL_TASKS.labels("index").inc(len(args_list))
+
+        merged: Dict[Tuple[int, str, Optional[str]], List] = {}
+        results = pool.run(keyed_leaves_task, args_list)
+        for args, result in zip(args_list, results):
+            merged.setdefault(args[:3], []).extend(result["keyed"])
+            self._wrap_findings(report, result["findings"])
+
+        for table_index, table in enumerate(snapshot.tables):
+            self._advance()
+            for which, relation in (
+                ("base", table.base), ("history", table.history)
+            ):
+                if relation is None or not relation.index_records:
+                    continue
+                base_root = self._root_of_keyed(
+                    merged.get((table_index, which, None), [])
                 )
-                continue
-            if key_ordinals:
-                order_key = key_tuple([row[o] for o in key_ordinals])
-            else:
-                order_key = key_tuple(list(row))
-            keyed.append((order_key, hash_leaf(hashable_payload(table.schema, row))))
-        keyed.sort(key=lambda pair: pair[0])
-        return merkle_root([leaf for _, leaf in keyed])
+                for index_name in relation.index_records:
+                    index_root = self._root_of_keyed(
+                        merged.get((table_index, which, index_name), [])
+                    )
+                    if index_root != base_root:
+                        report.findings.append(
+                            Finding(
+                                "index", SEVERITY_ERROR,
+                                f"nonclustered index {index_name!r} on "
+                                f"{relation.name!r} is not equivalent to "
+                                "the base table",
+                                {
+                                    "table": relation.name,
+                                    "index": index_name,
+                                },
+                            )
+                        )
 
     # ------------------------------------------------------------------
     # Ledger view definitions (§3.4.2, final step)
     # ------------------------------------------------------------------
 
-    def _check_views(self, report) -> None:
-        from repro.core.ledger_database import VIEWS_TABLE
-
-        views = self._db.engine.table(VIEWS_TABLE)
-        stored: Dict[str, str] = {}
-        name_ord = views.schema.column("view_name").ordinal
-        def_ord = views.schema.column("definition").ordinal
-        for _, row in views.scan():
-            stored[row[name_ord]] = row[def_ord]
-        for table in self._db.ledger_tables():
-            history_id = table.options.get("history_table_id")
-            history = (
-                self._db.engine.table_by_id(history_id) if history_id else None
-            )
-            expected = canonical_view_definition(
-                table.name,
-                history.name if history else None,
-                [c.name for c in table.schema.visible_columns],
-            )
-            view_name = f"{table.name}_ledger"
+    def _check_views(self, report, snapshot) -> None:
+        stored = snapshot.views_stored
+        for view_name, expected in snapshot.views_expected:
             actual = stored.get(view_name)
             if actual is None:
                 report.findings.append(
@@ -743,20 +1229,91 @@ class LedgerVerifier:
                 )
 
     # ------------------------------------------------------------------
-    # Truncation support
+    # Checkpoints (incremental cycles)
     # ------------------------------------------------------------------
 
-    def _truncation_cutoff_tid(self) -> Optional[int]:
-        from repro.core.ledger_database import TRUNCATIONS_TABLE
+    def _usable_checkpoint(
+        self, checkpoint, snapshot
+    ) -> Tuple[Optional[VerificationCheckpoint], Optional[str]]:
+        """Decide whether the checkpoint can drive an incremental cycle.
 
-        try:
-            table = self._db.engine.table(TRUNCATIONS_TABLE)
-        except Exception:
+        Anything suspicious disqualifies it and forces a full scan — the
+        conservative direction, since a full scan is always sound.
+        """
+        if checkpoint is None:
+            return None, "no checkpoint available"
+        if checkpoint.database_guid != snapshot.database_guid:
+            return None, "checkpoint belongs to a different database"
+        if checkpoint.block_id < snapshot.first_block_id:
+            return None, "ledger truncated past the checkpoint block"
+        block = snapshot.blocks.get(checkpoint.block_id)
+        if block is None:
+            return None, f"checkpoint block {checkpoint.block_id} is missing"
+        if block.block_hash() != checkpoint.block_hash:
+            return (
+                None,
+                f"recomputed hash of block {checkpoint.block_id} does not "
+                "match the checkpoint",
+            )
+        return checkpoint, None
+
+    def _build_checkpoint(
+        self, snapshot, previous: Optional[VerificationCheckpoint]
+    ) -> Optional[VerificationCheckpoint]:
+        """Build the checkpoint a future incremental cycle will resume from.
+
+        Covers only *closed* blocks: ``max_tid`` is the highest transaction
+        id sealed into a closed block, and each table's frontier extends
+        over events at or below it.  When the run itself was incremental,
+        the previous frontier's O(log N) state is restored and only the new
+        leaves are appended — the streaming-hasher property that makes
+        checkpoint maintenance O(delta).
+        """
+        if not snapshot.blocks:
             return None
-        cutoff = None
-        ordinal = table.schema.column("truncated_through_tid").ordinal
-        for _, row in table.scan():
-            value = row[ordinal]
-            if cutoff is None or value > cutoff:
-                cutoff = value
-        return cutoff
+        block_id = max(snapshot.blocks)
+        block_hash = snapshot.blocks[block_id].block_hash()
+        max_tid = max(
+            (
+                entry.transaction_id
+                for entry in snapshot.entries.values()
+                if entry.block_id <= block_id
+            ),
+            default=None,
+        )
+        if max_tid is None:
+            return None
+        checkpoint = VerificationCheckpoint(
+            database_guid=snapshot.database_guid,
+            block_id=block_id,
+            block_hash=block_hash,
+            max_tid=max_tid,
+        )
+        for table in snapshot.tables:
+            events = self._events_by_table.get(table.table_id, {})
+            old_frontier = (
+                previous.tables.get(table.table_id) if previous else None
+            )
+            floor = previous.max_tid if old_frontier is not None else None
+            stream: List[Tuple[int, int, bytes]] = []
+            for tid, pairs in events.items():
+                if tid is None or tid > max_tid:
+                    continue
+                if floor is not None and tid <= floor:
+                    continue
+                for seq, leaf in pairs:
+                    stream.append((tid, seq, leaf))
+            stream.sort(key=lambda item: (item[0], item[1]))
+            hasher = MerkleHasher()
+            if old_frontier is not None:
+                hasher.restore(old_frontier.state)
+            for _, _, leaf in stream:
+                hasher.append(leaf)
+            checkpoint.tables[table.table_id] = TableFrontier(
+                table_id=table.table_id,
+                table_name=table.name,
+                frontier_root=hasher.root(),
+                leaf_count=hasher.leaf_count,
+                state=hasher.snapshot(),
+            )
+        return checkpoint

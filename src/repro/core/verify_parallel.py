@@ -1,0 +1,295 @@
+"""Worker-pool fan-out for ledger verification (§6: parallel scans).
+
+The paper notes verification parallelizes naturally: every block root, every
+per-transaction table root, and every chain segment can be recomputed
+independently.  This module fans the four scan-heavy invariants out over a
+``multiprocessing`` fork pool:
+
+* ``chain``     — contiguous block ranges; each worker recomputes the hashes
+                  inside its segment and returns its boundary hashes, which
+                  the parent stitches together (each block is hashed once).
+* ``block_root``— chunks of block ids, each recomputing its transaction
+                  Merkle roots.
+* ``table_root``— record-range chunks per relation, each decoding and
+                  hashing its slice of row versions into partial per-
+                  transaction event maps that the parent merges.
+* ``index``     — record-range chunks per (relation, heap-or-index) source,
+                  returning keyed leaves the parent merges, sorts, and roots.
+
+Workers are forked *after* the immutable snapshot is fully built, so they
+inherit it through copy-on-write memory — nothing is pickled on the way in,
+and results crossing the pipe are small tuples of findings and digests.
+
+Fork-only by design: the snapshot holds live schema objects and engine
+references that are cheap to inherit but expensive (or impossible) to
+pickle.  Where ``fork`` is unavailable (Windows, some macOS configurations)
+callers fall back to the serial path; :func:`fork_available` reports which.
+
+The child initializer disables telemetry.  Metric mutators check the
+registry's ``enabled`` flag before acquiring any per-metric lock, so a
+worker forked while another thread held such a lock can never deadlock —
+the disabled flag short-circuits ahead of the lock, and workers have no
+business reporting parent-process metrics anyway.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.verify_snapshot import (
+    RelationSnapshot,
+    VerificationSnapshot,
+    record_events,
+)
+from repro.crypto.merkle import MerkleTree
+from repro.errors import StorageError
+
+#: Snapshot inherited by forked workers; set immediately before the pool is
+#: created so copy-on-write shares it with every child.
+_SNAPSHOT: Optional[VerificationSnapshot] = None
+
+#: Below this many work units per phase a pool costs more than it saves.
+MIN_UNITS_PER_WORKER = 64
+
+
+def fork_available() -> bool:
+    """True when fork-based worker pools can run on this platform."""
+    return (
+        hasattr(os, "fork")
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def split_ranges(count: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(count)`` into up to ``parts`` near-equal (start, end)."""
+    if count <= 0:
+        return []
+    parts = max(1, min(parts, count))
+    base, extra = divmod(count, parts)
+    ranges = []
+    start = 0
+    for i in range(parts):
+        end = start + base + (1 if i < extra else 0)
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def _child_init() -> None:
+    from repro.obs import OBS
+
+    OBS.disable()
+
+
+def _relation(table_index: int, which: str) -> RelationSnapshot:
+    table = _SNAPSHOT.tables[table_index]
+    return table.base if which == "base" else table.history
+
+
+# ----------------------------------------------------------------------
+# Task functions (run in workers; read _SNAPSHOT, return picklable data)
+# ----------------------------------------------------------------------
+
+
+def chain_segment_task(block_ids: Sequence[int]) -> Dict[str, Any]:
+    """Verify the links inside one contiguous run of block ids.
+
+    Returns the first block's *stored* previous-block hash and the last
+    block's *recomputed* hash so the parent can stitch consecutive segments
+    without hashing any block twice.
+    """
+    blocks = _SNAPSHOT.blocks
+    findings: List[Dict[str, Any]] = []
+    previous_hash: Optional[bytes] = None
+    for block_id in block_ids:
+        block = blocks[block_id]
+        if previous_hash is not None and block.previous_block_hash != previous_hash:
+            findings.append(
+                {
+                    "invariant": "chain",
+                    "severity": "error",
+                    "message": (
+                        f"block {block_id} records a previous-block hash "
+                        f"that does not match the recomputed hash of block "
+                        f"{block_id - 1}"
+                    ),
+                    "context": {"block_id": block_id},
+                }
+            )
+        previous_hash = block.block_hash()
+    return {
+        "first_id": block_ids[0],
+        "stored_prev": blocks[block_ids[0]].previous_block_hash,
+        "last_id": block_ids[-1],
+        "last_hash": previous_hash,
+        "findings": findings,
+        "count": len(block_ids),
+    }
+
+
+def block_root_task(block_ids: Sequence[int]) -> Dict[str, Any]:
+    """Recompute the transactions Merkle root for a chunk of blocks."""
+    findings: List[Dict[str, Any]] = []
+    transactions = 0
+    for block_id in block_ids:
+        block = _SNAPSHOT.blocks[block_id]
+        block_entries = _SNAPSHOT.entries_by_block.get(block_id, [])
+        tree = MerkleTree([e.entry_hash() for e in block_entries])
+        if tree.root() != block.transactions_root:
+            findings.append(
+                {
+                    "invariant": "block_root",
+                    "severity": "error",
+                    "message": (
+                        f"transactions Merkle root of block {block_id} does "
+                        "not match the recomputed root over its entries"
+                    ),
+                    "context": {"block_id": block_id},
+                }
+            )
+        if block.transaction_count != len(block_entries):
+            findings.append(
+                {
+                    "invariant": "block_root",
+                    "severity": "error",
+                    "message": (
+                        f"block {block_id} records {block.transaction_count} "
+                        f"transactions but {len(block_entries)} are present"
+                    ),
+                    "context": {"block_id": block_id},
+                }
+            )
+        transactions += len(block_entries)
+    return {"findings": findings, "transactions": transactions}
+
+
+def events_task(args: Tuple[int, str, int, int]) -> Dict[str, Any]:
+    """Hash one record-range of a relation into partial per-tid events.
+
+    Returns ``{tid: [(seq, leaf), ...]}`` partials the parent merges; the
+    expensive decode + canonical serialization + SHA-256 happens here.
+    """
+    table_index, which, start, end = args
+    relation = _relation(table_index, which)
+    events: Dict[Optional[int], List[Tuple[int, bytes]]] = {}
+    findings: List[Dict[str, Any]] = []
+    scanned = 0
+    kind = "history table" if relation.is_history else "table"
+    for rid, record in relation.records[start:end]:
+        try:
+            derived, _ = record_events(relation, record)
+        except StorageError as exc:
+            findings.append(
+                {
+                    "invariant": "table_root",
+                    "severity": "error",
+                    "message": (
+                        f"row {rid} in {kind} {relation.name!r} failed to "
+                        f"decode: {exc}"
+                    ),
+                    "context": {"table": relation.name},
+                }
+            )
+            continue
+        for tid, seq, leaf in derived:
+            events.setdefault(tid, []).append((seq, leaf))
+            scanned += 1
+    return {"events": events, "findings": findings, "scanned": scanned}
+
+
+def keyed_leaves_task(
+    args: Tuple[int, str, Optional[str], int, int]
+) -> Dict[str, Any]:
+    """Hash one record-range of a heap or index into keyed leaves.
+
+    ``source`` is ``None`` for the relation's own heap, else an index name.
+    The parent merges, sorts by clustered key, and compares roots.
+    """
+    table_index, which, source, start, end = args
+    relation = _relation(table_index, which)
+    if source is None:
+        records = [record for _, record in relation.records[start:end]]
+    else:
+        records = relation.index_records[source][start:end]
+    keyed: List[Tuple[Tuple, bytes]] = []
+    findings: List[Dict[str, Any]] = []
+    for record in records:
+        try:
+            derived, order_key = record_events(relation, record)
+        except StorageError as exc:
+            findings.append(
+                {
+                    "invariant": "index",
+                    "severity": "error",
+                    "message": (
+                        f"record in {relation.name!r} failed to decode "
+                        f"during index verification: {exc}"
+                    ),
+                    "context": {"table": relation.name},
+                }
+            )
+            continue
+        # The leaf over the full row is the last event's leaf for history
+        # records (as-deleted form == full row) and the only event's leaf
+        # for base records.
+        keyed.append((order_key, derived[-1][2]))
+    return {"keyed": keyed, "findings": findings}
+
+
+# ----------------------------------------------------------------------
+# Pool wrapper
+# ----------------------------------------------------------------------
+
+
+class VerifyPool:
+    """Fork pool bound to one snapshot; also runs tasks inline when serial.
+
+    Create *after* the snapshot (and its derived structures) are complete so
+    forked workers inherit a finished, immutable object.  ``run`` preserves
+    task order, so parallel and serial execution produce findings in the
+    same deterministic order.
+    """
+
+    def __init__(self, snapshot: VerificationSnapshot, processes: int) -> None:
+        global _SNAPSHOT
+        self.processes = max(1, processes)
+        self._pool = None
+        _SNAPSHOT = snapshot
+        if self.processes > 1 and fork_available():
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(
+                processes=self.processes, initializer=_child_init
+            )
+
+    @property
+    def parallel(self) -> bool:
+        return self._pool is not None
+
+    def run(self, task, args_list, on_result=None) -> List[Any]:
+        """Run ``task`` over ``args_list``; results in submission order."""
+        results: List[Any] = []
+        if self._pool is not None and len(args_list) > 1:
+            iterator = self._pool.imap(task, args_list)
+        else:
+            iterator = map(task, args_list)
+        for result in iterator:
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+
+    def close(self) -> None:
+        global _SNAPSHOT
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        _SNAPSHOT = None
+
+    def __enter__(self) -> "VerifyPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,331 @@
+"""Immutable verification snapshots: capture fast, verify off-lock (§2.3, §6).
+
+The paper observes that verification cost is proportional to the data
+scanned, and a practical deployment cannot stall the OLTP path while the
+scan runs.  This module captures everything verification needs — sealed
+blocks, transaction entries, and per-table frozen record streams — in one
+short critical section under the storage lock.  All invariant checks then
+run against the snapshot with no locks held, so commits proceed concurrently
+with verification: lock hold time drops from O(history) to O(snapshot
+capture).
+
+The snapshot is cheap because stored records are immutable ``bytes``;
+materializing a heap scan is a list of references, not a deep copy.  The
+expensive work — decoding, canonical re-serialization, SHA-256 over every
+row version — happens off-lock (and optionally in worker processes, see
+:mod:`repro.core.verify_parallel`).
+
+``record_events`` is the single routine that turns one stored record into
+its verification events; the serial verifier, the worker pool, and the
+incremental frontier builder all share it so the three paths can never
+disagree on hashing semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import system_columns as sc
+from repro.core.entries import BlockRow, TransactionEntry
+from repro.core.ledger_view import canonical_view_definition
+from repro.crypto.hashing import LeafHashCache, hash_leaf
+from repro.engine.record import decode_record, hashable_payload, key_tuple
+from repro.obs import OBS
+
+_SNAPSHOT_SECONDS = OBS.metrics.histogram(
+    "verify_snapshot_seconds",
+    "Wall time spent capturing a verification snapshot (storage lock held)",
+)
+_SNAPSHOT_RECORDS = OBS.metrics.counter(
+    "verify_snapshot_records_total",
+    "Stored records referenced by verification snapshots",
+)
+
+#: One row-version event: (transaction id, sequence, leaf digest).
+Event = Tuple[Optional[int], int, bytes]
+#: Cached per-record derivation: (events, clustered-key sort key).
+RecordDerivation = Tuple[Tuple[Event, ...], Tuple]
+
+
+def schema_fingerprint(relation_name: str, schema, is_history: bool) -> str:
+    """Content fingerprint of everything leaf hashing depends on.
+
+    Covers the relation's role (base vs. history changes how many events a
+    record yields), every column's name, ordinal, exact type (id + metadata,
+    so ``tamper_column_type`` changes the fingerprint), hidden/dropped flags,
+    and the primary-key ordinals used for clustered ordering.  Cache entries
+    keyed by this fingerprint can never alias across schema changes.
+    """
+    parts: List[str] = [relation_name, "history" if is_history else "base"]
+    for column in schema.columns:
+        parts.append(
+            f"{column.ordinal}:{column.name}:{column.sql_type.type_id}:"
+            f"{column.sql_type.type_meta().hex()}:"
+            f"{int(column.hidden)}{int(column.dropped)}"
+        )
+    parts.append(",".join(str(o) for o in schema.primary_key_ordinals()))
+    return "|".join(parts)
+
+
+@dataclass
+class RelationSnapshot:
+    """Frozen record stream of one relation (a base table or its history)."""
+
+    name: str
+    schema: Any
+    fingerprint: str
+    is_history: bool
+    key_ordinals: Tuple[int, ...]
+    #: (rendered row id, stored record bytes) in heap order.
+    records: List[Tuple[str, bytes]]
+    #: Base relations only: index name -> stored records of the index heap.
+    index_records: Dict[str, List[bytes]] = field(default_factory=dict)
+
+
+@dataclass
+class TableSnapshot:
+    """One ledger table: base relation plus its optional history relation."""
+
+    table_id: int
+    name: str
+    base: RelationSnapshot
+    history: Optional[RelationSnapshot] = None
+
+    def relations(self) -> List[RelationSnapshot]:
+        out = [self.base]
+        if self.history is not None:
+            out.append(self.history)
+        return out
+
+
+@dataclass
+class VerificationSnapshot:
+    """Everything a verification run reads, captured at one instant."""
+
+    database_guid: str
+    first_block_id: int
+    open_block_id: int
+    anchor: Optional[Tuple[int, bytes]]
+    cutoff_tid: Optional[int]
+    entries: Dict[int, TransactionEntry]
+    blocks: Dict[int, BlockRow]
+    tables: List[TableSnapshot]
+    #: view name -> stored definition, from the views catalog.
+    views_stored: Dict[str, str]
+    #: (view name, canonically re-derived definition) per ledger table.
+    views_expected: List[Tuple[str, str]]
+    #: Seconds the storage lock was held during capture.
+    capture_seconds: float = 0.0
+    total_records: int = 0
+    #: Entries grouped by block id, sorted by ordinal (derived, off-lock).
+    entries_by_block: Dict[int, List[TransactionEntry]] = field(
+        default_factory=dict
+    )
+
+    def finalize(self) -> None:
+        """Derive secondary structures; runs off-lock after capture."""
+        by_block: Dict[int, List[TransactionEntry]] = {}
+        for entry in self.entries.values():
+            by_block.setdefault(entry.block_id, []).append(entry)
+        for group in by_block.values():
+            group.sort(key=lambda e: e.ordinal)
+        self.entries_by_block = by_block
+
+
+def _snapshot_relation(table, is_history: bool) -> RelationSnapshot:
+    records = [(str(rid), record) for rid, record in table.heap.scan()]
+    relation = RelationSnapshot(
+        name=table.name,
+        schema=table.schema,
+        fingerprint=schema_fingerprint(table.name, table.schema, is_history),
+        is_history=is_history,
+        key_ordinals=table.schema.primary_key_ordinals(),
+        records=records,
+    )
+    for index in table.nonclustered.values():
+        relation.index_records[index.name] = list(index.scan_records())
+    return relation
+
+
+def _truncation_cutoff_tid(db) -> Optional[int]:
+    from repro.core.ledger_database import TRUNCATIONS_TABLE
+
+    try:
+        table = db.engine.table(TRUNCATIONS_TABLE)
+    except Exception:
+        return None
+    cutoff = None
+    ordinal = table.schema.column("truncated_through_tid").ordinal
+    for _, row in table.scan():
+        value = row[ordinal]
+        if cutoff is None or value > cutoff:
+            cutoff = value
+    return cutoff
+
+
+def capture_snapshot(
+    db, table_names: Optional[Sequence[str]] = None
+) -> VerificationSnapshot:
+    """Capture a consistent verification snapshot under the storage lock.
+
+    Drains the pipeline without sealing the open block (sealed blocks close
+    so the chain tip is complete; open-block entries keep verifying as
+    uncovered transactions), flushes the entry queue, then materializes
+    references to every stored record verification will read.  The lock is
+    released before any hashing happens.
+    """
+    from repro.core.ledger_database import VIEWS_TABLE
+
+    ledger = db.ledger
+    started = time.perf_counter()
+    with ledger.storage_lock, OBS.tracer.span("verify.snapshot"):
+        db.pipeline.drain(seal_open=False)
+        ledger.flush_queue()
+        entries = {e.transaction_id: e for e in ledger.all_entries()}
+        blocks = {b.block_id: b for b in ledger.blocks()}
+        cutoff_tid = _truncation_cutoff_tid(db)
+
+        all_tables = db.ledger_tables()
+        if table_names is not None:
+            wanted = set(table_names)
+            target_tables = [t for t in all_tables if t.name in wanted]
+        else:
+            target_tables = all_tables
+
+        tables: List[TableSnapshot] = []
+        for table in target_tables:
+            base = _snapshot_relation(table, is_history=False)
+            history_rel = None
+            history_id = table.options.get("history_table_id")
+            if history_id is not None:
+                history = db.engine.table_by_id(history_id)
+                history_rel = _snapshot_relation(history, is_history=True)
+            tables.append(
+                TableSnapshot(
+                    table_id=table.table_id,
+                    name=table.name,
+                    base=base,
+                    history=history_rel,
+                )
+            )
+
+        views = db.engine.table(VIEWS_TABLE)
+        name_ord = views.schema.column("view_name").ordinal
+        def_ord = views.schema.column("definition").ordinal
+        views_stored = {
+            row[name_ord]: row[def_ord] for _, row in views.scan()
+        }
+        views_expected: List[Tuple[str, str]] = []
+        for table in all_tables:
+            history_id = table.options.get("history_table_id")
+            history = (
+                db.engine.table_by_id(history_id) if history_id else None
+            )
+            views_expected.append(
+                (
+                    f"{table.name}_ledger",
+                    canonical_view_definition(
+                        table.name,
+                        history.name if history else None,
+                        [c.name for c in table.schema.visible_columns],
+                    ),
+                )
+            )
+
+        snapshot = VerificationSnapshot(
+            database_guid=db.database_guid,
+            first_block_id=ledger.first_block_id(),
+            open_block_id=ledger.open_block_id,
+            anchor=ledger.anchor,
+            cutoff_tid=cutoff_tid,
+            entries=entries,
+            blocks=blocks,
+            tables=tables,
+            views_stored=views_stored,
+            views_expected=views_expected,
+        )
+    snapshot.capture_seconds = time.perf_counter() - started
+    snapshot.total_records = sum(
+        len(rel.records) + sum(len(r) for r in rel.index_records.values())
+        for tbl in snapshot.tables
+        for rel in tbl.relations()
+    )
+    snapshot.finalize()
+    if OBS.metrics.enabled:
+        _SNAPSHOT_SECONDS.observe(snapshot.capture_seconds)
+        _SNAPSHOT_RECORDS.inc(snapshot.total_records)
+    return snapshot
+
+
+def record_events(
+    relation: RelationSnapshot, record: bytes
+) -> RecordDerivation:
+    """Derive the verification events and sort key for one stored record.
+
+    Base relation records yield one event attributed to the creating
+    transaction; history records yield two — the as-created form (end
+    columns masked to NULL, exactly as the creating transaction hashed the
+    version) and the as-deleted full row (hashed by the deleting
+    transaction).  ``hashable_payload`` skips NULL values, so a live row's
+    NULL end columns hash identically to the masked history form — the
+    property that keeps per-table event streams append-only and makes
+    incremental Merkle frontiers sound.
+
+    Raises :class:`repro.errors.StorageError` on undecodable bytes.
+    """
+    schema = relation.schema
+    row = decode_record(schema, record)
+    if relation.is_history:
+        start_tid, start_seq = sc.start_ordinals(schema)
+        end_tid, end_seq = sc.end_ordinals(schema)
+        created = sc.mask_end_columns(schema, row)
+        events: Tuple[Event, ...] = (
+            (
+                row[start_tid],
+                row[start_seq] if row[start_seq] is not None else -1,
+                hash_leaf(hashable_payload(schema, created)),
+            ),
+            (
+                row[end_tid],
+                row[end_seq] if row[end_seq] is not None else -1,
+                hash_leaf(hashable_payload(schema, row)),
+            ),
+        )
+    else:
+        start_tid, start_seq = sc.start_ordinals(schema)
+        events = (
+            (
+                row[start_tid],
+                row[start_seq] if row[start_seq] is not None else -1,
+                hash_leaf(hashable_payload(schema, row)),
+            ),
+        )
+    if relation.key_ordinals:
+        order_key = key_tuple([row[o] for o in relation.key_ordinals])
+    else:
+        order_key = key_tuple(list(row))
+    return events, order_key
+
+
+def cached_record_events(
+    relation: RelationSnapshot,
+    record: bytes,
+    cache: Optional[LeafHashCache],
+) -> RecordDerivation:
+    """Cache-assisted :func:`record_events`.
+
+    The cache key covers the schema fingerprint and the exact stored bytes,
+    so a hit is always byte-identical to recomputation — tampered records
+    miss and are hashed from their tampered bytes (see
+    :class:`repro.crypto.hashing.LeafHashCache` for the soundness argument).
+    """
+    if cache is None:
+        return record_events(relation, record)
+    value = cache.get(relation.fingerprint, record)
+    if value is not None:
+        return value
+    value = record_events(relation, record)
+    cache.put(relation.fingerprint, record, value)
+    return value

@@ -12,7 +12,9 @@ separate the domains exactly this way.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+import threading
+from collections import OrderedDict
+from typing import Any, Iterable, Optional, Tuple
 
 #: Size in bytes of every digest in the system (SHA-256).
 HASH_SIZE = 32
@@ -66,6 +68,71 @@ def hash_many(chunks: Iterable[bytes]) -> bytes:
     for chunk in chunks:
         hasher.update(chunk)
     return hasher.digest()
+
+
+class LeafHashCache:
+    """Bounded LRU cache for leaf digests derived from stored row versions.
+
+    Verification recomputes ``hash_leaf`` over the canonical serialization of
+    every row version on every run; for a continuously-running monitor the
+    same unchanged rows are re-decoded and re-hashed each cycle.  This cache
+    memoizes the derived per-record data so warm verification runs skip both
+    the decode and the serialization.
+
+    Soundness: entries are keyed by ``(context, record_bytes)`` where
+    ``context`` is a fingerprint of the schema the bytes decode under and
+    ``record_bytes`` are the *exact stored bytes*.  Because the key covers
+    every input of the leaf computation, a tampered record (or a tampered
+    column type, which changes the schema fingerprint) can never hit a stale
+    entry — it simply misses and is recomputed from the tampered bytes, which
+    then fail the root comparison.  Keying by ``(transaction_id, sequence)``
+    alone would be unsound: a tampered row would reuse the honest row's
+    cached hash and mask the tampering.
+
+    The cache value is opaque to this module (the verifier stores the decoded
+    leaf events and sort key).  ``hits`` / ``misses`` counters are plain
+    attributes; the verifier mirrors their deltas into the metrics registry
+    so this module keeps zero repro-internal imports.
+    """
+
+    def __init__(self, capacity: int = 131072) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Tuple[str, bytes], Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, context: str, record: bytes) -> Optional[Any]:
+        """Return the cached value for ``(context, record)``, or ``None``."""
+        key = (context, record)
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, context: str, record: bytes, value: Any) -> None:
+        """Insert a value, evicting the least-recently-used entry if full."""
+        key = (context, record)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 def to_hex(digest: bytes) -> str:

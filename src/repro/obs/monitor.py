@@ -21,11 +21,18 @@ invariant stops holding.  :class:`ContinuousVerifier` is that watchdog:
 Alert hooks and the progress callback are guarded: a broken callback is
 counted on ``obs_callback_errors_total`` and never kills the monitor.
 
-The monitor serializes with SQL traffic through ``db.ledger_lock`` — the
-ledger's *storage-stage* lock.  The storage engine is single-threaded by
-design, so the watchdog takes the same lock SQL sessions take per
-statement; sequencing and entry queueing proceed under their own stage
-locks, so commits only wait for the monitor at the storage stage.
+The monitor holds ``db.ledger_lock`` (the storage-stage lock) only for the
+moments that need it: digest capture and the verifier's snapshot capture.
+All invariant checking runs off-snapshot, so SQL sessions commit freely
+while a cycle is mid-verification — the lock-narrowing that makes a
+continuous watchdog compatible with heavy traffic.
+
+With ``incremental=True`` the monitor persists a
+:class:`repro.core.verify_checkpoint.VerificationCheckpoint` after each
+passing cycle and verifies only the delta on subsequent cycles; every
+``deep_scan_every``-th cycle runs the full-prefix scan regardless, so the
+checkpoint bounds detection latency without ever becoming a trust root.
+``parallelism`` fans full scans out over verification worker processes.
 """
 
 from __future__ import annotations
@@ -35,6 +42,10 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.core.verify_checkpoint import (
+    VerificationCheckpoint,
+    default_checkpoint_path,
+)
 from repro.errors import DigestError, ReplicationLagError
 from repro.obs import OBS
 
@@ -67,6 +78,15 @@ _CALLBACK_ERRORS = OBS.metrics.counter(
     "Exceptions raised by user-supplied observability callbacks",
     ("kind",),
 )
+_MONITOR_CYCLE_MODES = OBS.metrics.counter(
+    "monitor_cycle_mode_total",
+    "Continuous-verification cycles by executed verification mode",
+    ("mode",),
+)
+_MONITOR_DEEP_SCANS = OBS.metrics.counter(
+    "monitor_deep_scans_total",
+    "Scheduled full-prefix deep scans run by the incremental monitor",
+)
 
 #: An alert hook receives (verdict: str, details: dict).
 AlertHook = Callable[[str, Dict[str, Any]], None]
@@ -89,6 +109,10 @@ class ContinuousVerifier:
         watch_table_drops: bool = True,
         stderr_alerts: bool = True,
         capture_digests: bool = True,
+        incremental: bool = False,
+        deep_scan_every: int = 5,
+        parallelism: int = 1,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
         self._db = db
         self.interval = interval
@@ -98,6 +122,14 @@ class ContinuousVerifier:
         self._watch_table_drops = watch_table_drops
         self._stderr_alerts = stderr_alerts
         self._capture_digests = capture_digests
+        self.incremental = incremental
+        self.deep_scan_every = max(1, deep_scan_every)
+        self.parallelism = max(1, parallelism)
+        self.checkpoint_path = checkpoint_path or default_checkpoint_path(db)
+        self._cycles_since_deep_scan = 0
+        self.deep_scans = 0
+        self.last_mode = "none"
+        self.checkpoint_block = -1
         self._trusted: List[Any] = []
         self._known_drops: Optional[set] = None
         self._thread: Optional[threading.Thread] = None
@@ -159,11 +191,16 @@ class ContinuousVerifier:
     # ------------------------------------------------------------------
 
     def run_cycle(self) -> str:
-        """Run one capture + verify pass; returns the cycle outcome."""
+        """Run one capture + verify pass; returns the cycle outcome.
+
+        No lock is held across the cycle: digest capture and the verifier's
+        snapshot capture each take the storage lock internally for only as
+        long as they need it, so concurrent sessions keep committing while
+        the invariant checks run.
+        """
         started = time.perf_counter()
         try:
-            with self._db.ledger_lock:
-                outcome = self._cycle_locked()
+            outcome = self._cycle()
         except Exception as exc:  # the watchdog itself must not die
             outcome = "error"
             self.last_error = f"{type(exc).__name__}: {exc}"
@@ -175,7 +212,22 @@ class ContinuousVerifier:
             self._cycle_done.notify_all()
         return outcome
 
-    def _cycle_locked(self) -> str:
+    def _select_mode(self) -> str:
+        """Incremental when allowed, full on the deep-scan cadence.
+
+        The very first cycle (no checkpoint yet) and every
+        ``deep_scan_every``-th cycle run the full-prefix scan, so tampering
+        of already-verified history is caught within a bounded number of
+        cycles even if it somehow survived the incremental chained-hash and
+        frontier checks.
+        """
+        if not self.incremental:
+            return "full"
+        if self._cycles_since_deep_scan >= self.deep_scan_every - 1:
+            return "full"
+        return "incremental"
+
+    def _cycle(self) -> str:
         captured = self._capture_digest()
         if captured == "skipped":
             return "skipped"
@@ -186,12 +238,31 @@ class ContinuousVerifier:
         verdict_details: Dict[str, Any] = {}
         failed = False
         if self._trusted:
+            mode = self._select_mode()
+            checkpoint = None
+            if mode == "incremental":
+                checkpoint = VerificationCheckpoint.load(self.checkpoint_path)
             report = self._db.verify(
                 self._trusted,
                 table_names=self._table_names,
                 progress=self._on_progress,
+                parallelism=self.parallelism,
+                mode=mode,
+                checkpoint=checkpoint,
+                build_checkpoint=self.incremental,
             )
+            self.last_mode = report.mode
+            _MONITOR_CYCLE_MODES.labels(report.mode).inc()
+            if report.mode == "full" and self.incremental:
+                self.deep_scans += 1
+                self._cycles_since_deep_scan = 0
+                _MONITOR_DEEP_SCANS.inc()
+            else:
+                self._cycles_since_deep_scan += 1
             if report.ok:
+                if self.incremental and report.built_checkpoint is not None:
+                    report.built_checkpoint.save(self.checkpoint_path)
+                    self.checkpoint_block = report.built_checkpoint.block_id
                 self.verified_through_block = max(
                     d.block_id for d in self._trusted
                 )
@@ -263,11 +334,14 @@ class ContinuousVerifier:
         """
         if not self._watch_table_drops:
             return set()
-        drops = {
-            op["table_name"]
-            for op in self._db.table_operations_view()
-            if op["operation"] == "DROP"
-        }
+        # The view scan reads catalog tables; take the storage lock for just
+        # this read now that the cycle no longer holds it throughout.
+        with self._db.ledger_lock:
+            drops = {
+                op["table_name"]
+                for op in self._db.table_operations_view()
+                if op["operation"] == "DROP"
+            }
         if self._known_drops is None:
             self._known_drops = drops
             return set()
@@ -336,6 +410,12 @@ class ContinuousVerifier:
             "last_findings": self.last_findings,
             "last_cycle_seconds": self.last_cycle_seconds,
             "last_error": self.last_error,
+            "incremental": self.incremental,
+            "deep_scan_every": self.deep_scan_every,
+            "parallelism": self.parallelism,
+            "last_mode": self.last_mode,
+            "deep_scans": self.deep_scans,
+            "checkpoint_block": self.checkpoint_block,
         }
 
     def wait_for_cycle(self, timeout: float = 10.0) -> bool:

@@ -209,4 +209,9 @@ class ObservabilityServer:
             body["verified_through_block"] = monitor.verified_through_block
             body["verification_lag"] = monitor.verification_lag
             body["last_verdict"] = monitor.last_verdict
+            body["verification_mode"] = monitor.last_mode
+            if monitor.incremental:
+                body["deep_scan_every"] = monitor.deep_scan_every
+                body["deep_scans"] = monitor.deep_scans
+                body["checkpoint_block"] = monitor.checkpoint_block
         return body

@@ -59,15 +59,17 @@ class SqlSession:
         """Parse and run one statement.
 
         Sessions are single-threaded but many sessions may execute
-        concurrently: the whole statement runs under the ledger's storage
-        lock (the storage engine is not thread-safe), while the sequencer
-        and entry queue advance under their own stage locks.
+        concurrently: execution runs under the ledger's storage lock (the
+        storage engine is not thread-safe), while the sequencer and entry
+        queue advance under their own stage locks.  Parsing touches no
+        shared state, so it happens *before* the lock is taken — statements
+        queued behind a long scan parse concurrently instead of serially.
 
         Returns rows (list of dicts) for SELECT, an affected-row count for
         DML, and None for DDL / transaction control.
         """
         tracer = OBS.tracer
-        with self._db.ledger_lock, tracer.span("sql.statement") as stmt_span:
+        with tracer.span("sql.statement") as stmt_span:
             started = time.perf_counter()
             with tracer.span("sql.parse"):
                 statement = parse(statement_text)
@@ -77,7 +79,7 @@ class SqlSession:
             _SQL_STATEMENTS.labels(kind).inc()
             handler = self._HANDLERS[type(statement)]
             started = time.perf_counter()
-            with tracer.span("sql.execute", kind=kind):
+            with self._db.ledger_lock, tracer.span("sql.execute", kind=kind):
                 result = handler(self, statement)
             _SQL_EXECUTE_SECONDS.labels(kind).observe(
                 time.perf_counter() - started

@@ -531,6 +531,7 @@ def run_pipeline_bench(
     threads: int = 4,
     transactions_per_thread: int = 150,
     block_size: int = 50,
+    verify_during: bool = False,
 ) -> Dict[str, Any]:
     """Concurrent commit benchmark for the staged pipeline.
 
@@ -541,6 +542,11 @@ def run_pipeline_bench(
     that, before the staged pipeline, paid for Merkle root + block hash
     inline.  The run ends with a drain, a digest, full verification, and a
     strict gap-free check of every (block, ordinal) assignment.
+
+    With ``verify_during=True`` the table is preloaded and a background
+    thread runs full verification in a loop for the whole measurement
+    window, so the recorded commit latencies show what snapshot-then-verify
+    costs the OLTP path while the watchdog is busy.
     """
     import threading as _threading
 
@@ -551,6 +557,29 @@ def run_pipeline_bench(
         "CREATE TABLE pipeline_bench (id INT PRIMARY KEY, v VARCHAR(32)) "
         "WITH (LEDGER = ON)"
     )
+
+    stop_verify = _threading.Event()
+    verify_cycles = [0]
+    verify_thread: Optional[_threading.Thread] = None
+    if verify_during:
+        # Preload enough history that each verification pass has real work.
+        preload = db.begin("preloader")
+        db.insert(
+            preload, "pipeline_bench",
+            [(1_000_000 + i, f"pre{i}") for i in range(3000)],
+        )
+        db.commit(preload)
+        baseline_digest = db.generate_digest()
+
+        def verifier_loop() -> None:
+            while not stop_verify.is_set():
+                report = db.verify([baseline_digest])
+                assert report.ok, report.summary()
+                verify_cycles[0] += 1
+
+        verify_thread = _threading.Thread(
+            target=verifier_loop, name="bench-verifier", daemon=True
+        )
 
     latencies: List[List[Tuple[float, int, int]]] = [[] for _ in range(threads)]
     errors: List[BaseException] = []
@@ -577,6 +606,8 @@ def run_pipeline_bench(
             errors.append(exc)
 
     gc.collect()
+    if verify_thread is not None:
+        verify_thread.start()
     started = time.perf_counter()
     pool = [
         _threading.Thread(target=worker, args=(index,), name=f"bench-w{index}")
@@ -587,6 +618,9 @@ def run_pipeline_bench(
     for thread in pool:
         thread.join()
     wall_seconds = time.perf_counter() - started
+    if verify_thread is not None:
+        stop_verify.set()
+        verify_thread.join()
     if errors:
         raise errors[0]
 
@@ -636,6 +670,8 @@ def run_pipeline_bench(
         "ordinals_gap_free": not gaps and contiguous,
         "blocks_closed": len(db.ledger.blocks()),
         "pipeline": db.pipeline.stats(),
+        "verify_during": verify_during,
+        "verify_cycles_during": verify_cycles[0] if verify_during else 0,
     }
     db.close()
     return result
@@ -691,6 +727,197 @@ def run_pipeline_baseline(
 
 
 # ---------------------------------------------------------------------------
+# Snapshot-isolated verification: parallel full scans, incremental cycles
+# ---------------------------------------------------------------------------
+
+def run_verify_bench(
+    transactions: int = 400,
+    block_size: int = 40,
+    workers: Tuple[int, ...] = (1, 2, 4),
+    delta_transactions: int = 20,
+    commit_threads: int = 4,
+    commit_transactions_per_thread: int = 100,
+) -> Dict[str, Any]:
+    """Measure the three claims of snapshot-isolated verification.
+
+    1. *Parallel full scans*: wall time of a full verification of a
+       fig9-style ledger at each worker count in ``workers``, leaf cache
+       cleared before every run so timings compare like for like.  Note
+       that on a 1-CPU host fork workers only add overhead — the recorded
+       ``cpu_count`` qualifies any speedup (or lack of one).
+    2. *Incremental cycles*: build a checkpoint, commit a small delta,
+       then time an incremental cycle against the full scan it replaces.
+       The full-scan comparator runs cold (cache cleared) — that is the
+       pre-checkpoint cost — and warm, for transparency.
+    3. *Commit latency under verification*: rerun the pipeline bench with
+       a background thread doing full verifications the whole time; its
+       p99 shows what the OLTP path pays while the watchdog is busy.
+    """
+    import os
+
+    from repro.core.verification import LedgerVerifier, leaf_cache
+    from repro.workloads.microbench import (
+        make_row,
+        run_five_row_update_transactions,
+        wide_row_schema,
+    )
+
+    db = _fresh_db(block_size=block_size)
+    db.create_ledger_table(wide_row_schema("wide", 0))
+    rows_needed = transactions * 5
+    txn = db.begin("loader")
+    db.insert(txn, "wide", [make_row(i) for i in range(1, rows_needed + 1)])
+    db.commit(txn)
+    run_five_row_update_transactions(db, "wide", transactions)
+    digest = db.generate_digest()
+
+    full_seconds: Dict[int, float] = {}
+    blocks = row_versions = 0
+    snapshot_ms = 0.0
+    for count in workers:
+        leaf_cache().clear()
+        gc.collect()
+        started = time.perf_counter()
+        report = db.verify([digest], parallelism=count)
+        full_seconds[count] = time.perf_counter() - started
+        assert report.ok, report.summary()
+        blocks = report.blocks_verified
+        row_versions = report.row_versions_hashed
+        snapshot_ms = report.snapshot_seconds * 1000.0
+
+    # Checkpoint, then a small delta of new commits.
+    verifier = LedgerVerifier(db)
+    checkpoint = verifier.verify([digest], build_checkpoint=True).built_checkpoint
+    assert checkpoint is not None
+    run_five_row_update_transactions(db, "wide", delta_transactions)
+    digests = [digest, db.generate_digest()]
+
+    gc.collect()
+    started = time.perf_counter()
+    incremental = db.verify(digests, mode="incremental", checkpoint=checkpoint)
+    incremental_seconds = time.perf_counter() - started
+    assert incremental.ok, incremental.summary()
+    assert incremental.mode == "incremental", incremental.fallback_reason
+
+    leaf_cache().clear()
+    gc.collect()
+    started = time.perf_counter()
+    full_cold = db.verify(digests)
+    full_cold_seconds = time.perf_counter() - started
+    assert full_cold.ok, full_cold.summary()
+
+    gc.collect()
+    started = time.perf_counter()
+    full_warm = db.verify(digests)
+    full_warm_seconds = time.perf_counter() - started
+    assert full_warm.ok, full_warm.summary()
+    db.close()
+
+    commits = run_pipeline_bench(
+        threads=commit_threads,
+        transactions_per_thread=commit_transactions_per_thread,
+        verify_during=True,
+    )
+
+    return {
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else os.cpu_count(),
+        "workload": {
+            "transactions": transactions,
+            "block_size": block_size,
+            "blocks": blocks,
+            "row_versions": row_versions,
+        },
+        "snapshot_capture_ms": snapshot_ms,
+        "full_scan_seconds": {str(n): full_seconds[n] for n in workers},
+        "parallel_speedup": {
+            str(n): full_seconds[workers[0]] / full_seconds[n]
+            for n in workers
+        },
+        "incremental": {
+            "delta_transactions": delta_transactions,
+            "checkpoint_block": checkpoint.block_id,
+            "incremental_seconds": incremental_seconds,
+            "full_cold_seconds": full_cold_seconds,
+            "full_warm_seconds": full_warm_seconds,
+            "speedup_vs_full_cold": full_cold_seconds / incremental_seconds,
+            "skipped_invariants": incremental.skipped_invariants,
+        },
+        "commits_during_verification": commits,
+    }
+
+
+def format_verify(results: Dict[str, Any]) -> str:
+    workload = results["workload"]
+    commits = results["commits_during_verification"]
+    lines = [
+        "Snapshot-isolated verification: parallel scans, incremental cycles.",
+        f"workload: {workload['transactions']} txns, {workload['blocks']} "
+        f"blocks, {workload['row_versions']} row versions "
+        f"(host has {results['usable_cpus']} usable CPU(s))",
+        f"snapshot capture (lock held): {results['snapshot_capture_ms']:.2f}ms",
+    ]
+    for n, seconds in results["full_scan_seconds"].items():
+        speedup = results["parallel_speedup"][n]
+        lines.append(
+            f"full scan, {n} worker(s):  {seconds:>8.3f}s  "
+            f"({speedup:.2f}x vs serial)"
+        )
+    inc = results["incremental"]
+    lines += [
+        f"incremental cycle:       {inc['incremental_seconds']:>8.3f}s  "
+        f"({inc['speedup_vs_full_cold']:.1f}x faster than cold full scan "
+        f"of {inc['full_cold_seconds']:.3f}s)",
+        f"commit p99 during verification: {commits['p99_commit_ms']:.3f} ms "
+        f"({commits['verify_cycles_during']} verify cycles completed "
+        f"alongside {commits['transactions']} commits)",
+    ]
+    return "\n".join(lines)
+
+
+def run_verify_baseline(
+    path: str = "BENCH_verify_baseline.json", workers: int = 4
+) -> Dict[str, Any]:
+    """Run the verification bench and persist the perf-trajectory JSON.
+
+    Compares the commit p99 measured *during* concurrent verification
+    against the no-verification concurrent p99 recorded in
+    ``BENCH_pipeline_baseline.json`` when that file is present.
+    """
+    import json
+    import os
+
+    counts = tuple(sorted({1, 2, workers}))
+    results = run_verify_bench(workers=counts)
+    reference_p99 = None
+    if os.path.exists("BENCH_pipeline_baseline.json"):
+        with open("BENCH_pipeline_baseline.json", encoding="utf-8") as fh:
+            reference = json.load(fh)
+        reference_p99 = reference.get("concurrent", {}).get("p99_commit_ms")
+    during_p99 = results["commits_during_verification"]["p99_commit_ms"]
+    payload = {
+        "note": (
+            "Snapshot-then-verify baseline: full-scan wall time by worker "
+            "count, incremental cycle vs the full scan it replaces, and "
+            "commit p99 while verification runs concurrently.  Parallel "
+            "speedup requires multiple CPUs; on a 1-CPU host fork workers "
+            "can only add overhead, so read speedups against cpu_count."
+        ),
+        "verify": results,
+        "commit_p99_no_verification_ms": reference_p99,
+        "commit_p99_during_verification_ms": during_p99,
+        "commit_p99_ratio": (
+            during_p99 / reference_p99 if reference_p99 else None
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -703,6 +930,10 @@ _EXPERIMENTS = {
     "blocksize": lambda: format_block_size_ablation(run_block_size_ablation()),
     "receipts": lambda: format_receipts_ablation(run_receipts_ablation()),
     "pipeline": lambda: format_pipeline(run_pipeline_bench()),
+    "verify": lambda: format_verify(
+        run_verify_bench(transactions=120, delta_transactions=10,
+                         commit_transactions_per_thread=50)
+    ),
 }
 
 
@@ -787,11 +1018,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run the staged-pipeline benchmark (1 thread and --concurrency "
              "threads) and write the baseline JSON to PATH",
     )
+    parser.add_argument(
+        "--workers", type=int, metavar="N", default=4,
+        help="max worker-process count for the 'verify' experiment and "
+             "--verify-baseline (default: 4)",
+    )
+    parser.add_argument(
+        "--verify-baseline", metavar="PATH", default=None,
+        help="run the snapshot-verification benchmark (serial, 2 and "
+             "--workers workers, incremental cycle, commits during "
+             "verification) and write the baseline JSON to PATH",
+    )
     args = parser.parse_args(argv)
     if args.concurrency < 1:
         parser.error("--concurrency must be at least 1")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
     _EXPERIMENTS["pipeline"] = lambda: format_pipeline(
         run_pipeline_bench(threads=args.concurrency)
+    )
+    _EXPERIMENTS["verify"] = lambda: format_verify(
+        run_verify_bench(
+            transactions=120, delta_transactions=10,
+            commit_transactions_per_thread=50,
+            workers=tuple(sorted({1, args.workers})),
+        )
     )
     if args.events_out:
         OBS.events.attach_file(args.events_out)
@@ -803,6 +1054,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.pipeline_baseline:
         run_pipeline_baseline(args.pipeline_baseline, threads=args.concurrency)
         print(f"wrote {args.pipeline_baseline}")
+        return 0
+    if args.verify_baseline:
+        run_verify_baseline(args.verify_baseline, workers=args.workers)
+        print(f"wrote {args.verify_baseline}")
         return 0
     if args.telemetry:
         OBS.enable(metrics=True, tracing=False)

@@ -1,0 +1,167 @@
+"""Parallel verification must be result-equivalent to the serial scan.
+
+Worker processes fan out per block range (chain, block_root) and per
+record range (table_root, index); segment stitching must neither miss a
+boundary nor double-count a block.  Every attack primitive the serial
+verifier catches must be caught at ``parallelism>=2`` too, and a clean
+database must report identical counters either way.
+"""
+
+import pytest
+
+from repro.attacks import (
+    delete_history_row,
+    fork_block,
+    rewrite_row_value,
+    tamper_column_type,
+    tamper_nonclustered_index,
+    tamper_transaction_entry,
+    tamper_view_definition,
+)
+from repro.core.verify_parallel import fork_available, split_ranges
+from repro.engine.expressions import eq
+from repro.engine.schema import IndexDefinition
+from repro.engine.types import SMALLINT
+
+from tests.core.conftest import accounts_schema, run
+
+
+@pytest.fixture
+def seeded(db, accounts):
+    """Enough transactions for several blocks (block_size=4) plus history."""
+    for i in range(12):
+        run(db, "alice", lambda t, i=i: db.insert(
+            t, "accounts", [[f"u{i}", i * 10]]))
+    run(db, "bob", lambda t: db.update(
+        t, "accounts", {"balance": 1}, eq("name", "u0")))
+    return db.generate_digest()
+
+
+def findings_by_invariant(report):
+    return {f.invariant for f in report.errors}
+
+
+class TestSplitRanges:
+    def test_covers_everything_once(self):
+        assert split_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+        assert split_ranges(4, 8) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+        assert split_ranges(0, 4) == []
+        assert split_ranges(5, 1) == [(0, 5)]
+
+    def test_ranges_are_contiguous(self):
+        for count in (1, 7, 100):
+            for parts in (1, 2, 3, 16):
+                ranges = split_ranges(count, parts)
+                assert ranges[0][0] == 0 and ranges[-1][1] == count
+                for (_, end), (start, _) in zip(ranges, ranges[1:]):
+                    assert end == start
+
+
+class TestSerialParallelEquivalence:
+    def test_clean_database_identical_counters(self, db, seeded):
+        serial = db.verify([seeded], parallelism=1)
+        parallel = db.verify([seeded], parallelism=2)
+        assert serial.ok, serial.summary()
+        assert parallel.ok, parallel.summary()
+        assert serial.blocks_verified == parallel.blocks_verified
+        assert serial.transactions_verified == parallel.transactions_verified
+        assert serial.tables_verified == parallel.tables_verified
+        assert serial.row_versions_hashed == parallel.row_versions_hashed
+
+    def test_report_records_worker_count(self, db, seeded):
+        report = db.verify([seeded], parallelism=3)
+        expected = 3 if fork_available() else 1
+        assert report.parallelism == expected
+        assert db.verify([seeded]).parallelism == 1
+
+    def test_more_workers_than_blocks(self, db, accounts):
+        run(db, "a", lambda t: db.insert(t, "accounts", [["solo", 1]]))
+        digest = db.generate_digest()
+        report = db.verify([digest], parallelism=8)
+        assert report.ok, report.summary()
+
+    def test_many_blocks_stitch_cleanly(self, db, accounts):
+        for i in range(30):
+            run(db, "a", lambda t, i=i: db.insert(
+                t, "accounts", [[f"n{i}", i]]))
+        digest = db.generate_digest()
+        report = db.verify([digest], parallelism=4)
+        assert report.ok, report.summary()
+        assert report.blocks_verified >= 7
+
+
+@pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+class TestParallelTamperDetection:
+    def test_live_row_rewrite(self, db, seeded, accounts):
+        rewrite_row_value(accounts, lambda r: r["name"] == "u3",
+                          "balance", 999_999)
+        report = db.verify([seeded], parallelism=2)
+        assert not report.ok
+        assert "table_root" in findings_by_invariant(report)
+
+    def test_history_erasure(self, db, seeded, accounts):
+        history = db.history_table("accounts")
+        delete_history_row(accounts, history, lambda r: r["name"] == "u0")
+        assert not db.verify([seeded], parallelism=2).ok
+
+    def test_garbage_record_bytes(self, db, seeded, accounts):
+        rid = next(iter(accounts.heap.scan()))[0]
+        accounts.heap.tamper_record(rid, b"\x00\x04garbage-bytes")
+        assert not db.verify([seeded], parallelism=2).ok
+
+    def test_transaction_entry_tamper(self, db, seeded, accounts):
+        db.ledger.flush_queue()
+        entry_tid = db.ledger.all_entries()[-1].transaction_id
+        tamper_transaction_entry(db, entry_tid, "innocent_user")
+        report = db.verify([seeded], parallelism=2)
+        assert not report.ok
+        assert "block_root" in findings_by_invariant(report)
+
+    def test_interior_block_fork_breaks_chain(self, db, seeded):
+        blocks = db.ledger.blocks()
+        assert len(blocks) >= 2
+        fork_block(db, blocks[0].block_id)
+        report = db.verify([seeded], parallelism=2)
+        assert not report.ok
+        assert "chain" in findings_by_invariant(report)
+
+    def test_segment_boundary_fork_detected(self, db, seeded):
+        """Tamper the block at a worker-segment boundary specifically."""
+        blocks = db.ledger.blocks()
+        boundary = blocks[len(blocks) // 2].block_id
+        fork_block(db, boundary)
+        report = db.verify([seeded], parallelism=2)
+        assert not report.ok
+        assert "chain" in findings_by_invariant(report)
+
+    def test_column_type_swap(self, db, seeded):
+        tamper_column_type(db, "accounts", "balance", SMALLINT)
+        assert not db.verify([seeded], parallelism=2).ok
+
+    def test_view_definition_tamper(self, db, seeded):
+        tamper_view_definition(
+            db, "accounts_ledger",
+            "CREATE VIEW accounts_ledger AS SELECT * FROM accounts "
+            "WHERE 1=0",
+        )
+        report = db.verify([seeded], parallelism=2)
+        assert not report.ok
+        assert "view" in findings_by_invariant(report)
+
+    def test_nonclustered_index_tamper(self, db):
+        schema = accounts_schema("indexed").with_index(
+            IndexDefinition("ix_balance", ("balance",))
+        )
+        table = db.create_ledger_table(schema)
+        for i in range(6):
+            run(db, "a", lambda t, i=i: db.insert(
+                t, "indexed", [[f"k{i}", i]]))
+        digest = db.generate_digest()
+        tamper_nonclustered_index(
+            table, "ix_balance", lambda r: r["name"] == "k2", "balance", 77
+        )
+        report = db.verify([digest], parallelism=2)
+        assert not report.ok
+        assert "index" in findings_by_invariant(report)
