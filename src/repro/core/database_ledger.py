@@ -57,7 +57,21 @@ from repro.engine.table import Table
 from repro.engine.transaction import Transaction
 from repro.engine.types import BIGINT, DATETIME, VARBINARY, VARCHAR
 from repro.errors import DigestError, LedgerError
+from repro.faults import FAULTS
 from repro.obs import OBS
+
+FAULTS.register(
+    "ledger.flush_queue",
+    "Before the queue-flush transaction begins.  Queued entries stay in "
+    "memory (and on the WAL via their COMMIT records); the next flush or "
+    "recovery re-drains them.",
+)
+FAULTS.register(
+    "ledger.block_persist",
+    "Inside block closure, before the block row is inserted.  The block "
+    "stays sealed-but-open; recovery rebuilds the sealed queue from the "
+    "WAL and closure is retried.",
+)
 
 TRANSACTIONS_TABLE = "database_ledger_transactions"
 BLOCKS_TABLE = "database_ledger_blocks"
@@ -343,6 +357,7 @@ class DatabaseLedger:
             snapshot = list(self._queue)
         if not snapshot:
             return 0
+        FAULTS.fire("ledger.flush_queue", entries=len(snapshot))
         started = time.perf_counter()
         with self.storage_lock, OBS.tracer.span(
             "ledger.flush_queue", entries=len(snapshot)
@@ -429,6 +444,7 @@ class DatabaseLedger:
                     f"block {block_id} should hold {expected_count} "
                     f"entries but {len(entries)} were found"
                 )
+            FAULTS.fire("ledger.block_persist", block_id=block_id)
             tree = MerkleTree([entry.entry_hash() for entry in entries])
             previous_hash = self._previous_hash_for(block_id)
             block = BlockRow(

@@ -20,6 +20,15 @@ waits for in-flight commits to land in the queue, seals the open block
 The builder thread is event-driven: it sleeps on a condition variable and
 is woken by the ledger's sealed-ready callback whenever an ``enqueue``
 completes a sealed block.
+
+The builder is *supervised*: an exception crashes the thread (no silent
+swallowing), which emits a ``pipeline.builder_crashed`` event and spawns a
+replacement after an exponential backoff.  The replacement primes one
+wakeup, so sealed blocks stranded by the crash are picked up immediately —
+the same sealed-state recovery that runs after a process restart.  A crash
+streak beyond the restart cap stops supervision and leaves the pipeline
+degraded (visible on ``/healthz``); ``drain()`` still closes blocks inline,
+so the ledger remains correct even with a dead builder.
 """
 
 from __future__ import annotations
@@ -29,7 +38,15 @@ import time
 from typing import Dict, Optional
 
 from repro.errors import LedgerError
+from repro.faults import FAULTS
 from repro.obs import OBS
+
+FAULTS.register(
+    "pipeline.builder",
+    "Inside the block-builder thread's work loop.  The thread crashes and "
+    "the supervisor restarts it with backoff; sealed blocks stranded by "
+    "the crash are closed by the replacement (or inline by drain()).",
+)
 
 _BUILDER_CYCLES = OBS.metrics.counter(
     "pipeline_builder_cycles_total",
@@ -55,11 +72,18 @@ _STAGE_SECONDS = OBS.metrics.histogram(
 #: hierarchy this only trips if a committing thread died mid-commit.
 DEFAULT_DRAIN_TIMEOUT = 30.0
 
+#: Consecutive builder crashes before the supervisor gives up.
+DEFAULT_RESTART_CAP = 10
+
+#: First restart delay; doubles per consecutive crash, capped at 1 s.
+_BACKOFF_BASE = 0.02
+_BACKOFF_MAX = 1.0
+
 
 class LedgerPipeline:
     """Owns the block-builder thread and the drain barrier for one ledger."""
 
-    def __init__(self, ledger) -> None:
+    def __init__(self, ledger, restart_cap: int = DEFAULT_RESTART_CAP) -> None:
         self._ledger = ledger
         self._wakeup = threading.Condition()
         self._pending_wakeups = 0
@@ -69,6 +93,11 @@ class LedgerPipeline:
         self._builder_errors = 0
         self._drains = 0
         self._last_error: Optional[str] = None
+        self._expected_running = False
+        self._restart_cap = restart_cap
+        self._restarts = 0
+        self._restart_streak = 0
+        self._supervisor_gave_up = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -78,10 +107,18 @@ class LedgerPipeline:
     def running(self) -> bool:
         return self._thread is not None and self._thread.is_alive()
 
+    @property
+    def expected_running(self) -> bool:
+        """True between start() and stop(): the builder *should* be alive."""
+        return self._expected_running
+
     def start(self) -> "LedgerPipeline":
         if self.running:
             return self
         self._stop_requested = False
+        self._expected_running = True
+        self._supervisor_gave_up = False
+        self._restart_streak = 0
         # Prime one wakeup: sealed blocks may already be waiting (recovered
         # after a crash, or sealed while the builder was stopped).
         self._pending_wakeups = 1
@@ -103,6 +140,7 @@ class LedgerPipeline:
         soon as it observes the stop flag, leaving sealed blocks for
         recovery.
         """
+        self._expected_running = False
         if self._thread is None:
             return
         if drain and self._thread.is_alive():
@@ -110,8 +148,9 @@ class LedgerPipeline:
         with self._wakeup:
             self._stop_requested = True
             self._wakeup.notify_all()
-        self._thread.join(timeout=timeout)
-        leaked = self._thread.is_alive()
+            thread = self._thread
+        thread.join(timeout=timeout)
+        leaked = thread.is_alive()
         self._thread = None
         self._ledger.set_sealed_ready_callback(None)
         if OBS.metrics.enabled:
@@ -162,8 +201,12 @@ class LedgerPipeline:
     def stats(self) -> Dict[str, object]:
         return {
             "running": self.running,
+            "expected_running": self._expected_running,
             "blocks_built": self._blocks_built,
             "builder_errors": self._builder_errors,
+            "restarts": self._restarts,
+            "restart_streak": self._restart_streak,
+            "supervisor_gave_up": self._supervisor_gave_up,
             "drains": self._drains,
             "sealed_pending": self._ledger.sealed_pending(),
             "queue_depth": self._ledger.pending_entries,
@@ -171,7 +214,7 @@ class LedgerPipeline:
         }
 
     # ------------------------------------------------------------------
-    # Builder thread
+    # Builder thread and its supervisor
     # ------------------------------------------------------------------
 
     def _notify(self) -> None:
@@ -179,7 +222,15 @@ class LedgerPipeline:
             self._pending_wakeups += 1
             self._wakeup.notify_all()
 
-    def _run(self) -> None:
+    def _run(self, backoff: float = 0.0) -> None:
+        if backoff:
+            time.sleep(backoff)
+        try:
+            self._loop()
+        except Exception as exc:
+            self._supervise_crash(exc)
+
+    def _loop(self) -> None:
         while True:
             with self._wakeup:
                 while self._pending_wakeups == 0 and not self._stop_requested:
@@ -187,22 +238,64 @@ class LedgerPipeline:
                 if self._stop_requested:
                     return
                 self._pending_wakeups = 0
-            try:
-                built = 0
-                while not self._stop_requested:
-                    block = self._ledger.close_next_ready_block()
-                    if block is None:
-                        break
-                    built += 1
-                self._blocks_built += built
+            built = 0
+            while not self._stop_requested:
+                FAULTS.fire("pipeline.builder")
+                block = self._ledger.close_next_ready_block()
+                if block is None:
+                    break
+                built += 1
+            self._blocks_built += built
+            # A full cycle without an exception ends any crash streak.
+            self._restart_streak = 0
+            if OBS.metrics.enabled:
+                outcome = "built" if built else "idle"
+                _BUILDER_CYCLES.labels(outcome).inc()
+
+    def _supervise_crash(self, exc: Exception) -> None:
+        """Runs on the dying builder thread: record, then restart or give up.
+
+        The replacement is created and installed under the wakeup lock so a
+        concurrent ``stop()`` either sees the stop flag honoured (no
+        restart) or finds the new thread in ``self._thread`` and joins it.
+        """
+        self._builder_errors += 1
+        self._last_error = f"{type(exc).__name__}: {exc}"
+        if OBS.metrics.enabled:
+            _BUILDER_CYCLES.labels("error").inc()
+        OBS.events.emit(
+            "ledger", "pipeline.builder_crashed",
+            error=self._last_error, streak=self._restart_streak + 1,
+        )
+        with self._wakeup:
+            if self._stop_requested:
+                return
+            self._restart_streak += 1
+            if self._restart_streak > self._restart_cap:
+                self._supervisor_gave_up = True
                 if OBS.metrics.enabled:
-                    outcome = "built" if built else "idle"
-                    _BUILDER_CYCLES.labels(outcome).inc()
-            except Exception as exc:  # keep the builder alive; surface it
-                self._builder_errors += 1
-                self._last_error = f"{type(exc).__name__}: {exc}"
-                if OBS.metrics.enabled:
-                    _BUILDER_CYCLES.labels("error").inc()
+                    _BUILDER_RUNNING.set(0)
                 OBS.events.emit(
-                    "ledger", "pipeline.builder_error", error=self._last_error
+                    "ledger", "pipeline.builder_gave_up",
+                    crashes=self._restart_streak, error=self._last_error,
                 )
+                return
+            self._restarts += 1
+            backoff = min(
+                _BACKOFF_BASE * (2 ** (self._restart_streak - 1)), _BACKOFF_MAX
+            )
+            # Re-prime a wakeup: the crash may have stranded sealed blocks
+            # mid-closure, exactly like a process restart.
+            self._pending_wakeups = max(self._pending_wakeups, 1)
+            replacement = threading.Thread(
+                target=self._run, args=(backoff,),
+                name="ledger-block-builder", daemon=True,
+            )
+            # Install before starting so pipeline.running never flickers
+            # False between the crash and the restart.
+            self._thread = replacement
+            replacement.start()
+        OBS.events.emit(
+            "ledger", "pipeline.builder_restarted",
+            attempt=self._restarts, backoff_seconds=round(backoff, 4),
+        )

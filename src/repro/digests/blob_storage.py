@@ -8,18 +8,47 @@ trust for the whole verification story.
 The store is file-backed (one file per blob under a root directory) so it
 survives process restarts, and write-once is enforced at the API: any
 attempt to overwrite or delete raises :class:`ImmutabilityViolationError`.
+
+Writes are crash-atomic: data lands in a uniquely-named temp file, is
+fsynced, and is then published under the blob name via ``os.link`` — which
+both guarantees readers never observe a half-written "immutable" digest and
+enforces write-once at the filesystem level (link fails on an existing
+target).  A crash mid-upload leaves only a ``.tmp-`` file, which listings
+ignore.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import re
 from typing import List
 
-from repro.errors import BlobNotFoundError, ImmutabilityViolationError
+from repro.errors import (
+    BlobNotFoundError,
+    ImmutabilityViolationError,
+    InjectedCrashError,
+)
+from repro.faults import FAULTS
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9._\-/]+$")
+_TMP_PREFIX = ".tmp-"
+_tmp_counter = itertools.count()
+
+FAULTS.register(
+    "blob.put",
+    "Before a digest upload writes anything.  Used with times=N and a "
+    "TransientStorageError to model a flaky blob endpoint that the digest "
+    "manager's retry/backoff must absorb.",
+)
+FAULTS.register(
+    "blob.torn_upload",
+    "Crash mid-upload: half the digest bytes reach a temp file, then the "
+    "process dies.  The blob name is never linked, so no reader can ever "
+    "see the partial digest.",
+    kind="tear",
+)
 
 
 class ImmutableBlobStorage:
@@ -42,23 +71,54 @@ class ImmutableBlobStorage:
     # -- write-once API ---------------------------------------------------------
 
     def put(self, container: str, name: str, data: bytes) -> None:
-        """Write a new blob.  Fails if the blob already exists."""
+        """Write a new blob atomically.  Fails if the blob already exists.
+
+        The data is staged in a uniquely-named temp file and fsynced before
+        being published via ``os.link``, so the blob either exists complete
+        or not at all — a crash mid-upload can never leave a half-written
+        "immutable" digest under the real name.
+        """
         path = self._blob_path(container, name)
         if os.path.exists(path):
             raise ImmutabilityViolationError(
                 f"blob {container}/{name} already exists and is immutable"
             )
+        FAULTS.fire("blob.put", container=container, blob=name)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        # O_EXCL makes creation atomic even against concurrent writers.
-        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        # Unique per process and per call, so a crashed upload's leftover
+        # temp file never collides with the retry.
+        tmp = os.path.join(
+            os.path.dirname(path),
+            f"{_TMP_PREFIX}{os.getpid()}-{next(_tmp_counter)}",
+        )
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL)
+        crashed = False
         try:
             with os.fdopen(fd, "wb") as f:
+                if FAULTS.triggered(
+                    "blob.torn_upload", container=container, blob=name
+                ):
+                    # A dead process runs no cleanup: the torn temp file is
+                    # deliberately left behind for listings to ignore.
+                    crashed = True
+                    f.write(data[: len(data) // 2])
+                    f.flush()
+                    raise InjectedCrashError("blob.torn_upload")
                 f.write(data)
                 f.flush()
                 os.fsync(f.fileno())
-        finally:
-            # Belt and braces: the blob itself is made read-only on disk.
+            # link (not rename) enforces write-once at the filesystem level:
+            # it fails with EEXIST instead of silently replacing a blob.
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                raise ImmutabilityViolationError(
+                    f"blob {container}/{name} already exists and is immutable"
+                ) from None
             os.chmod(path, 0o444)
+        finally:
+            if not crashed and os.path.exists(tmp):
+                os.unlink(tmp)
 
     def get(self, container: str, name: str) -> bytes:
         path = self._blob_path(container, name)
@@ -90,6 +150,8 @@ class ImmutableBlobStorage:
         names = []
         for dirpath, _, filenames in os.walk(container_path):
             for filename in filenames:
+                if filename.startswith(_TMP_PREFIX):
+                    continue  # leftover from a crashed upload, never published
                 full = os.path.join(dirpath, filename)
                 name = os.path.relpath(full, container_path).replace(os.sep, "/")
                 if name.startswith(prefix):

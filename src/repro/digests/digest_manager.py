@@ -20,16 +20,32 @@ modelled:
   *create time*, which changes on restore.  Digests from all incarnations
   remain available to verification, and users can inspect them to see when
   the database was restored and how far back.
+
+Blob endpoints flake in production, so uploads retry transient failures
+(:class:`repro.errors.TransientStorageError`, ``OSError``) with bounded
+exponential backoff plus jitter, and give up loudly — a
+``digest.upload_failed`` event and a re-raise — once the attempt budget is
+spent.  Nothing is lost on give-up: the digest is regenerated from the
+ledger on the next period.  Permanent failures (immutability violations,
+fork detection) are never retried.
 """
 
 from __future__ import annotations
 
 import datetime as dt
+import random
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.digest import DatabaseDigest, verify_digest_chain
 from repro.digests.blob_storage import ImmutableBlobStorage
-from repro.errors import LedgerError, ReplicationLagError
+from repro.errors import (
+    ImmutabilityViolationError,
+    LedgerError,
+    ReplicationLagError,
+    TransientStorageError,
+)
 from repro.obs import OBS
 
 _DIGEST_UPLOADS = OBS.metrics.counter(
@@ -38,6 +54,42 @@ _DIGEST_UPLOADS = OBS.metrics.counter(
     "(stored, duplicate, deferred, fork_detected)",
     ("outcome",),
 )
+_DIGEST_RETRIES = OBS.metrics.counter(
+    "digest_upload_retries_total",
+    "Transient digest-upload failures that were retried",
+)
+_DIGEST_ABANDONED = OBS.metrics.counter(
+    "digest_uploads_abandoned_total",
+    "Digest uploads abandoned after exhausting the retry budget",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for transient upload faults.
+
+    ``delay(n)`` for attempt *n* (0-based) is
+    ``min(base_delay * multiplier**n, max_delay)`` scaled by a random factor
+    in ``[1 - jitter, 1 + jitter]`` — the jitter keeps a fleet of uploaders
+    from thundering back in lock-step after a shared outage.  ``sleep`` and
+    ``seed`` exist for tests: inject a recording fake and a fixed seed to
+    make the schedule deterministic.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    sleep: Callable[[float], None] = time.sleep
+    seed: Optional[int] = None
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        return base * rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
 
 
 class GeoReplicaSimulator:
@@ -91,11 +143,13 @@ class DigestManager:
         storage: ImmutableBlobStorage,
         container: str = "digests",
         geo: Optional[GeoReplicaSimulator] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._db = db
         self._storage = storage
         self._container = container
         self._geo = geo
+        self._retry = retry if retry is not None else RetryPolicy()
 
     # ------------------------------------------------------------------
     # Upload path
@@ -160,15 +214,49 @@ class DigestManager:
                     reason="duplicate", block_id=digest.block_id,
                 )
             else:
-                self._storage.put(
-                    self._container, name, digest.to_json().encode("utf-8")
-                )
+                self._put_with_retry(name, digest)
                 _DIGEST_UPLOADS.labels("stored").inc()
                 OBS.events.emit(
                     "digest", "digest.uploaded",
                     block_id=digest.block_id, blob=name,
                 )
             return digest
+
+    def _put_with_retry(self, name: str, digest: DatabaseDigest) -> None:
+        """Store the digest blob, absorbing transient storage failures.
+
+        Retries :class:`TransientStorageError` and ``OSError`` with the
+        manager's :class:`RetryPolicy`; immutability violations are
+        permanent and propagate immediately.  Exhausting the budget emits a
+        loud ``digest.upload_failed`` event and re-raises the last error.
+        """
+        data = digest.to_json().encode("utf-8")
+        rng = self._retry.rng()
+        for attempt in range(self._retry.attempts):
+            try:
+                self._storage.put(self._container, name, data)
+                return
+            except ImmutabilityViolationError:
+                raise
+            except (TransientStorageError, OSError) as exc:
+                if attempt + 1 >= self._retry.attempts:
+                    _DIGEST_ABANDONED.inc()
+                    OBS.events.emit(
+                        "digest", "digest.upload_failed",
+                        block_id=digest.block_id, blob=name,
+                        attempts=self._retry.attempts,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                    raise
+                delay = self._retry.delay(attempt, rng)
+                _DIGEST_RETRIES.inc()
+                OBS.events.emit(
+                    "digest", "digest.upload_retry",
+                    block_id=digest.block_id, blob=name,
+                    attempt=attempt + 1, delay_seconds=round(delay, 4),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                self._retry.sleep(delay)
 
     def _blob_name(self, digest: DatabaseDigest) -> str:
         incarnation = _sanitize(digest.database_create_time)

@@ -51,9 +51,23 @@ from repro.engine.wal import (
     read_wal,
 )
 from repro.errors import TransactionError
+from repro.faults import FAULTS
 from repro.obs import OBS
 
 _CHECKPOINT_FILE = "checkpoint.json"
+
+FAULTS.register(
+    "checkpoint.write",
+    "After heap images are flushed but before checkpoint.json is replaced. "
+    "The previous checkpoint stays authoritative; the current WAL epoch "
+    "still covers everything since it.",
+)
+FAULTS.register(
+    "checkpoint.swap",
+    "After checkpoint.json is atomically replaced but before the WAL epoch "
+    "rotates.  The new checkpoint's ledger state plus the (uncollected) old "
+    "WAL must together reconstruct the database.",
+)
 
 _RECOVERY_RUNS = OBS.metrics.counter(
     "recovery_runs_total", "Crash/restart recoveries performed"
@@ -435,12 +449,14 @@ class Database:
             "catalog": self.catalog.to_dict(),
             "ledger_state": self._hooks.checkpoint_state(),
         }
+        FAULTS.fire("checkpoint.write", epoch=new_epoch)
         tmp = os.path.join(self.path, _CHECKPOINT_FILE + ".tmp")
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(checkpoint, f)
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, os.path.join(self.path, _CHECKPOINT_FILE))
+        FAULTS.fire("checkpoint.swap", epoch=new_epoch)
 
         old_wal = self._wal
         self._wal = WalWriter(self._wal_path(new_epoch), sync=self._sync)

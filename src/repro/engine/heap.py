@@ -20,10 +20,34 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.engine.pager import PAGE_SIZE, Page
-from repro.errors import StorageError
+from repro.errors import InjectedCrashError, StorageError
+from repro.faults import FAULTS
 
 _FILE_MAGIC = b"SLHF"
 _FILE_HEADER = struct.Struct(">4sI")  # magic, page count
+
+FAULTS.register(
+    "heap.flush",
+    "Before a heap file's temp image is written at checkpoint.  Blast "
+    "radius: none on disk — the previous image and WAL stay authoritative.",
+)
+FAULTS.register(
+    "pager.page_write",
+    "Before an individual page buffer is written into the temp heap image. "
+    "The temp file is left partial; the rename never happens.",
+)
+FAULTS.register(
+    "pager.torn_page",
+    "Crash mid-page: half a page reaches the temp image, then the process "
+    "dies.  Because the image is only renamed into place after a full "
+    "fsync, a torn page can never surface in the live file.",
+    kind="tear",
+)
+FAULTS.register(
+    "heap.rename",
+    "After the temp heap image is fsynced but before it replaces the live "
+    "file.  The old image survives; recovery replays from the WAL.",
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -140,13 +164,22 @@ class HeapFile:
 
     def flush(self, path: str) -> None:
         """Write all pages to ``path`` atomically (write-then-rename)."""
+        FAULTS.fire("heap.flush", heap=self.name)
         tmp_path = path + ".tmp"
         with open(tmp_path, "wb") as f:
             f.write(_FILE_HEADER.pack(_FILE_MAGIC, len(self._pages)))
             for page in self._pages:
+                FAULTS.fire("pager.page_write", heap=self.name, page=page.page_id)
+                if FAULTS.triggered(
+                    "pager.torn_page", heap=self.name, page=page.page_id
+                ):
+                    f.write(bytes(page.buf[: PAGE_SIZE // 2]))
+                    f.flush()
+                    raise InjectedCrashError("pager.torn_page")
                 f.write(page.buf)
             f.flush()
             os.fsync(f.fileno())
+        FAULTS.fire("heap.rename", heap=self.name)
         os.replace(tmp_path, path)
 
     @classmethod

@@ -25,10 +25,30 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.errors import RecoveryError
+from repro.errors import InjectedCrashError, RecoveryError
+from repro.faults import FAULTS
 from repro.obs import OBS
 
 _FRAME = struct.Struct(">II")  # payload length, crc32
+
+FAULTS.register(
+    "wal.append",
+    "Before a WAL frame is written: the record never reaches the log. "
+    "Blast radius: the in-flight transaction only; recovery sees no trace.",
+)
+FAULTS.register(
+    "wal.torn_write",
+    "Crash mid-frame: the frame header and a prefix of the payload reach "
+    "the log, the rest does not.  Recovery must detect the torn tail via "
+    "CRC and discard it without harming earlier records.",
+    kind="tear",
+)
+FAULTS.register(
+    "wal.fsync",
+    "The flush/fsync after a synchronous append fails.  The frame may "
+    "already be in the OS buffer, so a 'failed' commit can still be "
+    "durable — recovery may legitimately replay it.",
+)
 
 _WAL_APPENDS = OBS.metrics.counter(
     "wal_appends_total", "WAL records appended, by record kind", ("kind",)
@@ -98,11 +118,21 @@ class WalWriter:
     def append(self, record: WalRecord) -> int:
         """Append one record; returns its LSN (starting byte offset)."""
         payload = record.to_bytes()
+        FAULTS.fire("wal.append", kind=record.kind)
         with self._lock:
             lsn = self._file.tell()
+            if FAULTS.triggered("wal.torn_write", kind=record.kind):
+                # Simulate a crash mid-frame: header plus half the payload
+                # reach the OS, then the process dies.  The flush models the
+                # Python buffer draining as the file is closed.
+                self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+                self._file.write(payload[: len(payload) // 2])
+                self._file.flush()
+                raise InjectedCrashError("wal.torn_write")
             self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
             self._file.write(payload)
             if self._sync:
+                FAULTS.fire("wal.fsync", kind=record.kind)
                 self._flush_and_sync()
         if OBS.metrics.enabled:
             _WAL_APPENDS.labels(record.kind).inc()

@@ -149,8 +149,40 @@ class BlobNotFoundError(BlobStorageError):
     """The requested blob does not exist."""
 
 
+class TransientStorageError(BlobStorageError):
+    """A blob-store operation failed in a retryable way (simulated outage)."""
+
+
 class ReplicationLagError(ReproError):
     """Digest generation refused because geo-secondaries are too far behind."""
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection errors
+# ---------------------------------------------------------------------------
+
+class InjectedFaultError(ReproError):
+    """Raised by an armed fault point (``action="fail"``).
+
+    Carries the fault-point name so torture drivers and tests can tell an
+    injected failure apart from a genuine bug surfacing mid-drill.
+    """
+
+    def __init__(self, point: str, message: str = "") -> None:
+        self.point = point
+        super().__init__(message or f"injected fault at {point!r}")
+
+
+class InjectedCrashError(InjectedFaultError):
+    """An armed fault point simulating a process crash (``action="crash"``).
+
+    The torture harness treats this as "the process died here": the raising
+    database object is abandoned (after flushing Python file buffers, which
+    model data already handed to the OS) and reopened through recovery.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(point, f"injected crash at {point!r}")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,12 @@
+"""Fault injection: named fault points, arming, and the torture harness.
+
+``FAULTS`` is the process-wide registry.  Instrumented modules (WAL, heap,
+checkpoint, ledger pipeline, blob store, monitor) register their fault
+points at import time and call ``FAULTS.fire(...)`` / ``FAULTS.triggered(...)``
+on the hot paths; the torture harness in :mod:`repro.faults.torture` arms
+them one at a time, crashes the database mid-workload, and proves recovery.
+"""
+
+from repro.faults.registry import ACTIONS, FAULTS, FaultPoint, FaultRegistry
+
+__all__ = ["ACTIONS", "FAULTS", "FaultPoint", "FaultRegistry"]

@@ -47,7 +47,15 @@ from repro.core.verify_checkpoint import (
     default_checkpoint_path,
 )
 from repro.errors import DigestError, ReplicationLagError
+from repro.faults import FAULTS
 from repro.obs import OBS
+
+FAULTS.register(
+    "monitor.cycle",
+    "In the monitor thread's loop, outside the per-cycle exception guard: "
+    "the watchdog thread itself dies.  /healthz turns degraded — the "
+    "ledger is unwatched, not unverifiable.",
+)
 
 _MONITOR_CYCLES = OBS.metrics.counter(
     "monitor_cycles_total",
@@ -134,6 +142,7 @@ class ContinuousVerifier:
         self._known_drops: Optional[set] = None
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self._expected_running = False
         self._cycle_done = threading.Condition()
         self.cycles = 0
         self.failures = 0
@@ -159,10 +168,16 @@ class ContinuousVerifier:
         """False once a cycle has failed verification (until acknowledged)."""
         return self.last_verdict != "failed"
 
+    @property
+    def expected_running(self) -> bool:
+        """True between start() and stop(): the watchdog *should* be alive."""
+        return self._expected_running
+
     def start(self) -> "ContinuousVerifier":
         if self.running:
             return self
         self._stop.clear()
+        self._expected_running = True
         self._thread = threading.Thread(
             target=self._run, name="ledger-monitor", daemon=True
         )
@@ -171,6 +186,7 @@ class ContinuousVerifier:
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
+        self._expected_running = False
         self._stop.set()
         thread = self._thread
         if thread is not None and thread.is_alive():
@@ -182,9 +198,18 @@ class ContinuousVerifier:
         self._alert_hooks.append(hook)
 
     def _run(self) -> None:
-        while not self._stop.is_set():
-            self.run_cycle()
-            self._stop.wait(self.interval)
+        try:
+            while not self._stop.is_set():
+                # Outside run_cycle's guard: an armed fault here kills the
+                # watchdog thread itself, the scenario /healthz must expose.
+                FAULTS.fire("monitor.cycle")
+                self.run_cycle()
+                self._stop.wait(self.interval)
+        except Exception as exc:
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            OBS.events.emit(
+                "monitor", "monitor.thread_died", error=self.last_error
+            )
 
     # ------------------------------------------------------------------
     # One verification cycle
@@ -398,6 +423,7 @@ class ContinuousVerifier:
     def status(self) -> Dict[str, Any]:
         return {
             "running": self.running,
+            "expected_running": self._expected_running,
             "healthy": self.healthy,
             "interval": self.interval,
             "cycles": self.cycles,

@@ -157,13 +157,60 @@ class ObservabilityServer:
     # ------------------------------------------------------------------
 
     def _render_health(self):
+        """Health verdict in three tiers, worst wins.
+
+        ``tamper-detected`` (503) — the monitor's last verification failed:
+        the ledger itself is suspect.  ``degraded`` (503) — a background
+        thread (block builder, continuous monitor) that should be running
+        is dead: the ledger is unwatched or blocks pile up unsealed, and
+        the body names the dead thread with its last error.  ``ok`` (200)
+        otherwise.
+        """
         monitor = self._resolve_monitor()
+        body: Dict[str, Any] = {}
+        problems = []
+
         if monitor is None:
-            return 200, {"status": "ok", "monitor": "not-running"}
-        status = monitor.status()
-        if not monitor.healthy:
-            return 503, {"status": "tamper-detected", "monitor": status}
-        return 200, {"status": "ok", "monitor": status}
+            body["monitor"] = "not-running"
+        else:
+            status = monitor.status()
+            body["monitor"] = status
+            if not monitor.healthy:
+                body["status"] = "tamper-detected"
+                return 503, body
+            if getattr(monitor, "expected_running", False) and not monitor.running:
+                problems.append(
+                    {
+                        "thread": "ledger-monitor",
+                        "detail": "monitor thread died; the ledger is unwatched",
+                        "last_error": status.get("last_error"),
+                    }
+                )
+
+        pipeline = getattr(self._db, "pipeline", None) if self._db else None
+        if pipeline is not None:
+            stats = pipeline.stats()
+            body["pipeline"] = stats
+            if stats.get("expected_running") and not stats.get("running"):
+                problems.append(
+                    {
+                        "thread": "ledger-block-builder",
+                        "detail": "block-builder thread died"
+                        + (
+                            " and its supervisor gave up"
+                            if stats.get("supervisor_gave_up")
+                            else ""
+                        ),
+                        "last_error": stats.get("last_error"),
+                    }
+                )
+
+        if problems:
+            body["status"] = "degraded"
+            body["problems"] = problems
+            return 503, body
+        body["status"] = "ok"
+        return 200, body
 
     def _render_events(self, query) -> Dict[str, Any]:
         def _first(key: str) -> Optional[str]:

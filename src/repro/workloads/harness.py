@@ -918,6 +918,86 @@ def run_verify_baseline(
 
 
 # ---------------------------------------------------------------------------
+# Crash-recovery torture (fault-injection matrix)
+# ---------------------------------------------------------------------------
+
+def run_faults_bench(
+    points: Optional[List[str]] = None, kill: bool = False
+) -> Dict[str, Any]:
+    """Run the crash-recovery torture matrix; returns per-point results.
+
+    Every entry crashes a live database at one armed fault point, reopens
+    it through recovery, and asserts full verification with zero committed
+    loss (see :mod:`repro.faults.torture`).  ``recovery_seconds`` per point
+    is the reopen wall time — the price of coming back from that crash.
+    """
+    from repro.faults.torture import run_torture
+
+    results = run_torture(points=points, kill=kill)
+    return {
+        "points": results,
+        "total": len(results),
+        "passed": sum(1 for r in results if r["ok"]),
+        "all_ok": all(r["ok"] for r in results),
+        "kill_mode": kill,
+    }
+
+
+def format_faults(results: Dict[str, Any]) -> str:
+    lines = [
+        "Crash-recovery torture: crash at every fault point, reopen, verify.",
+        f"{results['passed']}/{results['total']} fault points recovered "
+        "with a fully verifying ledger and zero committed-transaction loss"
+        + (" (incl. subprocess kills)" if results["kill_mode"] else ""),
+    ]
+    for r in results["points"]:
+        mark = "ok " if r["ok"] else "FAIL"
+        lines.append(
+            f"  [{mark}] {r['point']:<22} {r['mode']:<11} "
+            f"recovery={r.get('recovery_seconds', 0.0) * 1000.0:>7.1f}ms"
+            + (f"  {r['failures']}" if r["failures"] else "")
+        )
+    return "\n".join(lines)
+
+
+def run_faults_baseline(
+    path: str = "BENCH_faults_baseline.json", kill: bool = False
+) -> Dict[str, Any]:
+    """Run the torture matrix and persist recovery times per fault point."""
+    import json
+
+    results = run_faults_bench(kill=kill)
+    payload = {
+        "note": (
+            "Crash-recovery torture baseline: for each fault point, the "
+            "database is crashed at that point mid-workload, reopened, and "
+            "fully verified; recovery_seconds is the reopen wall time.  "
+            "Degradation drills (retry/backoff, builder supervision, "
+            "monitor liveness) report the drill duration instead."
+        ),
+        "all_ok": results["all_ok"],
+        "kill_mode": kill,
+        "recovery_seconds": {
+            f"{r['point']}/{r['mode']}": r.get("recovery_seconds", 0.0)
+            for r in results["points"]
+        },
+        "points": results["points"],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if not results["all_ok"]:
+        raise RuntimeError(
+            "torture matrix failed: "
+            + "; ".join(
+                f"{r['point']}: {r['failures']}"
+                for r in results["points"] if not r["ok"]
+            )
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -934,6 +1014,7 @@ _EXPERIMENTS = {
         run_verify_bench(transactions=120, delta_transactions=10,
                          commit_transactions_per_thread=50)
     ),
+    "faults": lambda: format_faults(run_faults_bench()),
 }
 
 
@@ -1029,6 +1110,16 @@ def main(argv: Optional[List[str]] = None) -> int:
              "--workers workers, incremental cycle, commits during "
              "verification) and write the baseline JSON to PATH",
     )
+    parser.add_argument(
+        "--faults-baseline", metavar="PATH", default=None,
+        help="run the crash-recovery torture matrix and write recovery "
+             "times per fault point to PATH",
+    )
+    parser.add_argument(
+        "--kill-mode", action="store_true",
+        help="with the 'faults' experiment or --faults-baseline, also run "
+             "the subprocess-kill matrix (real os._exit crashes)",
+    )
     args = parser.parse_args(argv)
     if args.concurrency < 1:
         parser.error("--concurrency must be at least 1")
@@ -1044,6 +1135,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=tuple(sorted({1, args.workers})),
         )
     )
+    _EXPERIMENTS["faults"] = lambda: format_faults(
+        run_faults_bench(kill=args.kill_mode)
+    )
     if args.events_out:
         OBS.events.attach_file(args.events_out)
         OBS.events.enable()
@@ -1058,6 +1152,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.verify_baseline:
         run_verify_baseline(args.verify_baseline, workers=args.workers)
         print(f"wrote {args.verify_baseline}")
+        return 0
+    if args.faults_baseline:
+        run_faults_baseline(args.faults_baseline, kill=args.kill_mode)
+        print(f"wrote {args.faults_baseline}")
         return 0
     if args.telemetry:
         OBS.enable(metrics=True, tracing=False)

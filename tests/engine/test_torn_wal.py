@@ -1,0 +1,138 @@
+"""WAL recovery with a torn tail record.
+
+A crash mid-append leaves a final frame that is truncated or fails its CRC.
+Recovery must discard exactly that frame — every earlier commit survives,
+and the transaction whose record was torn simply never happened.  Covered
+three ways: frame-level surgery on the log file, a database-level crash with
+byte truncation, and the ``wal.torn_write`` fault point that tears a frame
+in-flight.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.engine.clock import LogicalClock
+from repro.engine.database import Database
+from repro.engine.operators import insert_rows, seq_scan
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INT, VARCHAR
+from repro.engine.wal import WalRecord, WalWriter, read_wal
+from repro.errors import InjectedCrashError
+from repro.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+def make_schema(name="items"):
+    return TableSchema(
+        name,
+        [Column("id", INT, nullable=False), Column("label", VARCHAR(50))],
+        primary_key=["id"],
+    )
+
+
+def open_db(path):
+    return Database.open(str(path), clock=LogicalClock())
+
+
+def commit_row(db, table, row_id):
+    txn = db.begin()
+    insert_rows(txn, table, [[row_id, f"row{row_id}"]])
+    db.commit(txn)
+
+
+def visible_ids(db, table_name="items"):
+    table = db.table(table_name)
+    return sorted(row["id"] for _, row in seq_scan(table))
+
+
+def wal_path(db):
+    paths = glob.glob(os.path.join(db.path, "wal.*.log"))
+    assert len(paths) == 1
+    return paths[0]
+
+
+class TestFrameLevelTearing:
+    def test_truncated_payload_discarded(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path)
+        writer.append(WalRecord("BEGIN", {"tid": 1}))
+        writer.append(WalRecord("COMMIT", {"tid": 1, "ledger": None}))
+        writer.append(WalRecord("BEGIN", {"tid": 2}))
+        writer.close()
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) - 5)  # tear the last payload
+        assert [r.kind for r in read_wal(path)] == ["BEGIN", "COMMIT"]
+
+    def test_truncated_header_discarded(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path)
+        writer.append(WalRecord("COMMIT", {"tid": 1, "ledger": None}))
+        writer.close()
+        with open(path, "ab") as f:
+            f.write(b"\x00\x00")  # 2 bytes of an 8-byte frame header
+        assert [r.kind for r in read_wal(path)] == ["COMMIT"]
+
+    def test_crc_mismatch_discarded(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = WalWriter(path)
+        writer.append(WalRecord("COMMIT", {"tid": 1, "ledger": None}))
+        writer.append(WalRecord("COMMIT", {"tid": 2, "ledger": None}))
+        writer.close()
+        with open(path, "r+b") as f:
+            f.seek(-1, os.SEEK_END)  # flip a payload byte in the last frame
+            last = f.read(1)
+            f.seek(-1, os.SEEK_END)
+            f.write(bytes([last[0] ^ 0xFF]))
+        records = list(read_wal(path))
+        assert [r.payload["tid"] for r in records] == [1]
+
+
+class TestDatabaseLevelTearing:
+    def test_byte_truncation_preserves_earlier_commits(self, tmp_path):
+        db = open_db(tmp_path / "db")
+        table = db.create_table(make_schema())
+        for i in range(3):
+            commit_row(db, table, i)
+        intact_size = os.path.getsize(wal_path(db))
+        commit_row(db, table, 99)  # the commit the "crash" will tear
+        db.simulate_crash()
+
+        path = wal_path(db)
+        with open(path, "r+b") as f:
+            # Tear mid-way through transaction 99's records.
+            f.truncate(intact_size + (os.path.getsize(path) - intact_size) // 2)
+
+        db2 = open_db(tmp_path / "db")
+        assert visible_ids(db2) == [0, 1, 2]
+        db2.close()
+
+    def test_torn_write_fault_point(self, tmp_path):
+        db = open_db(tmp_path / "db")
+        table = db.create_table(make_schema())
+        for i in range(3):
+            commit_row(db, table, i)
+
+        # Tear the 2nd frame written after arming, mid-transaction.
+        FAULTS.arm("wal.torn_write", action="crash", skip=1)
+        with pytest.raises(InjectedCrashError):
+            commit_row(db, table, 99)
+        FAULTS.reset()
+        db.simulate_crash()
+
+        db2 = open_db(tmp_path / "db")
+        assert visible_ids(db2) == [0, 1, 2]
+        # The torn frame is gone for good: the reopened database can keep
+        # committing on the same log without tripping over the tail.
+        commit_row(db2, db2.table("items"), 3)
+        db2.close()
+        db3 = open_db(tmp_path / "db")
+        assert visible_ids(db3) == [0, 1, 2, 3]
+        db3.close()

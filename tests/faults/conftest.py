@@ -1,0 +1,17 @@
+"""Fault-injection tests share one process-wide registry: keep it clean.
+
+Every test runs with a disarmed registry and leaves it disarmed, so a
+failing assertion mid-test can never poison the rest of the suite with an
+armed crash.
+"""
+
+import pytest
+
+from repro.faults import FAULTS
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
