@@ -18,6 +18,13 @@ backslash prefix:
     \\ops                  table-operations audit view (Figure 6)
     \\stats                dump telemetry counters (Prometheus text format)
     \\trace [n]            show the span tree of the last n statements (default 1)
+    \\trace --txn <txid>   reassemble the cross-thread commit lineage of one
+                          transaction (commit thread -> block builder ->
+                          digest upload)
+    \\blackbox [start <dir> | dump | status]
+                          black-box flight recorder: dumps spans, events and
+                          metrics to a JSON bundle on tamper detection,
+                          injected faults or builder crashes
     \\monitor start [sec] [--incremental] [--deep N] [--parallel N] | stop | status
                           continuous-verification watchdog (default 5s
                           cadence); --incremental verifies only the delta
@@ -128,7 +135,12 @@ class Shell:
             else:
                 print(self.db.get_metrics().exposition(), end="")
         elif command == "trace":
-            self._print_traces(int(parts[1]) if len(parts) > 1 else 1)
+            if len(parts) > 2 and parts[1] == "--txn":
+                self._print_lineage(int(parts[2]))
+            else:
+                self._print_traces(int(parts[1]) if len(parts) > 1 else 1)
+        elif command == "blackbox":
+            self._run_blackbox(parts[1:])
         elif command == "monitor":
             self._run_monitor(parts[1:])
         elif command == "serve":
@@ -186,6 +198,56 @@ class Shell:
                 print(f"  {key:<24} {value}")
         else:
             raise ValueError(f"unknown monitor action {action!r}")
+
+    def _run_blackbox(self, args: List[str]) -> None:
+        action = args[0].lower() if args else "status"
+        if action == "start":
+            if len(args) < 2:
+                raise ValueError("usage: \\blackbox start <directory>")
+            recorder = self.db.start_flight_recorder(args[1])
+            print(f"flight recorder armed, bundles go to {recorder.directory}")
+        elif action == "dump":
+            recorder = self.db.flight_recorder
+            if recorder is None:
+                print("flight recorder is not armed (\\blackbox start <dir>)")
+                return
+            path = recorder.dump(reason="manual")
+            print(f"wrote {path}" if path else "dump skipped (already dumping)")
+        elif action == "status":
+            recorder = self.db.flight_recorder
+            if recorder is None:
+                print("flight recorder is not armed (\\blackbox start <dir>)")
+                return
+            for key, value in recorder.status().items():
+                print(f"  {key:<16} {value}")
+        else:
+            raise ValueError(f"unknown blackbox action {action!r}")
+
+    def _print_lineage(self, tid: int) -> None:
+        from repro.obs.tracing import build_lineage_tree, render_span_tree
+
+        if not OBS.tracer.enabled:
+            print("tracing is disabled (run without --no-telemetry)")
+            return
+        spans = self.db.trace_sink.spans()
+        commit = next(
+            (
+                span
+                for span in reversed(spans)
+                if span.name == "txn.commit"
+                and span.attributes.get("tid") == tid
+            ),
+            None,
+        )
+        if commit is None or commit.trace_id is None:
+            print(
+                f"(no trace recorded for transaction {tid}: tracing was "
+                "off at commit time, or the spans were evicted)"
+            )
+            return
+        roots = build_lineage_tree(spans, commit.trace_id)
+        print(f"transaction {tid}, trace {commit.trace_id}:")
+        print(render_span_tree(roots))
 
     def _print_traces(self, count: int) -> None:
         from repro.obs.tracing import build_span_trees, render_span_tree

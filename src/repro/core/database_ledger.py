@@ -38,6 +38,7 @@ import threading
 import time
 from collections import deque
 from typing import (
+    Any,
     Callable,
     Deque,
     Dict,
@@ -59,6 +60,8 @@ from repro.engine.types import BIGINT, DATETIME, VARBINARY, VARCHAR
 from repro.errors import DigestError, LedgerError
 from repro.faults import FAULTS
 from repro.obs import OBS
+from repro.obs.context import TraceContext
+from repro.obs.tracing import build_lineage_tree, render_span_tree
 
 FAULTS.register(
     "ledger.flush_queue",
@@ -78,6 +81,17 @@ BLOCKS_TABLE = "database_ledger_blocks"
 
 #: The paper uses 100K transactions per block; tests and examples shrink it.
 DEFAULT_BLOCK_SIZE = 100_000
+
+#: Queue wait (seconds) beyond which a commit is reported as slow.
+DEFAULT_SLOW_TXN_THRESHOLD = 1.0
+
+#: Cap on per-block ``block.append`` → commit links and on retained
+#: block-trace contexts: enough to stitch lineage without unbounded growth.
+_MAX_BLOCK_LINKS = 16
+_MAX_BLOCK_TRACES = 64
+
+#: Cap on rendered lineage lines embedded in a ``txn.slow`` event.
+_MAX_SLOW_LINEAGE_LINES = 80
 
 _ENTRIES_ENQUEUED = OBS.metrics.counter(
     "ledger_entries_enqueued_total",
@@ -113,8 +127,16 @@ _BLOCK_TRANSACTIONS = OBS.metrics.histogram(
 _STAGE_SECONDS = OBS.metrics.histogram(
     "pipeline_stage_seconds",
     "Wall time per commit-pipeline stage operation "
-    "(seal, flush, close, drain)",
+    "(seal, flush, merkle, persist, close, drain)",
     ("stage",),
+)
+_QUEUE_WAIT_SECONDS = OBS.metrics.histogram(
+    "pipeline_queue_wait_seconds",
+    "Per-entry wait between durable enqueue and block-closure start",
+)
+_QUEUE_OLDEST_AGE = OBS.metrics.gauge(
+    "ledger_queue_oldest_age_seconds",
+    "Age of the oldest entry still waiting in the in-memory queue",
 )
 _DIGESTS_GENERATED = OBS.metrics.counter(
     "digest_generated_total", "Database digests generated"
@@ -181,6 +203,19 @@ class DatabaseLedger:
         self._sealed_ready_callback: Optional[Callable[[], None]] = None
         # Set after truncation: (last truncated block id, its hash).
         self._anchor: Optional[Tuple[int, bytes]] = None
+        #: Telemetry side-channel (guarded by ``queue_lock``): per queued
+        #: entry, (enqueue monotonic_ns, trace-context payload or None).
+        #: Consumed by block closure to compute queue wait and to stitch the
+        #: builder's spans into the originating commit's trace.  Never part
+        #: of hashed state.
+        self._entry_meta: Dict[int, Tuple[int, Optional[Dict[str, Any]]]] = {}
+        #: Trace context of the ``block.append`` span per recently closed
+        #: block (guarded by ``queue_lock``), so digest generation/upload
+        #: can link back to the block that covers them.
+        self._block_traces: Dict[int, Dict[str, Any]] = {}
+        #: Queue waits beyond this many seconds emit a ``txn.slow`` event
+        #: carrying the offending commit's lineage tree.
+        self.slow_txn_threshold = DEFAULT_SLOW_TXN_THRESHOLD
 
     # ------------------------------------------------------------------
     # Bootstrap / configuration
@@ -298,12 +333,18 @@ class DatabaseLedger:
         )
         return sealed_id
 
-    def enqueue(self, entry: TransactionEntry) -> None:
+    def enqueue(
+        self,
+        entry: TransactionEntry,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Queue a durably committed entry (stage 2 → stage 3 handoff).
 
         Never closes blocks inline: when the entry completes a sealed block
         the registered pipeline callback is invoked so the block builder
-        picks it up asynchronously.
+        picks it up asynchronously.  ``trace`` is the commit's trace-context
+        payload (if tracing is on); it crosses the thread boundary with the
+        entry so the builder can attach its spans to the commit's trace.
         """
         ready = False
         with self.queue_lock:
@@ -314,12 +355,32 @@ class DatabaseLedger:
             if self._sealed:
                 head_id, head_count = self._sealed[0]
                 ready = self._enqueued.get(head_id, 0) >= head_count
+            if OBS.metrics.enabled or OBS.tracer.enabled:
+                self._entry_meta[entry.transaction_id] = (
+                    time.monotonic_ns(),
+                    trace,
+                )
             if OBS.metrics.enabled:
                 _ENTRIES_ENQUEUED.inc()
                 _QUEUE_DEPTH.set(len(self._queue))
+                _QUEUE_OLDEST_AGE.set(self._oldest_age_locked())
             self._queue_cv.notify_all()
         if ready and self._sealed_ready_callback is not None:
             self._sealed_ready_callback()
+
+    def _oldest_age_locked(self) -> float:
+        """Age (s) of the head queue entry; requires ``queue_lock``."""
+        if not self._queue:
+            return 0.0
+        meta = self._entry_meta.get(self._queue[0].transaction_id)
+        if meta is None:
+            return 0.0
+        return max(0.0, (time.monotonic_ns() - meta[0]) / 1e9)
+
+    def oldest_queue_entry_age(self) -> float:
+        """Seconds the oldest still-queued entry has been waiting."""
+        with self.queue_lock:
+            return self._oldest_age_locked()
 
     def wait_for_sealed_entries(self, timeout: float) -> bool:
         """Wait until every sealed block has all its entries enqueued.
@@ -377,6 +438,7 @@ class DatabaseLedger:
             del self._queue[: len(snapshot)]
             if OBS.metrics.enabled:
                 _QUEUE_DEPTH.set(len(self._queue))
+                _QUEUE_OLDEST_AGE.set(self._oldest_age_locked())
         if OBS.metrics.enabled:
             _ENTRIES_FLUSHED.inc(len(snapshot))
             _STAGE_SECONDS.labels("flush").observe(time.perf_counter() - started)
@@ -436,7 +498,9 @@ class DatabaseLedger:
         and persists the block row.
         """
         started = time.perf_counter()
-        with OBS.tracer.span("block.append", block_id=block_id) as span:
+        build_start_ns = time.monotonic_ns()
+        tracer = OBS.tracer
+        with tracer.span("block.append", block_id=block_id) as span:
             self.flush_queue()
             entries = self.transactions_in_block(block_id)
             if len(entries) != expected_count:
@@ -444,21 +508,45 @@ class DatabaseLedger:
                     f"block {block_id} should hold {expected_count} "
                     f"entries but {len(entries)} were found"
                 )
+            # Close the queue-wait interval for every covered commit (and
+            # link the block span to their traces) before the fault point:
+            # a kill-mode crash here must leave the waits in the black box.
+            self._absorb_entry_meta(span, block_id, entries, build_start_ns)
             FAULTS.fire("ledger.block_persist", block_id=block_id)
-            tree = MerkleTree([entry.entry_hash() for entry in entries])
-            previous_hash = self._previous_hash_for(block_id)
-            block = BlockRow(
-                block_id=block_id,
-                previous_block_hash=previous_hash,
-                transactions_root=tree.root(),
-                transaction_count=len(entries),
-                closed_time=self._engine.clock(),
-            )
-            table = self._blocks_table()
-            txn = self._engine.begin(username="ledger_system")
-            table.insert(txn, table.schema.row_from_visible(block.to_row()))
-            self._engine.commit(txn)
+            merkle_started = time.perf_counter()
+            with tracer.span("merkle.root", block_id=block_id):
+                tree = MerkleTree([entry.entry_hash() for entry in entries])
+            if OBS.metrics.enabled:
+                _STAGE_SECONDS.labels("merkle").observe(
+                    time.perf_counter() - merkle_started
+                )
+            persist_started = time.perf_counter()
+            with tracer.span("block.persist", block_id=block_id):
+                previous_hash = self._previous_hash_for(block_id)
+                block = BlockRow(
+                    block_id=block_id,
+                    previous_block_hash=previous_hash,
+                    transactions_root=tree.root(),
+                    transaction_count=len(entries),
+                    closed_time=self._engine.clock(),
+                )
+                table = self._blocks_table()
+                txn = self._engine.begin(username="ledger_system")
+                table.insert(
+                    txn, table.schema.row_from_visible(block.to_row())
+                )
+                self._engine.commit(txn)
+            if OBS.metrics.enabled:
+                _STAGE_SECONDS.labels("persist").observe(
+                    time.perf_counter() - persist_started
+                )
             span.set_attribute("transactions", block.transaction_count)
+            block_ctx = span.context()
+            if block_ctx is not None:
+                with self.queue_lock:
+                    self._block_traces[block_id] = block_ctx.to_payload()
+                    while len(self._block_traces) > _MAX_BLOCK_TRACES:
+                        self._block_traces.pop(next(iter(self._block_traces)))
         if OBS.metrics.enabled:
             _BLOCKS_CLOSED.inc()
             _BLOCK_TRANSACTIONS.observe(block.transaction_count)
@@ -470,6 +558,87 @@ class DatabaseLedger:
             block_id=block.block_id, transactions=block.transaction_count,
         )
         return block
+
+    def _absorb_entry_meta(
+        self,
+        block_span,
+        block_id: int,
+        entries: Sequence[TransactionEntry],
+        build_start_ns: int,
+    ) -> None:
+        """Consume queue metadata for a block's entries at closure start.
+
+        For each covered commit this observes ``pipeline_queue_wait_seconds``,
+        retroactively records a ``queue.wait`` span *inside the commit's own
+        trace* (its parent is the commit-side span the context points at),
+        links the ``block.append`` span to the first ``_MAX_BLOCK_LINKS``
+        commit traces, and — when a wait crossed ``slow_txn_threshold`` —
+        emits a ``txn.slow`` event carrying the worst commit's lineage tree.
+        """
+        tracer = OBS.tracer
+        metrics_on = OBS.metrics.enabled
+        with self.queue_lock:
+            metas = {
+                entry.transaction_id: self._entry_meta.pop(
+                    entry.transaction_id, None
+                )
+                for entry in entries
+            }
+        if not (metrics_on or tracer.enabled):
+            return
+        slowest: Optional[Tuple[float, int, Optional[TraceContext]]] = None
+        slow_count = 0
+        links_added = 0
+        for entry in entries:
+            meta = metas.get(entry.transaction_id)
+            if meta is None:
+                continue
+            enqueue_ns, trace_payload = meta
+            wait_seconds = max(0.0, (build_start_ns - enqueue_ns) / 1e9)
+            if metrics_on:
+                _QUEUE_WAIT_SECONDS.observe(wait_seconds)
+            context = TraceContext.from_payload(trace_payload)
+            if tracer.enabled and context is not None:
+                tracer.record_span(
+                    "queue.wait",
+                    start_ns=enqueue_ns,
+                    duration_ns=build_start_ns - enqueue_ns,
+                    context=context,
+                    tid=entry.transaction_id,
+                    block_id=block_id,
+                )
+                if links_added < _MAX_BLOCK_LINKS:
+                    block_span.add_link(context.trace_id, context.span_id)
+                    links_added += 1
+            if wait_seconds > self.slow_txn_threshold:
+                slow_count += 1
+                if slowest is None or wait_seconds > slowest[0]:
+                    slowest = (wait_seconds, entry.transaction_id, context)
+        if slowest is not None and OBS.events.enabled:
+            wait_seconds, tid, context = slowest
+            lineage = ""
+            if tracer.enabled and context is not None:
+                roots = build_lineage_tree(
+                    tracer.recorder.spans(), context.trace_id
+                )
+                lines = render_span_tree(roots).splitlines()
+                lineage = "\n".join(lines[:_MAX_SLOW_LINEAGE_LINES])
+            OBS.events.emit(
+                "ledger", "txn.slow",
+                tid=tid, block_id=block_id,
+                queue_wait_seconds=round(wait_seconds, 6),
+                threshold_seconds=self.slow_txn_threshold,
+                slow_entries=slow_count,
+                lineage=lineage,
+            )
+
+    def trace_context_for_block(
+        self, block_id: int
+    ) -> Optional[TraceContext]:
+        """The ``block.append`` trace context for a recently closed block."""
+        with self.queue_lock:
+            payload = self._block_traces.get(block_id)
+        return TraceContext.from_payload(payload)
 
     def _previous_hash_for(self, block_id: int) -> Optional[bytes]:
         if self._anchor and block_id == self._anchor[0] + 1:
@@ -498,7 +667,7 @@ class DatabaseLedger:
         pipeline first so in-flight commits are covered too.
         """
         started = time.perf_counter()
-        with self.storage_lock, OBS.tracer.span("digest.generate"):
+        with self.storage_lock, OBS.tracer.span("digest.generate") as span:
             self.close_open_block()
             latest = self.latest_block()
             if latest is None:
@@ -506,6 +675,12 @@ class DatabaseLedger:
                     "the ledger is empty: no transactions have modified "
                     "ledger tables"
                 )
+            # Link into the covering block's trace so a commit's lineage
+            # extends through to the digest that publishes it.
+            block_ctx = self.trace_context_for_block(latest.block_id)
+            if block_ctx is not None:
+                span.add_link(block_ctx.trace_id, block_ctx.span_id)
+                span.set_attribute("block_id", latest.block_id)
             last_commit = self._last_commit_time_in_block(latest.block_id)
             digest = DatabaseDigest(
                 database_guid=database_guid,
@@ -653,6 +828,10 @@ class DatabaseLedger:
         for _, row in table.scan():
             known.add(row[tid_ordinal])
         self._queue = []
+        # Pre-crash telemetry metadata is meaningless in the new process
+        # (monotonic clock restarted, span ids reset) — drop it.
+        self._entry_meta = {}
+        self._block_traces = {}
         for payload in recovered_payloads:
             entry = TransactionEntry.from_payload(payload)
             if entry.transaction_id not in known:

@@ -155,7 +155,7 @@ class LedgerHooks(EngineHooks):
             row[end_tid] = None
             row[end_seq] = None
         validated = list(table.schema.validate_row(row))
-        self._append_leaf(context, table, validated, "insert")
+        self._append_leaf(txn, context, table, validated, "insert")
         return validated
 
     def before_update(
@@ -186,7 +186,7 @@ class LedgerHooks(EngineHooks):
         new_row[end_tid] = None
         new_row[end_seq] = None
         validated = list(table.schema.validate_row(new_row))
-        self._append_leaf(context, table, validated, "update")
+        self._append_leaf(txn, context, table, validated, "update")
         # Deleted version second: stamp its end columns, hash, move to history.
         self._retire_version(txn, context, table, old_row, "update")
         return validated
@@ -221,17 +221,23 @@ class LedgerHooks(EngineHooks):
         retired = list(old_row)
         retired[end_tid] = txn.tid
         retired[end_seq] = sequence
-        self._append_leaf(context, table, retired, op)
+        self._append_leaf(txn, context, table, retired, op)
         history = self._history_table(table)
         history.system_insert(txn, retired)
 
     def _append_leaf(
-        self, context: _LedgerTxContext, table: Table, row: Sequence[Any],
-        op: str,
+        self, txn: Transaction, context: _LedgerTxContext, table: Table,
+        row: Sequence[Any], op: str,
     ) -> None:
         tracer = OBS.tracer
         if tracer.enabled:
-            with tracer.span("ledger.hash", table=table.name, op=op):
+            # Join the transaction's trace so hash spans land in the commit
+            # lineage even when the statement runs inside an explicit
+            # BEGIN...COMMIT (where each statement roots its own tree).
+            trace = txn.context.get("trace")
+            with tracer.span(
+                "ledger.hash", context=trace, table=table.name, op=op
+            ):
                 payload = hashable_payload(table.schema, row)
                 context.hasher_for(table.table_id).append(hash_leaf(payload))
         else:
@@ -280,13 +286,24 @@ class LedgerHooks(EngineHooks):
             entry = self._ledger.assign(txn, table_roots)
         _LEDGER_TRANSACTIONS.inc()
         _LEDGER_TABLES_PER_TXN.observe(len(table_roots))
-        return entry.to_payload()
+        payload = entry.to_payload()
+        # Ride the trace context on the COMMIT payload so post_commit (and
+        # through it the block builder) can attach to the commit's trace.
+        # The entry's canonical bytes were hashed from the entry itself, and
+        # from_payload ignores unknown keys, so this never affects digests.
+        trace = OBS.tracer.capture_context()
+        if trace is not None:
+            payload["trace"] = trace.to_payload()
+        return payload
 
     def post_commit(self, txn: Transaction, payload: Optional[Dict[str, Any]]) -> None:
         if payload is None:
             return
         assert self._ledger is not None
-        self._ledger.enqueue(TransactionEntry.from_payload(payload))
+        self._ledger.enqueue(
+            TransactionEntry.from_payload(payload),
+            trace=payload.get("trace"),
+        )
 
     # ------------------------------------------------------------------
     # Savepoints (§3.2.1)

@@ -80,6 +80,7 @@ class LedgerDatabase:
         self._sql_session = None
         self._monitor = None
         self._obs_server = None
+        self._flight_recorder = None
 
     @property
     def ledger_lock(self):
@@ -141,6 +142,7 @@ class LedgerDatabase:
         """
         self.stop_monitor()
         self.stop_obs_server()
+        self.stop_flight_recorder()
         if not self.engine.closed:
             self.pipeline.stop(drain=True)
         else:
@@ -738,6 +740,31 @@ class LedgerDatabase:
         if self._obs_server is not None:
             self._obs_server.stop()
             self._obs_server = None
+
+    @property
+    def flight_recorder(self):
+        """The armed :class:`repro.obs.flight.FlightRecorder`, if any."""
+        return self._flight_recorder
+
+    def start_flight_recorder(self, directory: str):
+        """Arm the black box: dump telemetry bundles to ``directory``.
+
+        The recorder listens on the event log and atomically writes a
+        bundle (recent spans, in-flight spans, event tail, metrics
+        snapshot) on tamper detection, fault injection, or a builder
+        crash/give-up.  Returns the recorder; idempotent while armed.
+        """
+        if self._flight_recorder is not None:
+            return self._flight_recorder
+        from repro.obs.flight import FlightRecorder
+
+        self._flight_recorder = FlightRecorder(directory).install()
+        return self._flight_recorder
+
+    def stop_flight_recorder(self) -> None:
+        if self._flight_recorder is not None:
+            self._flight_recorder.uninstall()
+            self._flight_recorder = None
 
     # ------------------------------------------------------------------
     # Receipts (§5.1)

@@ -63,7 +63,7 @@ _DRAINS = OBS.metrics.counter(
 _STAGE_SECONDS = OBS.metrics.histogram(
     "pipeline_stage_seconds",
     "Wall time per commit-pipeline stage operation "
-    "(seal, flush, close, drain)",
+    "(seal, flush, merkle, persist, close, drain)",
     ("stage",),
 )
 
@@ -179,14 +179,17 @@ class LedgerPipeline:
         entries of the open block as "uncovered".
         """
         started = time.perf_counter()
-        if seal_open:
-            self._ledger.seal_open_block()
-        if not self._ledger.wait_for_sealed_entries(timeout):
-            raise LedgerError(
-                "pipeline drain timed out waiting for in-flight commits"
-            )
-        while self._ledger.close_next_ready_block() is not None:
-            pass
+        with OBS.tracer.span("pipeline.drain", seal_open=seal_open) as span:
+            if seal_open:
+                self._ledger.seal_open_block()
+            if not self._ledger.wait_for_sealed_entries(timeout):
+                raise LedgerError(
+                    "pipeline drain timed out waiting for in-flight commits"
+                )
+            closed = 0
+            while self._ledger.close_next_ready_block() is not None:
+                closed += 1
+            span.set_attribute("blocks", closed)
         self._drains += 1
         if OBS.metrics.enabled:
             _DRAINS.inc()
@@ -210,6 +213,9 @@ class LedgerPipeline:
             "drains": self._drains,
             "sealed_pending": self._ledger.sealed_pending(),
             "queue_depth": self._ledger.pending_entries,
+            "queue_oldest_age_seconds": round(
+                self._ledger.oldest_queue_entry_age(), 6
+            ),
             "last_error": self._last_error,
         }
 
@@ -223,6 +229,10 @@ class LedgerPipeline:
             self._wakeup.notify_all()
 
     def _run(self, backoff: float = 0.0) -> None:
+        # Restarted builders may reuse a thread-local slot that still holds
+        # the crashed incarnation's span stack; start from a clean stack so
+        # builder spans never parent under a dead ancestor.
+        OBS.tracer.reset_thread()
         if backoff:
             time.sleep(backoff)
         try:

@@ -80,6 +80,10 @@ def split_ranges(count: int, parts: int) -> List[Tuple[int, int]]:
 def _child_init() -> None:
     from repro.obs import OBS
 
+    # The fork inherits the forking thread's span stack: clear it so any
+    # span a worker might emit is never parented under a span that lives
+    # (and finishes) in the parent process.
+    OBS.tracer.reset_thread()
     OBS.disable()
 
 

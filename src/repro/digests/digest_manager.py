@@ -163,8 +163,16 @@ class DigestManager:
         :class:`LedgerError` when the new digest does not derive from the
         previously uploaded one — the fork-detection trip-wire.
         """
-        with OBS.tracer.span("digest.upload"):
+        with OBS.tracer.span("digest.upload") as span:
             digest = self._db.generate_digest()
+            # Link to the covered block's trace: the lineage of every commit
+            # in that block now extends through to publication.
+            ledger = getattr(self._db, "ledger", None)
+            if ledger is not None:
+                block_ctx = ledger.trace_context_for_block(digest.block_id)
+                if block_ctx is not None:
+                    span.add_link(block_ctx.trace_id, block_ctx.span_id)
+                    span.set_attribute("block_id", digest.block_id)
             if self._geo is not None:
                 try:
                     issuable = self._geo.check_issuable(

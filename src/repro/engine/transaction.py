@@ -138,6 +138,12 @@ class TransactionManager:
             self._next_tid += 1
             txn = Transaction(tid, username, self._clock())
             self._active[tid] = txn
+        # Mint the transaction's trace identity at begin: every span the
+        # commit path (and later the block builder) emits for this txn joins
+        # this trace, no matter which thread emits it.
+        trace = OBS.tracer.capture_context()
+        if trace is not None:
+            txn.context["trace"] = trace
         self._wal.append(WalRecord(BEGIN, {"tid": tid, "username": username}))
         return txn
 
@@ -149,7 +155,8 @@ class TransactionManager:
         """
         txn.require_active()
         started = time.perf_counter()
-        with OBS.tracer.span("txn.commit", tid=txn.tid):
+        trace = txn.context.get("trace")
+        with OBS.tracer.span("txn.commit", context=trace, tid=txn.tid):
             txn.commit_time = self._clock()
             payload = self._hooks.pre_commit(txn)
             with OBS.tracer.span("wal.commit", tid=txn.tid):

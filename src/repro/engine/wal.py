@@ -142,7 +142,13 @@ class WalWriter:
     def flush(self) -> None:
         with self._lock:
             if self._sync:
-                self._flush_and_sync()
+                if OBS.tracer.enabled:
+                    # The commit path's durability point: worth its own span
+                    # in the lineage (fsync dominates sync-mode commits).
+                    with OBS.tracer.span("wal.fsync"):
+                        self._flush_and_sync()
+                else:
+                    self._flush_and_sync()
             else:
                 self._file.flush()
 

@@ -274,13 +274,20 @@ def _check_recovery(
 # ---------------------------------------------------------------------------
 
 def run_kill_point(
-    spec: CrashPoint, workdir: Optional[str] = None, timeout: float = 120.0
+    spec: CrashPoint,
+    workdir: Optional[str] = None,
+    timeout: float = 120.0,
+    flight_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Crash a child process at ``spec.point`` and verify its database.
 
     The child opens the WAL with ``sync=True`` and appends each committed
     transaction to a fsynced side log, so the parent knows exactly which
-    commits were acknowledged before the kill.
+    commits were acknowledged before the kill.  With ``flight_dir`` the
+    child arms the black-box flight recorder before opening the database:
+    the injected fault triggers a bundle dump *before* ``os._exit``, so the
+    crash leaves its own spans/events/metrics post-mortem behind; the
+    bundles the child wrote are listed in the result's ``flight_bundles``.
     """
     root = workdir or tempfile.mkdtemp(prefix="repro-torture-kill-")
     owns_root = workdir is None
@@ -295,15 +302,33 @@ def run_kill_point(
         src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.abspath(__file__))))
         env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
-        child = subprocess.run(
-            [
-                sys.executable, "-m", "repro.faults.torture", "--child",
-                "--path", path, "--point", spec.point,
-                "--driver", spec.driver, "--skip", str(spec.skip),
-                "--committed-log", log_path,
-            ],
-            env=env, timeout=timeout, capture_output=True, text=True,
+        command = [
+            sys.executable, "-m", "repro.faults.torture", "--child",
+            "--path", path, "--point", spec.point,
+            "--driver", spec.driver, "--skip", str(spec.skip),
+            "--committed-log", log_path,
+        ]
+        if flight_dir:
+            command += ["--flight-dir", flight_dir]
+        bundles_before = (
+            set(os.listdir(flight_dir))
+            if flight_dir and os.path.isdir(flight_dir) else set()
         )
+        child = subprocess.run(
+            command, env=env, timeout=timeout, capture_output=True, text=True,
+        )
+        if flight_dir:
+            bundles_after = (
+                set(os.listdir(flight_dir))
+                if os.path.isdir(flight_dir) else set()
+            )
+            result["flight_bundles"] = sorted(
+                os.path.join(flight_dir, name)
+                for name in bundles_after - bundles_before
+                if name.startswith("flight_") and name.endswith(".json")
+            )
+            if not result["flight_bundles"]:
+                failures.append("no flight-recorder bundle written")
         result["exit_code"] = child.returncode
         if child.returncode != 131:
             failures.append(
@@ -355,6 +380,14 @@ def run_kill_point(
 
 def _child_main(args: argparse.Namespace) -> None:
     """Body of the kill-mode subprocess: commit, arm, die at the point."""
+    if args.flight_dir:
+        # Arm the black box before any database work so the injected-fault
+        # event (emitted just before os._exit) finds spans worth dumping.
+        from repro.obs import OBS
+        from repro.obs.flight import FlightRecorder
+
+        OBS.enable()
+        FlightRecorder(args.flight_dir).install()
     db = _open_db(args.path, sync=True)
     _create_table(db)
     log = open(args.committed_log, "a", encoding="utf-8")
@@ -525,12 +558,15 @@ def run_monitor_drill() -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 def run_torture(
-    points: Optional[List[str]] = None, kill: bool = False
+    points: Optional[List[str]] = None,
+    kill: bool = False,
+    flight_dir: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """The whole matrix (exception mode) plus the degradation drills.
 
     ``points`` filters by fault-point name; ``kill=True`` appends the
-    subprocess-kill matrix.  Every registered fault point is covered when
+    subprocess-kill matrix (whose children arm the flight recorder when
+    ``flight_dir`` is set).  Every registered fault point is covered when
     run unfiltered.
     """
     results: List[Dict[str, Any]] = []
@@ -548,7 +584,7 @@ def run_torture(
         for spec in KILL_MATRIX:
             if points and spec.point not in points:
                 continue
-            results.append(run_kill_point(spec))
+            results.append(run_kill_point(spec, flight_dir=flight_dir))
     return results
 
 
@@ -565,13 +601,17 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser.add_argument("--committed-log", dest="committed_log")
     parser.add_argument("--kill", action="store_true",
                         help="also run the subprocess-kill matrix")
+    parser.add_argument("--flight-dir", dest="flight_dir", default=None,
+                        help="arm the flight recorder (kill-mode children "
+                             "dump a black-box bundle before dying)")
     parser.add_argument("points", nargs="*",
                         help="restrict to these fault points")
     args = parser.parse_args(argv)
     if args.child:
         _child_main(args)
         return
-    results = run_torture(points=args.points or None, kill=args.kill)
+    results = run_torture(points=args.points or None, kill=args.kill,
+                          flight_dir=args.flight_dir)
     failed = [r for r in results if not r["ok"]]
     for r in results:
         mark = "ok " if r["ok"] else "FAIL"

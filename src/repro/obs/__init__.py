@@ -35,6 +35,9 @@ Naming conventions (documented in DESIGN.md): metric names are
 
 from __future__ import annotations
 
+import os as _os
+
+from repro.obs.context import TraceContext, mint_trace_id
 from repro.obs.events import EVENT_SCHEMA_VERSION, Event, EventLog
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
@@ -49,6 +52,7 @@ from repro.obs.tracing import (
     Span,
     SpanNode,
     Tracer,
+    build_lineage_tree,
     build_span_trees,
     render_span_tree,
 )
@@ -68,10 +72,13 @@ __all__ = [
     "SpanNode",
     "Telemetry",
     "Timer",
+    "TraceContext",
     "Tracer",
+    "build_lineage_tree",
     "build_span_trees",
     "disable_telemetry",
     "enable_telemetry",
+    "mint_trace_id",
     "render_span_tree",
     "telemetry",
 ]
@@ -121,6 +128,12 @@ class Telemetry:
 
 #: The process-default telemetry instance all instrumented modules use.
 OBS = Telemetry()
+
+# Forked children (verify_parallel workers) inherit the forking thread's
+# threading.local slot: without this, their first span would be parented
+# under whatever span the parent had open at fork time.
+if hasattr(_os, "register_at_fork"):  # pragma: no branch - POSIX only
+    _os.register_at_fork(after_in_child=OBS.tracer.reset_thread)
 
 
 def telemetry() -> Telemetry:

@@ -1,0 +1,64 @@
+"""Trace context: the identity a commit carries across thread boundaries.
+
+The staged pipeline (PR 3) split a transaction's lifecycle across three
+threads — the committing thread hashes and seals, the ``ledger-block-builder``
+closes blocks, and the digest path publishes roots — but spans are nested
+per-thread, so a commit's trace used to end at the WAL write.  A
+:class:`TraceContext` is the minimal portable identity that stitches those
+fragments back together: a ``trace_id`` minted when the transaction begins
+plus the span id of the commit-side span to link back to.
+
+The context is deliberately a tiny, JSON-friendly value object because it
+rides on transient carriers only:
+
+* ``Transaction.context["trace"]`` — begin → commit, same thread;
+* the COMMIT WAL payload (``payload["trace"]``) — pre-commit hook →
+  post-commit hook, across the commit critical section;
+* ``DatabaseLedger`` queue metadata — commit thread → block-builder thread;
+* ``Span.links`` — block builder → digest generation/upload.
+
+It must never leak into hashed material: ``TransactionEntry`` canonical
+bytes, Merkle leaves and digests are computed before the context is attached
+to any payload, and :meth:`TransactionEntry.from_payload` ignores unknown
+keys, so traced and untraced ledgers are byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+def mint_trace_id() -> str:
+    """A fresh 64-bit trace id as 16 lowercase hex chars."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Portable (trace_id, parent span) pair carried across threads."""
+
+    trace_id: str
+    #: Span to attach to on the far side of a thread boundary; ``None`` when
+    #: the context was minted outside any active span.
+    span_id: Optional[int] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict for WAL payloads and queue metadata."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> Optional["TraceContext"]:
+        """Rebuild from a carrier dict; tolerant of missing/garbage input."""
+        if isinstance(payload, TraceContext):
+            return payload
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        span_id = payload.get("span_id")
+        if span_id is not None and not isinstance(span_id, int):
+            span_id = None
+        return cls(trace_id=trace_id, span_id=span_id)

@@ -40,7 +40,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 #: Bumped whenever the serialized event shape changes incompatibly.
 EVENT_SCHEMA_VERSION = 1
@@ -112,6 +112,7 @@ class EventLog:
         self._max_bytes = DEFAULT_MAX_BYTES
         self._max_segments = DEFAULT_MAX_SEGMENTS
         self.rotations = 0
+        self._listeners: List[Callable[[Event], None]] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -159,6 +160,23 @@ class EventLog:
             self._file = None
             self._path = None
 
+    def add_listener(self, listener: Callable[[Event], None]) -> None:
+        """Invoke ``listener(event)`` after every emitted event.
+
+        Listeners run synchronously on the emitting thread *after* the log's
+        lock is released (so they may read the log), and their exceptions
+        are swallowed: an observability hook (e.g. the flight recorder) must
+        never break the emitter.  The synchronous call is deliberate — a
+        kill-mode fault emits ``fault.injected`` and then ``os._exit``s, and
+        the flight recorder's dump has to finish in between.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[Event], None]) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
@@ -183,6 +201,11 @@ class EventLog:
                 self._file.flush()
                 if self._file.tell() >= self._max_bytes:
                     self._rotate_locked()
+        for listener in list(self._listeners):
+            try:
+                listener(event)
+            except Exception:
+                pass
         return event
 
     def _rotate_locked(self) -> None:

@@ -198,6 +198,10 @@ class ContinuousVerifier:
         self._alert_hooks.append(hook)
 
     def _run(self) -> None:
+        # Fresh stack for the monitor thread: restarted monitors (and forked
+        # children that inherit this slot) must not parent their spans under
+        # a previous incarnation's span.
+        OBS.tracer.reset_thread()
         try:
             while not self._stop.is_set():
                 # Outside run_cycle's guard: an armed fault here kills the

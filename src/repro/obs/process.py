@@ -1,0 +1,116 @@
+"""Process self-metrics: RSS, file descriptors, GC activity, thread count.
+
+The ledger's own health matters as much as the chain's: a block builder
+leaking memory or a monitor exhausting file descriptors eventually *causes*
+the availability incidents the watchtower exists to catch.  This module
+registers a small set of pull-style process gauges and a GC counter on a
+:class:`MetricsRegistry` and refreshes them at scrape time via the
+registry's collector hook, so the hot paths pay nothing:
+
+* ``process_resident_memory_bytes`` — RSS from ``/proc/self/statm``;
+* ``process_open_fds`` — entries in ``/proc/self/fd``;
+* ``process_threads`` — live Python threads;
+* ``process_gc_collections_total{generation=...}`` — completed garbage
+  collections, counted push-style via ``gc.callbacks``.
+
+Everything degrades gracefully off-Linux: probes that cannot read procfs
+simply leave their gauge at its last value.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+from typing import Any, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+_INSTALL_ATTR = "_process_metrics_installed"
+
+_lock = threading.Lock()
+_gc_family = None
+_gc_callback_installed = False
+
+
+def _read_rss_bytes() -> Optional[int]:
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            resident_pages = int(handle.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _count_open_fds() -> Optional[int]:
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def _gc_callback(phase: str, info: Any) -> None:
+    family = _gc_family
+    if family is None or phase != "stop":
+        return
+    generation = info.get("generation") if isinstance(info, dict) else None
+    family.labels(str(generation)).inc()
+
+
+def install_process_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> bool:
+    """Register process self-metrics on ``registry`` (default: ``OBS``).
+
+    Idempotent per registry: returns True when this call installed the
+    metrics, False when they were already present.
+    """
+    if registry is None:
+        from repro.obs import OBS
+
+        registry = OBS.metrics
+
+    with _lock:
+        if getattr(registry, _INSTALL_ATTR, False):
+            return False
+
+        rss = registry.gauge(
+            "process_resident_memory_bytes",
+            "Resident set size of this process",
+        )
+        fds = registry.gauge(
+            "process_open_fds",
+            "Open file descriptors held by this process",
+        )
+        threads = registry.gauge(
+            "process_threads",
+            "Live Python threads in this process",
+        )
+        gc_total = registry.counter(
+            "process_gc_collections_total",
+            "Completed garbage collections by generation",
+            labelnames=("generation",),
+        )
+
+        def collect() -> None:
+            rss_bytes = _read_rss_bytes()
+            if rss_bytes is not None:
+                rss.set(rss_bytes)
+            open_fds = _count_open_fds()
+            if open_fds is not None:
+                fds.set(open_fds)
+            threads.set(threading.active_count())
+
+        registry.add_collector(collect)
+
+        global _gc_family, _gc_callback_installed
+        # The GC counter is push-style (collections between scrapes would be
+        # invisible to a poll); only the first installed registry gets it —
+        # in practice that is always the process-wide OBS registry.
+        if not _gc_callback_installed:
+            _gc_family = gc_total
+            gc.callbacks.append(_gc_callback)
+            _gc_callback_installed = True
+
+        setattr(registry, _INSTALL_ATTR, True)
+    return True

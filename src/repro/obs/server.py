@@ -10,7 +10,10 @@ scrapers and dashboards:
 * ``GET /events?since=N&category=...&name=...&limit=K`` — the structured
   event log, filtered and paginated by sequence number;
 * ``GET /ledger`` — chain summary: block height, pending entries, digest
-  and verification lag.
+  and verification lag;
+* ``GET /traces?txn=N`` — the reassembled cross-thread commit lineage for
+  transaction N (spans + rendered tree); without ``txn`` lists the
+  transaction ids that still have a commit span in the ring.
 
 The server binds 127.0.0.1 by default and serves from a daemon thread;
 ``port=0`` picks an ephemeral port (read back via :attr:`port`), which is
@@ -60,6 +63,11 @@ class ObservabilityServer:
     def start(self) -> "ObservabilityServer":
         if self.running:
             return self
+        # Anything scraping /metrics also wants the scraped process's own
+        # vitals (RSS, fds, threads, GC) next to the ledger counters.
+        from repro.obs.process import install_process_metrics
+
+        install_process_metrics(self._metrics)
         handler = self._make_handler()
         self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
         self._httpd.daemon_threads = True
@@ -128,6 +136,8 @@ class ObservabilityServer:
                         self._send_json(200, server._render_events(query))
                     elif parsed.path == "/ledger":
                         self._send_json(200, server._render_ledger())
+                    elif parsed.path == "/traces":
+                        self._send_json(200, server._render_traces(query))
                     else:
                         self._send_json(404, {"error": "not found"})
                 except Exception as exc:
@@ -228,6 +238,60 @@ class ObservabilityServer:
         return {
             "events": [event.to_dict() for event in events],
             "next_since": events[-1].seq if events else since,
+        }
+
+    def _render_traces(self, query) -> Dict[str, Any]:
+        """Cross-thread commit lineage for ``?txn=N`` (or list known tids)."""
+        from repro.obs.tracing import build_lineage_tree, render_span_tree
+
+        def _first(key: str) -> Optional[str]:
+            values = query.get(key)
+            return values[0] if values else None
+
+        spans = OBS.tracer.recorder.spans()
+        txn_text = _first("txn")
+        if txn_text is None:
+            tids = [
+                span.attributes.get("tid")
+                for span in spans
+                if span.name == "txn.commit"
+                and span.attributes.get("tid") is not None
+            ]
+            return {"transactions": tids[-100:]}
+        try:
+            tid = int(txn_text)
+        except ValueError:
+            return {"error": f"invalid txn id {txn_text!r}"}
+        commit = next(
+            (
+                span
+                for span in reversed(spans)
+                if span.name == "txn.commit"
+                and span.attributes.get("tid") == tid
+            ),
+            None,
+        )
+        if commit is None or commit.trace_id is None:
+            return {
+                "txn": tid,
+                "error": "no trace recorded for this transaction "
+                "(tracing disabled, or the spans were evicted)",
+            }
+        roots = build_lineage_tree(spans, commit.trace_id)
+        lineage: list = []
+
+        def _collect(node) -> None:
+            lineage.append(node.span.to_dict())
+            for child in node.children:
+                _collect(child)
+
+        for root in roots:
+            _collect(root)
+        return {
+            "txn": tid,
+            "trace_id": commit.trace_id,
+            "spans": lineage,
+            "tree": render_span_tree(roots),
         }
 
     def _render_ledger(self) -> Dict[str, Any]:

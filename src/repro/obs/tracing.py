@@ -11,6 +11,21 @@ Finished spans go to a bounded :class:`RingBufferRecorder` (newest spans
 win) and optionally to a :class:`JsonlExporter` that appends one JSON object
 per span to a file for offline analysis.
 
+Since the commit pipeline was staged across threads, per-thread nesting
+alone cannot describe a commit's full lifecycle.  Two additions stitch the
+fragments together (see :mod:`repro.obs.context`):
+
+* every span carries a ``trace_id`` — inherited from its thread-local
+  parent, adopted from an explicit :class:`TraceContext`, or freshly minted
+  for roots — so spans from different threads can claim membership in the
+  same logical trace;
+* a span may carry ``links``: weak references to spans in *other* traces
+  (e.g. ``block.append`` links to every commit it covers).
+
+:func:`build_lineage_tree` reassembles one commit's cross-thread lineage
+from those two signals; :func:`build_span_trees` still reconstructs the
+strictly thread-nested forests and is unaffected by links.
+
 When the tracer is disabled — the default — ``span()`` returns a shared
 no-op context manager without touching the recorder, keeping the hot paths
 at a single branch of overhead.
@@ -26,6 +41,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.obs.context import TraceContext, mint_trace_id
+
 
 @dataclass
 class Span:
@@ -40,9 +57,23 @@ class Span:
     #: Wall-clock start (epoch seconds) so exported traces can be correlated
     #: with the structured event log; 0.0 when unknown (legacy spans).
     start_unix: float = 0.0
+    #: Logical trace this span belongs to; None for legacy/synthetic spans.
+    trace_id: Optional[str] = None
+    #: Weak cross-trace references: ``{"trace_id": ..., "span_id": ...}``.
+    links: List[Dict[str, Any]] = field(default_factory=list)
 
     def set_attribute(self, key: str, value: Any) -> None:
         self.attributes[key] = value
+
+    def add_link(self, trace_id: str, span_id: Optional[int] = None) -> None:
+        """Reference a span in another trace (e.g. a covered commit)."""
+        self.links.append({"trace_id": trace_id, "span_id": span_id})
+
+    def context(self) -> Optional[TraceContext]:
+        """This span's identity as a portable :class:`TraceContext`."""
+        if self.trace_id is None:
+            return None
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
     @property
     def duration_seconds(self) -> float:
@@ -57,7 +88,24 @@ class Span:
             "start_unix": self.start_unix,
             "duration_ns": self.duration_ns,
             "attributes": self.attributes,
+            "trace_id": self.trace_id,
+            "links": self.links,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        """Rebuild a span from :meth:`to_dict` output (flight bundles)."""
+        return cls(
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            name=data["name"],
+            start_ns=data.get("start_ns", 0),
+            duration_ns=data.get("duration_ns", 0),
+            attributes=data.get("attributes") or {},
+            start_unix=data.get("start_unix", 0.0),
+            trace_id=data.get("trace_id"),
+            links=data.get("links") or [],
+        )
 
 
 class _NoopSpan:
@@ -72,6 +120,12 @@ class _NoopSpan:
         return None
 
     def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+    def add_link(self, trace_id: str, span_id: Optional[int] = None) -> None:
+        return None
+
+    def context(self) -> None:
         return None
 
 
@@ -162,6 +216,11 @@ class Tracer:
         self._exporters: List[JsonlExporter] = []
         self._ids = itertools.count(1)
         self._local = threading.local()
+        # In-flight spans (opened, not yet exited), keyed by span_id.  The
+        # flight recorder reads these to capture the partial lineage of a
+        # commit that never finished (crash, kill-mode fault).
+        self._active: Dict[int, Span] = {}
+        self._active_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -175,6 +234,18 @@ class Tracer:
 
     def reset(self) -> None:
         self.recorder.clear()
+        with self._active_lock:
+            self._active.clear()
+
+    def reset_thread(self) -> None:
+        """Clear the calling thread's span stack.
+
+        Forked workers inherit the forking thread's ``threading.local``
+        slot, and restarted daemon threads may reuse a thread object: both
+        would silently parent fresh spans under a dead ancestor.  Call this
+        at every fork/thread entry point before emitting spans.
+        """
+        self._local.stack = []
 
     def add_exporter(self, exporter: JsonlExporter) -> None:
         self._exporters.append(exporter)
@@ -186,27 +257,115 @@ class Tracer:
     # Span creation
     # ------------------------------------------------------------------
 
-    def span(self, name: str, **attributes: Any):
+    def span(
+        self,
+        name: str,
+        context: Optional[TraceContext] = None,
+        links: Iterable[TraceContext] = (),
+        **attributes: Any,
+    ):
         """Open a span; use as ``with tracer.span("wal.commit") as sp:``.
+
+        ``context`` adopts another trace's identity: the span joins
+        ``context.trace_id`` instead of minting/inheriting one, and — only
+        when there is no thread-local parent — attaches under
+        ``context.span_id``.  A thread-local parent always wins for tree
+        position, so enabling propagation never reshapes the per-thread
+        forests that :func:`build_span_trees` reports.  ``links`` records
+        weak cross-trace references (see :meth:`Span.add_link`).
 
         Returns a shared no-op context manager when tracing is disabled.
         """
         if not self.enabled:
             return _NOOP_SPAN
         parent = self.current_span()
+        if parent is not None:
+            parent_id: Optional[int] = parent.span_id
+            trace_id = context.trace_id if context is not None else parent.trace_id
+            if trace_id is None:
+                trace_id = mint_trace_id()
+        elif context is not None:
+            parent_id = context.span_id
+            trace_id = context.trace_id
+        else:
+            parent_id = None
+            trace_id = mint_trace_id()
         span = Span(
             span_id=next(self._ids),
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             name=name,
             start_ns=time.monotonic_ns(),
             attributes=dict(attributes) if attributes else {},
             start_unix=time.time(),
+            trace_id=trace_id,
         )
+        for link in links:
+            if link is not None:
+                span.add_link(link.trace_id, link.span_id)
         return _ActiveSpan(self, span)
 
     def current_span(self) -> Optional[Span]:
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
+
+    def capture_context(self) -> Optional[TraceContext]:
+        """The current span's identity, for carrying across a boundary.
+
+        Inside a span this returns that span's ``(trace_id, span_id)``;
+        outside any span it mints a fresh trace so the caller (e.g.
+        ``TransactionManager.begin``) still gets a stable trace id.  Returns
+        ``None`` while tracing is disabled — carriers stay empty for free.
+        """
+        if not self.enabled:
+            return None
+        current = self.current_span()
+        if current is None:
+            return TraceContext(trace_id=mint_trace_id())
+        if current.trace_id is None:  # legacy span minted before enabling
+            current.trace_id = mint_trace_id()
+        return TraceContext(trace_id=current.trace_id, span_id=current.span_id)
+
+    def record_span(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: int,
+        context: Optional[TraceContext] = None,
+        links: Iterable[TraceContext] = (),
+        **attributes: Any,
+    ) -> Optional[Span]:
+        """Record an already-finished span retroactively.
+
+        Used for intervals whose endpoints live on different threads — e.g.
+        ``queue.wait`` is measured from the commit thread's enqueue to the
+        builder's block-closure start, and only becomes recordable once the
+        builder picks the entry up.  ``context`` supplies both the trace id
+        and the parent to attach under; the thread-local stack is ignored.
+        """
+        if not self.enabled:
+            return None
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=context.span_id if context is not None else None,
+            name=name,
+            start_ns=start_ns,
+            duration_ns=max(0, duration_ns),
+            attributes=dict(attributes) if attributes else {},
+            start_unix=time.time() - max(0, duration_ns) / 1e9,
+            trace_id=context.trace_id if context is not None else None,
+        )
+        for link in links:
+            if link is not None:
+                span.add_link(link.trace_id, link.span_id)
+        self._emit(span)
+        return span
+
+    def active_spans(self) -> List[Span]:
+        """In-flight spans (opened, not yet exited), oldest first."""
+        with self._active_lock:
+            spans = list(self._active.values())
+        spans.sort(key=lambda s: s.start_ns)
+        return spans
 
     # ------------------------------------------------------------------
     # Internals
@@ -218,6 +377,8 @@ class Tracer:
             stack = []
             self._local.stack = stack
         stack.append(span)
+        with self._active_lock:
+            self._active[span.span_id] = span
 
     def _pop(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
@@ -225,6 +386,8 @@ class Tracer:
             stack.pop()
         elif stack and span in stack:  # tolerate out-of-order exits
             stack.remove(span)
+        with self._active_lock:
+            self._active.pop(span.span_id, None)
 
     def _emit(self, span: Span) -> None:
         self.recorder.record(span)
@@ -272,6 +435,81 @@ def build_span_trees(spans: Iterable[Span]) -> List[SpanNode]:
     for node in nodes.values():
         parent = nodes.get(node.span.parent_id)
         if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.span.start_ns)
+    roots.sort(key=lambda n: n.span.start_ns)
+    return roots
+
+
+def build_lineage_tree(
+    spans: Iterable[Span], trace_id: str
+) -> List[SpanNode]:
+    """Reassemble one commit's cross-thread lineage as a span forest.
+
+    Membership is computed as a fixpoint closure over three rules — a span
+    belongs to the lineage if:
+
+    1. its ``trace_id`` matches (commit-side spans, ``queue.wait``);
+    2. its parent is already a member (ordinary thread-local children);
+    3. one of its ``links`` points at the trace or at a member span
+       (``block.append`` linking the commits it covers, ``digest.*``
+       linking the block they publish).
+
+    Tree position prefers the real parent; a member included only via a
+    link hangs under the linked member span instead, so ``block.append``
+    (whose builder-thread parent is outside the trace) appears beneath the
+    lineage rather than as a floating root when possible.
+    """
+    pool = list(spans)
+    included: Dict[int, Span] = {
+        span.span_id: span for span in pool if span.trace_id == trace_id
+    }
+    attach_via_link: Dict[int, int] = {}
+    remaining = [s for s in pool if s.span_id not in included]
+    changed = True
+    while changed and remaining:
+        changed = False
+        deferred: List[Span] = []
+        for span in remaining:
+            member = (
+                span.parent_id is not None and span.parent_id in included
+            )
+            link_anchor: Optional[int] = None
+            if not member:
+                for link in span.links:
+                    linked_span = link.get("span_id")
+                    if linked_span is not None and linked_span in included:
+                        link_anchor = linked_span
+                        break
+                    if link.get("trace_id") == trace_id:
+                        link_anchor = linked_span  # may be None
+                        member = True
+                        break
+                if link_anchor is not None:
+                    member = True
+            if member:
+                included[span.span_id] = span
+                if (
+                    link_anchor is not None
+                    and span.parent_id not in included
+                ):
+                    attach_via_link[span.span_id] = link_anchor
+                changed = True
+            else:
+                deferred.append(span)
+        remaining = deferred
+
+    nodes = {span_id: SpanNode(span) for span_id, span in included.items()}
+    roots: List[SpanNode] = []
+    for span_id, node in nodes.items():
+        parent = nodes.get(node.span.parent_id)
+        if parent is None:
+            anchor = attach_via_link.get(span_id)
+            parent = nodes.get(anchor) if anchor is not None else None
+        if parent is None or parent is node:
             roots.append(node)
         else:
             parent.children.append(node)

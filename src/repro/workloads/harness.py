@@ -527,11 +527,69 @@ def format_receipts_ablation(results) -> str:
 # Staged commit pipeline — concurrent commit latency and boundary spikes
 # ---------------------------------------------------------------------------
 
+#: Stages a complete commit lineage must show (ISSUE 6 acceptance: queue
+#: wait, block build, persistence and digest, each timed by its own span).
+_LINEAGE_STAGES = (
+    "txn.commit", "queue.wait", "block.append", "merkle.root",
+    "block.persist", "digest.generate",
+)
+
+
+def _sample_commit_lineage(max_candidates: int = 50) -> Optional[Dict[str, Any]]:
+    """Reassemble one user commit's cross-thread lineage from the span ring.
+
+    User commits are ``txn.commit`` spans parented under a ``sql.execute``
+    span (internal engine commits issued by the block builder carry the
+    ``ledger_system`` principal and a builder-side parent instead).  Walks
+    the most recent commits first — the last block closed is the one the
+    final digest links to — and returns the first lineage covering every
+    stage in :data:`_LINEAGE_STAGES`, falling back to the widest coverage
+    seen.
+    """
+    from repro.obs.tracing import build_lineage_tree, render_span_tree
+
+    spans = OBS.tracer.recorder.spans()
+    by_id = {span.span_id: span for span in spans}
+    commits = []
+    for span in spans:
+        if span.name != "txn.commit" or span.trace_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is not None and parent.name == "sql.execute":
+            commits.append(span)
+    best: Optional[Dict[str, Any]] = None
+    for commit in reversed(commits[-max_candidates:]):
+        roots = build_lineage_tree(spans, commit.trace_id)
+        names = set()
+
+        def _walk(node) -> None:
+            names.add(node.span.name)
+            for child in node.children:
+                _walk(child)
+
+        for root in roots:
+            _walk(root)
+        stages = [stage for stage in _LINEAGE_STAGES if stage in names]
+        candidate = {
+            "txn": commit.attributes.get("tid"),
+            "trace_id": commit.trace_id,
+            "stages": stages,
+            "complete": len(stages) == len(_LINEAGE_STAGES),
+            "tree": render_span_tree(roots),
+        }
+        if candidate["complete"]:
+            return candidate
+        if best is None or len(stages) > len(best["stages"]):
+            best = candidate
+    return best
+
+
 def run_pipeline_bench(
     threads: int = 4,
     transactions_per_thread: int = 150,
     block_size: int = 50,
     verify_during: bool = False,
+    tracing: bool = False,
 ) -> Dict[str, Any]:
     """Concurrent commit benchmark for the staged pipeline.
 
@@ -547,11 +605,19 @@ def run_pipeline_bench(
     thread runs full verification in a loop for the whole measurement
     window, so the recorded commit latencies show what snapshot-then-verify
     costs the OLTP path while the watchdog is busy.
+
+    With ``tracing=True`` the run enables the tracer and, after the drain,
+    reassembles one commit's cross-thread lineage (committing session →
+    block builder → digest) into the result under ``lineage`` — the
+    observability acceptance demo: every stage of one transaction's journey
+    through all three threads, timed.
     """
     import threading as _threading
 
     from repro.sql.session import SqlSession
 
+    if tracing:
+        OBS.enable()
     db = _fresh_db(block_size=block_size)
     db.sql(
         "CREATE TABLE pipeline_bench (id INT PRIMARY KEY, v VARCHAR(32)) "
@@ -673,6 +739,8 @@ def run_pipeline_bench(
         "verify_during": verify_during,
         "verify_cycles_during": verify_cycles[0] if verify_during else 0,
     }
+    if tracing and OBS.tracer.enabled:
+        result["lineage"] = _sample_commit_lineage()
     db.close()
     return result
 
@@ -697,6 +765,18 @@ def format_pipeline(results: Dict[str, Any]) -> str:
         f"blocks closed:     {results['blocks_closed']} "
         f"(async builds: {results['pipeline']['blocks_built']})",
     ]
+    lineage = results.get("lineage")
+    if lineage is not None:
+        lines += [
+            "",
+            f"sampled commit lineage: txn {lineage['txn']} "
+            f"(trace {lineage['trace_id']}, "
+            f"{'complete' if lineage['complete'] else 'partial'}: "
+            f"{', '.join(lineage['stages'])})",
+            lineage["tree"],
+        ]
+    elif "lineage" in results:
+        lines.append("(no commit lineage captured)")
     return "\n".join(lines)
 
 
@@ -922,7 +1002,9 @@ def run_verify_baseline(
 # ---------------------------------------------------------------------------
 
 def run_faults_bench(
-    points: Optional[List[str]] = None, kill: bool = False
+    points: Optional[List[str]] = None,
+    kill: bool = False,
+    flight_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run the crash-recovery torture matrix; returns per-point results.
 
@@ -930,16 +1012,19 @@ def run_faults_bench(
     it through recovery, and asserts full verification with zero committed
     loss (see :mod:`repro.faults.torture`).  ``recovery_seconds`` per point
     is the reopen wall time — the price of coming back from that crash.
+    ``flight_dir`` arms the flight recorder inside kill-mode children, so
+    every real ``os._exit`` crash leaves a black-box bundle behind.
     """
     from repro.faults.torture import run_torture
 
-    results = run_torture(points=points, kill=kill)
+    results = run_torture(points=points, kill=kill, flight_dir=flight_dir)
     return {
         "points": results,
         "total": len(results),
         "passed": sum(1 for r in results if r["ok"]),
         "all_ok": all(r["ok"] for r in results),
         "kill_mode": kill,
+        "flight_dir": flight_dir,
     }
 
 
@@ -1120,13 +1205,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="with the 'faults' experiment or --faults-baseline, also run "
              "the subprocess-kill matrix (real os._exit crashes)",
     )
+    parser.add_argument(
+        "--tracing", action="store_true",
+        help="enable tracing for the 'pipeline' experiment and print one "
+             "commit's reassembled cross-thread lineage",
+    )
+    parser.add_argument(
+        "--flight-dir", metavar="DIR", default=None,
+        help="arm the black-box flight recorder: dump spans/events/metrics "
+             "bundles to DIR on tamper detection, injected faults or "
+             "builder crashes (kill-mode torture children inherit it)",
+    )
     args = parser.parse_args(argv)
     if args.concurrency < 1:
         parser.error("--concurrency must be at least 1")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
     _EXPERIMENTS["pipeline"] = lambda: format_pipeline(
-        run_pipeline_bench(threads=args.concurrency)
+        run_pipeline_bench(threads=args.concurrency, tracing=args.tracing)
     )
     _EXPERIMENTS["verify"] = lambda: format_verify(
         run_verify_bench(
@@ -1136,11 +1232,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     )
     _EXPERIMENTS["faults"] = lambda: format_faults(
-        run_faults_bench(kill=args.kill_mode)
+        run_faults_bench(kill=args.kill_mode, flight_dir=args.flight_dir)
     )
     if args.events_out:
         OBS.events.attach_file(args.events_out)
         OBS.events.enable()
+    if args.flight_dir:
+        from repro.obs.flight import FlightRecorder
+
+        FlightRecorder(args.flight_dir).install()
     if args.obs_baseline:
         run_obs_baseline(args.obs_baseline)
         print(f"wrote {args.obs_baseline}")

@@ -1,0 +1,231 @@
+"""Trace-context propagation: minting, carriers, links, lineage stitching."""
+
+import threading
+
+from repro.obs.context import TraceContext, mint_trace_id
+from repro.obs.tracing import (
+    RingBufferRecorder,
+    Span,
+    Tracer,
+    build_lineage_tree,
+    build_span_trees,
+)
+
+
+def make_tracer(capacity=256):
+    return Tracer(RingBufferRecorder(capacity), enabled=True)
+
+
+class TestTraceContext:
+    def test_mint_is_unique_and_hexish(self):
+        ids = {mint_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 16 for t in ids)
+        assert all(int(t, 16) >= 0 for t in ids)
+
+    def test_payload_roundtrip(self):
+        ctx = TraceContext(trace_id="ab" * 8, span_id=17)
+        again = TraceContext.from_payload(ctx.to_payload())
+        assert again == ctx
+
+    def test_from_payload_tolerates_garbage(self):
+        assert TraceContext.from_payload(None) is None
+        assert TraceContext.from_payload("not a dict") is None
+        assert TraceContext.from_payload({}) is None
+        assert TraceContext.from_payload({"trace_id": 12}) is None
+        # A context object passes through unchanged.
+        ctx = TraceContext(trace_id="cd" * 8)
+        assert TraceContext.from_payload(ctx) is ctx
+        # A bogus span id is nulled rather than propagated.
+        weird = TraceContext.from_payload(
+            {"trace_id": "ef" * 8, "span_id": "nope"}
+        )
+        assert weird.trace_id == "ef" * 8 and weird.span_id is None
+
+
+class TestCaptureContext:
+    def test_disabled_tracer_captures_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.capture_context() is None
+
+    def test_capture_outside_span_mints_fresh_trace(self):
+        tracer = make_tracer()
+        ctx = tracer.capture_context()
+        assert ctx is not None and ctx.span_id is None
+        assert len(ctx.trace_id) == 16
+
+    def test_capture_inside_span_carries_span_id(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            ctx = tracer.capture_context()
+        assert ctx.span_id == outer.span_id
+        assert ctx.trace_id == outer.trace_id
+
+
+class TestSpanContextRules:
+    def test_root_span_mints_trace_id(self):
+        tracer = make_tracer()
+        with tracer.span("root") as span:
+            assert span.trace_id is not None
+
+    def test_children_inherit_trace_id(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+
+    def test_context_supplies_trace_and_parent_when_thread_is_bare(self):
+        tracer = make_tracer()
+        ctx = TraceContext(trace_id="11" * 8, span_id=999)
+        with tracer.span("remote", context=ctx) as span:
+            pass
+        assert span.trace_id == "11" * 8
+        assert span.parent_id == 999
+
+    def test_local_parent_wins_over_context_parent(self):
+        # The parent-wins rule keeps build_span_trees shapes intact: an
+        # explicit context re-tags the trace but never re-parents a span
+        # that already sits under a live local span.
+        tracer = make_tracer()
+        ctx = TraceContext(trace_id="22" * 8, span_id=999)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner", context=ctx) as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == "22" * 8
+        (root,) = build_span_trees(tracer.recorder.spans())
+        assert root.child_names() == ["inner"]
+
+    def test_links_attach_and_serialize(self):
+        tracer = make_tracer()
+        with tracer.span("linked") as span:
+            span.add_link("33" * 8, span_id=5)
+        data = tracer.recorder.spans()[0].to_dict()
+        assert data["links"] == [{"trace_id": "33" * 8, "span_id": 5}]
+        again = Span.from_dict(data)
+        assert again.links == data["links"]
+
+    def test_record_span_emits_retroactively(self):
+        tracer = make_tracer()
+        ctx = TraceContext(trace_id="44" * 8, span_id=7)
+        tracer.record_span(
+            "queue.wait", start_ns=1000, duration_ns=2500, context=ctx, tid=3
+        )
+        (span,) = tracer.recorder.spans()
+        assert span.name == "queue.wait"
+        assert span.duration_ns == 2500
+        assert span.parent_id == 7 and span.trace_id == "44" * 8
+        assert span.attributes == {"tid": 3}
+
+    def test_reset_thread_clears_local_stack_only(self):
+        tracer = make_tracer()
+        span = tracer.span("outer")
+        span.__enter__()
+        tracer.reset_thread()
+        assert tracer.current_span() is None
+        # The abandoned span is simply never emitted; new roots are clean.
+        with tracer.span("fresh") as fresh:
+            assert fresh.parent_id is None
+
+
+class TestActiveSpans:
+    def test_open_spans_are_listed_until_closed(self):
+        tracer = make_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                names = [s.name for s in tracer.active_spans()]
+                assert names == ["outer", "inner"]
+        assert tracer.active_spans() == []
+
+
+class TestLineageTree:
+    def test_stitches_across_threads_via_context_and_links(self):
+        """Simulates the commit -> builder -> digest hand-off without a db."""
+        tracer = make_tracer()
+        with tracer.span("txn.commit") as commit:
+            ctx = tracer.capture_context()
+
+        def builder():
+            # Another thread: the builder span roots its own trace and
+            # records the commit hand-off as a link, exactly like
+            # block.append does for each absorbed queue entry.
+            with tracer.span("block.append") as block:
+                block.add_link(ctx.trace_id, ctx.span_id)
+                with tracer.span("block.persist"):
+                    pass
+
+        thread = threading.Thread(target=builder)
+        thread.start()
+        thread.join()
+
+        spans = tracer.recorder.spans()
+        roots = build_lineage_tree(spans, commit.trace_id)
+        names = set()
+
+        def walk(node):
+            names.add(node.span.name)
+            for child in node.children:
+                walk(child)
+
+        for root in roots:
+            walk(root)
+        assert names == {"txn.commit", "block.append", "block.persist"}
+        # The linked builder span attaches under the commit it points at.
+        top = {r.name for r in roots}
+        assert top == {"txn.commit"}
+
+    def test_unrelated_traces_are_excluded(self):
+        tracer = make_tracer()
+        with tracer.span("mine") as mine:
+            pass
+        with tracer.span("other"):
+            pass
+        roots = build_lineage_tree(tracer.recorder.spans(), mine.trace_id)
+        assert [r.name for r in roots] == ["mine"]
+
+
+class TestEndToEndLineage:
+    def test_user_commit_lineage_spans_all_three_threads(self, tmp_path):
+        from repro.core.ledger_database import LedgerDatabase
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable()
+        try:
+            db = LedgerDatabase.open(str(tmp_path / "db"), block_size=2)
+            db.sql(
+                "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(8)) "
+                "WITH (LEDGER = ON)"
+            )
+            for i in range(4):
+                db.sql(f"INSERT INTO t (id, v) VALUES ({i}, 'x')")
+            db.generate_digest()
+
+            spans = db.trace_sink.spans()
+            by_id = {s.span_id: s for s in spans}
+            commits = [
+                s for s in spans
+                if s.name == "txn.commit"
+                and by_id.get(s.parent_id) is not None
+                and by_id[s.parent_id].name == "sql.execute"
+            ]
+            assert commits, "no user commit spans recorded"
+            roots = build_lineage_tree(spans, commits[-1].trace_id)
+            names = set()
+
+            def walk(node):
+                names.add(node.span.name)
+                for child in node.children:
+                    walk(child)
+
+            for root in roots:
+                walk(root)
+            assert {
+                "txn.commit", "queue.wait", "block.append",
+                "merkle.root", "block.persist", "digest.generate",
+            } <= names
+            db.close()
+        finally:
+            OBS.reset()
+            OBS.disable()

@@ -108,6 +108,30 @@ class TestRotation:
         assert seqs == sorted(seqs)
         assert seqs[-1] == 199
 
+    def test_seq_is_contiguous_across_every_rotation_boundary(self, tmp_path):
+        """Read each rotated segment file separately: within a segment seqs
+        are consecutive, and the first seq of each segment continues exactly
+        where the previous (older) segment stopped — no event is lost or
+        duplicated at the cut."""
+        path = str(tmp_path / "events.jsonl")
+        log = EventLog(capacity=4, enabled=True)
+        log.attach_file(path, max_bytes=600, max_segments=64)
+        total = 120
+        for i in range(total):
+            log.emit("a", "x", i=i)
+        assert log.rotations >= 2  # the boundary case needs real boundaries
+
+        per_segment = []
+        for segment in log.segment_paths():  # oldest first
+            with open(segment, encoding="utf-8") as fh:
+                seqs = [json.loads(line)["seq"] for line in fh]
+            if not seqs:  # a rotation can leave the live file momentarily empty
+                continue
+            assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+            per_segment.append(seqs)
+        stitched = [seq for seqs in per_segment for seq in seqs]
+        assert stitched == list(range(total))
+
     def test_concurrent_emitters_across_rotated_segments(self, tmp_path):
         """N threads x M events -> exactly N*M records, strictly increasing
         seq, reassembled in order across rotated segments."""

@@ -96,6 +96,42 @@ class TestRingBuffer:
                 pass
         assert [s.name for s in tracer.recorder.spans()] == ["s2", "s3", "s4"]
 
+    def test_concurrent_overflow_keeps_emission_order(self):
+        """8 threads overflow a small ring: the survivors are exactly the
+        newest spans, in emission order, with per-thread order intact."""
+        threads_n, spans_m, capacity = 8, 50, 64
+        tracer = make_tracer(capacity=capacity)
+        barrier = threading.Barrier(threads_n)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for i in range(spans_m):
+                with tracer.span("tick", worker=worker_id, i=i):
+                    pass
+
+        pool = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(threads_n)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        spans = tracer.recorder.spans()
+        assert len(spans) == capacity  # full, nothing torn or duplicated
+        # FIFO eviction means each thread's survivors are exactly the
+        # newest *suffix* of its own emission sequence: if any span of a
+        # thread survives, its final span does, and nothing in between is
+        # missing or out of order.
+        for worker_id in range(threads_n):
+            ours = [
+                s.attributes["i"] for s in spans
+                if s.attributes["worker"] == worker_id
+            ]
+            if ours:
+                assert ours == list(range(ours[0], spans_m))
+
 
 class TestJsonlExporter:
     def test_spans_are_appended_as_json_lines(self, tmp_path):
@@ -112,6 +148,43 @@ class TestJsonlExporter:
         assert [l["name"] for l in lines] == ["inner", "outer"]
         assert lines[1]["attributes"] == {"table": "t"}
         assert lines[0]["parent_id"] == lines[1]["span_id"]
+
+    def test_concurrent_appends_never_tear_lines(self, tmp_path):
+        """8 threads x 50 spans through one exporter: every line parses,
+        none are interleaved mid-record, and the count is exact."""
+        threads_n, spans_m = 8, 50
+        path = str(tmp_path / "spans.jsonl")
+        tracer = make_tracer(capacity=threads_n * spans_m + 8)
+        exporter = JsonlExporter(path)
+        tracer.add_exporter(exporter)
+        barrier = threading.Barrier(threads_n)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for i in range(spans_m):
+                with tracer.span("tick", worker=worker_id, i=i):
+                    pass
+
+        pool = [
+            threading.Thread(target=worker, args=(n,))
+            for n in range(threads_n)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        tracer.remove_exporter(exporter)
+        exporter.close()
+
+        lines = [json.loads(l) for l in open(path, encoding="utf-8")]
+        assert len(lines) == threads_n * spans_m
+        assert all(l["name"] == "tick" for l in lines)
+        for worker_id in range(threads_n):
+            ours = [
+                l["attributes"]["i"] for l in lines
+                if l["attributes"]["worker"] == worker_id
+            ]
+            assert ours == list(range(spans_m))
 
 
 class TestWallClock:
