@@ -5,6 +5,10 @@ Usage::
     python -m repro /path/to/dbdir            # open (or create) a database
     python -m repro /path/to/dbdir -c "SELECT * FROM t"   # one-shot
 
+``python -m repro harness …`` forwards to the experiment harness
+(:mod:`repro.workloads.harness`), so the bench-regression gate reads as
+``python -m repro harness compare --baseline BENCH_pipeline_baseline.json``.
+
 Inside the shell, statements end with ``;``.  Ledger-specific commands use a
 backslash prefix:
 
@@ -17,6 +21,12 @@ backslash prefix:
     \\receipt <txid>       issue a transaction receipt (JSON)
     \\ops                  table-operations audit view (Figure 6)
     \\stats                dump telemetry counters (Prometheus text format)
+    \\profile [seconds] [--hz N] [--out PATH]
+                          run the sampling CPU profiler (default 2s) and
+                          print the top self-time frames by thread role;
+                          --out writes collapsed stacks for flamegraph.pl
+    \\locks                wait/hold/contention table for the instrumented
+                          locks (ledger stages, WAL writer, pipeline wakeup)
     \\trace [n]            show the span tree of the last n statements (default 1)
     \\trace --txn <txid>   reassemble the cross-thread commit lineage of one
                           transaction (commit thread -> block builder ->
@@ -139,6 +149,17 @@ class Shell:
                 self._print_lineage(int(parts[2]))
             else:
                 self._print_traces(int(parts[1]) if len(parts) > 1 else 1)
+        elif command == "profile":
+            self._run_profile(parts[1:])
+        elif command == "locks":
+            from repro.obs.lockstats import format_lock_table
+
+            if not OBS.metrics.enabled:
+                print(
+                    "note: telemetry is disabled, so wait/hold histograms "
+                    "are not recording (run without --no-telemetry)"
+                )
+            print(format_lock_table())
         elif command == "blackbox":
             self._run_blackbox(parts[1:])
         elif command == "monitor":
@@ -161,6 +182,34 @@ class Shell:
         else:
             print(__doc__)
         return True
+
+    def _run_profile(self, args: List[str]) -> None:
+        import time as _time
+
+        from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler
+
+        seconds = 2.0
+        hz = DEFAULT_HZ
+        out: Optional[str] = None
+        rest = list(args)
+        if rest and not rest[0].startswith("--"):
+            seconds = float(rest.pop(0))
+        if "--hz" in rest:
+            position = rest.index("--hz")
+            hz = int(rest[position + 1])
+        if "--out" in rest:
+            position = rest.index("--out")
+            out = rest[position + 1]
+        profiler = SamplingProfiler(hz=hz)
+        print(f"profiling for {seconds:g}s at {hz}Hz...")
+        profiler.start()
+        _time.sleep(seconds)
+        profiler.stop()
+        print(profiler.render_top())
+        if out:
+            with open(out, "w", encoding="utf-8") as handle:
+                handle.write(profiler.folded())
+            print(f"wrote folded stacks to {out}")
 
     def _run_monitor(self, args: List[str]) -> None:
         action = args[0].lower() if args else "status"
@@ -296,6 +345,14 @@ class Shell:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "harness":
+        # `python -m repro harness …` forwards to the experiment harness —
+        # one entry point for the shell, the benches and the compare gate.
+        from repro.workloads.harness import main as harness_main
+
+        return harness_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Interactive SQL shell over a SQL Ledger database.",

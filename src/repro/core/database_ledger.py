@@ -61,6 +61,7 @@ from repro.errors import DigestError, LedgerError
 from repro.faults import FAULTS
 from repro.obs import OBS
 from repro.obs.context import TraceContext
+from repro.obs.lockstats import InstrumentedRLock
 from repro.obs.tracing import build_lineage_tree, render_span_tree
 
 FAULTS.register(
@@ -185,9 +186,11 @@ class DatabaseLedger:
         self._block_size = block_size
         #: Stage locks.  ``storage_lock`` is shared with every consumer of
         #: the (single-threaded) storage engine via LedgerDatabase/pipeline.
-        self.storage_lock = threading.RLock()
-        self.sequencer_lock = threading.RLock()
-        self.queue_lock = threading.RLock()
+        #: Instrumented: wait/hold/contention per lock show up under
+        #: ``lock_*_seconds{lock="ledger.*"}`` and on ``/locks``.
+        self.storage_lock = InstrumentedRLock("ledger.storage")
+        self.sequencer_lock = InstrumentedRLock("ledger.sequencer")
+        self.queue_lock = InstrumentedRLock("ledger.queue")
         self._queue_cv = threading.Condition(self.queue_lock)
         self._queue: List[TransactionEntry] = []
         self._open_block_id = 0

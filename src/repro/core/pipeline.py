@@ -40,6 +40,8 @@ from typing import Dict, Optional
 from repro.errors import LedgerError
 from repro.faults import FAULTS
 from repro.obs import OBS
+from repro.obs.lockstats import InstrumentedLock
+from repro.obs.profiler import set_thread_role
 
 FAULTS.register(
     "pipeline.builder",
@@ -85,7 +87,9 @@ class LedgerPipeline:
 
     def __init__(self, ledger, restart_cap: int = DEFAULT_RESTART_CAP) -> None:
         self._ledger = ledger
-        self._wakeup = threading.Condition()
+        # The condition's mutex is instrumented: waits here are commits
+        # notifying a busy builder, holds are builder scheduling decisions.
+        self._wakeup = threading.Condition(InstrumentedLock("pipeline.wakeup"))
         self._pending_wakeups = 0
         self._stop_requested = False
         self._thread: Optional[threading.Thread] = None
@@ -233,6 +237,7 @@ class LedgerPipeline:
         # the crashed incarnation's span stack; start from a clean stack so
         # builder spans never parent under a dead ancestor.
         OBS.tracer.reset_thread()
+        set_thread_role("block-builder")
         if backoff:
             time.sleep(backoff)
         try:

@@ -85,6 +85,9 @@ def _child_init() -> None:
     # (and finishes) in the parent process.
     OBS.tracer.reset_thread()
     OBS.disable()
+    from repro.obs.profiler import set_thread_role
+
+    set_thread_role("verify-worker")
 
 
 def _relation(table_index: int, which: str) -> RelationSnapshot:

@@ -14,6 +14,13 @@ from enum import Enum
 from typing import Dict, Set, Tuple
 
 from repro.errors import LockError
+from repro.obs import OBS
+
+_CONFLICTS = OBS.metrics.counter(
+    "table_lock_conflicts_total",
+    "Table-lock acquisitions rejected with NOWAIT LockError.",
+    labelnames=("mode",),
+)
 
 
 class LockMode(Enum):
@@ -37,17 +44,33 @@ class LockManager:
         others = {t: m for t, m in holders.items() if t != tid}
         if mode == LockMode.SHARED:
             if any(m == LockMode.EXCLUSIVE for m in others.values()):
+                self._conflict(tid, table_id, mode, others)
                 raise LockError(
                     f"transaction {tid} cannot take S lock on table {table_id}: "
                     "held exclusively by another transaction"
                 )
         else:
             if others:
+                self._conflict(tid, table_id, mode, others)
                 raise LockError(
                     f"transaction {tid} cannot take X lock on table {table_id}: "
                     f"held by transactions {sorted(others)}"
                 )
         holders[tid] = mode
+
+    @staticmethod
+    def _conflict(
+        tid: int, table_id: int, mode: LockMode, others: Dict[int, LockMode]
+    ) -> None:
+        _CONFLICTS.labels(mode.value).inc()
+        OBS.events.emit(
+            "engine",
+            "lock.conflict",
+            tid=tid,
+            table_id=table_id,
+            mode=mode.value,
+            holders={str(t): m.value for t, m in sorted(others.items())},
+        )
 
     def release_all(self, tid: int) -> None:
         """Release every lock held by ``tid`` (commit/abort)."""

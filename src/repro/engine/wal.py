@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterator, List, Optional
 from repro.errors import InjectedCrashError, RecoveryError
 from repro.faults import FAULTS
 from repro.obs import OBS
+from repro.obs.lockstats import InstrumentedLock
 
 _FRAME = struct.Struct(">II")  # payload length, crc32
 
@@ -108,8 +109,9 @@ class WalWriter:
         self._file = open(path, "ab")
         # Frames must hit the file whole and in LSN order even when several
         # threads commit at once; interleaved writes would tear frames
-        # mid-file rather than only at the tail.
-        self._lock = threading.Lock()
+        # mid-file rather than only at the tail.  Instrumented as
+        # ``wal.writer`` on /locks so commit-path waits here are visible.
+        self._lock = InstrumentedLock("wal.writer")
 
     @property
     def path(self) -> str:

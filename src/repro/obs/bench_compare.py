@@ -1,0 +1,361 @@
+"""Bench-regression gate: diff a fresh harness run against a BENCH_*.json.
+
+The repo commits four baseline files (pipeline, obs, verify, faults) but
+until now nothing *compared* new numbers against them — a PR could halve
+pipeline throughput and no gate would notice.  This module turns any
+baseline into a regression check::
+
+    python -m repro harness compare \\
+        --baseline BENCH_pipeline_baseline.json --threshold-pct 15
+
+Design decisions, tuned to how noisy the measurements actually are:
+
+* **Direction by name.**  Every numeric leaf of the baseline is
+  classified from its key path: throughput-like metrics (``tps``,
+  ``per_s``, ``speedup``, ``rate``) must not drop; latency-like metrics
+  (``ms``, ``seconds``, ``lag``) must not rise.  Keys carrying neither
+  token — and *tail* statistics (``p99``, ``max``), which swing wildly
+  between runs on shared hosts — are reported as ``info`` only and never
+  gate.
+* **Best-of-N measurement.**  A fresh pipeline run is repeated
+  ``rounds`` times (default 3) and each gated metric takes its
+  direction-aware best across rounds.  Baselines record a machine's
+  achievable numbers; "can this checkout still reach them" is the
+  regression question, and best-of-N answers it without flagging
+  scheduler noise.
+* **Absolute noise floors.**  Sub-millisecond latency deltas are below
+  timer+scheduler noise on shared runners, so a latency regression must
+  exceed both the relative threshold *and* a small absolute floor
+  (0.1 ms / 100 ms-scale seconds analog) to fail.
+* **Warn-only mode** (``--warn-only``) downgrades every ``fail`` to
+  ``warn`` and exits 0 — what CI uses, because hosted runners are noisy
+  enough that a hard gate would cry wolf (the satellite task's explicit
+  requirement).
+
+The comparator is source-agnostic: it flattens nested dicts to
+dot-joined key paths, so any committed BENCH file works, and
+``--current PATH`` diffs two files without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ComparisonReport",
+    "classify_direction",
+    "compare_payloads",
+    "flatten_numeric",
+    "run_compare",
+]
+
+#: Key tokens marking a metric where bigger is better.
+HIGHER_IS_BETTER_TOKENS = ("tps", "throughput", "per_s", "speedup", "rate")
+
+#: Key tokens marking a metric where smaller is better.
+LOWER_IS_BETTER_TOKENS = ("ms", "seconds", "latency", "lag", "age")
+
+#: Tail/extreme statistics: too noisy to gate, reported as info.
+INFO_TOKENS = ("p99", "max", "p999", "p95")
+
+#: Workload-shape / bookkeeping keys: compared for equality, never for
+#: magnitude — a baseline run at 4 threads must not "fail" a 4-thread
+#: rerun because the thread count "regressed by 0%".  Single words only:
+#: key paths are tokenized on both ``.`` and ``_`` before matching.
+CONFIG_TOKENS = (
+    "threads", "transactions", "size", "blocks", "block", "commits",
+    "cpu", "cpus", "count", "versions", "checkpoint", "total", "passed",
+    "restarts", "streak", "drains", "built", "errors", "cycles", "depth",
+    "pending", "sealed", "invariants", "points", "dumps",
+)
+
+#: Absolute per-unit noise floors: a worse delta smaller than this can
+#: never fail, whatever the percentage (0.19 ms medians move by 40µs
+#: between back-to-back runs on one host).
+ABS_NOISE_FLOORS = {"ms": 0.1, "seconds": 0.02}
+
+DEFAULT_THRESHOLD_PCT = 15.0
+DEFAULT_ROUNDS = 3
+
+
+def flatten_numeric(payload: Any, prefix: str = "") -> Dict[str, float]:
+    """Dot-joined path → value for every numeric (non-bool) leaf."""
+    flat: Dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_numeric(value, path))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        if not (isinstance(payload, float) and math.isnan(payload)):
+            flat[prefix] = float(payload)
+    return flat
+
+
+def _tokens(path: str) -> List[str]:
+    parts: List[str] = []
+    for segment in path.lower().split("."):
+        parts.extend(segment.split("_"))
+    return parts
+
+
+def classify_direction(path: str) -> str:
+    """``higher`` | ``lower`` | ``config`` | ``info`` for one key path."""
+    tokens = _tokens(path)
+    if any(token in INFO_TOKENS for token in tokens):
+        return "info"
+    if any(token in CONFIG_TOKENS for token in tokens):
+        return "config"
+    if any(token in HIGHER_IS_BETTER_TOKENS for token in tokens):
+        return "higher"
+    if any(token in LOWER_IS_BETTER_TOKENS for token in tokens):
+        return "lower"
+    return "info"
+
+
+def _noise_floor(path: str) -> float:
+    tokens = _tokens(path)
+    for unit, floor in ABS_NOISE_FLOORS.items():
+        if unit in tokens:
+            return floor
+    return 0.0
+
+
+class ComparisonReport:
+    """Per-metric rows plus an overall verdict."""
+
+    def __init__(
+        self,
+        baseline_path: str,
+        threshold_pct: float,
+        warn_only: bool,
+        rounds: int,
+    ) -> None:
+        self.baseline_path = baseline_path
+        self.threshold_pct = threshold_pct
+        self.warn_only = warn_only
+        self.rounds = rounds
+        self.rows: List[Dict[str, Any]] = []
+
+    def add(self, row: Dict[str, Any]) -> None:
+        self.rows.append(row)
+
+    @property
+    def verdict(self) -> str:
+        """``fail`` > ``warn`` > ``pass`` (info/improved never gate)."""
+        verdicts = {row["verdict"] for row in self.rows}
+        if "fail" in verdicts:
+            return "fail"
+        if "warn" in verdicts:
+            return "warn"
+        return "pass"
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.verdict == "fail" else 0
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            counts[row["verdict"]] = counts.get(row["verdict"], 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline_path,
+            "threshold_pct": self.threshold_pct,
+            "warn_only": self.warn_only,
+            "rounds": self.rounds,
+            "verdict": self.verdict,
+            "counts": self.counts(),
+            "rows": self.rows,
+        }
+
+    def render(self, show_info: bool = False) -> str:
+        order = {"fail": 0, "warn": 1, "improved": 2, "pass": 3, "info": 4}
+        rows = sorted(
+            self.rows, key=lambda r: (order.get(r["verdict"], 9), r["metric"])
+        )
+        lines = [
+            f"baseline comparison: {self.baseline_path} "
+            f"(threshold ±{self.threshold_pct:g}%, best of {self.rounds} "
+            f"round(s){', warn-only' if self.warn_only else ''})",
+            f"{'metric':<52} {'baseline':>12} {'current':>12} "
+            f"{'delta':>8}  verdict",
+        ]
+        shown = hidden = 0
+        for row in rows:
+            if row["verdict"] == "info" and not show_info:
+                hidden += 1
+                continue
+            shown += 1
+            delta_pct = row["delta_pct"]
+            delta_text = (
+                f"{delta_pct:>+7.1f}%" if delta_pct is not None else "     n/a"
+            )
+            lines.append(
+                f"{row['metric']:<52} {row['baseline']:>12.4g} "
+                f"{row['current']:>12.4g} {delta_text}  {row['verdict']}"
+                + (f"  ({row['note']})" if row.get("note") else "")
+            )
+        if hidden:
+            lines.append(
+                f"(+{hidden} info-only metrics hidden; --show-info lists them)"
+            )
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[v]} {v}"
+            for v in ("fail", "warn", "improved", "pass", "info")
+            if counts.get(v)
+        )
+        lines.append(f"verdict: {self.verdict.upper()} ({summary})")
+        return "\n".join(lines)
+
+
+def compare_payloads(
+    baseline: Dict[str, Any],
+    current_rounds: List[Dict[str, Any]],
+    baseline_path: str = "<baseline>",
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    warn_only: bool = False,
+) -> ComparisonReport:
+    """Compare flattened baseline metrics against best-of-N current runs."""
+    report = ComparisonReport(
+        baseline_path, threshold_pct, warn_only, len(current_rounds)
+    )
+    base_flat = flatten_numeric(baseline)
+    round_flats = [flatten_numeric(payload) for payload in current_rounds]
+    for metric in sorted(base_flat):
+        values = [flat[metric] for flat in round_flats if metric in flat]
+        base_value = base_flat[metric]
+        if not values:
+            report.add(
+                {
+                    "metric": metric,
+                    "baseline": base_value,
+                    "current": math.nan,
+                    "delta_pct": None,
+                    "verdict": "info",
+                    "note": "missing from current run",
+                }
+            )
+            continue
+        direction = classify_direction(metric)
+        if direction == "higher":
+            current = max(values)
+        elif direction == "lower":
+            current = min(values)
+        else:
+            current = values[-1]
+        delta = current - base_value
+        delta_pct = (delta / base_value * 100.0) if base_value else None
+        row: Dict[str, Any] = {
+            "metric": metric,
+            "baseline": base_value,
+            "current": current,
+            "delta_pct": round(delta_pct, 2) if delta_pct is not None else None,
+        }
+        if direction == "config":
+            row["verdict"] = "pass" if current == base_value else "warn"
+            if current != base_value:
+                row["note"] = "workload shape differs from baseline"
+        elif direction == "info":
+            row["verdict"] = "info"
+        else:
+            worse = delta < 0 if direction == "higher" else delta > 0
+            over_threshold = (
+                delta_pct is not None and abs(delta_pct) > threshold_pct
+            )
+            within_floor = abs(delta) <= _noise_floor(metric)
+            if worse and over_threshold and not within_floor:
+                row["verdict"] = "warn" if warn_only else "fail"
+            elif not worse and over_threshold:
+                row["verdict"] = "improved"
+            else:
+                row["verdict"] = "pass"
+                if worse and over_threshold and within_floor:
+                    row["note"] = "within absolute noise floor"
+        report.add(row)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Fresh-run dispatch per baseline kind
+# ---------------------------------------------------------------------------
+
+def detect_baseline_kind(baseline: Dict[str, Any]) -> str:
+    """Which harness experiment produced this BENCH file."""
+    if "single_thread" in baseline and "concurrent" in baseline:
+        return "pipeline"
+    if "verify" in baseline:
+        return "verify"
+    if "recovery_seconds" in baseline:
+        return "faults"
+    if "fig7" in baseline or "fig8" in baseline:
+        return "obs"
+    raise ValueError(
+        "unrecognized baseline shape: expected a BENCH_*.json written by "
+        "the harness (pipeline/verify/faults/obs)"
+    )
+
+
+def _run_fresh(kind: str, baseline: Dict[str, Any]) -> Dict[str, Any]:
+    """One fresh measurement matching the baseline's shape."""
+    # Imported lazily: repro.workloads.harness imports the core stack,
+    # and this module must stay importable from repro.obs without cycles.
+    from repro.workloads import harness
+
+    if kind == "pipeline":
+        threads = int(
+            baseline.get("concurrent", {}).get("threads", 4) or 4
+        )
+        return {
+            "single_thread": harness.run_pipeline_bench(threads=1),
+            "concurrent": harness.run_pipeline_bench(threads=threads),
+        }
+    with tempfile.TemporaryDirectory(prefix="repro-compare-") as tmp:
+        path = os.path.join(tmp, "fresh.json")
+        if kind == "verify":
+            return harness.run_verify_baseline(path)
+        if kind == "faults":
+            return harness.run_faults_baseline(
+                path, kill=bool(baseline.get("kill_mode"))
+            )
+        if kind == "obs":
+            return harness.run_obs_baseline(path)
+    raise ValueError(f"unknown baseline kind {kind!r}")
+
+
+def run_compare(
+    baseline_path: str,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    warn_only: bool = False,
+    current_path: Optional[str] = None,
+    rounds: Optional[int] = None,
+) -> ComparisonReport:
+    """Load a baseline, measure (or load) current numbers, compare.
+
+    ``current_path`` skips measurement and diffs two files.  ``rounds``
+    defaults to :data:`DEFAULT_ROUNDS` for the (cheap) pipeline bench and
+    1 for the long-running verify/faults/obs benches.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    if current_path is not None:
+        with open(current_path, "r", encoding="utf-8") as handle:
+            current_rounds = [json.load(handle)]
+    else:
+        kind = detect_baseline_kind(baseline)
+        if rounds is None:
+            rounds = DEFAULT_ROUNDS if kind == "pipeline" else 1
+        current_rounds = [_run_fresh(kind, baseline) for _ in range(rounds)]
+    return compare_payloads(
+        baseline,
+        current_rounds,
+        baseline_path=baseline_path,
+        threshold_pct=threshold_pct,
+        warn_only=warn_only,
+    )

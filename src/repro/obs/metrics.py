@@ -44,11 +44,12 @@ COUNTER = "counter"
 GAUGE = "gauge"
 HISTOGRAM = "histogram"
 
-#: Default latency buckets (seconds); chosen so both sub-millisecond row
-#: operations and multi-second verifications land in informative buckets.
+#: Default latency buckets (seconds); chosen so everything from tens of
+#: microseconds (lock waits, hash-chain appends) through sub-millisecond row
+#: operations up to multi-second verifications lands in informative buckets.
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
 #: Default size/count buckets for histograms over discrete quantities

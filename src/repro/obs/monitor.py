@@ -49,6 +49,7 @@ from repro.core.verify_checkpoint import (
 from repro.errors import DigestError, ReplicationLagError
 from repro.faults import FAULTS
 from repro.obs import OBS
+from repro.obs.profiler import set_thread_role
 
 FAULTS.register(
     "monitor.cycle",
@@ -202,6 +203,7 @@ class ContinuousVerifier:
         # children that inherit this slot) must not parent their spans under
         # a previous incarnation's span.
         OBS.tracer.reset_thread()
+        set_thread_role("monitor")
         try:
             while not self._stop.is_set():
                 # Outside run_cycle's guard: an armed fault here kills the

@@ -1,0 +1,429 @@
+"""Sampling CPU profiler: where do commit-path milliseconds actually go?
+
+The metrics registry can say a commit took 190µs and the tracer can say
+which *stage* it was in, but neither can say which *frames* the time went
+to — and the next round of optimisations (group commit, vectorized
+hashing; ROADMAP items 1 and 3) needs frame-level attribution before
+restructuring anything.  This module is a dependency-free statistical
+profiler: a daemon sampler thread wakes ``hz`` times per second, walks
+``sys._current_frames()`` and aggregates the observed stacks.
+
+Two properties matter for a profiler that runs *inside* the system under
+test:
+
+* **Pay-as-you-go** — nothing is installed process-wide (no
+  ``sys.setprofile``, no signal handlers).  When no profiler is running
+  the cost is zero; when one is running the cost is one stack walk per
+  thread per sample on the sampler thread only.
+* **Role attribution** — thread ids are meaningless in a report, so the
+  pipeline's long-lived threads register a *role* at thread start
+  (``sql-session``, ``block-builder``, ``monitor``, ``verify-worker``,
+  ``obs-server``, ``digest`` — the same places that already call
+  ``OBS.tracer.reset_thread()``).  Unregistered threads fall back to
+  their ``threading.Thread.name``.
+
+Output shapes:
+
+* :meth:`SamplingProfiler.folded` — collapsed-stack ("folded") lines,
+  ``role;frame;frame… count``, directly consumable by flamegraph.pl /
+  speedscope / inferno;
+* :meth:`SamplingProfiler.top` — top-N frames by *self* samples (the
+  frame was the leaf) with cumulative counts alongside;
+* :meth:`SamplingProfiler.snapshot` — JSON-friendly dict of all of the
+  above, embedded in flight-recorder bundles and the ``/profile``
+  endpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+import weakref
+from collections import Counter
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SamplingProfiler",
+    "active_profile_snapshot",
+    "active_profilers",
+    "clear_thread_role",
+    "profile",
+    "set_thread_role",
+    "thread_role",
+    "thread_roles",
+]
+
+#: Default sampling rate.  A prime, so the sampler does not phase-lock
+#: with millisecond-periodic work (timers, block cadence) and
+#: systematically over- or under-sample it.
+DEFAULT_HZ = 97
+
+#: Frames deeper than this are truncated (the truncation is marked).
+DEFAULT_MAX_DEPTH = 64
+
+# ---------------------------------------------------------------------------
+# Thread roles
+# ---------------------------------------------------------------------------
+
+_roles_lock = threading.Lock()
+#: ident → (role, weakref to the registering thread).  The weakref guards
+#: against ident reuse: once the registering thread dies, a *new* thread
+#: handed the same ident must not inherit its role.
+_roles: Dict[int, Tuple[str, "weakref.ref"]] = {}
+
+
+def set_thread_role(role: str, ident: Optional[int] = None) -> None:
+    """Tag the calling thread (or ``ident``) with a role for sample reports.
+
+    Called at thread start next to the tracer's ``reset_thread()`` — a
+    restarted thread re-registers, and the latest registration wins.
+    """
+    if ident is None:
+        ident = threading.get_ident()
+        owner = threading.current_thread()
+    else:
+        owner = next(
+            (t for t in threading.enumerate() if t.ident == ident), None
+        )
+    ref = weakref.ref(owner) if owner is not None else _DEAD_REF
+    with _roles_lock:
+        _roles[ident] = (role, ref)
+
+
+def clear_thread_role(ident: Optional[int] = None) -> None:
+    if ident is None:
+        ident = threading.get_ident()
+    with _roles_lock:
+        _roles.pop(ident, None)
+
+
+def _resolve(ident: int, entry: Tuple[str, "weakref.ref"]) -> Optional[str]:
+    role, ref = entry
+    owner = ref()
+    if owner is None or owner.ident != ident or not owner.is_alive():
+        return None  # registering thread died; ident may be recycled
+    return role
+
+
+def thread_role(ident: Optional[int] = None) -> Optional[str]:
+    """The registered role of a thread, or None."""
+    if ident is None:
+        ident = threading.get_ident()
+    with _roles_lock:
+        entry = _roles.get(ident)
+    return _resolve(ident, entry) if entry is not None else None
+
+
+def thread_roles() -> Dict[int, str]:
+    """ident → role for every registration whose thread is still alive."""
+    with _roles_lock:
+        entries = list(_roles.items())
+    resolved = {}
+    for ident, entry in entries:
+        role = _resolve(ident, entry)
+        if role is not None:
+            resolved[ident] = role
+    return resolved
+
+
+class _Dead:
+    """Stand-in weakref target for idents registered without a live thread."""
+
+
+_DEAD_REF = weakref.ref(_Dead())  # already collected by construction time
+
+
+# ---------------------------------------------------------------------------
+# The profiler
+# ---------------------------------------------------------------------------
+
+_SRC_MARKER = os.sep + "repro" + os.sep
+
+
+def _short_path(filename: str) -> str:
+    """Trim ``.../site-packages/…/repro/x/y.py`` to ``repro/x/y.py``."""
+    index = filename.rfind(_SRC_MARKER)
+    if index >= 0:
+        return filename[index + 1:]
+    return os.path.basename(filename)
+
+
+class SamplingProfiler:
+    """Aggregating stack sampler over ``sys._current_frames()``."""
+
+    def __init__(
+        self,
+        hz: int = DEFAULT_HZ,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        include_lines: bool = False,
+    ) -> None:
+        if hz < 1:
+            raise ValueError("hz must be at least 1")
+        self.hz = hz
+        self.max_depth = max_depth
+        self.include_lines = include_lines
+        self._interval = 1.0 / hz
+        #: (role, stack tuple root→leaf) → samples
+        self._counts: Counter = Counter()
+        self._counts_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.samples = 0          # sampling ticks taken
+        self.thread_samples = 0   # (tick, thread) pairs recorded
+        self.overruns = 0         # ticks that took longer than the interval
+        self._started_at: Optional[float] = None
+        self.wall_seconds = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="obs-profiler", daemon=True
+        )
+        self._thread.start()
+        _register_active(self)
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_at is not None:
+            self.wall_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+        _unregister_active(self)
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- sampling -----------------------------------------------------------
+
+    def _run(self) -> None:
+        ident = threading.get_ident()
+        next_tick = time.perf_counter()
+        while not self._stop.is_set():
+            self.sample_once(skip_ident=ident)
+            next_tick += self._interval
+            delay = next_tick - time.perf_counter()
+            if delay <= 0:
+                # Sampling ran over the budget; re-anchor rather than
+                # burst-sampling to catch up (bursts would bias the data).
+                self.overruns += 1
+                next_tick = time.perf_counter()
+                continue
+            self._stop.wait(delay)
+
+    def sample_once(self, skip_ident: Optional[int] = None) -> None:
+        """Take one sample of every live thread (callable directly in tests)."""
+        frames = sys._current_frames()
+        roles = thread_roles()
+        names = {t.ident: t.name for t in threading.enumerate()}
+        recorded = []
+        for ident, frame in frames.items():
+            if ident == skip_ident:
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                code = frame.f_code
+                if self.include_lines:
+                    entry = (
+                        f"{code.co_name} "
+                        f"({_short_path(code.co_filename)}:{frame.f_lineno})"
+                    )
+                else:
+                    entry = f"{code.co_name} ({_short_path(code.co_filename)})"
+                stack.append(entry)
+                frame = frame.f_back
+                depth += 1
+            if frame is not None:
+                stack.append("[truncated]")
+            stack.reverse()
+            role = roles.get(ident) or names.get(ident) or f"thread-{ident}"
+            recorded.append((role, tuple(stack)))
+        with self._counts_lock:
+            self.samples += 1
+            self.thread_samples += len(recorded)
+            for key in recorded:
+                self._counts[key] += 1
+
+    # -- reports ------------------------------------------------------------
+
+    def _counts_copy(self) -> Counter:
+        with self._counts_lock:
+            return Counter(self._counts)
+
+    def folded(self) -> str:
+        """Collapsed-stack lines: ``role;frame;frame… <count>`` per stack.
+
+        The role is the stack root, so a flamegraph renders one tower per
+        thread role — exactly the attribution the ISSUE asks for.
+        """
+        counts = self._counts_copy()
+        lines = []
+        for (role, stack), count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        ):
+            frames = ";".join((role,) + stack)
+            lines.append(f"{frames} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def role_totals(self) -> Dict[str, int]:
+        """Samples per thread role (one thread observed = one sample)."""
+        totals: Counter = Counter()
+        for (role, _stack), count in self._counts_copy().items():
+            totals[role] += count
+        return dict(totals)
+
+    def top(self, n: int = 15) -> List[Dict[str, Any]]:
+        """Top-``n`` frames by self samples (frame was the stack leaf).
+
+        Each entry carries ``self``/``cum`` sample counts, their share of
+        all thread samples, and the roles the self time was observed under.
+        """
+        counts = self._counts_copy()
+        self_counts: Counter = Counter()
+        cum_counts: Counter = Counter()
+        frame_roles: Dict[str, Counter] = {}
+        for (role, stack), count in counts.items():
+            if not stack:
+                continue
+            leaf = stack[-1]
+            self_counts[leaf] += count
+            frame_roles.setdefault(leaf, Counter())[role] += count
+            for frame in set(stack):
+                cum_counts[frame] += count
+        total = sum(self_counts.values()) or 1
+        report = []
+        for frame, self_count in self_counts.most_common(n):
+            roles = frame_roles.get(frame, Counter())
+            report.append(
+                {
+                    "frame": frame,
+                    "self": self_count,
+                    "self_pct": round(100.0 * self_count / total, 1),
+                    "cum": cum_counts[frame],
+                    "roles": dict(roles.most_common()),
+                }
+            )
+        return report
+
+    def render_top(self, n: int = 15) -> str:
+        """The top-N table as aligned text for shells and harness output."""
+        rows = self.top(n)
+        totals = self.role_totals()
+        header = (
+            f"{'self':>6} {'self%':>6} {'cum':>6}  frame  [roles]"
+        )
+        lines = [
+            f"profile: {self.thread_samples} thread-samples over "
+            f"{self.samples} ticks at {self.hz}Hz "
+            f"({self.wall_elapsed:.2f}s wall"
+            + (f", {self.overruns} overruns" if self.overruns else "")
+            + ")",
+            "samples by role: "
+            + (
+                ", ".join(
+                    f"{role}={count}"
+                    for role, count in sorted(
+                        totals.items(), key=lambda item: -item[1]
+                    )
+                )
+                or "(none)"
+            ),
+            header,
+        ]
+        for row in rows:
+            roles = ",".join(row["roles"])
+            lines.append(
+                f"{row['self']:>6} {row['self_pct']:>5.1f}% {row['cum']:>6}"
+                f"  {row['frame']}  [{roles}]"
+            )
+        if not rows:
+            lines.append("(no samples recorded)")
+        return "\n".join(lines)
+
+    @property
+    def wall_elapsed(self) -> float:
+        """Wall seconds profiled so far (running profilers included)."""
+        if self._started_at is not None:
+            return self.wall_seconds + (time.perf_counter() - self._started_at)
+        return self.wall_seconds
+
+    def snapshot(self, top_n: int = 15) -> Dict[str, Any]:
+        """JSON-friendly summary for bundles and the HTTP endpoint."""
+        return {
+            "hz": self.hz,
+            "running": self.running,
+            "wall_seconds": round(self.wall_elapsed, 6),
+            "samples": self.samples,
+            "thread_samples": self.thread_samples,
+            "overruns": self.overruns,
+            "roles": self.role_totals(),
+            "top": self.top(top_n),
+            "folded": self.folded(),
+        }
+
+
+def profile(seconds: float, hz: int = DEFAULT_HZ, **kwargs: Any) -> SamplingProfiler:
+    """Run a profiler for ``seconds`` and return it stopped."""
+    profiler = SamplingProfiler(hz=hz, **kwargs)
+    profiler.start()
+    try:
+        time.sleep(seconds)
+    finally:
+        profiler.stop()
+    return profiler
+
+
+# ---------------------------------------------------------------------------
+# Active-profiler registry (flight bundles snapshot whatever is running)
+# ---------------------------------------------------------------------------
+
+_active_lock = threading.Lock()
+_active: List[SamplingProfiler] = []
+
+
+def _register_active(profiler: SamplingProfiler) -> None:
+    with _active_lock:
+        if profiler not in _active:
+            _active.append(profiler)
+
+
+def _unregister_active(profiler: SamplingProfiler) -> None:
+    with _active_lock:
+        if profiler in _active:
+            _active.remove(profiler)
+
+
+def active_profilers() -> List[SamplingProfiler]:
+    with _active_lock:
+        return list(_active)
+
+
+def active_profile_snapshot(top_n: int = 15) -> Optional[Dict[str, Any]]:
+    """Snapshot of the most recently started running profiler, if any.
+
+    Flight-recorder bundles embed this: if a crash happens while a profile
+    is being captured, the partial profile survives with the black box.
+    """
+    profilers = active_profilers()
+    if not profilers:
+        return None
+    return profilers[-1].snapshot(top_n=top_n)

@@ -13,7 +13,14 @@ scrapers and dashboards:
   and verification lag;
 * ``GET /traces?txn=N`` — the reassembled cross-thread commit lineage for
   transaction N (spans + rendered tree); without ``txn`` lists the
-  transaction ids that still have a commit span in the ring.
+  transaction ids that still have a commit span in the ring;
+* ``GET /locks`` — wait/hold/contention stats for every instrumented
+  lock (storage/sequencer/queue stage locks, WAL writer, pipeline
+  wakeup), including the current holder of each;
+* ``GET /profile?seconds=N&hz=H`` — runs the sampling profiler for N
+  seconds (default 2, capped at 60) and returns role totals, the top-N
+  self-time frames and the folded stacks; ``format=folded`` returns the
+  collapsed-stack text directly for piping into flamegraph tooling.
 
 The server binds 127.0.0.1 by default and serves from a daemon thread;
 ``port=0`` picks an ephemeral port (read back via :attr:`port`), which is
@@ -24,15 +31,21 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.obs import OBS
+from repro.obs.profiler import set_thread_role
+
+#: /profile guardrails: a scrape must not profile forever or busy-sample.
+MAX_PROFILE_SECONDS = 60.0
+MAX_PROFILE_HZ = 997
 
 
 class ObservabilityServer:
-    """Serves /metrics, /healthz, /events and /ledger over HTTP."""
+    """Serves /metrics, /healthz, /events, /ledger, /locks and /profile."""
 
     def __init__(
         self,
@@ -72,8 +85,13 @@ class ObservabilityServer:
         self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
         self._httpd.daemon_threads = True
         self.port = self._httpd.server_address[1]
+
+        def _serve() -> None:
+            set_thread_role("obs-server")
+            self._httpd.serve_forever()
+
         self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="obs-server", daemon=True
+            target=_serve, name="obs-server", daemon=True
         )
         self._thread.start()
         OBS.events.emit(
@@ -138,6 +156,16 @@ class ObservabilityServer:
                         self._send_json(200, server._render_ledger())
                     elif parsed.path == "/traces":
                         self._send_json(200, server._render_traces(query))
+                    elif parsed.path == "/locks":
+                        self._send_json(200, server._render_locks())
+                    elif parsed.path == "/profile":
+                        body = server._render_profile(query)
+                        if isinstance(body, str):
+                            self._send(
+                                200, body, "text/plain; charset=utf-8"
+                            )
+                        else:
+                            self._send_json(200, body)
                     else:
                         self._send_json(404, {"error": "not found"})
                 except Exception as exc:
@@ -293,6 +321,55 @@ class ObservabilityServer:
             "spans": lineage,
             "tree": render_span_tree(roots),
         }
+
+    def _render_locks(self) -> Dict[str, Any]:
+        """Wait/hold/contention stats for every instrumented lock."""
+        from repro.obs.lockstats import lock_stats_snapshot
+
+        return {
+            "metrics_enabled": OBS.metrics.enabled,
+            "locks": lock_stats_snapshot(),
+        }
+
+    def _render_profile(self, query):
+        """Run the sampling profiler for ``?seconds=N`` and report.
+
+        Blocks the handler thread for the profiling window (the server is
+        threading, so other endpoints stay responsive).  ``format=folded``
+        returns raw collapsed stacks as text/plain for flamegraph tools.
+        """
+        from repro.obs.profiler import (
+            DEFAULT_HZ,
+            SamplingProfiler,
+            active_profilers,
+        )
+
+        def _first(key: str, default: str) -> str:
+            values = query.get(key)
+            return values[0] if values else default
+
+        try:
+            seconds = float(_first("seconds", "2"))
+            hz = int(_first("hz", str(DEFAULT_HZ)))
+        except ValueError as exc:
+            return {"error": f"bad parameter: {exc}"}
+        seconds = max(0.05, min(seconds, MAX_PROFILE_SECONDS))
+        hz = max(1, min(hz, MAX_PROFILE_HZ))
+        running = active_profilers()
+        if running:
+            # Don't stack a second sampler on top of a harness --profile
+            # run; report the one already in flight instead.
+            snapshot = running[-1].snapshot()
+            snapshot["note"] = "a profiler was already running; snapshot of it"
+        else:
+            profiler = SamplingProfiler(hz=hz)
+            profiler.start()
+            time.sleep(seconds)
+            profiler.stop()
+            snapshot = profiler.snapshot()
+        if _first("format", "json") == "folded":
+            return snapshot["folded"]
+        return snapshot
 
     def _render_ledger(self) -> Dict[str, Any]:
         """Chain summary from the pipeline's in-memory counters.

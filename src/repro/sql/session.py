@@ -23,6 +23,7 @@ from repro.engine.transaction import Transaction
 from repro.engine.types import type_from_name
 from repro.errors import SqlBindError
 from repro.obs import OBS
+from repro.obs.profiler import set_thread_role
 from repro.sql import ast
 from repro.sql.parser import parse
 
@@ -45,6 +46,9 @@ class SqlSession:
     def __init__(self, db, username: str = "app_user") -> None:
         self._db = db
         self._username = username
+        # Sessions are thread-affine (one per worker thread in the bench
+        # drivers), so construction is the thread's natural role tag.
+        set_thread_role("sql-session")
         self._txn: Optional[Transaction] = None
         #: Ledger payload of the session's most recent commit (block id,
         #: ordinal, serialized entry) — lets concurrent drivers attribute

@@ -590,6 +590,8 @@ def run_pipeline_bench(
     block_size: int = 50,
     verify_during: bool = False,
     tracing: bool = False,
+    profile: bool = False,
+    profile_hz: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Concurrent commit benchmark for the staged pipeline.
 
@@ -611,6 +613,14 @@ def run_pipeline_bench(
     block builder → digest) into the result under ``lineage`` — the
     observability acceptance demo: every stage of one transaction's journey
     through all three threads, timed.
+
+    With ``profile=True`` a sampling profiler runs for the whole
+    measurement (workers, drain, digest, verification) and metrics are
+    enabled so the instrumented stage/WAL locks record wait/hold times;
+    the result gains ``profile`` (role totals, top frames, folded stacks)
+    and ``locks`` (the per-lock stats table).  Throughput measured with
+    the profiler on includes its sampling overhead — compare against
+    baselines only with the profiler off.
     """
     import threading as _threading
 
@@ -618,6 +628,13 @@ def run_pipeline_bench(
 
     if tracing:
         OBS.enable()
+    profiler = None
+    metrics_were_enabled = OBS.metrics.enabled
+    if profile:
+        from repro.obs.profiler import DEFAULT_HZ, SamplingProfiler
+
+        OBS.enable(metrics=True, tracing=False, events=False)
+        profiler = SamplingProfiler(hz=profile_hz or DEFAULT_HZ)
     db = _fresh_db(block_size=block_size)
     db.sql(
         "CREATE TABLE pipeline_bench (id INT PRIMARY KEY, v VARCHAR(32)) "
@@ -672,6 +689,8 @@ def run_pipeline_bench(
             errors.append(exc)
 
     gc.collect()
+    if profiler is not None:
+        profiler.start()
     if verify_thread is not None:
         verify_thread.start()
     started = time.perf_counter()
@@ -741,6 +760,16 @@ def run_pipeline_bench(
     }
     if tracing and OBS.tracer.enabled:
         result["lineage"] = _sample_commit_lineage()
+    if profiler is not None:
+        from repro.obs.lockstats import format_lock_table, lock_stats_snapshot
+
+        profiler.stop()
+        result["profile"] = profiler.snapshot()
+        result["profile"]["top_text"] = profiler.render_top()
+        result["locks"] = lock_stats_snapshot()
+        result["locks_text"] = format_lock_table(result["locks"])
+        if not metrics_were_enabled:
+            OBS.metrics.disable()
     db.close()
     return result
 
@@ -777,6 +806,10 @@ def format_pipeline(results: Dict[str, Any]) -> str:
         ]
     elif "lineage" in results:
         lines.append("(no commit lineage captured)")
+    if "profile" in results:
+        lines += ["", results["profile"]["top_text"]]
+    if "locks_text" in results:
+        lines += ["", "lock contention:", results["locks_text"]]
     return "\n".join(lines)
 
 
@@ -1160,7 +1193,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments", nargs="*", default=[],
         help=f"which experiments to run (default: all): "
-             f"{', '.join([*_EXPERIMENTS, 'all'])}",
+             f"{', '.join([*_EXPERIMENTS, 'all'])}; or 'compare' to diff "
+             f"a fresh run against a committed BENCH_*.json (--baseline)",
     )
     parser.add_argument(
         "--telemetry", action="store_true",
@@ -1211,6 +1245,51 @@ def main(argv: Optional[List[str]] = None) -> int:
              "commit's reassembled cross-thread lineage",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="run the sampling profiler during the 'pipeline' experiment; "
+             "prints the top self-time frames by thread role plus the "
+             "instrumented-lock table and writes folded stacks "
+             "(see --profile-out)",
+    )
+    parser.add_argument(
+        "--profile-out", metavar="PATH", default="profile.folded",
+        help="where --profile writes the collapsed-stack file "
+             "(default: profile.folded; render with flamegraph.pl or "
+             "speedscope)",
+    )
+    parser.add_argument(
+        "--profile-hz", type=int, metavar="HZ", default=None,
+        help="sampling rate for --profile (default: 97)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="for 'compare': the committed BENCH_*.json to diff against",
+    )
+    parser.add_argument(
+        "--threshold-pct", type=float, metavar="PCT", default=15.0,
+        help="for 'compare': relative regression threshold per gated "
+             "metric (default: 15)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="for 'compare': downgrade fail verdicts to warn and exit 0 "
+             "(for noisy CI runners)",
+    )
+    parser.add_argument(
+        "--current", metavar="PATH", default=None,
+        help="for 'compare': diff this JSON against the baseline instead "
+             "of running a fresh measurement",
+    )
+    parser.add_argument(
+        "--compare-rounds", type=int, metavar="N", default=None,
+        help="for 'compare': fresh-measurement rounds, best per metric "
+             "(default: 3 for pipeline baselines, 1 otherwise)",
+    )
+    parser.add_argument(
+        "--show-info", action="store_true",
+        help="for 'compare': also list info-only (non-gating) metrics",
+    )
+    parser.add_argument(
         "--flight-dir", metavar="DIR", default=None,
         help="arm the black-box flight recorder: dump spans/events/metrics "
              "bundles to DIR on tamper detection, injected faults or "
@@ -1221,9 +1300,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--concurrency must be at least 1")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
-    _EXPERIMENTS["pipeline"] = lambda: format_pipeline(
-        run_pipeline_bench(threads=args.concurrency, tracing=args.tracing)
-    )
+
+    def _pipeline_cli() -> str:
+        results = run_pipeline_bench(
+            threads=args.concurrency, tracing=args.tracing,
+            profile=args.profile, profile_hz=args.profile_hz,
+        )
+        text = format_pipeline(results)
+        if args.profile and args.profile_out:
+            with open(args.profile_out, "w", encoding="utf-8") as fh:
+                fh.write(results["profile"]["folded"])
+            text += f"\nwrote folded stacks to {args.profile_out}"
+        return text
+
+    _EXPERIMENTS["pipeline"] = _pipeline_cli
     _EXPERIMENTS["verify"] = lambda: format_verify(
         run_verify_bench(
             transactions=120, delta_transactions=10,
@@ -1260,6 +1350,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.telemetry:
         OBS.enable(metrics=True, tracing=False)
     selected = args.experiments or ["all"]
+    if "compare" in selected:
+        if len(selected) > 1:
+            parser.error("'compare' cannot be combined with experiments")
+        if not args.baseline:
+            parser.error("'compare' requires --baseline PATH")
+        from repro.obs.bench_compare import run_compare
+
+        report = run_compare(
+            args.baseline,
+            threshold_pct=args.threshold_pct,
+            warn_only=args.warn_only,
+            current_path=args.current,
+            rounds=args.compare_rounds,
+        )
+        print(report.render(show_info=args.show_info))
+        return report.exit_code
     unknown = [e for e in selected if e not in _EXPERIMENTS and e != "all"]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")

@@ -88,3 +88,54 @@ class TestLedgerLockInteraction:
             db.insert(txn, "accounts", [[f"u{i}", i]])
             db.commit(txn)
         assert db.verify([db.generate_digest()]).ok
+
+
+class TestConflictTelemetry:
+    def test_conflicts_counted_and_emitted(self):
+        from repro.engine.locks import LockManager, LockMode
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable(metrics=True, events=True, tracing=False)
+        try:
+            manager = LockManager()
+            manager.acquire(1, 5, LockMode.EXCLUSIVE)
+            with pytest.raises(LockError):
+                manager.acquire(2, 5, LockMode.SHARED)
+            with pytest.raises(LockError):
+                manager.acquire(3, 5, LockMode.EXCLUSIVE)
+            fam = OBS.metrics.get("table_lock_conflicts_total")
+            assert fam.labels("S").value == 1
+            assert fam.labels("X").value == 1
+            conflicts = [
+                e for e in OBS.events.tail(10) if e.name == "lock.conflict"
+            ]
+            assert len(conflicts) == 2
+            assert conflicts[0].payload["table_id"] == 5
+            assert conflicts[0].payload["mode"] == "S"
+            assert conflicts[0].payload["holders"] == {"1": "X"}
+            assert conflicts[1].payload["mode"] == "X"
+        finally:
+            OBS.reset()
+            OBS.disable()
+
+    def test_successful_acquisitions_cost_nothing(self):
+        from repro.engine.locks import LockManager, LockMode
+        from repro.obs import OBS
+
+        OBS.reset()
+        OBS.enable(metrics=True, events=True, tracing=False)
+        try:
+            manager = LockManager()
+            manager.acquire(1, 5, LockMode.SHARED)
+            manager.acquire(2, 5, LockMode.SHARED)
+            # Re-acquiring a mode already held is a no-op, not a conflict.
+            manager.acquire(1, 5, LockMode.SHARED)
+            fam = OBS.metrics.get("table_lock_conflicts_total")
+            assert fam.labels("S").value == 0
+            assert not [
+                e for e in OBS.events.tail(10) if e.name == "lock.conflict"
+            ]
+        finally:
+            OBS.reset()
+            OBS.disable()

@@ -1,0 +1,206 @@
+"""Tests for the bench-regression comparator.
+
+The comparator is the gate between "the bench ran" and "the bench is
+still as fast as it was", so what matters is classification (which
+direction is worse for each metric), noise handling (absolute floors,
+best-of-N), and the verdict/exit-code contract CI relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench_compare import (
+    ComparisonReport,
+    classify_direction,
+    compare_payloads,
+    detect_baseline_kind,
+    flatten_numeric,
+    run_compare,
+)
+
+
+# ----------------------------------------------------------------------
+# Flattening + classification
+# ----------------------------------------------------------------------
+
+
+def test_flatten_numeric_walks_nested_dicts_and_drops_lists():
+    flat = flatten_numeric(
+        {
+            "a": 1,
+            "nested": {"b": 2.5, "deeper": {"c": 3}},
+            "samples": [1, 2, 3],
+            "label": "text",
+            "flag": True,
+        }
+    )
+    assert flat == {"a": 1.0, "nested.b": 2.5, "nested.deeper.c": 3.0}
+
+
+@pytest.mark.parametrize(
+    "path,expected",
+    [
+        ("concurrent.throughput_tps", "higher"),
+        ("single_thread.median_commit_ms", "lower"),
+        ("concurrent.wall_seconds", "lower"),
+        ("verify.full_verify_seconds", "lower"),
+        ("concurrent.p99_commit_ms", "info"),
+        ("concurrent.max_commit_ms", "info"),
+        ("concurrent.threads", "config"),
+        ("single_thread.block_size", "config"),
+        ("concurrent.blocks_closed", "config"),
+        ("something.unrecognized", "info"),
+    ],
+)
+def test_classify_direction(path, expected):
+    assert classify_direction(path) == expected
+
+
+def test_detect_baseline_kind():
+    assert (
+        detect_baseline_kind({"single_thread": {}, "concurrent": {}})
+        == "pipeline"
+    )
+    assert detect_baseline_kind({"verify": {}}) == "verify"
+    assert detect_baseline_kind({"recovery_seconds": 1.0}) == "faults"
+    assert detect_baseline_kind({"fig7": {}}) == "obs"
+    with pytest.raises(ValueError):
+        detect_baseline_kind({"mystery": 1})
+
+
+# ----------------------------------------------------------------------
+# Verdicts
+# ----------------------------------------------------------------------
+
+
+def _report(baseline, current, **kwargs):
+    rounds = current if isinstance(current, list) else [current]
+    return compare_payloads(baseline, rounds, **kwargs)
+
+
+def test_identical_payload_passes():
+    payload = {"concurrent": {"throughput_tps": 3000, "threads": 4}}
+    report = _report(payload, dict(payload))
+    assert report.verdict == "pass"
+    assert report.exit_code == 0
+
+
+def test_large_throughput_drop_fails():
+    base = {"concurrent": {"throughput_tps": 3000}}
+    cur = {"concurrent": {"throughput_tps": 1500}}
+    report = _report(base, cur, threshold_pct=15)
+    assert report.verdict == "fail"
+    assert report.exit_code == 1
+    row = next(r for r in report.rows if r["metric"].endswith("tps"))
+    assert row["verdict"] == "fail"
+    assert row["delta_pct"] == -50.0
+
+
+def test_warn_only_downgrades_fail_to_warn_exit_zero():
+    base = {"concurrent": {"throughput_tps": 3000}}
+    cur = {"concurrent": {"throughput_tps": 1500}}
+    report = _report(base, cur, threshold_pct=15, warn_only=True)
+    assert report.verdict == "warn"
+    assert report.exit_code == 0
+
+
+def test_improvement_is_not_a_failure():
+    base = {"concurrent": {"throughput_tps": 3000, "median_commit_ms": 0.5}}
+    cur = {"concurrent": {"throughput_tps": 6000, "median_commit_ms": 0.2}}
+    report = _report(base, cur, threshold_pct=15)
+    assert report.verdict == "pass"
+    verdicts = {r["metric"]: r["verdict"] for r in report.rows}
+    assert verdicts["concurrent.throughput_tps"] == "improved"
+    assert verdicts["concurrent.median_commit_ms"] == "improved"
+
+
+def test_absolute_noise_floor_shields_tiny_ms_regressions():
+    # +0.06ms is +30% relative but far below timer noise on a fast op.
+    base = {"concurrent": {"median_commit_ms": 0.20}}
+    cur = {"concurrent": {"median_commit_ms": 0.26}}
+    report = _report(base, cur, threshold_pct=15)
+    assert report.verdict == "pass"
+    row = report.rows[0]
+    assert row["verdict"] == "pass"
+    assert "noise floor" in row.get("note", "")
+
+
+def test_tail_latency_is_info_only():
+    base = {"concurrent": {"p99_commit_ms": 1.0}}
+    cur = {"concurrent": {"p99_commit_ms": 50.0}}
+    report = _report(base, cur, threshold_pct=15)
+    assert report.verdict == "pass"
+    assert report.rows[0]["verdict"] == "info"
+
+
+def test_config_mismatch_warns():
+    base = {"concurrent": {"threads": 4}}
+    cur = {"concurrent": {"threads": 8}}
+    report = _report(base, cur)
+    assert report.rows[0]["verdict"] == "warn"
+    assert "workload shape" in report.rows[0]["note"]
+
+
+def test_metric_missing_from_current_is_info():
+    base = {"concurrent": {"throughput_tps": 3000, "new_metric": 7}}
+    cur = {"concurrent": {"throughput_tps": 3000}}
+    report = _report(base, cur)
+    assert report.verdict == "pass"
+    row = next(r for r in report.rows if r["metric"].endswith("new_metric"))
+    assert row["verdict"] == "info"
+    assert "missing" in row["note"]
+
+
+def test_best_of_n_takes_direction_aware_best():
+    base = {
+        "concurrent": {"throughput_tps": 3000, "median_commit_ms": 10.0}
+    }
+    rounds = [
+        {"concurrent": {"throughput_tps": 1000, "median_commit_ms": 30.0}},
+        {"concurrent": {"throughput_tps": 2950, "median_commit_ms": 10.1}},
+        {"concurrent": {"throughput_tps": 2000, "median_commit_ms": 20.0}},
+    ]
+    report = _report(base, rounds, threshold_pct=15)
+    assert report.verdict == "pass"
+    by_metric = {r["metric"]: r for r in report.rows}
+    assert by_metric["concurrent.throughput_tps"]["current"] == 2950
+    assert by_metric["concurrent.median_commit_ms"]["current"] == 10.1
+
+
+def test_render_and_to_dict_round_trip():
+    base = {"concurrent": {"throughput_tps": 3000, "p99_commit_ms": 1.0}}
+    cur = {"concurrent": {"throughput_tps": 2990, "p99_commit_ms": 2.0}}
+    report = _report(base, cur)
+    text = report.render(show_info=False)
+    assert "verdict: PASS" in text
+    assert "info-only" in text
+    assert "p99" not in text.split("verdict:")[0]  # hidden unless show_info
+    assert "p99" in report.render(show_info=True)
+    data = report.to_dict()
+    assert data["verdict"] == "pass"
+    assert isinstance(data["rows"], list)
+    json.dumps(data)  # must be JSON-serializable
+
+
+# ----------------------------------------------------------------------
+# File-vs-file mode
+# ----------------------------------------------------------------------
+
+
+def test_run_compare_file_vs_file(tmp_path):
+    base_path = tmp_path / "base.json"
+    cur_path = tmp_path / "cur.json"
+    base_path.write_text(
+        json.dumps(
+            {"single_thread": {"throughput_tps": 3000}, "concurrent": {}}
+        )
+    )
+    cur_path.write_text(
+        json.dumps(
+            {"single_thread": {"throughput_tps": 2990}, "concurrent": {}}
+        )
+    )
+    report = run_compare(str(base_path), current_path=str(cur_path))
+    assert report.verdict == "pass"
+    assert report.rounds == 1

@@ -1,0 +1,206 @@
+"""Tests for the sampling CPU profiler and the thread-role registry.
+
+The profiler is pure stdlib (``sys._current_frames`` on a daemon thread),
+so these tests exercise it for real: spin up worker threads with known
+roles, sample, and assert the folded stacks / top-N report attribute
+samples to the right role and frame.
+"""
+
+import gc
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    SamplingProfiler,
+    active_profile_snapshot,
+    active_profilers,
+    clear_thread_role,
+    profile,
+    set_thread_role,
+    thread_role,
+    thread_roles,
+)
+
+
+@pytest.fixture
+def busy_thread():
+    """A named worker spinning in a recognizable frame until released."""
+    stop = threading.Event()
+
+    def spin_forever():
+        set_thread_role("spinner")
+        while not stop.is_set():
+            sum(range(200))
+
+    thread = threading.Thread(target=spin_forever, name="busy", daemon=True)
+    thread.start()
+    # Wait for the role registration.
+    for _ in range(200):
+        if "spinner" in thread_roles().values():
+            break
+        time.sleep(0.005)
+    yield thread
+    stop.set()
+    thread.join(timeout=5)
+    clear_thread_role(thread.ident)
+
+
+# ----------------------------------------------------------------------
+# Role registry
+# ----------------------------------------------------------------------
+
+
+def test_set_and_clear_thread_role():
+    set_thread_role("test-role")
+    try:
+        assert thread_role() == "test-role"
+        assert thread_role(threading.get_ident()) == "test-role"
+    finally:
+        clear_thread_role()
+    assert thread_role() is None
+
+
+def test_role_does_not_survive_thread_death():
+    # OS thread idents are recycled; a dead thread's role must never be
+    # attributed to whichever new thread inherits its ident.
+    captured = {}
+
+    def short_lived():
+        set_thread_role("ghost")
+        captured["ident"] = threading.get_ident()
+
+    t = threading.Thread(target=short_lived)
+    t.start()
+    t.join()
+    gc.collect()
+    assert thread_role(captured["ident"]) is None
+    assert "ghost" not in thread_roles().values()
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+
+
+def test_sample_once_attributes_role_and_frames(busy_thread):
+    prof = SamplingProfiler(hz=50)
+    for _ in range(20):
+        prof.sample_once()
+    totals = prof.role_totals()
+    assert totals.get("spinner", 0) > 0
+    folded = prof.folded()
+    spinner_lines = [l for l in folded.splitlines() if l.startswith("spinner;")]
+    assert spinner_lines
+    assert any("spin_forever" in line for line in spinner_lines)
+
+
+def test_unregistered_thread_falls_back_to_thread_name(busy_thread):
+    clear_thread_role(busy_thread.ident)
+    prof = SamplingProfiler(hz=50)
+    for _ in range(10):
+        prof.sample_once()
+    assert prof.role_totals().get("busy", 0) > 0
+
+
+def test_folded_lines_end_with_integer_counts(busy_thread):
+    prof = SamplingProfiler(hz=50)
+    for _ in range(10):
+        prof.sample_once()
+    for line in prof.folded().splitlines():
+        stack, _, count = line.rpartition(" ")
+        assert stack and int(count) > 0
+        assert ";" in stack  # role;frame;…
+
+
+def test_background_sampler_start_stop(busy_thread):
+    with SamplingProfiler(hz=200) as prof:
+        assert prof.running
+        assert prof in active_profilers()
+        time.sleep(0.25)
+    assert not prof.running
+    assert prof not in active_profilers()
+    assert prof.samples > 0
+    assert prof.wall_elapsed > 0.2
+    snap = prof.snapshot(top_n=5)
+    assert snap["hz"] == 200
+    assert snap["thread_samples"] >= snap["samples"]
+    assert len(snap["top"]) <= 5
+    assert snap["roles"].get("spinner", 0) > 0
+
+
+def test_profile_helper_blocks_for_duration(busy_thread):
+    start = time.perf_counter()
+    prof = profile(seconds=0.2, hz=100)
+    elapsed = time.perf_counter() - start
+    assert elapsed >= 0.2
+    assert not prof.running
+    assert prof.samples > 0
+
+
+def test_top_self_le_cum_and_render(busy_thread):
+    prof = SamplingProfiler(hz=50)
+    for _ in range(20):
+        prof.sample_once()
+    rows = prof.top(10)
+    assert rows
+    for row in rows:
+        assert row["self"] <= row["cum"] or row["self"] >= 0
+        assert row["frame"]
+        assert row["roles"]
+    text = prof.render_top(5)
+    assert "self" in text and "%" in text
+
+
+def test_active_profile_snapshot_reflects_running_profiler(busy_thread):
+    assert active_profile_snapshot() is None
+    with SamplingProfiler(hz=100):
+        time.sleep(0.1)
+        snap = active_profile_snapshot(top_n=3)
+        assert snap is not None
+        assert snap["running"]
+    assert active_profile_snapshot() is None
+
+
+def test_sampler_skips_its_own_thread():
+    # The sampler must not count its own sampling loop.
+    with SamplingProfiler(hz=200) as prof:
+        time.sleep(0.2)
+    folded = prof.folded()
+    assert "obs-profiler" not in folded
+
+
+def test_max_depth_truncates_deep_stacks(busy_thread):
+    deep_stop = threading.Event()
+
+    def recurse(n):
+        if n == 0:
+            set_thread_role("deep")
+            deep_stop.wait()
+        else:
+            recurse(n - 1)
+
+    t = threading.Thread(target=lambda: recurse(120), daemon=True)
+    t.start()
+    for _ in range(200):
+        if "deep" in thread_roles().values():
+            break
+        time.sleep(0.005)
+    try:
+        prof = SamplingProfiler(hz=50, max_depth=16)
+        for _ in range(5):
+            prof.sample_once()
+        deep_lines = [
+            l for l in prof.folded().splitlines() if l.startswith("deep;")
+        ]
+        assert deep_lines
+        for line in deep_lines:
+            stack = line.rpartition(" ")[0].split(";")
+            # role + up to max_depth frames + "[truncated]" marker
+            assert len(stack) <= 1 + 16 + 1
+            assert "[truncated]" in stack
+    finally:
+        deep_stop.set()
+        t.join(timeout=5)
+        clear_thread_role(t.ident)
