@@ -10,6 +10,7 @@ from repro.attacks.tamper import (
     drop_and_recreate_table,
     fork_block,
     rewrite_row_value,
+    rewrite_shard_chain,
     tamper_column_type,
     tamper_nonclustered_index,
     tamper_transaction_entry,
@@ -23,6 +24,7 @@ __all__ = [
     "tamper_nonclustered_index",
     "tamper_transaction_entry",
     "fork_block",
+    "rewrite_shard_chain",
     "drop_and_recreate_table",
     "tamper_view_definition",
 ]

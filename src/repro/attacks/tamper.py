@@ -166,6 +166,52 @@ def fork_block(db, block_id: int) -> None:
     table.heap.tamper_record(rid, encode_record(table.schema, tuple(evil)))
 
 
+def rewrite_shard_chain(db, shift_seconds: int = 7) -> int:
+    """Rewrite an *entire* block chain self-consistently.
+
+    Unlike :func:`fork_block`, this adversary does the full job: every
+    closed block's ``closed_time`` is shifted and the ``previous_block_hash``
+    chain is recomputed from the first block forward, so the rewritten
+    chain passes invariant 2 and a digest generated *after* the rewrite
+    verifies cleanly.  Within one database this attack is invisible to
+    verification — which is exactly why a sharded deployment cross-checks
+    each shard's sealed tip against the Merkle super-chain
+    (:mod:`repro.core.super_chain`): the rewritten tip hash no longer
+    matches the one sealed in earlier super-blocks.
+
+    Returns the number of blocks rewritten.
+    """
+    import datetime as _dt
+
+    from repro.core.database_ledger import BLOCKS_TABLE
+    from repro.core.entries import BlockRow
+
+    db.pipeline.drain(seal_open=True)
+    table = db.engine.table(BLOCKS_TABLE)
+    chain = sorted(db.ledger.blocks(), key=lambda b: b.block_id)
+    if not chain:
+        raise AttackFailed("the chain has no closed blocks to rewrite")
+    delta = _dt.timedelta(seconds=shift_seconds)
+    previous_hash = None
+    for block in chain:
+        hit = table.seek([block.block_id])
+        if hit is None:
+            raise AttackFailed(f"block {block.block_id} not in {BLOCKS_TABLE}")
+        rid, _ = hit
+        rewritten = BlockRow(
+            block_id=block.block_id,
+            previous_block_hash=previous_hash,
+            transactions_root=block.transactions_root,
+            transaction_count=block.transaction_count,
+            closed_time=block.closed_time + delta,
+        )
+        table.heap.tamper_record(
+            rid, encode_record(table.schema, tuple(rewritten.to_row()))
+        )
+        previous_hash = rewritten.block_hash()
+    return len(chain)
+
+
 def drop_and_recreate_table(db, table_name: str, schema, rows) -> Table:
     """The §3.5.2 swap attack: drop a ledger table, recreate it with the
     same name and attacker-chosen contents.

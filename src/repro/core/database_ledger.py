@@ -59,10 +59,10 @@ from repro.engine.transaction import Transaction
 from repro.engine.types import BIGINT, DATETIME, VARBINARY, VARCHAR
 from repro.errors import DigestError, LedgerError
 from repro.faults import FAULTS
-from repro.obs import OBS
 from repro.obs.context import TraceContext
 from repro.obs.lockstats import InstrumentedRLock
 from repro.obs.tracing import build_lineage_tree, render_span_tree
+from repro.runtime import DEFAULT_CONTEXT, LedgerContext
 
 FAULTS.register(
     "ledger.flush_queue",
@@ -94,57 +94,62 @@ _MAX_BLOCK_TRACES = 64
 #: Cap on rendered lineage lines embedded in a ``txn.slow`` event.
 _MAX_SLOW_LINEAGE_LINES = 80
 
-_ENTRIES_ENQUEUED = OBS.metrics.counter(
-    "ledger_entries_enqueued_total",
-    "Transaction entries enqueued after durable commit",
-)
-_ENTRIES_FLUSHED = OBS.metrics.counter(
-    "ledger_entries_flushed_total",
-    "Transaction entries batch-inserted into the system table",
-)
-_QUEUE_DEPTH = OBS.metrics.gauge(
-    "ledger_queue_depth",
-    "Transaction entries currently waiting in the in-memory queue",
-)
-_SEALED_PENDING = OBS.metrics.gauge(
-    "ledger_sealed_blocks_pending",
-    "Blocks sealed by the sequencer but not yet closed by the block builder",
-)
-_BLOCKS_SEALED = OBS.metrics.counter(
-    "ledger_blocks_sealed_total", "Blocks sealed by the sequencer"
-)
-_BLOCKS_CLOSED = OBS.metrics.counter(
-    "ledger_blocks_closed_total", "Ledger blocks formed and appended"
-)
-_BLOCK_CLOSE_SECONDS = OBS.metrics.histogram(
-    "ledger_block_close_seconds",
-    "Time to form one block (flush, Merkle root, persist)",
-)
-_BLOCK_TRANSACTIONS = OBS.metrics.histogram(
-    "ledger_block_transactions",
-    "Transactions per closed block",
-    buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000),
-)
-_STAGE_SECONDS = OBS.metrics.histogram(
-    "pipeline_stage_seconds",
-    "Wall time per commit-pipeline stage operation "
-    "(seal, flush, merkle, persist, close, drain)",
-    ("stage",),
-)
-_QUEUE_WAIT_SECONDS = OBS.metrics.histogram(
-    "pipeline_queue_wait_seconds",
-    "Per-entry wait between durable enqueue and block-closure start",
-)
-_QUEUE_OLDEST_AGE = OBS.metrics.gauge(
-    "ledger_queue_oldest_age_seconds",
-    "Age of the oldest entry still waiting in the in-memory queue",
-)
-_DIGESTS_GENERATED = OBS.metrics.counter(
-    "digest_generated_total", "Database digests generated"
-)
-_DIGEST_GENERATE_SECONDS = OBS.metrics.histogram(
-    "digest_generate_seconds", "Digest generation latency"
-)
+def _ledger_metrics(reg):
+    class _Families:
+        entries_enqueued = reg.counter(
+            "ledger_entries_enqueued_total",
+            "Transaction entries enqueued after durable commit",
+        )
+        entries_flushed = reg.counter(
+            "ledger_entries_flushed_total",
+            "Transaction entries batch-inserted into the system table",
+        )
+        queue_depth = reg.gauge(
+            "ledger_queue_depth",
+            "Transaction entries currently waiting in the in-memory queue",
+        )
+        sealed_pending = reg.gauge(
+            "ledger_sealed_blocks_pending",
+            "Blocks sealed by the sequencer but not yet closed by the "
+            "block builder",
+        )
+        blocks_sealed = reg.counter(
+            "ledger_blocks_sealed_total", "Blocks sealed by the sequencer"
+        )
+        blocks_closed = reg.counter(
+            "ledger_blocks_closed_total", "Ledger blocks formed and appended"
+        )
+        block_close_seconds = reg.histogram(
+            "ledger_block_close_seconds",
+            "Time to form one block (flush, Merkle root, persist)",
+        )
+        block_transactions = reg.histogram(
+            "ledger_block_transactions",
+            "Transactions per closed block",
+            buckets=(1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000),
+        )
+        stage_seconds = reg.histogram(
+            "pipeline_stage_seconds",
+            "Wall time per commit-pipeline stage operation "
+            "(seal, flush, merkle, persist, close, drain)",
+            ("stage",),
+        )
+        queue_wait_seconds = reg.histogram(
+            "pipeline_queue_wait_seconds",
+            "Per-entry wait between durable enqueue and block-closure start",
+        )
+        queue_oldest_age = reg.gauge(
+            "ledger_queue_oldest_age_seconds",
+            "Age of the oldest entry still waiting in the in-memory queue",
+        )
+        digests_generated = reg.counter(
+            "digest_generated_total", "Database digests generated"
+        )
+        digest_generate_seconds = reg.histogram(
+            "digest_generate_seconds", "Digest generation latency"
+        )
+
+    return _Families
 
 
 def _transactions_schema() -> TableSchema:
@@ -179,18 +184,37 @@ def _blocks_schema() -> TableSchema:
 class DatabaseLedger:
     """Manages the blockchain of transaction blocks for one database."""
 
-    def __init__(self, engine: Database, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+    def __init__(
+        self,
+        engine: Database,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        ctx: Optional[LedgerContext] = None,
+    ) -> None:
         if block_size < 1:
             raise LedgerError("block size must be at least 1")
         self._engine = engine
         self._block_size = block_size
+        if ctx is None:
+            ctx = getattr(engine, "context", None) or DEFAULT_CONTEXT
+        self._ctx = ctx
+        self._obs = ctx.obs
+        self._faults = ctx.faults
+        self._m = ctx.metrics.handles("ledger", _ledger_metrics)
         #: Stage locks.  ``storage_lock`` is shared with every consumer of
         #: the (single-threaded) storage engine via LedgerDatabase/pipeline.
         #: Instrumented: wait/hold/contention per lock show up under
-        #: ``lock_*_seconds{lock="ledger.*"}`` and on ``/locks``.
-        self.storage_lock = InstrumentedRLock("ledger.storage")
-        self.sequencer_lock = InstrumentedRLock("ledger.sequencer")
-        self.queue_lock = InstrumentedRLock("ledger.queue")
+        #: ``lock_*_seconds{lock="ledger.*"}`` and on ``/locks``.  Named
+        #: ledgers (shards) get a ``@name`` suffix so side-by-side ledgers
+        #: never collide in the lock registry.
+        self.storage_lock = InstrumentedRLock(
+            ctx.scoped("ledger.storage"), metrics=ctx.metrics
+        )
+        self.sequencer_lock = InstrumentedRLock(
+            ctx.scoped("ledger.sequencer"), metrics=ctx.metrics
+        )
+        self.queue_lock = InstrumentedRLock(
+            ctx.scoped("ledger.queue"), metrics=ctx.metrics
+        )
         self._queue_cv = threading.Condition(self.queue_lock)
         self._queue: List[TransactionEntry] = []
         self._open_block_id = 0
@@ -238,6 +262,10 @@ class DatabaseLedger:
     @property
     def block_size(self) -> int:
         return self._block_size
+
+    @property
+    def context(self) -> LedgerContext:
+        return self._ctx
 
     @property
     def open_block_id(self) -> int:
@@ -324,14 +352,16 @@ class DatabaseLedger:
         count = self._open_ordinal
         with self.queue_lock:
             self._sealed.append((sealed_id, count))
-            if OBS.metrics.enabled:
-                _SEALED_PENDING.set(len(self._sealed))
+            if self._obs.metrics.enabled:
+                self._m.sealed_pending.set(len(self._sealed))
         self._open_block_id = sealed_id + 1
         self._open_ordinal = 0
-        if OBS.metrics.enabled:
-            _BLOCKS_SEALED.inc()
-            _STAGE_SECONDS.labels("seal").observe(time.perf_counter() - started)
-        OBS.events.emit(
+        if self._obs.metrics.enabled:
+            self._m.blocks_sealed.inc()
+            self._m.stage_seconds.labels("seal").observe(
+                time.perf_counter() - started
+            )
+        self._ctx.events.emit(
             "ledger", "block.sealed", block_id=sealed_id, transactions=count
         )
         return sealed_id
@@ -358,15 +388,15 @@ class DatabaseLedger:
             if self._sealed:
                 head_id, head_count = self._sealed[0]
                 ready = self._enqueued.get(head_id, 0) >= head_count
-            if OBS.metrics.enabled or OBS.tracer.enabled:
+            if self._obs.metrics.enabled or self._obs.tracer.enabled:
                 self._entry_meta[entry.transaction_id] = (
                     time.monotonic_ns(),
                     trace,
                 )
-            if OBS.metrics.enabled:
-                _ENTRIES_ENQUEUED.inc()
-                _QUEUE_DEPTH.set(len(self._queue))
-                _QUEUE_OLDEST_AGE.set(self._oldest_age_locked())
+            if self._obs.metrics.enabled:
+                self._m.entries_enqueued.inc()
+                self._m.queue_depth.set(len(self._queue))
+                self._m.queue_oldest_age.set(self._oldest_age_locked())
             self._queue_cv.notify_all()
         if ready and self._sealed_ready_callback is not None:
             self._sealed_ready_callback()
@@ -421,9 +451,9 @@ class DatabaseLedger:
             snapshot = list(self._queue)
         if not snapshot:
             return 0
-        FAULTS.fire("ledger.flush_queue", entries=len(snapshot))
+        self._faults.fire("ledger.flush_queue", entries=len(snapshot))
         started = time.perf_counter()
-        with self.storage_lock, OBS.tracer.span(
+        with self.storage_lock, self._obs.tracer.span(
             "ledger.flush_queue", entries=len(snapshot)
         ):
             table = self._transactions_table()
@@ -439,12 +469,14 @@ class DatabaseLedger:
             self._engine.commit(txn)
         with self.queue_lock:
             del self._queue[: len(snapshot)]
-            if OBS.metrics.enabled:
-                _QUEUE_DEPTH.set(len(self._queue))
-                _QUEUE_OLDEST_AGE.set(self._oldest_age_locked())
-        if OBS.metrics.enabled:
-            _ENTRIES_FLUSHED.inc(len(snapshot))
-            _STAGE_SECONDS.labels("flush").observe(time.perf_counter() - started)
+            if self._obs.metrics.enabled:
+                self._m.queue_depth.set(len(self._queue))
+                self._m.queue_oldest_age.set(self._oldest_age_locked())
+        if self._obs.metrics.enabled:
+            self._m.entries_flushed.inc(len(snapshot))
+            self._m.stage_seconds.labels("flush").observe(
+                time.perf_counter() - started
+            )
         return len(snapshot)
 
     def next_ready_block(self) -> Optional[Tuple[int, int]]:
@@ -472,8 +504,8 @@ class DatabaseLedger:
             with self.queue_lock:
                 self._sealed.popleft()
                 self._enqueued.pop(block_id, None)
-                if OBS.metrics.enabled:
-                    _SEALED_PENDING.set(len(self._sealed))
+                if self._obs.metrics.enabled:
+                    self._m.sealed_pending.set(len(self._sealed))
             self._closed_height = block_id
             return block
 
@@ -502,7 +534,7 @@ class DatabaseLedger:
         """
         started = time.perf_counter()
         build_start_ns = time.monotonic_ns()
-        tracer = OBS.tracer
+        tracer = self._obs.tracer
         with tracer.span("block.append", block_id=block_id) as span:
             self.flush_queue()
             entries = self.transactions_in_block(block_id)
@@ -515,12 +547,15 @@ class DatabaseLedger:
             # link the block span to their traces) before the fault point:
             # a kill-mode crash here must leave the waits in the black box.
             self._absorb_entry_meta(span, block_id, entries, build_start_ns)
-            FAULTS.fire("ledger.block_persist", block_id=block_id)
+            self._faults.fire("ledger.block_persist", block_id=block_id)
             merkle_started = time.perf_counter()
             with tracer.span("merkle.root", block_id=block_id):
-                tree = MerkleTree([entry.entry_hash() for entry in entries])
-            if OBS.metrics.enabled:
-                _STAGE_SECONDS.labels("merkle").observe(
+                tree = MerkleTree(
+                    [entry.entry_hash() for entry in entries],
+                    metrics=self._ctx.metrics,
+                )
+            if self._obs.metrics.enabled:
+                self._m.stage_seconds.labels("merkle").observe(
                     time.perf_counter() - merkle_started
                 )
             persist_started = time.perf_counter()
@@ -539,8 +574,8 @@ class DatabaseLedger:
                     txn, table.schema.row_from_visible(block.to_row())
                 )
                 self._engine.commit(txn)
-            if OBS.metrics.enabled:
-                _STAGE_SECONDS.labels("persist").observe(
+            if self._obs.metrics.enabled:
+                self._m.stage_seconds.labels("persist").observe(
                     time.perf_counter() - persist_started
                 )
             span.set_attribute("transactions", block.transaction_count)
@@ -550,13 +585,13 @@ class DatabaseLedger:
                     self._block_traces[block_id] = block_ctx.to_payload()
                     while len(self._block_traces) > _MAX_BLOCK_TRACES:
                         self._block_traces.pop(next(iter(self._block_traces)))
-        if OBS.metrics.enabled:
-            _BLOCKS_CLOSED.inc()
-            _BLOCK_TRANSACTIONS.observe(block.transaction_count)
+        if self._obs.metrics.enabled:
+            self._m.blocks_closed.inc()
+            self._m.block_transactions.observe(block.transaction_count)
             elapsed = time.perf_counter() - started
-            _BLOCK_CLOSE_SECONDS.observe(elapsed)
-            _STAGE_SECONDS.labels("close").observe(elapsed)
-        OBS.events.emit(
+            self._m.block_close_seconds.observe(elapsed)
+            self._m.stage_seconds.labels("close").observe(elapsed)
+        self._ctx.events.emit(
             "ledger", "block.closed",
             block_id=block.block_id, transactions=block.transaction_count,
         )
@@ -578,8 +613,8 @@ class DatabaseLedger:
         commit traces, and — when a wait crossed ``slow_txn_threshold`` —
         emits a ``txn.slow`` event carrying the worst commit's lineage tree.
         """
-        tracer = OBS.tracer
-        metrics_on = OBS.metrics.enabled
+        tracer = self._obs.tracer
+        metrics_on = self._obs.metrics.enabled
         with self.queue_lock:
             metas = {
                 entry.transaction_id: self._entry_meta.pop(
@@ -599,7 +634,7 @@ class DatabaseLedger:
             enqueue_ns, trace_payload = meta
             wait_seconds = max(0.0, (build_start_ns - enqueue_ns) / 1e9)
             if metrics_on:
-                _QUEUE_WAIT_SECONDS.observe(wait_seconds)
+                self._m.queue_wait_seconds.observe(wait_seconds)
             context = TraceContext.from_payload(trace_payload)
             if tracer.enabled and context is not None:
                 tracer.record_span(
@@ -617,7 +652,7 @@ class DatabaseLedger:
                 slow_count += 1
                 if slowest is None or wait_seconds > slowest[0]:
                     slowest = (wait_seconds, entry.transaction_id, context)
-        if slowest is not None and OBS.events.enabled:
+        if slowest is not None and self._obs.events.enabled:
             wait_seconds, tid, context = slowest
             lineage = ""
             if tracer.enabled and context is not None:
@@ -626,7 +661,7 @@ class DatabaseLedger:
                 )
                 lines = render_span_tree(roots).splitlines()
                 lineage = "\n".join(lines[:_MAX_SLOW_LINEAGE_LINES])
-            OBS.events.emit(
+            self._ctx.events.emit(
                 "ledger", "txn.slow",
                 tid=tid, block_id=block_id,
                 queue_wait_seconds=round(wait_seconds, 6),
@@ -670,7 +705,7 @@ class DatabaseLedger:
         pipeline first so in-flight commits are covered too.
         """
         started = time.perf_counter()
-        with self.storage_lock, OBS.tracer.span("digest.generate") as span:
+        with self.storage_lock, self._obs.tracer.span("digest.generate") as span:
             self.close_open_block()
             latest = self.latest_block()
             if latest is None:
@@ -693,9 +728,9 @@ class DatabaseLedger:
                 last_transaction_commit_time=last_commit,
                 digest_time=self._engine.clock(),
             )
-        _DIGESTS_GENERATED.inc()
-        _DIGEST_GENERATE_SECONDS.observe(time.perf_counter() - started)
-        OBS.events.emit(
+        self._m.digests_generated.inc()
+        self._m.digest_generate_seconds.observe(time.perf_counter() - started)
+        self._ctx.events.emit(
             "digest", "digest.generated",
             block_id=digest.block_id,
             block_hash=digest.block_hash.hex(),
@@ -873,9 +908,9 @@ class DatabaseLedger:
         self._enqueued = dict(entry_counts)
         if self._open_ordinal >= self._block_size:
             self._seal_locked()
-        if OBS.metrics.enabled:
-            _SEALED_PENDING.set(len(self._sealed))
-            _QUEUE_DEPTH.set(len(self._queue))
+        if self._obs.metrics.enabled:
+            self._m.sealed_pending.set(len(self._sealed))
+            self._m.queue_depth.set(len(self._queue))
 
     def _next_ordinal_in(self, block_id: int) -> int:
         """Highest assigned ordinal + 1 within ``block_id`` (table + queue)."""

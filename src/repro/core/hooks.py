@@ -29,43 +29,52 @@ from repro.engine.record import hashable_payload
 from repro.engine.table import Table
 from repro.engine.transaction import Transaction
 from repro.errors import AppendOnlyViolationError, LedgerConfigurationError
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT, LedgerContext
 
 _CONTEXT_KEY = "ledger"
 
-_ROWS_HASHED = OBS.metrics.counter(
-    "ledger_rows_hashed_total",
-    "Row versions hashed into per-transaction Merkle trees, by operation",
-    ("op",),
-)
-_ROWS_HASHED_BY_OP = {
-    op: _ROWS_HASHED.labels(op) for op in ("insert", "update", "delete")
-}
-_LEDGER_TRANSACTIONS = OBS.metrics.counter(
-    "ledger_transactions_total",
-    "Committed transactions that touched ledger tables",
-)
-_LEDGER_TABLES_PER_TXN = OBS.metrics.histogram(
-    "ledger_tables_per_transaction",
-    "Distinct ledger tables touched per ledger transaction",
-    buckets=(1, 2, 3, 5, 8, 13, 21),
-)
+
+def _hooks_metrics(reg):
+    class _Families:
+        rows_hashed = reg.counter(
+            "ledger_rows_hashed_total",
+            "Row versions hashed into per-transaction Merkle trees, "
+            "by operation",
+            ("op",),
+        )
+        rows_hashed_by_op = {
+            "insert": rows_hashed.labels("insert"),
+            "update": rows_hashed.labels("update"),
+            "delete": rows_hashed.labels("delete"),
+        }
+        transactions = reg.counter(
+            "ledger_transactions_total",
+            "Committed transactions that touched ledger tables",
+        )
+        tables_per_txn = reg.histogram(
+            "ledger_tables_per_transaction",
+            "Distinct ledger tables touched per ledger transaction",
+            buckets=(1, 2, 3, 5, 8, 13, 21),
+        )
+
+    return _Families
 
 
 class _LedgerTxContext:
     """Per-transaction ledger state: one Merkle hasher per ledger table,
     plus the operation sequence counter (§3.1)."""
 
-    __slots__ = ("hashers", "next_sequence")
+    __slots__ = ("hashers", "next_sequence", "_metrics")
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self.hashers: Dict[int, MerkleHasher] = {}
         self.next_sequence = 0
+        self._metrics = metrics
 
     def hasher_for(self, table_id: int) -> MerkleHasher:
         hasher = self.hashers.get(table_id)
         if hasher is None:
-            hasher = MerkleHasher()
+            hasher = MerkleHasher(metrics=self._metrics)
             self.hashers[table_id] = hasher
         return hasher
 
@@ -93,9 +102,12 @@ class _LedgerTxContext:
 class LedgerHooks(EngineHooks):
     """EngineHooks implementation wiring the ledger into the engine."""
 
-    def __init__(self) -> None:
+    def __init__(self, ctx: Optional[LedgerContext] = None) -> None:
         self._ledger: Optional[DatabaseLedger] = None
         self._engine = None
+        self._ctx = ctx if ctx is not None else DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._m = self._ctx.metrics.handles("ledger.hooks", _hooks_metrics)
         self._suppress_depth = 0
         # Recovery payloads buffered until the ledger layer is bound.
         self._recovered_payloads: List[dict] = []
@@ -229,7 +241,7 @@ class LedgerHooks(EngineHooks):
         self, txn: Transaction, context: _LedgerTxContext, table: Table,
         row: Sequence[Any], op: str,
     ) -> None:
-        tracer = OBS.tracer
+        tracer = self._obs.tracer
         if tracer.enabled:
             # Join the transaction's trace so hash spans land in the commit
             # lineage even when the statement runs inside an explicit
@@ -243,7 +255,7 @@ class LedgerHooks(EngineHooks):
         else:
             payload = hashable_payload(table.schema, row)
             context.hasher_for(table.table_id).append(hash_leaf(payload))
-        _ROWS_HASHED_BY_OP[op].inc()
+        self._m.rows_hashed_by_op[op].inc()
 
     def _require_updateable(self, table: Table, operation: str) -> None:
         if table.options.get("ledger_type") == "append_only":
@@ -263,7 +275,7 @@ class LedgerHooks(EngineHooks):
     def _context(self, txn: Transaction) -> _LedgerTxContext:
         context = txn.context.get(_CONTEXT_KEY)
         if context is None:
-            context = _LedgerTxContext()
+            context = _LedgerTxContext(metrics=self._ctx.metrics)
             txn.context[_CONTEXT_KEY] = context
         return context
 
@@ -276,7 +288,7 @@ class LedgerHooks(EngineHooks):
         if context is None or not context.hashers:
             return None
         assert self._ledger is not None
-        with OBS.tracer.span("ledger.pre_commit", tid=txn.tid):
+        with self._obs.tracer.span("ledger.pre_commit", tid=txn.tid):
             table_roots: Tuple[Tuple[int, bytes], ...] = tuple(
                 sorted(
                     (tid, hasher.root())
@@ -284,14 +296,14 @@ class LedgerHooks(EngineHooks):
                 )
             )
             entry = self._ledger.assign(txn, table_roots)
-        _LEDGER_TRANSACTIONS.inc()
-        _LEDGER_TABLES_PER_TXN.observe(len(table_roots))
+        self._m.transactions.inc()
+        self._m.tables_per_txn.observe(len(table_roots))
         payload = entry.to_payload()
         # Ride the trace context on the COMMIT payload so post_commit (and
         # through it the block builder) can attach to the commit's trace.
         # The entry's canonical bytes were hashed from the entry itself, and
         # from_payload ignores unknown keys, so this never affects digests.
-        trace = OBS.tracer.capture_context()
+        trace = self._obs.tracer.capture_context()
         if trace is not None:
             payload["trace"] = trace.to_payload()
         return payload

@@ -43,7 +43,11 @@ from repro.engine.table import Table
 from repro.engine.transaction import Transaction
 from repro.engine.types import BIGINT, INT, VARBINARY, VARCHAR
 from repro.errors import LedgerConfigurationError, TableNotFoundError
-from repro.obs import OBS
+from repro.runtime import (
+    LedgerContext,
+    claim_instance_name,
+    release_instance_name,
+)
 
 CONFIG_TABLE = "__ledger_config"
 VIEWS_TABLE = "__ledger_views"
@@ -69,18 +73,26 @@ class LedgerDatabase:
         engine: Database,
         hooks: LedgerHooks,
         ledger: DatabaseLedger,
+        ctx: Optional[LedgerContext] = None,
     ) -> None:
         self.engine = engine
         self.hooks = hooks
         self.ledger = ledger
+        self._ctx = ctx if ctx is not None else ledger.context
+        self._owns_instance_name = False
         #: Stage 3 of the commit pipeline: the background block builder and
         #: the ``drain()`` barrier (started by :meth:`open`).
-        self.pipeline = LedgerPipeline(ledger)
+        self.pipeline = LedgerPipeline(ledger, ctx=self._ctx)
         self._signing_key = None
         self._sql_session = None
         self._monitor = None
         self._obs_server = None
         self._flight_recorder = None
+
+    @property
+    def context(self) -> LedgerContext:
+        """This instance's obs/fault scope (see :mod:`repro.runtime`)."""
+        return self._ctx
 
     @property
     def ledger_lock(self):
@@ -105,26 +117,50 @@ class LedgerDatabase:
         block_size: Optional[int] = None,
         clock: Optional[Callable[[], dt.datetime]] = None,
         sync: bool = False,
+        ctx: Optional[LedgerContext] = None,
+        instance: Optional[str] = None,
     ) -> "LedgerDatabase":
-        """Open (bootstrapping or recovering) a ledger database at ``path``."""
-        hooks = LedgerHooks()
-        engine = Database.open(path, hooks=hooks, clock=clock, sync=sync)
+        """Open (bootstrapping or recovering) a ledger database at ``path``.
+
+        ``ctx`` supplies a pre-built instance scope (shards pass one in);
+        otherwise a name is claimed automatically — the first open in a
+        process gets the bare default scope, concurrent extras get ``i2``,
+        ``i3`` … so their locks and thread roles never collide.  Pass
+        ``instance`` to pick the name explicitly.
+        """
+        owns_name = False
+        if ctx is None:
+            name = claim_instance_name(instance)
+            ctx = LedgerContext(name=name)
+            owns_name = True
+        try:
+            hooks = LedgerHooks(ctx=ctx)
+            engine = Database.open(
+                path, hooks=hooks, clock=clock, sync=sync, ctx=ctx
+            )
+        except Exception:
+            if owns_name:
+                release_instance_name(ctx.name)
+            raise
         fresh = not engine.has_table(CONFIG_TABLE)
         effective_block_size = block_size or FACADE_DEFAULT_BLOCK_SIZE
         if not fresh and block_size is None:
             stored = cls._read_config_static(engine, "block_size")
             if stored is not None:
                 effective_block_size = int(stored)
-        ledger = DatabaseLedger(engine, block_size=effective_block_size)
+        ledger = DatabaseLedger(
+            engine, block_size=effective_block_size, ctx=ctx
+        )
         hooks.bind(engine, ledger)
-        db = cls(engine, hooks, ledger)
+        db = cls(engine, hooks, ledger, ctx=ctx)
+        db._owns_instance_name = owns_name
         if fresh:
             db._bootstrap(effective_block_size)
         else:
             payloads, state = hooks.take_recovery_data()
             ledger.recover(payloads, state)
             db._load_truncation_anchor()
-            OBS.events.emit(
+            ctx.events.emit(
                 "recovery", "recovery.ledger_recovered",
                 path=path, queued_entries=len(payloads),
                 open_block_id=ledger.open_block_id,
@@ -148,6 +184,9 @@ class LedgerDatabase:
         else:
             self.pipeline.stop(drain=False)
         self.engine.close()
+        if self._owns_instance_name:
+            release_instance_name(self._ctx.name)
+            self._owns_instance_name = False
 
     def checkpoint(self) -> None:
         """Checkpoint the engine after closing every closable block."""
@@ -159,6 +198,11 @@ class LedgerDatabase:
         """Crash without draining: sealed blocks are left for recovery."""
         self.pipeline.stop(drain=False)
         self.engine.simulate_crash()
+        # The "process" died: its instance name frees up for the reopened
+        # incarnation, which would otherwise claim a fresh ``iN`` scope.
+        if self._owns_instance_name:
+            release_instance_name(self._ctx.name)
+            self._owns_instance_name = False
 
     def backup(self, destination: str) -> None:
         """Checkpoint and copy the database directory (cold backup, §3.7)."""
@@ -393,7 +437,7 @@ class LedgerDatabase:
             txn = self.begin(username="ledger_system")
             self._register_ledger_table(txn, table)
             self.commit(txn)
-        OBS.events.emit(
+        self._ctx.events.emit(
             "schema", "schema.table_created",
             table=table.name, ledger_type=ledger_type,
         )
@@ -430,7 +474,7 @@ class LedgerDatabase:
         )
         self.commit(txn)
         self._update_view_registration(f"{name}_ledger", table)
-        OBS.events.emit(
+        self._ctx.events.emit(
             "schema", "schema.table_dropped",
             table=name, renamed_to=dropped_name,
         )
@@ -665,16 +709,14 @@ class LedgerDatabase:
 
     @property
     def telemetry(self):
-        """The process-wide :class:`repro.obs.Telemetry` instance.
+        """This instance's :class:`repro.obs.Telemetry`.
 
-        Telemetry is process-global (like a Prometheus default registry)
-        because instrumentation lives in modules that predate any database
-        instance; this accessor is the supported way to reach it from a
-        database handle.
+        Resolved through the instance context — the default context wraps
+        the process-wide singleton (like a Prometheus default registry), so
+        a plain ``open()`` behaves exactly as before, while shards can carry
+        their own Telemetry.
         """
-        from repro.obs import OBS
-
-        return OBS
+        return self._ctx.obs
 
     def get_metrics(self):
         """The metrics registry recording this process's ledger activity."""

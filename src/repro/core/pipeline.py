@@ -39,9 +39,9 @@ from typing import Dict, Optional
 
 from repro.errors import LedgerError
 from repro.faults import FAULTS
-from repro.obs import OBS
 from repro.obs.lockstats import InstrumentedLock
 from repro.obs.profiler import set_thread_role
+from repro.runtime import DEFAULT_CONTEXT, LedgerContext
 
 FAULTS.register(
     "pipeline.builder",
@@ -50,24 +50,29 @@ FAULTS.register(
     "the crash are closed by the replacement (or inline by drain()).",
 )
 
-_BUILDER_CYCLES = OBS.metrics.counter(
-    "pipeline_builder_cycles_total",
-    "Block-builder wake-ups by outcome",
-    ("outcome",),
-)
-_BUILDER_RUNNING = OBS.metrics.gauge(
-    "pipeline_builder_running",
-    "1 while the block-builder thread is alive",
-)
-_DRAINS = OBS.metrics.counter(
-    "pipeline_drains_total", "Pipeline drain barriers executed"
-)
-_STAGE_SECONDS = OBS.metrics.histogram(
-    "pipeline_stage_seconds",
-    "Wall time per commit-pipeline stage operation "
-    "(seal, flush, merkle, persist, close, drain)",
-    ("stage",),
-)
+
+def _pipeline_metrics(reg):
+    class _Families:
+        builder_cycles = reg.counter(
+            "pipeline_builder_cycles_total",
+            "Block-builder wake-ups by outcome",
+            ("outcome",),
+        )
+        builder_running = reg.gauge(
+            "pipeline_builder_running",
+            "1 while the block-builder thread is alive",
+        )
+        drains = reg.counter(
+            "pipeline_drains_total", "Pipeline drain barriers executed"
+        )
+        stage_seconds = reg.histogram(
+            "pipeline_stage_seconds",
+            "Wall time per commit-pipeline stage operation "
+            "(seal, flush, merkle, persist, close, drain)",
+            ("stage",),
+        )
+
+    return _Families
 
 #: How long a drain waits for in-flight commits before giving up.  Commits
 #: hold the storage lock from sequencing through enqueue, so under the lock
@@ -85,11 +90,24 @@ _BACKOFF_MAX = 1.0
 class LedgerPipeline:
     """Owns the block-builder thread and the drain barrier for one ledger."""
 
-    def __init__(self, ledger, restart_cap: int = DEFAULT_RESTART_CAP) -> None:
+    def __init__(
+        self,
+        ledger,
+        restart_cap: int = DEFAULT_RESTART_CAP,
+        ctx: Optional[LedgerContext] = None,
+    ) -> None:
         self._ledger = ledger
+        if ctx is None:
+            ctx = getattr(ledger, "context", None) or DEFAULT_CONTEXT
+        self._ctx = ctx
+        self._obs = ctx.obs
+        self._faults = ctx.faults
+        self._m = ctx.metrics.handles("pipeline", _pipeline_metrics)
         # The condition's mutex is instrumented: waits here are commits
         # notifying a busy builder, holds are builder scheduling decisions.
-        self._wakeup = threading.Condition(InstrumentedLock("pipeline.wakeup"))
+        self._wakeup = threading.Condition(
+            InstrumentedLock(ctx.scoped("pipeline.wakeup"), metrics=ctx.metrics)
+        )
         self._pending_wakeups = 0
         self._stop_requested = False
         self._thread: Optional[threading.Thread] = None
@@ -128,12 +146,13 @@ class LedgerPipeline:
         self._pending_wakeups = 1
         self._ledger.set_sealed_ready_callback(self._notify)
         self._thread = threading.Thread(
-            target=self._run, name="ledger-block-builder", daemon=True
+            target=self._run, name=self._ctx.scoped("ledger-block-builder"),
+            daemon=True,
         )
         self._thread.start()
-        if OBS.metrics.enabled:
-            _BUILDER_RUNNING.set(1)
-        OBS.events.emit("ledger", "pipeline.started")
+        if self._obs.metrics.enabled:
+            self._m.builder_running.set(1)
+        self._ctx.events.emit("ledger", "pipeline.started")
         return self
 
     def stop(self, drain: bool = True, timeout: float = 10.0) -> None:
@@ -157,9 +176,9 @@ class LedgerPipeline:
         leaked = thread.is_alive()
         self._thread = None
         self._ledger.set_sealed_ready_callback(None)
-        if OBS.metrics.enabled:
-            _BUILDER_RUNNING.set(0)
-        OBS.events.emit(
+        if self._obs.metrics.enabled:
+            self._m.builder_running.set(0)
+        self._ctx.events.emit(
             "ledger", "pipeline.stopped",
             blocks_built=self._blocks_built, joined=not leaked,
         )
@@ -183,7 +202,7 @@ class LedgerPipeline:
         entries of the open block as "uncovered".
         """
         started = time.perf_counter()
-        with OBS.tracer.span("pipeline.drain", seal_open=seal_open) as span:
+        with self._obs.tracer.span("pipeline.drain", seal_open=seal_open) as span:
             if seal_open:
                 self._ledger.seal_open_block()
             if not self._ledger.wait_for_sealed_entries(timeout):
@@ -195,9 +214,9 @@ class LedgerPipeline:
                 closed += 1
             span.set_attribute("blocks", closed)
         self._drains += 1
-        if OBS.metrics.enabled:
-            _DRAINS.inc()
-            _STAGE_SECONDS.labels("drain").observe(
+        if self._obs.metrics.enabled:
+            self._m.drains.inc()
+            self._m.stage_seconds.labels("drain").observe(
                 time.perf_counter() - started
             )
 
@@ -236,8 +255,8 @@ class LedgerPipeline:
         # Restarted builders may reuse a thread-local slot that still holds
         # the crashed incarnation's span stack; start from a clean stack so
         # builder spans never parent under a dead ancestor.
-        OBS.tracer.reset_thread()
-        set_thread_role("block-builder")
+        self._obs.tracer.reset_thread()
+        set_thread_role(self._ctx.scoped("block-builder"))
         if backoff:
             time.sleep(backoff)
         try:
@@ -255,7 +274,7 @@ class LedgerPipeline:
                 self._pending_wakeups = 0
             built = 0
             while not self._stop_requested:
-                FAULTS.fire("pipeline.builder")
+                self._faults.fire("pipeline.builder")
                 block = self._ledger.close_next_ready_block()
                 if block is None:
                     break
@@ -263,9 +282,9 @@ class LedgerPipeline:
             self._blocks_built += built
             # A full cycle without an exception ends any crash streak.
             self._restart_streak = 0
-            if OBS.metrics.enabled:
+            if self._obs.metrics.enabled:
                 outcome = "built" if built else "idle"
-                _BUILDER_CYCLES.labels(outcome).inc()
+                self._m.builder_cycles.labels(outcome).inc()
 
     def _supervise_crash(self, exc: Exception) -> None:
         """Runs on the dying builder thread: record, then restart or give up.
@@ -276,9 +295,9 @@ class LedgerPipeline:
         """
         self._builder_errors += 1
         self._last_error = f"{type(exc).__name__}: {exc}"
-        if OBS.metrics.enabled:
-            _BUILDER_CYCLES.labels("error").inc()
-        OBS.events.emit(
+        if self._obs.metrics.enabled:
+            self._m.builder_cycles.labels("error").inc()
+        self._ctx.events.emit(
             "ledger", "pipeline.builder_crashed",
             error=self._last_error, streak=self._restart_streak + 1,
         )
@@ -288,9 +307,9 @@ class LedgerPipeline:
             self._restart_streak += 1
             if self._restart_streak > self._restart_cap:
                 self._supervisor_gave_up = True
-                if OBS.metrics.enabled:
-                    _BUILDER_RUNNING.set(0)
-                OBS.events.emit(
+                if self._obs.metrics.enabled:
+                    self._m.builder_running.set(0)
+                self._ctx.events.emit(
                     "ledger", "pipeline.builder_gave_up",
                     crashes=self._restart_streak, error=self._last_error,
                 )
@@ -304,13 +323,13 @@ class LedgerPipeline:
             self._pending_wakeups = max(self._pending_wakeups, 1)
             replacement = threading.Thread(
                 target=self._run, args=(backoff,),
-                name="ledger-block-builder", daemon=True,
+                name=self._ctx.scoped("ledger-block-builder"), daemon=True,
             )
             # Install before starting so pipeline.running never flickers
             # False between the crash and the restart.
             self._thread = replacement
             replacement.start()
-        OBS.events.emit(
+        self._ctx.events.emit(
             "ledger", "pipeline.builder_restarted",
             attempt=self._restarts, backoff_seconds=round(backoff, 4),
         )

@@ -27,7 +27,11 @@ from repro.engine.operators import insert_rows, update_rows
 from repro.engine.schema import Column
 from repro.engine.types import SqlType
 from repro.errors import LedgerConfigurationError
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT
+
+
+def _events(db):
+    return (getattr(db, "context", None) or DEFAULT_CONTEXT).events
 
 
 def add_column(db, table_name: str, column: Column) -> None:
@@ -50,7 +54,7 @@ def add_column(db, table_name: str, column: Column) -> None:
     # The canonical view definition includes the column list; re-register it
     # so the §3.4.2 view check keeps passing.
     db._update_view_registration(f"{table.name}_ledger", table)
-    OBS.events.emit(
+    _events(db).emit(
         "schema", "schema.column_added",
         table=table_name, column=column.name,
         type=column.sql_type.render(),
@@ -72,7 +76,7 @@ def drop_column(db, table_name: str, column_name: str) -> None:
     dropped_name = new_schema.columns[target.ordinal].name
     _record_column_dropped(db, table, target.ordinal, dropped_name)
     db._update_view_registration(f"{table.name}_ledger", table)
-    OBS.events.emit(
+    _events(db).emit(
         "schema", "schema.column_dropped",
         table=table_name, column=column_name, renamed_to=dropped_name,
     )
@@ -121,7 +125,7 @@ def alter_column_type(
         db.rollback(txn)
         raise
     db.commit(txn)
-    OBS.events.emit(
+    _events(db).emit(
         "schema", "schema.column_altered",
         table=table_name, column=column_name, new_type=new_type.render(),
     )

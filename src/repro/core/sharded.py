@@ -1,0 +1,794 @@
+"""Sharded ledger partitions under one Merkle super-chain.
+
+A single :class:`~repro.core.ledger_database.LedgerDatabase` serializes every
+commit through one staged pipeline.  :class:`ShardedLedger` runs **N
+independent partitions** — each a complete engine + Database Ledger with its
+own WAL, staged pipeline, block chain, digests and verification — and routes
+every statement to exactly one of them by table name:
+
+* explicit ``table_map`` entries win (co-locate tables that must share a
+  transaction);
+* everything else hashes: ``zlib.crc32(table_name) % shards``.
+
+Transactions never span shards: a shard *is* the unit of serialization, so
+cross-shard writes would need a second commit protocol the paper does not
+have.  The routing layer enforces this by construction — every DML/SQL call
+resolves one table, hence one shard.
+
+Observability and fault isolation ride on :mod:`repro.runtime`: each shard
+gets a :class:`~repro.runtime.LedgerContext` named ``s0`` … ``s{N-1}`` with
+its **own** :class:`~repro.faults.registry.FaultRegistry`, so lock names and
+thread roles carry ``@s<i>`` suffixes, events carry ``shard=s<i>``, and
+arming a crash fault for one shard leaves its neighbours running.
+
+The **super-chain** (:mod:`repro.core.super_chain`) is the ledger-of-ledgers:
+:meth:`ShardedLedger.seal_super_block` drains every shard, collects the
+chain tips and seals them under one Merkle root — the single value worth
+anchoring externally.  :meth:`ShardedLedger.verify` fans every shard through
+the existing verification stack and then re-derives the super-root from the
+live chains, which is what catches the attack per-shard verification cannot:
+a whole shard chain rewritten self-consistently, digests and all.
+:class:`SuperChainMonitor` runs that cross-check continuously and emits
+``tamper.detected`` (with the guilty ``shard=``) within one cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.core.super_chain import (
+    EMPTY_TIP_BLOCK_ID,
+    EMPTY_TIP_HASH,
+    ShardTip,
+    SuperChain,
+    super_root,
+)
+from repro.errors import DigestError, LedgerConfigurationError
+from repro.faults.registry import FaultRegistry
+from repro.obs import OBS
+from repro.runtime import (
+    LedgerContext,
+    claim_instance_name,
+    release_instance_name,
+)
+
+META_FILE = "sharded.json"
+SUPER_CHAIN_FILE = "super_chain.jsonl"
+
+#: Tables a FROM/INTO/UPDATE/TABLE clause can be extracted from; the first
+#: matching pattern routes the statement.
+_STATEMENT_TABLE_PATTERNS = (
+    re.compile(r"\bINTO\s+([A-Za-z_][A-Za-z0-9_]*)", re.IGNORECASE),
+    re.compile(r"^\s*UPDATE\s+([A-Za-z_][A-Za-z0-9_]*)", re.IGNORECASE),
+    re.compile(r"\bFROM\s+([A-Za-z_][A-Za-z0-9_]*)", re.IGNORECASE),
+    re.compile(r"\bTABLE\s+([A-Za-z_][A-Za-z0-9_]*)", re.IGNORECASE),
+)
+
+
+def shard_name(index: int) -> str:
+    return f"s{index}"
+
+
+def hash_shard_index(table_name: str, shard_count: int) -> int:
+    """Stable hash routing: crc32 of the table name modulo the shard count."""
+    return zlib.crc32(table_name.encode("utf-8")) % shard_count
+
+
+def _super_metrics(reg):
+    class _Families:
+        sealed = reg.counter(
+            "super_blocks_sealed_total",
+            "Super-blocks sealed over per-shard chain tips",
+        )
+        height = reg.gauge(
+            "super_chain_height", "Id of the latest sealed super-block"
+        )
+        mismatches = reg.counter(
+            "super_root_mismatch_total",
+            "Super-root cross-check failures, by guilty shard",
+            ("shard",),
+        )
+        cycles = reg.counter(
+            "super_monitor_cycles_total",
+            "Super-chain monitor cycles, by outcome",
+            ("outcome",),
+        )
+
+    return _Families
+
+
+class ShardedVerificationReport:
+    """Outcome of a cross-shard :meth:`ShardedLedger.verify` run."""
+
+    def __init__(
+        self,
+        per_shard: Dict[str, Any],
+        super_chain_findings: List[str],
+        root_check: Dict[str, Any],
+    ) -> None:
+        #: shard name -> per-shard VerificationReport (None for empty shards).
+        self.per_shard = per_shard
+        self.super_chain_findings = super_chain_findings
+        self.root_check = root_check
+
+    @property
+    def ok(self) -> bool:
+        shards_ok = all(
+            report is None or report.ok for report in self.per_shard.values()
+        )
+        return (
+            shards_ok
+            and not self.super_chain_findings
+            and self.root_check.get("ok", True)
+        )
+
+    def failed_shards(self) -> List[str]:
+        out = [
+            name
+            for name, report in self.per_shard.items()
+            if report is not None and not report.ok
+        ]
+        for name, entry in self.root_check.get("per_shard", {}).items():
+            if not entry["ok"] and name not in out:
+                out.append(name)
+        return sorted(out)
+
+    def summary(self) -> str:
+        verified = sum(1 for r in self.per_shard.values() if r is not None)
+        lines = [
+            f"cross-shard verification {'PASSED' if self.ok else 'FAILED'}: "
+            f"{verified}/{len(self.per_shard)} shards verified, "
+            f"super-root "
+            + (
+                "re-derived and matched"
+                if self.root_check.get("ok", True)
+                else "MISMATCH"
+            )
+        ]
+        for name in sorted(self.per_shard):
+            report = self.per_shard[name]
+            if report is None:
+                lines.append(f"  {name}: empty (nothing to verify)")
+            elif report.ok:
+                lines.append(f"  {name}: ok")
+            else:
+                lines.append(f"  {name}: FAILED — {report.summary()}")
+        for finding in self.super_chain_findings:
+            lines.append(f"  super-chain: {finding}")
+        for name, entry in sorted(
+            self.root_check.get("per_shard", {}).items()
+        ):
+            if not entry["ok"]:
+                lines.append(
+                    f"  super-root: shard {name} tip no longer matches the "
+                    f"sealed super-block (chain rewritten?)"
+                )
+        return "\n".join(lines)
+
+
+class ShardedLedger:
+    """N ledger partitions behind one router and one super-chain."""
+
+    def __init__(
+        self,
+        path: str,
+        shards: List[LedgerDatabase],
+        table_map: Dict[str, int],
+        super_chain: SuperChain,
+        clock: Callable[[], Any],
+    ) -> None:
+        self.path = path
+        self.shards = shards
+        self.table_map = dict(table_map)
+        self.super_chain = super_chain
+        self._clock = clock
+        self._seal_lock = threading.Lock()
+        self._super_monitor: Optional[SuperChainMonitor] = None
+        self._obs_server = None
+        self._sessions: Dict[int, Any] = {}
+        self._m = OBS.metrics.handles("super_chain", _super_metrics)
+        self._m.height.set(super_chain.height)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        shards: Optional[int] = None,
+        table_map: Optional[Dict[str, int]] = None,
+        block_size: Optional[int] = None,
+        clock: Optional[Callable[[], Any]] = None,
+        sync: bool = False,
+    ) -> "ShardedLedger":
+        """Open (creating or recovering) a sharded deployment at ``path``.
+
+        The shard count and explicit table map are fixed at creation and
+        persisted in ``sharded.json``; reopening with a conflicting
+        ``shards=`` raises rather than silently re-routing tables.
+        """
+        meta_path = os.path.join(path, META_FILE)
+        if os.path.exists(meta_path):
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+            if shards is not None and shards != meta["shards"]:
+                raise LedgerConfigurationError(
+                    f"deployment at {path!r} has {meta['shards']} shards; "
+                    f"cannot reopen with shards={shards} (routing would "
+                    "change and strand rows)"
+                )
+            shard_count = int(meta["shards"])
+            stored_map = {
+                name: int(index)
+                for name, index in meta.get("table_map", {}).items()
+            }
+        else:
+            shard_count = shards if shards is not None else 2
+            if shard_count < 1:
+                raise LedgerConfigurationError(
+                    "a sharded deployment needs at least 1 shard"
+                )
+            stored_map = dict(table_map or {})
+            for name, index in stored_map.items():
+                if not 0 <= index < shard_count:
+                    raise LedgerConfigurationError(
+                        f"table_map routes {name!r} to shard {index}, but "
+                        f"only shards 0..{shard_count - 1} exist"
+                    )
+            os.makedirs(path, exist_ok=True)
+            with open(meta_path, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {"version": 1, "shards": shard_count,
+                     "table_map": stored_map},
+                    fh, indent=2, sort_keys=True,
+                )
+                fh.write("\n")
+
+        opened: List[LedgerDatabase] = []
+        try:
+            for index in range(shard_count):
+                name = shard_name(index)
+                claim_instance_name(name)
+                faults = FaultRegistry()
+                ctx = LedgerContext(name=name, faults=faults)
+                # Route this shard's fault.injected events through the
+                # scoped log so they carry shard= like everything else.
+                faults.set_events(ctx.events)
+                try:
+                    db = LedgerDatabase.open(
+                        os.path.join(path, f"shard-{index:02d}"),
+                        block_size=block_size,
+                        clock=clock,
+                        sync=sync,
+                        ctx=ctx,
+                    )
+                except Exception:
+                    release_instance_name(name)
+                    raise
+                opened.append(db)
+        except Exception:
+            for db in opened:
+                db.close()
+                release_instance_name(db.context.name)
+            raise
+
+        chain = SuperChain(os.path.join(path, SUPER_CHAIN_FILE))
+        effective_clock = clock or opened[0].engine.clock
+        return cls(path, opened, stored_map, chain, effective_clock)
+
+    def close(self) -> None:
+        self.stop_super_monitor()
+        self.stop_obs_server()
+        for db in self.shards:
+            db.close()
+            release_instance_name(db.context.name)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard(self, index: int) -> LedgerDatabase:
+        return self.shards[index]
+
+    def shard_names(self) -> List[str]:
+        return [db.context.name for db in self.shards]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def shard_index_for_table(self, table_name: str) -> int:
+        explicit = self.table_map.get(table_name)
+        if explicit is not None:
+            return explicit
+        return hash_shard_index(table_name, self.shard_count)
+
+    def route(self, table_name: str) -> LedgerDatabase:
+        """The shard owning ``table_name``."""
+        return self.shards[self.shard_index_for_table(table_name)]
+
+    def routing_table(self) -> Dict[str, Any]:
+        """Current table -> shard assignments, for introspection."""
+        assignments: Dict[str, Any] = {}
+        for index, db in enumerate(self.shards):
+            for table in db.ledger_tables():
+                assignments[table.name] = {
+                    "shard": db.context.name,
+                    "index": index,
+                    "explicit": table.name in self.table_map,
+                }
+        return assignments
+
+    @staticmethod
+    def table_in_statement(statement: str) -> Optional[str]:
+        for pattern in _STATEMENT_TABLE_PATTERNS:
+            match = pattern.search(statement)
+            if match:
+                return match.group(1)
+        return None
+
+    def sql(self, statement: str):
+        """Route one SQL statement to the owning shard and execute it.
+
+        Statement-level routing only: BEGIN/COMMIT affect a single shard's
+        session, so multi-statement transactions must stick to tables of one
+        shard.  Statements naming no table cannot be routed.
+        """
+        table = self.table_in_statement(statement)
+        if table is None:
+            raise LedgerConfigurationError(
+                "cannot route statement to a shard: no table name found in "
+                f"{statement!r}"
+            )
+        index = self.shard_index_for_table(table)
+        session = self._sessions.get(index)
+        if session is None:
+            from repro.sql.session import SqlSession
+
+            session = SqlSession(self.shards[index])
+            self._sessions[index] = session
+        return session.execute(statement)
+
+    # -- direct-API conveniences (single-shard autocommit) -----------------
+
+    def create_ledger_table(self, schema, ledger_type: str = "updateable"):
+        return self.route(schema.name).create_ledger_table(
+            schema, ledger_type=ledger_type
+        )
+
+    def insert(self, table_name: str, rows: Sequence[Sequence[Any]],
+               username: str = "app_user") -> int:
+        db = self.route(table_name)
+        # Serialize whole autocommits per shard, exactly like SqlSession:
+        # the storage engine's table locks are conflict-detecting, not
+        # blocking, so concurrent writers must queue here.
+        with db.ledger_lock:
+            txn = db.begin(username=username)
+            try:
+                count = db.insert(txn, table_name, rows)
+            except Exception:
+                db.rollback(txn)
+                raise
+            db.commit(txn)
+        return count
+
+    def select(self, table_name: str, where: Any = None) -> List[Dict[str, Any]]:
+        return self.route(table_name).select(table_name, where=where)
+
+    # ------------------------------------------------------------------
+    # Super-chain sealing
+    # ------------------------------------------------------------------
+
+    def current_tips(self, drain: bool = True) -> List[ShardTip]:
+        """Every shard's chain tip, optionally after a sealing drain."""
+        tips: List[ShardTip] = []
+        for db in self.shards:
+            if drain:
+                db.pipeline.drain(seal_open=True)
+            latest = db.ledger.latest_block()
+            if latest is None:
+                tips.append(
+                    ShardTip(db.context.name, EMPTY_TIP_BLOCK_ID,
+                             EMPTY_TIP_HASH)
+                )
+            else:
+                tips.append(
+                    ShardTip(db.context.name, latest.block_id,
+                             latest.block_hash())
+                )
+        return tips
+
+    def seal_super_block(self):
+        """Drain every shard and seal their tips into a new super-block.
+
+        Returns the sealed :class:`~repro.core.super_chain.SuperBlock`; its
+        ``super_hash()`` is the single value to anchor externally.
+        """
+        with self._seal_lock:
+            tips = self.current_tips(drain=True)
+            sealed_time = self._clock()
+            block = self.super_chain.seal(
+                tips,
+                sealed_time.isoformat()
+                if hasattr(sealed_time, "isoformat") else str(sealed_time),
+            )
+        self._m.sealed.inc()
+        self._m.height.set(block.super_id)
+        OBS.events.emit(
+            "super_chain", "super_block.sealed",
+            super_id=block.super_id,
+            merkle_root=block.merkle_root.hex(),
+            shards=len(tips),
+        )
+        return block
+
+    def check_super_roots(self) -> Dict[str, Any]:
+        """Cross-check the latest sealed super-block against live chains.
+
+        For every sealed tip, the shard's *stored* block at that id must
+        still hash to the sealed value; the super-root is then re-derived
+        from the stored blocks and compared to the sealed Merkle root.  A
+        shard whose chain was rewritten — even self-consistently, with its
+        digests regenerated — fails this check, because the sealed tips are
+        outside its reach.
+        """
+        latest = self.super_chain.latest()
+        if latest is None:
+            return {"checked": False, "ok": True, "per_shard": {}}
+        per_shard: Dict[str, Dict[str, Any]] = {}
+        derived_tips: List[ShardTip] = []
+        by_name = {db.context.name: db for db in self.shards}
+        for tip in latest.tips:
+            db = by_name.get(tip.shard)
+            entry: Dict[str, Any] = {
+                "block_id": tip.block_id,
+                "expected": tip.block_hash.hex(),
+            }
+            if db is None:
+                entry.update(ok=False, actual=None,
+                             detail="shard missing from deployment")
+                derived_tips.append(
+                    ShardTip(tip.shard, tip.block_id, EMPTY_TIP_HASH)
+                )
+            elif tip.block_id == EMPTY_TIP_BLOCK_ID:
+                # Sealed before the shard closed any block: nothing the
+                # adversary could have rewritten yet.
+                entry.update(ok=True, actual=None)
+                derived_tips.append(tip)
+            else:
+                with db.ledger.storage_lock:
+                    stored = db.ledger.block(tip.block_id)
+                if stored is None:
+                    entry.update(ok=False, actual=None,
+                                 detail="sealed tip block no longer exists")
+                    derived_tips.append(
+                        ShardTip(tip.shard, tip.block_id, EMPTY_TIP_HASH)
+                    )
+                else:
+                    actual = stored.block_hash()
+                    entry.update(
+                        ok=actual == tip.block_hash, actual=actual.hex()
+                    )
+                    derived_tips.append(
+                        ShardTip(tip.shard, tip.block_id, actual)
+                    )
+            per_shard[tip.shard] = entry
+        derived = super_root(derived_tips)
+        root_match = derived == latest.merkle_root
+        return {
+            "checked": True,
+            "super_id": latest.super_id,
+            "ok": root_match and all(e["ok"] for e in per_shard.values()),
+            "root_match": root_match,
+            "recorded_root": latest.merkle_root.hex(),
+            "derived_root": derived.hex(),
+            "per_shard": per_shard,
+        }
+
+    # ------------------------------------------------------------------
+    # Cross-shard verification
+    # ------------------------------------------------------------------
+
+    def verify(self, parallelism: int = 1) -> ShardedVerificationReport:
+        """Verify every shard, then the super-chain, then the super-root."""
+        per_shard: Dict[str, Any] = {}
+        for db in self.shards:
+            try:
+                digest = db.generate_digest()
+            except DigestError:
+                per_shard[db.context.name] = None  # empty shard
+                continue
+            per_shard[db.context.name] = db.verify(
+                [digest], parallelism=parallelism
+            )
+        return ShardedVerificationReport(
+            per_shard=per_shard,
+            super_chain_findings=self.super_chain.verify_chain(),
+            root_check=self.check_super_roots(),
+        )
+
+    # ------------------------------------------------------------------
+    # Monitoring and observability
+    # ------------------------------------------------------------------
+
+    @property
+    def super_monitor(self) -> Optional["SuperChainMonitor"]:
+        return self._super_monitor
+
+    def start_super_monitor(
+        self, interval: float = 5.0, seal_each_cycle: bool = True
+    ) -> "SuperChainMonitor":
+        if self._super_monitor is not None and self._super_monitor.running:
+            return self._super_monitor
+        self._super_monitor = SuperChainMonitor(
+            self, interval=interval, seal_each_cycle=seal_each_cycle
+        )
+        self._super_monitor.start()
+        return self._super_monitor
+
+    def stop_super_monitor(self) -> None:
+        if self._super_monitor is not None:
+            self._super_monitor.stop()
+            self._super_monitor = None
+
+    def start_monitors(self, interval: float = 5.0, **kwargs) -> None:
+        """Start a per-shard continuous verifier on every shard."""
+        for db in self.shards:
+            db.start_monitor(interval=interval, **kwargs)
+
+    def start_obs_server(self, port: int = 0, host: str = "127.0.0.1"):
+        """HTTP endpoint with /shards and shard-aware /healthz."""
+        if self._obs_server is not None and self._obs_server.running:
+            return self._obs_server
+        from repro.obs.server import ObservabilityServer
+
+        self._obs_server = ObservabilityServer(
+            sharded=self, host=host, port=port
+        )
+        self._obs_server.start()
+        return self._obs_server
+
+    def stop_obs_server(self) -> None:
+        if self._obs_server is not None:
+            self._obs_server.stop()
+            self._obs_server = None
+
+    def health(self) -> Dict[str, Any]:
+        """Per-shard health verdicts plus the super-chain cross-check.
+
+        A shard is ``tamper-detected`` when its own monitor has failed a
+        cycle *or* the super-root cross-check implicates it; healthy shards
+        stay ``ok`` even while a neighbour is flagged.
+        """
+        monitor = self._super_monitor
+        if monitor is not None and monitor.cycles > 0:
+            root_check = monitor.last_root_check
+        else:
+            root_check = self.check_super_roots()
+        per_root = root_check.get("per_shard", {})
+        shards: Dict[str, Any] = {}
+        for db in self.shards:
+            name = db.context.name
+            entry: Dict[str, Any] = {}
+            own = db.monitor
+            super_ok = per_root.get(name, {}).get("ok", True)
+            own_healthy = own.healthy if own is not None else True
+            if not super_ok:
+                entry["status"] = "tamper-detected"
+                entry["source"] = "super_chain"
+            elif not own_healthy:
+                entry["status"] = "tamper-detected"
+                entry["source"] = "shard_monitor"
+            else:
+                entry["status"] = "ok"
+            entry["monitor"] = "running" if own and own.running else "none"
+            entry["super_root"] = "ok" if super_ok else "mismatch"
+            shards[name] = entry
+        overall = (
+            "tamper-detected"
+            if any(s["status"] != "ok" for s in shards.values())
+            else "ok"
+        )
+        return {
+            "status": overall,
+            "shards": shards,
+            "super_chain_height": self.super_chain.height,
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """Per-shard chain/queue/lag summary for \\shards and /shards."""
+        latest = self.super_chain.latest()
+        shards: Dict[str, Any] = {}
+        for db in self.shards:
+            name = db.context.name
+            ledger = db.ledger
+            height = ledger.closed_block_height
+            sealed_tip = None
+            if latest is not None:
+                tip = latest.tip_for(name)
+                if tip is not None and tip.block_id != EMPTY_TIP_BLOCK_ID:
+                    sealed_tip = tip.block_id
+            shards[name] = {
+                "chain_height": height,
+                "open_block_id": ledger.open_block_id,
+                "queue_depth": ledger.pending_entries,
+                "sealed_blocks_pending": ledger.sealed_pending(),
+                # Closed blocks not yet covered by a sealed super-block:
+                # the shard's exposure window if only super-hashes are
+                # anchored externally.
+                "digest_lag": (
+                    height - sealed_tip if sealed_tip is not None
+                    else height + 1
+                ),
+            }
+        return {
+            "shard_count": self.shard_count,
+            "shards": shards,
+            "super_chain_height": self.super_chain.height,
+            "table_map": dict(self.table_map),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedLedger {self.path!r} shards={self.shard_count} "
+            f"super_height={self.super_chain.height}>"
+        )
+
+
+class SuperChainMonitor:
+    """Background thread cross-checking shard chains against the super-chain.
+
+    Each cycle re-derives the super-root from the live shard chains and
+    compares it to the latest sealed super-block (see
+    :meth:`ShardedLedger.check_super_roots`).  On mismatch it emits
+    ``tamper.detected`` carrying the guilty ``shard=`` and counts
+    ``super_root_mismatch_total``; healthy cycles optionally seal a fresh
+    super-block so the anchor keeps up with the chains.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedLedger,
+        interval: float = 5.0,
+        seal_each_cycle: bool = True,
+    ) -> None:
+        self._sharded = sharded
+        self.interval = interval
+        self.seal_each_cycle = seal_each_cycle
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._cycle_done = threading.Condition()
+        self._m = OBS.metrics.handles("super_chain", _super_metrics)
+        self.cycles = 0
+        self.failures = 0
+        self.last_verdict = "unknown"
+        self.last_root_check: Dict[str, Any] = {}
+        self.last_error: Optional[str] = None
+        self._flagged: set = set()
+        OBS.events.enable()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def healthy(self) -> bool:
+        return self.last_verdict != "failed"
+
+    def start(self) -> "SuperChainMonitor":
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="super-chain-monitor", daemon=True
+        )
+        self._thread.start()
+        OBS.events.emit(
+            "super_chain", "super_monitor.started", interval=self.interval
+        )
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        self._thread = None
+
+    def _run(self) -> None:
+        from repro.obs.profiler import set_thread_role
+
+        OBS.tracer.reset_thread()
+        set_thread_role("super-chain-monitor")
+        while not self._stop.is_set():
+            self.run_cycle()
+            self._stop.wait(self.interval)
+
+    def run_cycle(self) -> str:
+        """One cross-check (+ optional seal) pass; returns the outcome."""
+        try:
+            outcome = self._cycle()
+        except Exception as exc:  # the watchdog itself must not die
+            outcome = "error"
+            self.last_error = f"{type(exc).__name__}: {exc}"
+        self.cycles += 1
+        self._m.cycles.labels(outcome).inc()
+        with self._cycle_done:
+            self._cycle_done.notify_all()
+        return outcome
+
+    def _cycle(self) -> str:
+        check = self._sharded.check_super_roots()
+        self.last_root_check = check
+        if not check.get("checked"):
+            if self.seal_each_cycle:
+                self._sharded.seal_super_block()
+                return "sealed"
+            return "idle"
+        if not check["ok"]:
+            self.failures += 1
+            self.last_verdict = "failed"
+            guilty = [
+                name
+                for name, entry in check["per_shard"].items()
+                if not entry["ok"]
+            ]
+            for name in guilty:
+                self._m.mismatches.labels(name).inc()
+                if name not in self._flagged:
+                    self._flagged.add(name)
+                OBS.events.emit(
+                    "tamper", "tamper.detected",
+                    source="super_chain", shard=name,
+                    super_id=check["super_id"],
+                    expected=check["per_shard"][name]["expected"],
+                    actual=check["per_shard"][name].get("actual"),
+                )
+            return "failed"
+        self.last_verdict = "passed"
+        if self.seal_each_cycle:
+            tips_now = self._sharded.current_tips(drain=False)
+            latest = self._sharded.super_chain.latest()
+            if latest is None or super_root(tips_now) != latest.merkle_root:
+                self._sharded.seal_super_block()
+                return "sealed"
+        return "passed"
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "running": self.running,
+            "healthy": self.healthy,
+            "interval": self.interval,
+            "cycles": self.cycles,
+            "failures": self.failures,
+            "last_verdict": self.last_verdict,
+            "super_chain_height": self._sharded.super_chain.height,
+            "flagged_shards": sorted(self._flagged),
+            "last_error": self.last_error,
+        }
+
+    def wait_for_cycle(self, timeout: float = 10.0) -> bool:
+        with self._cycle_done:
+            return self._cycle_done.wait(timeout)
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: float = 10.0
+    ) -> bool:
+        deadline = time.monotonic() + timeout
+        if predicate():
+            return True
+        with self._cycle_done:
+            while time.monotonic() < deadline:
+                self._cycle_done.wait(min(0.25, timeout))
+                if predicate():
+                    return True
+        return predicate()

@@ -1,0 +1,277 @@
+"""The ledger-of-ledgers: a Merkle super-chain over per-shard chain tips.
+
+A sharded deployment (:mod:`repro.core.sharded`) runs N independent Database
+Ledgers, each with its own block chain and digests.  Anchoring N digests per
+interval in immutable storage works, but gives the relying party N trust
+roots to manage and no single statement covering the whole deployment.  The
+super-chain collapses them back to one:
+
+* periodically, every shard's chain tip — ``(shard name, block id, block
+  hash)`` — is collected and hashed into a Merkle tree (leaf =
+  ``hash_leaf(canonical tip bytes)``, interior nodes as in
+  :mod:`repro.crypto.merkle`);
+* the resulting **super-block** records the tips, the Merkle root over
+  them, the previous super-block's hash, and the sealing time — the same
+  blocks-form-a-chain construction the Database Ledger uses one level up;
+* the super-block *hash* is the single value worth anchoring externally:
+  it commits to every shard's entire history transitively (tip block hash →
+  previous block hashes → transaction Merkle roots → row versions).
+
+Trust boundary: the super-chain file lives next to the shard directories
+and is therefore tamperable by the same adversary as the shards.  Like
+database digests, it is not self-certifying — its power comes from
+cross-checking: a rewritten shard chain (even one regenerated
+self-consistently, digests and all) no longer matches the tips sealed in
+earlier super-blocks, so re-deriving the super-root exposes the rewrite.
+Anchor super-block hashes in :class:`repro.digests.blob_storage.
+ImmutableBlobStorage` (or print them to a notebook) to make that
+comparison adversary-proof.
+
+Storage is an append-only JSONL file: one JSON document per super-block,
+written with fsync before rename-free append (the file is only ever
+appended to; a torn final line is detected and ignored on load, exactly
+like a torn WAL tail).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import HASH_SIZE, hash_leaf, sha256
+from repro.crypto.merkle import MerkleTree
+from repro.errors import LedgerConfigurationError
+
+#: Tip recorded for a shard whose ledger has no closed block yet.
+EMPTY_TIP_BLOCK_ID = -1
+EMPTY_TIP_HASH = b"\x00" * HASH_SIZE
+
+
+@dataclass(frozen=True)
+class ShardTip:
+    """One shard's chain tip as sealed into a super-block."""
+
+    shard: str
+    block_id: int
+    block_hash: bytes
+
+    def canonical_bytes(self) -> bytes:
+        name = self.shard.encode("utf-8")
+        return (
+            struct.pack(">H", len(name))
+            + name
+            + struct.pack(">q32s", self.block_id, self.block_hash)
+        )
+
+    def leaf_hash(self) -> bytes:
+        """The Merkle leaf this tip contributes to the super-root."""
+        return hash_leaf(self.canonical_bytes())
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "block_id": self.block_id,
+            "block_hash": self.block_hash.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardTip":
+        return cls(
+            shard=data["shard"],
+            block_id=int(data["block_id"]),
+            block_hash=bytes.fromhex(data["block_hash"]),
+        )
+
+
+def super_root(tips: Sequence[ShardTip]) -> bytes:
+    """Merkle root over the shard tips, in shard-name order.
+
+    Sorting by shard name makes the root independent of collection order,
+    so a re-derivation can never mismatch merely because two threads
+    enumerated the shards differently.
+    """
+    ordered = sorted(tips, key=lambda tip: tip.shard)
+    return MerkleTree([tip.leaf_hash() for tip in ordered]).root()
+
+
+@dataclass(frozen=True)
+class SuperBlock:
+    """One sealed entry of the super-chain."""
+
+    super_id: int
+    previous_hash: Optional[bytes]  # None only for the first super-block
+    tips: Tuple[ShardTip, ...]
+    merkle_root: bytes
+    sealed_time: str
+
+    def canonical_bytes(self) -> bytes:
+        prev = self.previous_hash
+        sealed = self.sealed_time.encode("utf-8")
+        return (
+            struct.pack(
+                ">QB32s32sH",
+                self.super_id,
+                0 if prev is None else 1,
+                prev or b"\x00" * HASH_SIZE,
+                self.merkle_root,
+                len(sealed),
+            )
+            + sealed
+        )
+
+    def super_hash(self) -> bytes:
+        """The anchorable value: commits to every shard's history."""
+        return sha256(b"\x03" + self.canonical_bytes())
+
+    def tip_for(self, shard: str) -> Optional[ShardTip]:
+        for tip in self.tips:
+            if tip.shard == shard:
+                return tip
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "super_id": self.super_id,
+            "previous_hash": (
+                self.previous_hash.hex() if self.previous_hash else None
+            ),
+            "tips": [tip.to_dict() for tip in self.tips],
+            "merkle_root": self.merkle_root.hex(),
+            "sealed_time": self.sealed_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SuperBlock":
+        previous = data.get("previous_hash")
+        return cls(
+            super_id=int(data["super_id"]),
+            previous_hash=bytes.fromhex(previous) if previous else None,
+            tips=tuple(ShardTip.from_dict(t) for t in data["tips"]),
+            merkle_root=bytes.fromhex(data["merkle_root"]),
+            sealed_time=data["sealed_time"],
+        )
+
+
+class SuperChain:
+    """Append-only JSONL store of super-blocks.
+
+    Not thread-safe by itself; :class:`repro.core.sharded.ShardedLedger`
+    serializes sealing through its own lock.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._blocks: List[SuperBlock] = []
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    block = SuperBlock.from_dict(json.loads(line))
+                except (ValueError, KeyError):
+                    # A torn final line from a crash mid-append: everything
+                    # before it is intact, the partial write never counted.
+                    break
+                self._blocks.append(block)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Id of the latest super-block (-1 when empty)."""
+        return self._blocks[-1].super_id if self._blocks else -1
+
+    def blocks(self) -> List[SuperBlock]:
+        return list(self._blocks)
+
+    def latest(self) -> Optional[SuperBlock]:
+        return self._blocks[-1] if self._blocks else None
+
+    def block(self, super_id: int) -> Optional[SuperBlock]:
+        if 0 <= super_id < len(self._blocks):
+            return self._blocks[super_id]
+        return None
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+
+    def seal(self, tips: Sequence[ShardTip], sealed_time: str) -> SuperBlock:
+        """Append a super-block over ``tips``; fsynced before returning."""
+        previous = self._blocks[-1] if self._blocks else None
+        block = SuperBlock(
+            super_id=len(self._blocks),
+            previous_hash=previous.super_hash() if previous else None,
+            tips=tuple(sorted(tips, key=lambda tip: tip.shard)),
+            merkle_root=super_root(tips),
+            sealed_time=sealed_time,
+        )
+        line = json.dumps(block.to_dict(), sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._blocks.append(block)
+        return block
+
+    # ------------------------------------------------------------------
+    # Self-verification
+    # ------------------------------------------------------------------
+
+    def verify_chain(self) -> List[str]:
+        """Internal-consistency findings: ids, linkage, recomputed roots.
+
+        Returns human-readable findings (empty = consistent).  This checks
+        the super-chain *file* against itself; cross-checking the sealed
+        tips against the live shard chains is the sharded ledger's job.
+        """
+        findings: List[str] = []
+        previous: Optional[SuperBlock] = None
+        for index, block in enumerate(self._blocks):
+            if block.super_id != index:
+                findings.append(
+                    f"super-block at position {index} has id {block.super_id}"
+                )
+            recomputed = super_root(block.tips)
+            if recomputed != block.merkle_root:
+                findings.append(
+                    f"super-block {block.super_id}: stored Merkle root does "
+                    f"not match the root recomputed over its shard tips"
+                )
+            if previous is None:
+                if block.previous_hash is not None:
+                    findings.append(
+                        f"first super-block {block.super_id} claims a "
+                        "previous hash"
+                    )
+            else:
+                expected = previous.super_hash()
+                if block.previous_hash != expected:
+                    findings.append(
+                        f"super-block {block.super_id}: previous-hash link "
+                        f"broken (chain rewritten between "
+                        f"{previous.super_id} and {block.super_id})"
+                    )
+            previous = block
+        return findings
+
+
+def load_super_chain(path: str) -> SuperChain:
+    """Open the super-chain at ``path`` (which need not exist yet)."""
+    directory = os.path.dirname(path)
+    if directory and not os.path.isdir(directory):
+        raise LedgerConfigurationError(
+            f"super-chain directory {directory!r} does not exist"
+        )
+    return SuperChain(path)

@@ -72,54 +72,61 @@ from repro.core.verify_snapshot import (
 from repro.crypto.hashing import LeafHashCache
 from repro.crypto.merkle import MerkleHasher, MerkleTree, merkle_root
 from repro.errors import StorageError, VerificationFailedError
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
 
-_VERIFY_RUNS = OBS.metrics.counter(
-    "verify_runs_total", "Ledger verification runs started"
-)
-_VERIFY_MODE_RUNS = OBS.metrics.counter(
-    "verify_mode_runs_total",
-    "Ledger verification runs by executed mode",
-    ("mode",),
-)
-_VERIFY_INVARIANT_SECONDS = OBS.metrics.histogram(
-    "verify_invariant_seconds",
-    "Wall time spent in each verification invariant",
-    ("invariant",),
-)
-_VERIFY_ROWS_SCANNED = OBS.metrics.counter(
-    "verify_row_versions_scanned_total",
-    "Row versions re-hashed during verification",
-)
-_VERIFY_BLOCKS_SCANNED = OBS.metrics.counter(
-    "verify_blocks_scanned_total", "Blocks examined during verification"
-)
-_VERIFY_PARALLEL_TASKS = OBS.metrics.counter(
-    "verify_parallel_tasks_total",
-    "Verification work units dispatched to the worker pool, by phase",
-    ("phase",),
-)
-_VERIFY_CACHE_LOOKUPS = OBS.metrics.counter(
-    "verify_leaf_cache_lookups_total",
-    "Leaf-hash cache lookups during verification, by result",
-    ("result",),
-)
-_VERIFY_ESCALATIONS = OBS.metrics.counter(
-    "verify_incremental_escalations_total",
-    "Incremental runs escalated to a full scan by a frontier mismatch",
-)
-_VERIFY_FALLBACKS = OBS.metrics.counter(
-    "verify_checkpoint_fallbacks_total",
-    "Incremental runs that fell back to a full scan (unusable checkpoint)",
-)
-_CALLBACK_ERRORS = OBS.metrics.counter(
-    "obs_callback_errors_total",
-    "Exceptions raised by user-supplied observability callbacks",
-    ("kind",),
-)
+
+def _verify_metrics(reg):
+    class _Families:
+        runs = reg.counter(
+            "verify_runs_total", "Ledger verification runs started"
+        )
+        mode_runs = reg.counter(
+            "verify_mode_runs_total",
+            "Ledger verification runs by executed mode",
+            ("mode",),
+        )
+        invariant_seconds = reg.histogram(
+            "verify_invariant_seconds",
+            "Wall time spent in each verification invariant",
+            ("invariant",),
+        )
+        rows_scanned = reg.counter(
+            "verify_row_versions_scanned_total",
+            "Row versions re-hashed during verification",
+        )
+        blocks_scanned = reg.counter(
+            "verify_blocks_scanned_total",
+            "Blocks examined during verification",
+        )
+        parallel_tasks = reg.counter(
+            "verify_parallel_tasks_total",
+            "Verification work units dispatched to the worker pool, by phase",
+            ("phase",),
+        )
+        cache_lookups = reg.counter(
+            "verify_leaf_cache_lookups_total",
+            "Leaf-hash cache lookups during verification, by result",
+            ("result",),
+        )
+        escalations = reg.counter(
+            "verify_incremental_escalations_total",
+            "Incremental runs escalated to a full scan by a frontier mismatch",
+        )
+        fallbacks = reg.counter(
+            "verify_checkpoint_fallbacks_total",
+            "Incremental runs that fell back to a full scan "
+            "(unusable checkpoint)",
+        )
+        callback_errors = reg.counter(
+            "obs_callback_errors_total",
+            "Exceptions raised by user-supplied observability callbacks",
+            ("kind",),
+        )
+
+    return _Families
 
 #: Row-scan granularity at which verification reports progress.
 PROGRESS_INTERVAL = 1000
@@ -280,6 +287,9 @@ class LedgerVerifier:
     ) -> None:
         self._db = db
         self._ledger = db.ledger
+        self._ctx = getattr(db, "context", None) or DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._m = self._ctx.metrics.handles("verify", _verify_metrics)
         self._progress = progress
         self._progress_interval = max(1, progress_interval)
         self._cache = _GLOBAL_LEAF_CACHE if cache is None else cache
@@ -325,8 +335,8 @@ class LedgerVerifier:
         if progress is not None:
             self._progress = progress
         report = VerificationReport()
-        _VERIFY_RUNS.inc()
-        OBS.events.emit(
+        self._m.runs.inc()
+        self._ctx.events.emit(
             "verify", "verify.started",
             digests=len(digests), mode=mode, parallelism=parallelism,
         )
@@ -341,7 +351,7 @@ class LedgerVerifier:
             if checkpoint is None:
                 mode = "full"
                 report.fallback_reason = fallback_reason
-                _VERIFY_FALLBACKS.inc()
+                self._m.fallbacks.inc()
         report.mode = mode
         self._escalate_reason = None
         self._events_by_table = {}
@@ -352,10 +362,10 @@ class LedgerVerifier:
         if mode == "full" and parallelism > 1:
             pool = VerifyPool(snapshot, parallelism)
         report.parallelism = pool.processes if pool and pool.parallel else 1
-        _VERIFY_MODE_RUNS.labels(mode).inc()
+        self._m.mode_runs.labels(mode).inc()
 
         try:
-            with OBS.tracer.span("verify.run"):
+            with self._obs.tracer.span("verify.run"):
                 self._run_phases(
                     report, digests, snapshot, mode, checkpoint, pool,
                     build_checkpoint,
@@ -367,20 +377,20 @@ class LedgerVerifier:
 
         report.cache_hits = self._cache.hits - cache_hits0
         report.cache_misses = self._cache.misses - cache_misses0
-        if OBS.metrics.enabled:
+        if self._obs.metrics.enabled:
             if report.cache_hits:
-                _VERIFY_CACHE_LOOKUPS.labels("hit").inc(report.cache_hits)
+                self._m.cache_lookups.labels("hit").inc(report.cache_hits)
             if report.cache_misses:
-                _VERIFY_CACHE_LOOKUPS.labels("miss").inc(report.cache_misses)
+                self._m.cache_lookups.labels("miss").inc(report.cache_misses)
 
         if self._escalate_reason is not None:
             # The incremental frontier did not match the checkpoint.  The
             # full scan is the authority: rerun everything off the same
             # snapshot and report its verdict (the escalation itself is
             # surfaced as a warning so operators can investigate).
-            _VERIFY_ESCALATIONS.inc()
+            self._m.escalations.inc()
             reason = self._escalate_reason
-            OBS.events.emit("verify", "verify.escalated", reason=reason)
+            self._ctx.events.emit("verify", "verify.escalated", reason=reason)
             full_report = self.verify(
                 digests,
                 table_names=table_names,
@@ -407,12 +417,12 @@ class LedgerVerifier:
             )
 
         for finding in report.findings:
-            OBS.events.emit(
+            self._ctx.events.emit(
                 "verify", "verify.finding",
                 invariant=finding.invariant, severity=finding.severity,
                 message=finding.message,
             )
-        OBS.events.emit(
+        self._ctx.events.emit(
             "verify", "verify.passed" if report.ok else "verify.failed",
             blocks=report.blocks_verified,
             transactions=report.transactions_verified,
@@ -496,12 +506,12 @@ class LedgerVerifier:
         for index, (name, check, total, unit) in enumerate(phases):
             self._begin_phase(name, index, total, unit)
             started = time.perf_counter()
-            with OBS.tracer.span(f"verify.{name}"):
+            with self._obs.tracer.span(f"verify.{name}"):
                 check()
             elapsed = time.perf_counter() - started
             self._end_phase()
             report.invariant_timings[name] = elapsed
-            _VERIFY_INVARIANT_SECONDS.labels(name).observe(elapsed)
+            self._m.invariant_seconds.labels(name).observe(elapsed)
             if self._escalate_reason is not None:
                 break  # the full rescan re-runs everything anyway
 
@@ -577,7 +587,7 @@ class LedgerVerifier:
         try:
             self._progress(event)
         except Exception:
-            _CALLBACK_ERRORS.labels("progress").inc()
+            self._m.callback_errors.labels("progress").inc()
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -670,7 +680,7 @@ class LedgerVerifier:
         for block_id in block_ids:
             block = blocks[block_id]
             report.blocks_verified += 1
-            _VERIFY_BLOCKS_SCANNED.inc()
+            self._m.blocks_scanned.inc()
             self._advance()
             if block_id == 0:
                 if block.previous_block_hash is not None:
@@ -726,12 +736,12 @@ class LedgerVerifier:
         for run in runs:
             for start, end in split_ranges(len(run), pool.processes):
                 segments.append(run[start:end])
-        if OBS.metrics.enabled:
-            _VERIFY_PARALLEL_TASKS.labels("chain").inc(len(segments))
+        if self._obs.metrics.enabled:
+            self._m.parallel_tasks.labels("chain").inc(len(segments))
 
         def on_result(result) -> None:
             report.blocks_verified += result["count"]
-            _VERIFY_BLOCKS_SCANNED.inc(result["count"])
+            self._m.blocks_scanned.inc(result["count"])
             self._advance(result["count"])
 
         results = pool.run(chain_segment_task, segments, on_result)
@@ -852,8 +862,8 @@ class LedgerVerifier:
             block_ids[start:end]
             for start, end in split_ranges(len(block_ids), pool.processes)
         ]
-        if OBS.metrics.enabled:
-            _VERIFY_PARALLEL_TASKS.labels("block_root").inc(len(chunks))
+        if self._obs.metrics.enabled:
+            self._m.parallel_tasks.labels("block_root").inc(len(chunks))
 
         results = []
         for chunk, result in zip(chunks, pool.run(block_root_task, chunks)):
@@ -899,7 +909,7 @@ class LedgerVerifier:
                     events.setdefault(tid, []).append((seq, leaf))
                     scanned += 1
                     self._advance()
-        _VERIFY_ROWS_SCANNED.inc(scanned)
+        self._m.rows_scanned.inc(scanned)
         return events
 
     def _check_events_against_entries(
@@ -1016,13 +1026,13 @@ class LedgerVerifier:
                     len(relation.records), pool.processes
                 ):
                     args_list.append((table_index, which, start, end))
-        if OBS.metrics.enabled:
-            _VERIFY_PARALLEL_TASKS.labels("table_root").inc(len(args_list))
+        if self._obs.metrics.enabled:
+            self._m.parallel_tasks.labels("table_root").inc(len(args_list))
 
         merged: Dict[int, Dict[Optional[int], List[Tuple[int, bytes]]]] = {}
 
         def on_result(result) -> None:
-            _VERIFY_ROWS_SCANNED.inc(result["scanned"])
+            self._m.rows_scanned.inc(result["scanned"])
             self._advance(result["scanned"])
 
         results = pool.run(events_task, args_list, on_result)
@@ -1165,8 +1175,8 @@ class LedgerVerifier:
                         args_list.append(
                             (table_index, which, index_name, start, end)
                         )
-        if OBS.metrics.enabled:
-            _VERIFY_PARALLEL_TASKS.labels("index").inc(len(args_list))
+        if self._obs.metrics.enabled:
+            self._m.parallel_tasks.labels("index").inc(len(args_list))
 
         merged: Dict[Tuple[int, str, Optional[str]], List] = {}
         results = pool.run(keyed_leaves_task, args_list)

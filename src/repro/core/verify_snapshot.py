@@ -32,16 +32,22 @@ from repro.core.entries import BlockRow, TransactionEntry
 from repro.core.ledger_view import canonical_view_definition
 from repro.crypto.hashing import LeafHashCache, hash_leaf
 from repro.engine.record import decode_record, hashable_payload, key_tuple
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT
 
-_SNAPSHOT_SECONDS = OBS.metrics.histogram(
-    "verify_snapshot_seconds",
-    "Wall time spent capturing a verification snapshot (storage lock held)",
-)
-_SNAPSHOT_RECORDS = OBS.metrics.counter(
-    "verify_snapshot_records_total",
-    "Stored records referenced by verification snapshots",
-)
+
+def _snapshot_metrics(reg):
+    class _Families:
+        seconds = reg.histogram(
+            "verify_snapshot_seconds",
+            "Wall time spent capturing a verification snapshot "
+            "(storage lock held)",
+        )
+        records = reg.counter(
+            "verify_snapshot_records_total",
+            "Stored records referenced by verification snapshots",
+        )
+
+    return _Families
 
 #: One row-version event: (transaction id, sequence, leaf digest).
 Event = Tuple[Optional[int], int, bytes]
@@ -179,8 +185,9 @@ def capture_snapshot(
     from repro.core.ledger_database import VIEWS_TABLE
 
     ledger = db.ledger
+    ctx = getattr(db, "context", None) or DEFAULT_CONTEXT
     started = time.perf_counter()
-    with ledger.storage_lock, OBS.tracer.span("verify.snapshot"):
+    with ledger.storage_lock, ctx.tracer.span("verify.snapshot"):
         db.pipeline.drain(seal_open=False)
         ledger.flush_queue()
         entries = {e.transaction_id: e for e in ledger.all_entries()}
@@ -253,9 +260,10 @@ def capture_snapshot(
         for rel in tbl.relations()
     )
     snapshot.finalize()
-    if OBS.metrics.enabled:
-        _SNAPSHOT_SECONDS.observe(snapshot.capture_seconds)
-        _SNAPSHOT_RECORDS.inc(snapshot.total_records)
+    if ctx.metrics.enabled:
+        families = ctx.metrics.handles("verify_snapshot", _snapshot_metrics)
+        families.seconds.observe(snapshot.capture_seconds)
+        families.records.inc(snapshot.total_records)
     return snapshot
 
 

@@ -27,22 +27,32 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import HASH_SIZE, hash_interior, sha256
 from repro.errors import MerkleError
-from repro.obs import OBS
 
 #: Root reported for a tree with zero leaves (RFC 6962 convention).
 EMPTY_TREE_ROOT = sha256(b"")
 
-_LEAVES_APPENDED = OBS.metrics.counter(
-    "merkle_leaves_appended_total",
-    "Leaf digests appended to streaming Merkle hashers",
-)
-_NODES_BUILT = OBS.metrics.counter(
-    "merkle_nodes_built_total",
-    "Interior Merkle nodes computed, by implementation",
-    ("impl",),
-)
-_NODES_STREAMING = _NODES_BUILT.labels("streaming")
-_NODES_MATERIALIZED = _NODES_BUILT.labels("materialized")
+
+def _merkle_metrics(reg):
+    class _Families:
+        leaves_appended = reg.counter(
+            "merkle_leaves_appended_total",
+            "Leaf digests appended to streaming Merkle hashers",
+        )
+        nodes_built = reg.counter(
+            "merkle_nodes_built_total",
+            "Interior Merkle nodes computed, by implementation",
+            ("impl",),
+        )
+        nodes_streaming = nodes_built.labels("streaming")
+        nodes_materialized = nodes_built.labels("materialized")
+
+    return _Families
+
+
+def _default_metrics():
+    from repro.obs import OBS
+
+    return OBS.metrics
 
 #: Opaque snapshot of a MerkleHasher: (leaf_count, pending node per level).
 MerkleState = Tuple[int, Tuple[Optional[bytes], ...]]
@@ -63,9 +73,11 @@ class MerkleHasher:
     interior node that is appended — recursively — to the parent level.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self._pending: List[Optional[bytes]] = []
         self._leaf_count = 0
+        self._reg = metrics if metrics is not None else _default_metrics()
+        self._m = self._reg.handles("merkle", _merkle_metrics)
 
     @property
     def leaf_count(self) -> int:
@@ -93,10 +105,10 @@ class MerkleHasher:
             self._pending[level] = None
             level += 1
         self._leaf_count += 1
-        if OBS.metrics.enabled:
-            _LEAVES_APPENDED.inc()
+        if self._reg.enabled:
+            self._m.leaves_appended.inc()
             if combined:
-                _NODES_STREAMING.inc(combined)
+                self._m.nodes_streaming.inc(combined)
 
     def root(self) -> bytes:
         """Compute the Merkle root over all leaves appended so far.
@@ -241,7 +253,8 @@ class MerkleTree:
     for one block at a time (at most the block size), so this is bounded.
     """
 
-    def __init__(self, leaves: Iterable[bytes]) -> None:
+    def __init__(self, leaves: Iterable[bytes], metrics=None) -> None:
+        reg = metrics if metrics is not None else _default_metrics()
         level0 = list(leaves)
         for leaf in level0:
             if len(leaf) != HASH_SIZE:
@@ -258,8 +271,8 @@ class MerkleTree:
                 parent.append(current[-1])  # promote unpaired node unchanged
             self._levels.append(parent)
             current = parent
-        if built and OBS.metrics.enabled:
-            _NODES_MATERIALIZED.inc(built)
+        if built and reg.enabled:
+            reg.handles("merkle", _merkle_metrics).nodes_materialized.inc(built)
 
     @property
     def leaf_count(self) -> int:

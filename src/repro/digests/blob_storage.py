@@ -54,8 +54,11 @@ FAULTS.register(
 class ImmutableBlobStorage:
     """Append-only, write-once blob containers rooted at a directory."""
 
-    def __init__(self, root: str) -> None:
+    def __init__(self, root: str, faults=None) -> None:
         self._root = root
+        #: Fault registry to fire through; per-shard stores pass their own
+        #: so arming ``blob.put`` for one shard leaves neighbours untouched.
+        self._faults = faults if faults is not None else FAULTS
         os.makedirs(root, exist_ok=True)
 
     # -- container / blob naming -------------------------------------------------
@@ -83,7 +86,7 @@ class ImmutableBlobStorage:
             raise ImmutabilityViolationError(
                 f"blob {container}/{name} already exists and is immutable"
             )
-        FAULTS.fire("blob.put", container=container, blob=name)
+        self._faults.fire("blob.put", container=container, blob=name)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         # Unique per process and per call, so a crashed upload's leftover
         # temp file never collides with the retry.
@@ -95,7 +98,7 @@ class ImmutableBlobStorage:
         crashed = False
         try:
             with os.fdopen(fd, "wb") as f:
-                if FAULTS.triggered(
+                if self._faults.triggered(
                     "blob.torn_upload", container=container, blob=name
                 ):
                     # A dead process runs no cleanup: the torn temp file is

@@ -46,22 +46,27 @@ from repro.errors import (
     ReplicationLagError,
     TransientStorageError,
 )
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT
 
-_DIGEST_UPLOADS = OBS.metrics.counter(
-    "digest_uploads_total",
-    "Digest upload attempts, by outcome "
-    "(stored, duplicate, deferred, fork_detected)",
-    ("outcome",),
-)
-_DIGEST_RETRIES = OBS.metrics.counter(
-    "digest_upload_retries_total",
-    "Transient digest-upload failures that were retried",
-)
-_DIGEST_ABANDONED = OBS.metrics.counter(
-    "digest_uploads_abandoned_total",
-    "Digest uploads abandoned after exhausting the retry budget",
-)
+
+def _digest_metrics(reg):
+    class _Families:
+        uploads = reg.counter(
+            "digest_uploads_total",
+            "Digest upload attempts, by outcome "
+            "(stored, duplicate, deferred, fork_detected)",
+            ("outcome",),
+        )
+        retries = reg.counter(
+            "digest_upload_retries_total",
+            "Transient digest-upload failures that were retried",
+        )
+        abandoned = reg.counter(
+            "digest_uploads_abandoned_total",
+            "Digest uploads abandoned after exhausting the retry budget",
+        )
+
+    return _Families
 
 
 @dataclass(frozen=True)
@@ -150,6 +155,9 @@ class DigestManager:
         self._container = container
         self._geo = geo
         self._retry = retry if retry is not None else RetryPolicy()
+        self._ctx = getattr(db, "context", None) or DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._m = self._ctx.metrics.handles("digest_manager", _digest_metrics)
 
     # ------------------------------------------------------------------
     # Upload path
@@ -163,7 +171,7 @@ class DigestManager:
         :class:`LedgerError` when the new digest does not derive from the
         previously uploaded one — the fork-detection trip-wire.
         """
-        with OBS.tracer.span("digest.upload") as span:
+        with self._obs.tracer.span("digest.upload") as span:
             digest = self._db.generate_digest()
             # Link to the covered block's trace: the lineage of every commit
             # in that block now extends through to publication.
@@ -179,15 +187,15 @@ class DigestManager:
                         digest.last_transaction_commit_time
                     )
                 except ReplicationLagError as exc:
-                    OBS.events.emit(
+                    self._ctx.events.emit(
                         "digest", "digest.skipped",
                         reason="replication_lag", block_id=digest.block_id,
                         detail=str(exc),
                     )
                     raise
                 if not issuable:
-                    _DIGEST_UPLOADS.labels("deferred").inc()
-                    OBS.events.emit(
+                    self._m.uploads.labels("deferred").inc()
+                    self._ctx.events.emit(
                         "digest", "digest.skipped",
                         reason="replication_deferred", block_id=digest.block_id,
                     )
@@ -202,8 +210,8 @@ class DigestManager:
                     else []
                 )
                 if not verify_digest_chain(previous, digest, headers):
-                    _DIGEST_UPLOADS.labels("fork_detected").inc()
-                    OBS.events.emit(
+                    self._m.uploads.labels("fork_detected").inc()
+                    self._ctx.events.emit(
                         "tamper", "tamper.detected",
                         source="digest_fork",
                         previous_block=previous.block_id,
@@ -216,15 +224,15 @@ class DigestManager:
                     )
             name = self._blob_name(digest)
             if self._storage.exists(self._container, name):
-                _DIGEST_UPLOADS.labels("duplicate").inc()
-                OBS.events.emit(
+                self._m.uploads.labels("duplicate").inc()
+                self._ctx.events.emit(
                     "digest", "digest.skipped",
                     reason="duplicate", block_id=digest.block_id,
                 )
             else:
                 self._put_with_retry(name, digest)
-                _DIGEST_UPLOADS.labels("stored").inc()
-                OBS.events.emit(
+                self._m.uploads.labels("stored").inc()
+                self._ctx.events.emit(
                     "digest", "digest.uploaded",
                     block_id=digest.block_id, blob=name,
                 )
@@ -248,8 +256,8 @@ class DigestManager:
                 raise
             except (TransientStorageError, OSError) as exc:
                 if attempt + 1 >= self._retry.attempts:
-                    _DIGEST_ABANDONED.inc()
-                    OBS.events.emit(
+                    self._m.abandoned.inc()
+                    self._ctx.events.emit(
                         "digest", "digest.upload_failed",
                         block_id=digest.block_id, blob=name,
                         attempts=self._retry.attempts,
@@ -257,8 +265,8 @@ class DigestManager:
                     )
                     raise
                 delay = self._retry.delay(attempt, rng)
-                _DIGEST_RETRIES.inc()
-                OBS.events.emit(
+                self._m.retries.inc()
+                self._ctx.events.emit(
                     "digest", "digest.upload_retry",
                     block_id=digest.block_id, blob=name,
                     attempt=attempt + 1, delay_seconds=round(delay, 4),

@@ -52,7 +52,7 @@ from repro.engine.wal import (
 )
 from repro.errors import TransactionError
 from repro.faults import FAULTS
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT, LedgerContext
 
 _CHECKPOINT_FILE = "checkpoint.json"
 
@@ -69,23 +69,28 @@ FAULTS.register(
     "WAL must together reconstruct the database.",
 )
 
-_RECOVERY_RUNS = OBS.metrics.counter(
-    "recovery_runs_total", "Crash/restart recoveries performed"
-)
-_RECOVERY_PHASE_SECONDS = OBS.metrics.histogram(
-    "recovery_phase_seconds",
-    "Duration of each recovery phase (analysis, load, redo, indexes)",
-    ("phase",),
-)
-_RECOVERY_RECORDS_REPLAYED = OBS.metrics.counter(
-    "recovery_records_replayed_total", "Data records reapplied during redo"
-)
-_CHECKPOINTS = OBS.metrics.counter(
-    "engine_checkpoints_total", "Checkpoints taken"
-)
-_CHECKPOINT_SECONDS = OBS.metrics.histogram(
-    "engine_checkpoint_seconds", "Checkpoint duration"
-)
+def _engine_metrics(reg):
+    class _Families:
+        recovery_runs = reg.counter(
+            "recovery_runs_total", "Crash/restart recoveries performed"
+        )
+        recovery_phase_seconds = reg.histogram(
+            "recovery_phase_seconds",
+            "Duration of each recovery phase (analysis, load, redo, indexes)",
+            ("phase",),
+        )
+        recovery_records_replayed = reg.counter(
+            "recovery_records_replayed_total",
+            "Data records reapplied during redo",
+        )
+        checkpoints = reg.counter(
+            "engine_checkpoints_total", "Checkpoints taken"
+        )
+        checkpoint_seconds = reg.histogram(
+            "engine_checkpoint_seconds", "Checkpoint duration"
+        )
+
+    return _Families
 
 
 class Database:
@@ -97,6 +102,7 @@ class Database:
         hooks: Optional[EngineHooks] = None,
         sync: bool = False,
         clock: Optional[Callable[[], dt.datetime]] = None,
+        ctx: Optional[LedgerContext] = None,
     ) -> None:
         self.path = path
         self.catalog = Catalog()
@@ -104,12 +110,20 @@ class Database:
         self._hooks = hooks or EngineHooks()
         self._sync = sync
         self.clock = clock or wall_clock
+        self._ctx = ctx if ctx is not None else DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._faults = self._ctx.faults
+        self._m = self._ctx.metrics.handles("engine", _engine_metrics)
         self._epoch = 0
         self._wal: Optional[WalWriter] = None
-        self._lock_manager = LockManager()
+        self._lock_manager = LockManager(ctx=self._ctx)
         self._txn_manager: Optional[TransactionManager] = None
         self._closed = False
         self.recovered_ledger_state: Dict[str, Any] = {}
+
+    @property
+    def context(self) -> LedgerContext:
+        return self._ctx
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -122,9 +136,10 @@ class Database:
         hooks: Optional[EngineHooks] = None,
         sync: bool = False,
         clock: Optional[Callable[[], dt.datetime]] = None,
+        ctx: Optional[LedgerContext] = None,
     ) -> "Database":
         """Open (bootstrapping or recovering) the database at ``path``."""
-        db = cls(path, hooks=hooks, sync=sync, clock=clock)
+        db = cls(path, hooks=hooks, sync=sync, clock=clock, ctx=ctx)
         os.makedirs(path, exist_ok=True)
         checkpoint_path = os.path.join(path, _CHECKPOINT_FILE)
         has_checkpoint = os.path.exists(checkpoint_path)
@@ -137,15 +152,18 @@ class Database:
 
     def _bootstrap(self) -> None:
         self._epoch = 0
-        self._wal = WalWriter(self._wal_path(self._epoch), sync=self._sync)
+        self._wal = WalWriter(
+            self._wal_path(self._epoch), sync=self._sync, ctx=self._ctx
+        )
         self._txn_manager = TransactionManager(
-            self._wal, self._lock_manager, self._hooks, self.clock
+            self._wal, self._lock_manager, self._hooks, self.clock,
+            ctx=self._ctx,
         )
         self._hooks.on_recovery_complete({})
 
     def _recover(self, checkpoint_path: Optional[str]) -> None:
-        _RECOVERY_RUNS.inc()
-        with OBS.tracer.span("recovery.run", path=self.path):
+        self._m.recovery_runs.inc()
+        with self._obs.tracer.span("recovery.run", path=self.path):
             self._recover_phases(checkpoint_path)
 
     def _recover_phases(self, checkpoint_path: Optional[str]) -> None:
@@ -166,7 +184,7 @@ class Database:
 
         # Analysis phase: scan the WAL, classify winners, find the catalog.
         phase_start = time.perf_counter()
-        with OBS.tracer.span("recovery.analysis"):
+        with self._obs.tracer.span("recovery.analysis"):
             wal_records = list(read_wal(self._wal_path(self._epoch)))
             # A later catalog snapshot in the WAL supersedes the checkpoint's.
             committed: Dict[int, Dict[str, Any]] = {}
@@ -178,26 +196,28 @@ class Database:
                     next_tid = max(next_tid, record.payload["tid"] + 1)
                 elif record.kind == "BEGIN":
                     next_tid = max(next_tid, record.payload["tid"] + 1)
-        _RECOVERY_PHASE_SECONDS.labels("analysis").observe(
+        self._m.recovery_phase_seconds.labels("analysis").observe(
             time.perf_counter() - phase_start
         )
 
         # Load phase: heap images for every table in the (final) catalog.
         phase_start = time.perf_counter()
-        with OBS.tracer.span("recovery.load"):
-            self._wal = WalWriter(self._wal_path(self._epoch), sync=self._sync)
+        with self._obs.tracer.span("recovery.load"):
+            self._wal = WalWriter(
+                self._wal_path(self._epoch), sync=self._sync, ctx=self._ctx
+            )
             for info in self.catalog.tables():
                 self._tables[info.table_id] = self._materialize_table(
                     info, load=True
                 )
-        _RECOVERY_PHASE_SECONDS.labels("load").observe(
+        self._m.recovery_phase_seconds.labels("load").observe(
             time.perf_counter() - phase_start
         )
 
         # Redo phase: reapply committed data records in log order.
         phase_start = time.perf_counter()
         redo_count = 0
-        with OBS.tracer.span("recovery.redo") as redo_span:
+        with self._obs.tracer.span("recovery.redo") as redo_span:
             for record in wal_records:
                 if record.kind not in (INSERT, DELETE):
                     continue
@@ -214,29 +234,30 @@ class Database:
                     table.heap.clear(rid)
                 redo_count += 1
             redo_span.set_attribute("records", redo_count)
-        _RECOVERY_PHASE_SECONDS.labels("redo").observe(
+        self._m.recovery_phase_seconds.labels("redo").observe(
             time.perf_counter() - phase_start
         )
         if redo_count:
-            _RECOVERY_RECORDS_REPLAYED.inc(redo_count)
+            self._m.recovery_records_replayed.inc(redo_count)
 
         # Rebuild access paths.  After redo the nonclustered images on disk
         # are stale, so they are rebuilt from the base tables; on a clean
         # restart (empty redo) the persisted index images — tampered or not —
         # are loaded as-is.
         phase_start = time.perf_counter()
-        with OBS.tracer.span("recovery.indexes"):
+        with self._obs.tracer.span("recovery.indexes"):
             for table in self._tables.values():
                 if redo_count:
                     table.rebuild_indexes()
                 else:
                     table.load_indexes_from_storage()
-        _RECOVERY_PHASE_SECONDS.labels("indexes").observe(
+        self._m.recovery_phase_seconds.labels("indexes").observe(
             time.perf_counter() - phase_start
         )
 
         self._txn_manager = TransactionManager(
-            self._wal, self._lock_manager, self._hooks, self.clock, next_tid
+            self._wal, self._lock_manager, self._hooks, self.clock, next_tid,
+            ctx=self._ctx,
         )
 
         self.recovered_ledger_state = checkpoint.get("ledger_state", {})
@@ -245,7 +266,7 @@ class Database:
             if ledger_payload is not None:
                 self._hooks.on_recovered_commit(ledger_payload)
         self._hooks.on_recovery_complete(self.recovered_ledger_state)
-        OBS.events.emit(
+        self._ctx.events.emit(
             "recovery", "recovery.completed",
             path=self.path, records_replayed=redo_count,
             tables=len(self._tables), committed_transactions=len(committed),
@@ -427,20 +448,26 @@ class Database:
                 f"{[t.tid for t in self._txn_manager.active_transactions]}"
             )
         started = time.perf_counter()
-        with OBS.tracer.span("engine.checkpoint"):
+        with self._obs.tracer.span("engine.checkpoint"):
             self._checkpoint_inner()
-        _CHECKPOINTS.inc()
-        _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
+        self._m.checkpoints.inc()
+        self._m.checkpoint_seconds.observe(time.perf_counter() - started)
 
     def _checkpoint_inner(self) -> None:
         assert self._wal is not None and self._txn_manager is not None
         self._hooks.on_checkpoint()
         for info in self.catalog.tables():
             table = self._tables[info.table_id]
-            table.heap.flush(os.path.join(self.path, f"table_{info.table_id}.tbl"))
+            table.heap.flush(
+                os.path.join(self.path, f"table_{info.table_id}.tbl"),
+                faults=self._faults,
+            )
             for index in table.nonclustered.values():
                 index.heap.flush(
-                    os.path.join(self.path, f"table_{info.table_id}.{index.name}.idx")
+                    os.path.join(
+                        self.path, f"table_{info.table_id}.{index.name}.idx"
+                    ),
+                    faults=self._faults,
                 )
         new_epoch = self._epoch + 1
         checkpoint = {
@@ -449,17 +476,19 @@ class Database:
             "catalog": self.catalog.to_dict(),
             "ledger_state": self._hooks.checkpoint_state(),
         }
-        FAULTS.fire("checkpoint.write", epoch=new_epoch)
+        self._faults.fire("checkpoint.write", epoch=new_epoch)
         tmp = os.path.join(self.path, _CHECKPOINT_FILE + ".tmp")
         with open(tmp, "w", encoding="utf-8") as f:
             json.dump(checkpoint, f)
             f.flush()
             os.fsync(f.fileno())
         os.replace(tmp, os.path.join(self.path, _CHECKPOINT_FILE))
-        FAULTS.fire("checkpoint.swap", epoch=new_epoch)
+        self._faults.fire("checkpoint.swap", epoch=new_epoch)
 
         old_wal = self._wal
-        self._wal = WalWriter(self._wal_path(new_epoch), sync=self._sync)
+        self._wal = WalWriter(
+            self._wal_path(new_epoch), sync=self._sync, ctx=self._ctx
+        )
         self._txn_manager.set_wal(self._wal)
         for table in self._tables.values():
             table.set_wal(self._wal)

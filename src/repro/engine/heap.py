@@ -162,15 +162,22 @@ class HeapFile:
 
     # -- persistence -------------------------------------------------------------
 
-    def flush(self, path: str) -> None:
-        """Write all pages to ``path`` atomically (write-then-rename)."""
-        FAULTS.fire("heap.flush", heap=self.name)
+    def flush(self, path: str, faults=None) -> None:
+        """Write all pages to ``path`` atomically (write-then-rename).
+
+        ``faults`` is the fault registry to fire through; callers on the
+        checkpoint path pass their instance's registry so arming a fault for
+        one shard never crashes a neighbour's flush.
+        """
+        if faults is None:
+            faults = FAULTS
+        faults.fire("heap.flush", heap=self.name)
         tmp_path = path + ".tmp"
         with open(tmp_path, "wb") as f:
             f.write(_FILE_HEADER.pack(_FILE_MAGIC, len(self._pages)))
             for page in self._pages:
-                FAULTS.fire("pager.page_write", heap=self.name, page=page.page_id)
-                if FAULTS.triggered(
+                faults.fire("pager.page_write", heap=self.name, page=page.page_id)
+                if faults.triggered(
                     "pager.torn_page", heap=self.name, page=page.page_id
                 ):
                     f.write(bytes(page.buf[: PAGE_SIZE // 2]))
@@ -179,7 +186,7 @@ class HeapFile:
                 f.write(page.buf)
             f.flush()
             os.fsync(f.fileno())
-        FAULTS.fire("heap.rename", heap=self.name)
+        faults.fire("heap.rename", heap=self.name)
         os.replace(tmp_path, path)
 
     @classmethod

@@ -14,13 +14,18 @@ from enum import Enum
 from typing import Dict, Set, Tuple
 
 from repro.errors import LockError
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT, LedgerContext
 
-_CONFLICTS = OBS.metrics.counter(
-    "table_lock_conflicts_total",
-    "Table-lock acquisitions rejected with NOWAIT LockError.",
-    labelnames=("mode",),
-)
+
+def _lock_metrics(reg):
+    class _Families:
+        conflicts = reg.counter(
+            "table_lock_conflicts_total",
+            "Table-lock acquisitions rejected with NOWAIT LockError.",
+            labelnames=("mode",),
+        )
+
+    return _Families
 
 
 class LockMode(Enum):
@@ -31,7 +36,9 @@ class LockMode(Enum):
 class LockManager:
     """Grants table-level S/X locks to transaction ids, NOWAIT style."""
 
-    def __init__(self) -> None:
+    def __init__(self, ctx: "LedgerContext" = None) -> None:
+        self._ctx = ctx if ctx is not None else DEFAULT_CONTEXT
+        self._m = self._ctx.metrics.handles("engine.locks", _lock_metrics)
         # table_id -> {tid: mode}
         self._held: Dict[int, Dict[int, LockMode]] = {}
 
@@ -58,12 +65,12 @@ class LockManager:
                 )
         holders[tid] = mode
 
-    @staticmethod
     def _conflict(
-        tid: int, table_id: int, mode: LockMode, others: Dict[int, LockMode]
+        self, tid: int, table_id: int, mode: LockMode,
+        others: Dict[int, LockMode],
     ) -> None:
-        _CONFLICTS.labels(mode.value).inc()
-        OBS.events.emit(
+        self._m.conflicts.labels(mode.value).inc()
+        self._ctx.events.emit(
             "engine",
             "lock.conflict",
             tid=tid,

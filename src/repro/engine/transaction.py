@@ -24,17 +24,21 @@ from repro.engine.hooks import EngineHooks
 from repro.engine.locks import LockManager
 from repro.engine.wal import ABORT, BEGIN, COMMIT, WalRecord, WalWriter
 from repro.errors import SavepointError, TransactionError
-from repro.obs import OBS
+from repro.runtime import DEFAULT_CONTEXT, LedgerContext
 
-_TXN_COMMITS = OBS.metrics.counter(
-    "txn_commits_total", "Transactions committed"
-)
-_TXN_ROLLBACKS = OBS.metrics.counter(
-    "txn_rollbacks_total", "Transactions rolled back"
-)
-_TXN_COMMIT_SECONDS = OBS.metrics.histogram(
-    "txn_commit_seconds", "End-to-end commit latency (hooks + WAL + ledger)"
-)
+
+def _txn_metrics(reg):
+    class _Families:
+        commits = reg.counter("txn_commits_total", "Transactions committed")
+        rollbacks = reg.counter(
+            "txn_rollbacks_total", "Transactions rolled back"
+        )
+        commit_seconds = reg.histogram(
+            "txn_commit_seconds",
+            "End-to-end commit latency (hooks + WAL + ledger)",
+        )
+
+    return _Families
 
 
 class TxnState(Enum):
@@ -100,11 +104,15 @@ class TransactionManager:
         hooks: EngineHooks,
         clock: Callable[[], dt.datetime],
         next_tid: int = 1,
+        ctx: Optional[LedgerContext] = None,
     ) -> None:
         self._wal = wal
         self._locks = lock_manager
         self._hooks = hooks
         self._clock = clock
+        self._ctx = ctx if ctx is not None else DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._m = self._ctx.metrics.handles("txn", _txn_metrics)
         self._next_tid = next_tid
         self._active: Dict[int, Transaction] = {}
         # Guards tid allocation and the active-transaction map; concurrent
@@ -141,7 +149,7 @@ class TransactionManager:
         # Mint the transaction's trace identity at begin: every span the
         # commit path (and later the block builder) emits for this txn joins
         # this trace, no matter which thread emits it.
-        trace = OBS.tracer.capture_context()
+        trace = self._obs.tracer.capture_context()
         if trace is not None:
             txn.context["trace"] = trace
         self._wal.append(WalRecord(BEGIN, {"tid": tid, "username": username}))
@@ -156,10 +164,10 @@ class TransactionManager:
         txn.require_active()
         started = time.perf_counter()
         trace = txn.context.get("trace")
-        with OBS.tracer.span("txn.commit", context=trace, tid=txn.tid):
+        with self._obs.tracer.span("txn.commit", context=trace, tid=txn.tid):
             txn.commit_time = self._clock()
             payload = self._hooks.pre_commit(txn)
-            with OBS.tracer.span("wal.commit", tid=txn.tid):
+            with self._obs.tracer.span("wal.commit", tid=txn.tid):
                 self._wal.append(
                     WalRecord(COMMIT, {"tid": txn.tid, "ledger": payload})
                 )
@@ -169,8 +177,8 @@ class TransactionManager:
                 del self._active[txn.tid]
             self._hooks.post_commit(txn, payload)
             self._locks.release_all(txn.tid)
-        _TXN_COMMITS.inc()
-        _TXN_COMMIT_SECONDS.observe(time.perf_counter() - started)
+        self._m.commits.inc()
+        self._m.commit_seconds.observe(time.perf_counter() - started)
         return payload
 
     def rollback(self, txn: Transaction) -> None:
@@ -180,7 +188,7 @@ class TransactionManager:
             action.revert()
         txn.undo_log.clear()
         self._wal.append(WalRecord(ABORT, {"tid": txn.tid}))
-        _TXN_ROLLBACKS.inc()
+        self._m.rollbacks.inc()
         txn.state = TxnState.ABORTED
         with self._state_lock:
             del self._active[txn.tid]

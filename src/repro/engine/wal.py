@@ -27,8 +27,8 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import InjectedCrashError, RecoveryError
 from repro.faults import FAULTS
-from repro.obs import OBS
 from repro.obs.lockstats import InstrumentedLock
+from repro.runtime import DEFAULT_CONTEXT, LedgerContext
 
 _FRAME = struct.Struct(">II")  # payload length, crc32
 
@@ -51,18 +51,24 @@ FAULTS.register(
     "durable — recovery may legitimately replay it.",
 )
 
-_WAL_APPENDS = OBS.metrics.counter(
-    "wal_appends_total", "WAL records appended, by record kind", ("kind",)
-)
-_WAL_BYTES = OBS.metrics.counter(
-    "wal_bytes_appended_total", "Bytes appended to the WAL (frames included)"
-)
-_WAL_FSYNCS = OBS.metrics.counter(
-    "wal_fsyncs_total", "fsync calls issued by the WAL writer"
-)
-_WAL_FSYNC_SECONDS = OBS.metrics.histogram(
-    "wal_fsync_seconds", "Latency of WAL flush+fsync calls"
-)
+def _wal_metrics(reg):
+    class _Families:
+        appends = reg.counter(
+            "wal_appends_total", "WAL records appended, by record kind",
+            ("kind",),
+        )
+        bytes_appended = reg.counter(
+            "wal_bytes_appended_total",
+            "Bytes appended to the WAL (frames included)",
+        )
+        fsyncs = reg.counter(
+            "wal_fsyncs_total", "fsync calls issued by the WAL writer"
+        )
+        fsync_seconds = reg.histogram(
+            "wal_fsync_seconds", "Latency of WAL flush+fsync calls"
+        )
+
+    return _Families
 
 # Record kinds.
 BEGIN = "BEGIN"
@@ -103,15 +109,27 @@ class WalRecord:
 class WalWriter:
     """Appends records to a log file; returns byte-offset LSNs."""
 
-    def __init__(self, path: str, sync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        sync: bool = False,
+        ctx: Optional[LedgerContext] = None,
+    ) -> None:
         self._path = path
         self._sync = sync
+        self._ctx = ctx if ctx is not None else DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._faults = self._ctx.faults
+        self._m = self._ctx.metrics.handles("wal", _wal_metrics)
         self._file = open(path, "ab")
         # Frames must hit the file whole and in LSN order even when several
         # threads commit at once; interleaved writes would tear frames
         # mid-file rather than only at the tail.  Instrumented as
-        # ``wal.writer`` on /locks so commit-path waits here are visible.
-        self._lock = InstrumentedLock("wal.writer")
+        # ``wal.writer`` (suffixed per instance) on /locks so commit-path
+        # waits here are visible.
+        self._lock = InstrumentedLock(
+            self._ctx.scoped("wal.writer"), metrics=self._ctx.metrics
+        )
 
     @property
     def path(self) -> str:
@@ -120,10 +138,10 @@ class WalWriter:
     def append(self, record: WalRecord) -> int:
         """Append one record; returns its LSN (starting byte offset)."""
         payload = record.to_bytes()
-        FAULTS.fire("wal.append", kind=record.kind)
+        self._faults.fire("wal.append", kind=record.kind)
         with self._lock:
             lsn = self._file.tell()
-            if FAULTS.triggered("wal.torn_write", kind=record.kind):
+            if self._faults.triggered("wal.torn_write", kind=record.kind):
                 # Simulate a crash mid-frame: header plus half the payload
                 # reach the OS, then the process dies.  The flush models the
                 # Python buffer draining as the file is closed.
@@ -134,20 +152,20 @@ class WalWriter:
             self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
             self._file.write(payload)
             if self._sync:
-                FAULTS.fire("wal.fsync", kind=record.kind)
+                self._faults.fire("wal.fsync", kind=record.kind)
                 self._flush_and_sync()
-        if OBS.metrics.enabled:
-            _WAL_APPENDS.labels(record.kind).inc()
-            _WAL_BYTES.inc(_FRAME.size + len(payload))
+        if self._obs.metrics.enabled:
+            self._m.appends.labels(record.kind).inc()
+            self._m.bytes_appended.inc(_FRAME.size + len(payload))
         return lsn
 
     def flush(self) -> None:
         with self._lock:
             if self._sync:
-                if OBS.tracer.enabled:
+                if self._obs.tracer.enabled:
                     # The commit path's durability point: worth its own span
                     # in the lineage (fsync dominates sync-mode commits).
-                    with OBS.tracer.span("wal.fsync"):
+                    with self._obs.tracer.span("wal.fsync"):
                         self._flush_and_sync()
                 else:
                     self._flush_and_sync()
@@ -155,12 +173,12 @@ class WalWriter:
                 self._file.flush()
 
     def _flush_and_sync(self) -> None:
-        if OBS.metrics.enabled:
+        if self._obs.metrics.enabled:
             started = time.perf_counter()
             self._file.flush()
             os.fsync(self._file.fileno())
-            _WAL_FSYNCS.inc()
-            _WAL_FSYNC_SECONDS.observe(time.perf_counter() - started)
+            self._m.fsyncs.inc()
+            self._m.fsync_seconds.observe(time.perf_counter() - started)
         else:
             self._file.flush()
             os.fsync(self._file.fileno())

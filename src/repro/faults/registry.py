@@ -27,11 +27,14 @@ point auto-passes again (transient failures for retry/backoff testing: raise
 ``crash`` / ``exit`` fault with unlimited ``times`` has triggered it keeps
 triggering — a dead process does not come back until the harness resets.
 
-The registry is a process singleton (``repro.faults.FAULTS``) because fault
-points live in modules that predate any database instance, exactly like the
-telemetry registry.  All bookkeeping is thread-safe; triggers are counted
-per point and every trigger emits a ``fault.injected`` event so torture runs
-leave an audit trail.
+Fault-point *registration* is process-wide — points live in modules that
+predate any database instance, exactly like metric families — but arming
+state and hit accounting are **per registry instance**.  The process-default
+registry (``repro.faults.FAULTS``) serves the shell/CLI convenience path;
+sharded deployments give each shard its own :class:`FaultRegistry` so the
+torture harness can crash one shard without touching its neighbours.  All
+bookkeeping is thread-safe; triggers are counted per point and every trigger
+emits a ``fault.injected`` event so torture runs leave an audit trail.
 """
 
 from __future__ import annotations
@@ -42,7 +45,6 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import InjectedCrashError, InjectedFaultError
-from repro.obs import OBS
 
 #: Valid values for ``arm(action=...)``.
 ACTIONS = ("fail", "crash", "exit")
@@ -78,14 +80,36 @@ class _PointStats:
     triggers: int = 0
 
 
+#: Process-wide catalog of declared fault points.  Registration happens at
+#: import time in modules that predate any database instance, so the catalog
+#: is shared by every :class:`FaultRegistry` — only arming state and hit
+#: accounting are per instance.
+_CATALOG: Dict[str, FaultPoint] = {}
+_CATALOG_LOCK = threading.Lock()
+
+
 class FaultRegistry:
     """Named fault points, arming state, and per-point hit accounting."""
 
-    def __init__(self) -> None:
+    def __init__(self, events: Optional[Any] = None) -> None:
         self._lock = threading.Lock()
-        self._points: Dict[str, FaultPoint] = {}
         self._armed: Dict[str, _ArmedFault] = {}
         self._stats: Dict[str, _PointStats] = {}
+        #: Event sink for ``fault.injected``; defaults (lazily) to the
+        #: process-wide OBS event log so the singleton path is unchanged.
+        self._events = events
+
+    def _emit_sink(self) -> Any:
+        if self._events is None:
+            from repro.obs import OBS
+
+            self._events = OBS.events
+        return self._events
+
+    def set_events(self, events: Any) -> None:
+        """Install the event sink (used when a context is built after the
+        registry, e.g. per-shard registries wrapped in scoped event logs)."""
+        self._events = events
 
     # ------------------------------------------------------------------
     # Registration (done at import time by each instrumented module)
@@ -94,20 +118,19 @@ class FaultRegistry:
     def register(
         self, name: str, description: str, kind: str = "raise"
     ) -> FaultPoint:
-        """Declare a fault point.  Re-registration is idempotent."""
-        with self._lock:
-            existing = self._points.get(name)
+        """Declare a fault point in the shared catalog.  Idempotent."""
+        with _CATALOG_LOCK:
+            existing = _CATALOG.get(name)
             if existing is not None:
                 return existing
             point = FaultPoint(name=name, description=description, kind=kind)
-            self._points[name] = point
-            self._stats[name] = _PointStats()
+            _CATALOG[name] = point
             return point
 
     def points(self) -> List[FaultPoint]:
         """Every registered fault point, sorted by name."""
-        with self._lock:
-            return sorted(self._points.values(), key=lambda p: p.name)
+        with _CATALOG_LOCK:
+            return sorted(_CATALOG.values(), key=lambda p: p.name)
 
     def point_names(self) -> List[str]:
         return [point.name for point in self.points()]
@@ -241,7 +264,7 @@ class FaultRegistry:
     def _emit(
         self, name: str, spec: _ArmedFault, context: Dict[str, Any]
     ) -> None:
-        OBS.events.emit(
+        self._emit_sink().emit(
             "fault", "fault.injected",
             point=name, action=spec.action, trigger=spec.triggers,
             **{k: v for k, v in context.items() if isinstance(v, (str, int, float, bool))},

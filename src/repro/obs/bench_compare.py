@@ -290,6 +290,8 @@ def detect_baseline_kind(baseline: Dict[str, Any]) -> str:
     """Which harness experiment produced this BENCH file."""
     if "single_thread" in baseline and "concurrent" in baseline:
         return "pipeline"
+    if "sharded" in baseline:
+        return "shard"
     if "verify" in baseline:
         return "verify"
     if "recovery_seconds" in baseline:
@@ -298,7 +300,7 @@ def detect_baseline_kind(baseline: Dict[str, Any]) -> str:
         return "obs"
     raise ValueError(
         "unrecognized baseline shape: expected a BENCH_*.json written by "
-        "the harness (pipeline/verify/faults/obs)"
+        "the harness (pipeline/shard/verify/faults/obs)"
     )
 
 
@@ -318,6 +320,13 @@ def _run_fresh(kind: str, baseline: Dict[str, Any]) -> Dict[str, Any]:
         }
     with tempfile.TemporaryDirectory(prefix="repro-compare-") as tmp:
         path = os.path.join(tmp, "fresh.json")
+        if kind == "shard":
+            sharded = baseline.get("sharded", {})
+            return harness.run_shard_baseline(
+                path,
+                shards=int(sharded.get("shards", 4) or 4),
+                concurrency=int(sharded.get("concurrency", 4) or 4),
+            )
         if kind == "verify":
             return harness.run_verify_baseline(path)
         if kind == "faults":

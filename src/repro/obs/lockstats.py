@@ -59,44 +59,60 @@ _LOCK_BUCKETS = (
     0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1.0, 5.0,
 )
 
-_WAIT = OBS.metrics.histogram(
-    "lock_wait_seconds",
-    "Time threads spent waiting to acquire an instrumented lock "
-    "(0 when uncontended)",
-    ("lock",),
-    buckets=_LOCK_BUCKETS,
-)
-_HOLD = OBS.metrics.histogram(
-    "lock_hold_seconds",
-    "Time an instrumented lock was held, outermost acquire to final release",
-    ("lock",),
-    buckets=_LOCK_BUCKETS,
-)
-_CONTENDED = OBS.metrics.counter(
-    "lock_contended_total",
-    "Acquisitions of an instrumented lock that found it already held",
-    ("lock",),
-)
-_ACQUISITIONS = OBS.metrics.counter(
-    "lock_acquisitions_total",
-    "Successful acquisitions of an instrumented lock",
-    ("lock",),
-)
+def _lock_metrics(reg):
+    """Per-registry lock metric families (resolved via ``handles``)."""
+
+    class _Families:
+        wait = reg.histogram(
+            "lock_wait_seconds",
+            "Time threads spent waiting to acquire an instrumented lock "
+            "(0 when uncontended)",
+            ("lock",),
+            buckets=_LOCK_BUCKETS,
+        )
+        hold = reg.histogram(
+            "lock_hold_seconds",
+            "Time an instrumented lock was held, outermost acquire to "
+            "final release",
+            ("lock",),
+            buckets=_LOCK_BUCKETS,
+        )
+        contended = reg.counter(
+            "lock_contended_total",
+            "Acquisitions of an instrumented lock that found it already held",
+            ("lock",),
+        )
+        acquisitions = reg.counter(
+            "lock_acquisitions_total",
+            "Successful acquisitions of an instrumented lock",
+            ("lock",),
+        )
+
+    return _Families
+
 
 _registry_lock = threading.Lock()
 _registry: Dict[str, "_InstrumentedBase"] = {}
 
 
 class _InstrumentedBase:
-    """Shared bookkeeping for both lock flavours."""
+    """Shared bookkeeping for both lock flavours.
 
-    def __init__(self, name: str) -> None:
+    ``metrics`` is the :class:`~repro.obs.metrics.MetricsRegistry` the lock
+    reports into; it defaults to the process-wide one.  Sharded deployments
+    keep a single shared registry and disambiguate via scoped lock *names*
+    (``ledger.storage@s1``), which become distinct ``lock=`` label values.
+    """
+
+    def __init__(self, name: str, metrics=None) -> None:
         self.name = name
+        self._metrics = metrics if metrics is not None else OBS.metrics
+        families = self._metrics.handles("lockstats", _lock_metrics)
         # Metric children resolved once; per-acquire cost is the observe.
-        self._wait = _WAIT.labels(name)
-        self._hold = _HOLD.labels(name)
-        self._contended = _CONTENDED.labels(name)
-        self._acquisitions = _ACQUISITIONS.labels(name)
+        self._wait = families.wait.labels(name)
+        self._hold = families.hold.labels(name)
+        self._contended = families.contended.labels(name)
+        self._acquisitions = families.acquisitions.labels(name)
         # Unsynchronized extrema/holder info: torn reads are acceptable for
         # a diagnostics table, locking them would serialize all holders.
         self.max_wait = 0.0
@@ -120,7 +136,7 @@ class _InstrumentedBase:
         self._held_since = time.perf_counter()
         if wait > self.max_wait:
             self.max_wait = wait
-        if OBS.metrics.enabled:
+        if self._metrics.enabled:
             self._acquisitions.inc()
             self._wait.observe(wait)
             if contended:
@@ -135,7 +151,7 @@ class _InstrumentedBase:
         hold = time.perf_counter() - held_since
         if hold > self.max_hold:
             self.max_hold = hold
-        if OBS.metrics.enabled:
+        if self._metrics.enabled:
             self._hold.observe(hold)
 
     # -- introspection ------------------------------------------------------
@@ -181,8 +197,8 @@ class _InstrumentedBase:
 class InstrumentedLock(_InstrumentedBase):
     """A named, metered drop-in for ``threading.Lock``."""
 
-    def __init__(self, name: str) -> None:
-        super().__init__(name)
+    def __init__(self, name: str, metrics=None) -> None:
+        super().__init__(name, metrics=metrics)
         self._inner = threading.Lock()
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
@@ -225,8 +241,8 @@ class InstrumentedRLock(_InstrumentedBase):
     re-entrant call chains do not inflate the hold histogram.
     """
 
-    def __init__(self, name: str) -> None:
-        super().__init__(name)
+    def __init__(self, name: str, metrics=None) -> None:
+        super().__init__(name, metrics=metrics)
         self._inner = threading.RLock()
         # Owner/depth shadow the inner RLock's state.  Only the owning
         # thread mutates them while holding the lock; other threads only

@@ -328,6 +328,7 @@ class MetricsRegistry:
         self._families: Dict[str, MetricFamily] = {}
         self._lock = threading.Lock()
         self._collectors: List[Callable[[], None]] = []
+        self._handles: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -392,6 +393,29 @@ class MetricsRegistry:
         buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
     ) -> MetricFamily:
         return self._register(name, HISTOGRAM, help_text, labelnames, buckets)
+
+    def handles(self, key: str, factory: Callable[["MetricsRegistry"], Any]) -> Any:
+        """Memoized per-registry bundle of metric-family handles.
+
+        Instrumented modules used to bind their families to the process-wide
+        registry at import time; instance-scoped contexts instead resolve a
+        handle bundle against *their* registry once at construction:
+
+            self._m = ctx.metrics.handles("wal", _wal_metrics)
+
+        ``factory(registry)`` runs at most once per (registry, key); family
+        creation itself stays idempotent by name, so bundles resolved against
+        the same registry share the underlying time series.
+        """
+        handle = self._handles.get(key)
+        if handle is None:
+            with self._lock:
+                handle = self._handles.get(key)
+            if handle is None:
+                built = factory(self)
+                with self._lock:
+                    handle = self._handles.setdefault(key, built)
+        return handle
 
     def get(self, name: str) -> Optional[MetricFamily]:
         return self._families.get(name)

@@ -48,8 +48,8 @@ from repro.core.verify_checkpoint import (
 )
 from repro.errors import DigestError, ReplicationLagError
 from repro.faults import FAULTS
-from repro.obs import OBS
 from repro.obs.profiler import set_thread_role
+from repro.runtime import DEFAULT_CONTEXT
 
 FAULTS.register(
     "monitor.cycle",
@@ -58,44 +58,49 @@ FAULTS.register(
     "ledger is unwatched, not unverifiable.",
 )
 
-_MONITOR_CYCLES = OBS.metrics.counter(
-    "monitor_cycles_total",
-    "Continuous-verification cycles, by outcome "
-    "(passed, failed, skipped, idle, error)",
-    ("outcome",),
-)
-_MONITOR_CYCLE_SECONDS = OBS.metrics.histogram(
-    "monitor_cycle_seconds", "Wall time of one continuous-verification cycle"
-)
-_VERIFICATION_LAG = OBS.metrics.gauge(
-    "monitor_verification_lag_blocks",
-    "Closed blocks not yet covered by a passing verification",
-)
-_VERIFIED_THROUGH = OBS.metrics.gauge(
-    "monitor_verified_through_block",
-    "Highest block id covered by the last passing verification",
-)
-_BLOCK_HEIGHT = OBS.metrics.gauge(
-    "ledger_block_height", "Highest closed block id in the ledger"
-)
-_TAMPER_DETECTED = OBS.metrics.counter(
-    "monitor_tamper_detected_total",
-    "Tamper detections raised by the continuous monitor",
-)
-_CALLBACK_ERRORS = OBS.metrics.counter(
-    "obs_callback_errors_total",
-    "Exceptions raised by user-supplied observability callbacks",
-    ("kind",),
-)
-_MONITOR_CYCLE_MODES = OBS.metrics.counter(
-    "monitor_cycle_mode_total",
-    "Continuous-verification cycles by executed verification mode",
-    ("mode",),
-)
-_MONITOR_DEEP_SCANS = OBS.metrics.counter(
-    "monitor_deep_scans_total",
-    "Scheduled full-prefix deep scans run by the incremental monitor",
-)
+def _monitor_metrics(reg):
+    class _Families:
+        cycles = reg.counter(
+            "monitor_cycles_total",
+            "Continuous-verification cycles, by outcome "
+            "(passed, failed, skipped, idle, error)",
+            ("outcome",),
+        )
+        cycle_seconds = reg.histogram(
+            "monitor_cycle_seconds",
+            "Wall time of one continuous-verification cycle",
+        )
+        verification_lag = reg.gauge(
+            "monitor_verification_lag_blocks",
+            "Closed blocks not yet covered by a passing verification",
+        )
+        verified_through = reg.gauge(
+            "monitor_verified_through_block",
+            "Highest block id covered by the last passing verification",
+        )
+        block_height = reg.gauge(
+            "ledger_block_height", "Highest closed block id in the ledger"
+        )
+        tamper_detected = reg.counter(
+            "monitor_tamper_detected_total",
+            "Tamper detections raised by the continuous monitor",
+        )
+        callback_errors = reg.counter(
+            "obs_callback_errors_total",
+            "Exceptions raised by user-supplied observability callbacks",
+            ("kind",),
+        )
+        cycle_modes = reg.counter(
+            "monitor_cycle_mode_total",
+            "Continuous-verification cycles by executed verification mode",
+            ("mode",),
+        )
+        deep_scans = reg.counter(
+            "monitor_deep_scans_total",
+            "Scheduled full-prefix deep scans run by the incremental monitor",
+        )
+
+    return _Families
 
 #: An alert hook receives (verdict: str, details: dict).
 AlertHook = Callable[[str, Dict[str, Any]], None]
@@ -124,6 +129,10 @@ class ContinuousVerifier:
         checkpoint_path: Optional[str] = None,
     ) -> None:
         self._db = db
+        self._ctx = getattr(db, "context", None) or DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._faults = self._ctx.faults
+        self._m = self._ctx.metrics.handles("monitor", _monitor_metrics)
         self.interval = interval
         self._digest_func = digest_func
         self._alert_hooks: List[AlertHook] = list(alert_hooks)
@@ -154,7 +163,7 @@ class ContinuousVerifier:
         self.last_cycle_seconds = 0.0
         self.last_error: Optional[str] = None
         # The monitor *is* the consumer of the event trail: turn it on.
-        OBS.events.enable()
+        self._obs.events.enable()
 
     # ------------------------------------------------------------------
     # Thread lifecycle
@@ -180,10 +189,13 @@ class ContinuousVerifier:
         self._stop.clear()
         self._expected_running = True
         self._thread = threading.Thread(
-            target=self._run, name="ledger-monitor", daemon=True
+            target=self._run, name=self._ctx.scoped("ledger-monitor"),
+            daemon=True,
         )
         self._thread.start()
-        OBS.events.emit("monitor", "monitor.started", interval=self.interval)
+        self._ctx.events.emit(
+            "monitor", "monitor.started", interval=self.interval
+        )
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -193,7 +205,7 @@ class ContinuousVerifier:
         if thread is not None and thread.is_alive():
             thread.join(timeout)
         self._thread = None
-        OBS.events.emit("monitor", "monitor.stopped", cycles=self.cycles)
+        self._ctx.events.emit("monitor", "monitor.stopped", cycles=self.cycles)
 
     def add_alert_hook(self, hook: AlertHook) -> None:
         self._alert_hooks.append(hook)
@@ -202,18 +214,18 @@ class ContinuousVerifier:
         # Fresh stack for the monitor thread: restarted monitors (and forked
         # children that inherit this slot) must not parent their spans under
         # a previous incarnation's span.
-        OBS.tracer.reset_thread()
-        set_thread_role("monitor")
+        self._obs.tracer.reset_thread()
+        set_thread_role(self._ctx.scoped("monitor"))
         try:
             while not self._stop.is_set():
                 # Outside run_cycle's guard: an armed fault here kills the
                 # watchdog thread itself, the scenario /healthz must expose.
-                FAULTS.fire("monitor.cycle")
+                self._faults.fire("monitor.cycle")
                 self.run_cycle()
                 self._stop.wait(self.interval)
         except Exception as exc:
             self.last_error = f"{type(exc).__name__}: {exc}"
-            OBS.events.emit(
+            self._ctx.events.emit(
                 "monitor", "monitor.thread_died", error=self.last_error
             )
 
@@ -237,8 +249,8 @@ class ContinuousVerifier:
             self.last_error = f"{type(exc).__name__}: {exc}"
         self.last_cycle_seconds = time.perf_counter() - started
         self.cycles += 1
-        _MONITOR_CYCLES.labels(outcome).inc()
-        _MONITOR_CYCLE_SECONDS.observe(self.last_cycle_seconds)
+        self._m.cycles.labels(outcome).inc()
+        self._m.cycle_seconds.observe(self.last_cycle_seconds)
         with self._cycle_done:
             self._cycle_done.notify_all()
         return outcome
@@ -263,7 +275,7 @@ class ContinuousVerifier:
         if captured == "skipped":
             return "skipped"
         self.block_height = self._db.ledger.latest_block_id()
-        _BLOCK_HEIGHT.set(max(self.block_height, 0))
+        self._m.block_height.set(max(self.block_height, 0))
         self._publish_lag()
 
         verdict_details: Dict[str, Any] = {}
@@ -283,11 +295,11 @@ class ContinuousVerifier:
                 build_checkpoint=self.incremental,
             )
             self.last_mode = report.mode
-            _MONITOR_CYCLE_MODES.labels(report.mode).inc()
+            self._m.cycle_modes.labels(report.mode).inc()
             if report.mode == "full" and self.incremental:
                 self.deep_scans += 1
                 self._cycles_since_deep_scan = 0
-                _MONITOR_DEEP_SCANS.inc()
+                self._m.deep_scans.inc()
             else:
                 self._cycles_since_deep_scan += 1
             if report.ok:
@@ -297,7 +309,7 @@ class ContinuousVerifier:
                 self.verified_through_block = max(
                     d.block_id for d in self._trusted
                 )
-                _VERIFIED_THROUGH.set(self.verified_through_block)
+                self._m.verified_through.set(self.verified_through_block)
             else:
                 failed = True
                 self.last_findings = [str(f) for f in report.errors]
@@ -320,8 +332,8 @@ class ContinuousVerifier:
         if failed:
             self.failures += 1
             self.last_verdict = "failed"
-            _TAMPER_DETECTED.inc()
-            OBS.events.emit("tamper", "tamper.detected", **verdict_details)
+            self._m.tamper_detected.inc()
+            self._ctx.events.emit("tamper", "tamper.detected", **verdict_details)
             self._dispatch_alerts("failed", verdict_details)
             return "failed"
         if not self._trusted:
@@ -343,7 +355,7 @@ class ContinuousVerifier:
         except DigestError:
             return None  # empty ledger: nothing to verify yet
         except ReplicationLagError:
-            OBS.events.emit(
+            self._ctx.events.emit(
                 "monitor", "monitor.cycle_skipped", reason="replication_lag"
             )
             return "skipped"
@@ -392,7 +404,7 @@ class ContinuousVerifier:
             self.last_findings = []
 
     def _publish_lag(self) -> None:
-        _VERIFICATION_LAG.set(self.verification_lag)
+        self._m.verification_lag.set(self.verification_lag)
 
     @property
     def verification_lag(self) -> int:
@@ -416,7 +428,7 @@ class ContinuousVerifier:
             try:
                 hook(verdict, details)
             except Exception:
-                _CALLBACK_ERRORS.labels("alert").inc()
+                self._m.callback_errors.labels("alert").inc()
 
     def _on_progress(self, event) -> None:
         # Reserved for surfacing long verifications; kept cheap on purpose.

@@ -1,0 +1,133 @@
+"""Instance-scoped runtime context: obs + faults bundled per database.
+
+Historically every instrumented module reached for the process-wide
+``repro.obs.OBS`` and ``repro.faults.FAULTS`` singletons.  That breaks the
+moment two ledgers share a process — shard A's lock waits land in shard B's
+``lock_wait_seconds{lock=ledger.storage}`` series, the profiler's role
+registry can only hold one "block-builder", and arming a fault for one
+shard's torture run crashes them all.
+
+:class:`LedgerContext` is the fix: a small bundle of telemetry + fault
+registry + instance name that is threaded through engine → core → pipeline →
+obs → faults at construction time.  The *default* context wraps the familiar
+process-wide singletons, so a plain ``LedgerDatabase.open(path)`` (the shell
+and CLI convenience path) behaves exactly as before — bare lock names, bare
+thread roles, no ``shard=`` event field.  Named contexts (shards, or a second
+database opened while the first is still up) suffix every lock name and
+thread role with ``@<name>`` and stamp ``shard=<name>`` on emitted events.
+
+Instance names are claimed while a database is open and released on close:
+sequential open/close cycles in one process keep the bare default name, while
+genuinely concurrent instances get distinct ``i2``, ``i3`` … suffixes
+automatically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.faults import FAULTS, FaultRegistry
+from repro.obs import OBS, Telemetry
+
+
+class ScopedEvents:
+    """Event-log proxy stamping ``shard=<name>`` on every emitted event.
+
+    Everything except :meth:`emit` passes straight through to the wrapped
+    :class:`~repro.obs.events.EventLog`, so consumers (monitor, server,
+    flight recorder) can treat a scoped log exactly like a bare one.
+    """
+
+    def __init__(self, events: Any, shard: str) -> None:
+        self._events = events
+        self._shard = shard
+
+    def emit(self, category: str, name: str, **fields: Any):
+        fields.setdefault("shard", self._shard)
+        return self._events.emit(category, name, **fields)
+
+    def __getattr__(self, attr: str) -> Any:
+        return getattr(self._events, attr)
+
+
+class LedgerContext:
+    """One database instance's observability + fault-injection scope."""
+
+    def __init__(
+        self,
+        name: str = "",
+        obs: Optional[Telemetry] = None,
+        faults: Optional[FaultRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.obs = obs if obs is not None else OBS
+        self.faults = faults if faults is not None else FAULTS
+        self._events = (
+            ScopedEvents(self.obs.events, name) if name else self.obs.events
+        )
+
+    @property
+    def metrics(self):
+        return self.obs.metrics
+
+    @property
+    def tracer(self):
+        return self.obs.tracer
+
+    @property
+    def events(self):
+        return self._events
+
+    def scoped(self, base: str) -> str:
+        """Scope a lock name or thread role to this instance.
+
+        The default (unnamed) context returns ``base`` unchanged so a single
+        database keeps the documented ``ledger.storage`` / ``block-builder``
+        labels; named contexts append ``@<name>``.
+        """
+        if not self.name:
+            return base
+        return f"{base}@{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<LedgerContext name={self.name!r}>"
+
+
+#: The process-default context: the singletons, unscoped names.
+DEFAULT_CONTEXT = LedgerContext()
+
+
+# ----------------------------------------------------------------------
+# Instance-name bookkeeping
+# ----------------------------------------------------------------------
+
+_names_lock = threading.Lock()
+_open_names: set = set()
+
+
+def claim_instance_name(requested: Optional[str] = None) -> str:
+    """Reserve an instance name for a database being opened.
+
+    ``requested`` wins when given (shards pass ``s0``, ``s1`` …).  Otherwise
+    the bare default name ``""`` is handed out if no other default-named
+    instance is currently open; concurrent extras get ``i2``, ``i3`` …  The
+    name must be released via :func:`release_instance_name` at close.
+    """
+    with _names_lock:
+        if requested is not None:
+            name = requested
+        elif "" not in _open_names:
+            name = ""
+        else:
+            n = 2
+            while f"i{n}" in _open_names:
+                n += 1
+            name = f"i{n}"
+        _open_names.add(name)
+        return name
+
+
+def release_instance_name(name: str) -> None:
+    with _names_lock:
+        _open_names.discard(name)

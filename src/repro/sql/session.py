@@ -22,22 +22,27 @@ from repro.engine.schema import Column, IndexDefinition, TableSchema
 from repro.engine.transaction import Transaction
 from repro.engine.types import type_from_name
 from repro.errors import SqlBindError
-from repro.obs import OBS
 from repro.obs.profiler import set_thread_role
+from repro.runtime import DEFAULT_CONTEXT
 from repro.sql import ast
 from repro.sql.parser import parse
 
-_SQL_STATEMENTS = OBS.metrics.counter(
-    "sql_statements_total", "SQL statements executed, by statement kind",
-    ("kind",),
-)
-_SQL_PARSE_SECONDS = OBS.metrics.histogram(
-    "sql_parse_seconds", "SQL lex+parse latency"
-)
-_SQL_EXECUTE_SECONDS = OBS.metrics.histogram(
-    "sql_execute_seconds", "SQL bind+execute latency, by statement kind",
-    ("kind",),
-)
+def _sql_metrics(reg):
+    class _Families:
+        statements = reg.counter(
+            "sql_statements_total",
+            "SQL statements executed, by statement kind",
+            ("kind",),
+        )
+        parse_seconds = reg.histogram(
+            "sql_parse_seconds", "SQL lex+parse latency"
+        )
+        execute_seconds = reg.histogram(
+            "sql_execute_seconds", "SQL bind+execute latency, by statement kind",
+            ("kind",),
+        )
+
+    return _Families
 
 
 class SqlSession:
@@ -46,9 +51,12 @@ class SqlSession:
     def __init__(self, db, username: str = "app_user") -> None:
         self._db = db
         self._username = username
+        self._ctx = getattr(db, "context", None) or DEFAULT_CONTEXT
+        self._obs = self._ctx.obs
+        self._m = self._ctx.metrics.handles("sql", _sql_metrics)
         # Sessions are thread-affine (one per worker thread in the bench
         # drivers), so construction is the thread's natural role tag.
-        set_thread_role("sql-session")
+        set_thread_role(self._ctx.scoped("sql-session"))
         self._txn: Optional[Transaction] = None
         #: Ledger payload of the session's most recent commit (block id,
         #: ordinal, serialized entry) — lets concurrent drivers attribute
@@ -72,20 +80,20 @@ class SqlSession:
         Returns rows (list of dicts) for SELECT, an affected-row count for
         DML, and None for DDL / transaction control.
         """
-        tracer = OBS.tracer
+        tracer = self._obs.tracer
         with tracer.span("sql.statement") as stmt_span:
             started = time.perf_counter()
             with tracer.span("sql.parse"):
                 statement = parse(statement_text)
-            _SQL_PARSE_SECONDS.observe(time.perf_counter() - started)
+            self._m.parse_seconds.observe(time.perf_counter() - started)
             kind = type(statement).__name__
             stmt_span.set_attribute("kind", kind)
-            _SQL_STATEMENTS.labels(kind).inc()
+            self._m.statements.labels(kind).inc()
             handler = self._HANDLERS[type(statement)]
             started = time.perf_counter()
             with self._db.ledger_lock, tracer.span("sql.execute", kind=kind):
                 result = handler(self, statement)
-            _SQL_EXECUTE_SECONDS.labels(kind).observe(
+            self._m.execute_seconds.labels(kind).observe(
                 time.perf_counter() - started
             )
             return result

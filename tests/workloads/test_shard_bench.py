@@ -1,0 +1,62 @@
+"""Shard-experiment harness: routed concurrent commits, honest baselines."""
+
+import json
+
+from repro.workloads import harness
+from repro.workloads.harness import format_shard, run_shard_bench
+
+
+class TestShardBench:
+    def test_small_run_verifies_and_covers_every_shard(self):
+        results = run_shard_bench(
+            shards=2, concurrency=2, transactions_per_thread=8, block_size=4
+        )
+        assert results["verification_ok"]
+        assert results["super_root_match"]
+        assert results["transactions"] == 16
+        # Every shard owned a table and closed at least one block.
+        assert set(results["tables"].values()) == {"s0", "s1"}
+        assert all(h >= 0 for h in results["chain_heights"].values())
+        assert results["super_chain_height"] == 0
+        assert results["cpu_count"] >= 1
+        text = format_shard(results)
+        assert "cross-shard verification: passed" in text
+        assert f"cpu_count={results['cpu_count']}" in text
+
+    def test_baseline_payload_shape(self, tmp_path, monkeypatch):
+        # Keep the baseline run small: shrink the per-thread workload.
+        original = harness.run_shard_bench
+
+        def tiny(shards=4, concurrency=4, **kwargs):
+            return original(
+                shards=shards, concurrency=concurrency,
+                transactions_per_thread=6, block_size=4,
+            )
+
+        monkeypatch.setattr(harness, "run_shard_bench", tiny)
+        path = tmp_path / "BENCH_shard_baseline.json"
+        payload = harness.run_shard_baseline(
+            str(path), shards=2, concurrency=2
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+        assert "sharded" in payload and "single_shard" in payload
+        assert payload["sharded"]["shards"] == 2
+        assert payload["single_shard"]["shards"] == 1
+        for key in ("throughput_tps", "p99_commit_ms", "cpu_count"):
+            assert key in payload["sharded"]
+
+    def test_compare_detects_shard_kind(self, tmp_path):
+        from repro.obs.bench_compare import detect_baseline_kind
+
+        assert detect_baseline_kind(
+            {"sharded": {}, "single_shard": {}}
+        ) == "shard"
+
+    def test_cli_runs_shard_experiment(self, capsys):
+        assert harness.main(
+            ["shard", "--shards", "2", "--concurrency", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sharded ledger" in out
+        assert "cross-shard verification: passed" in out
