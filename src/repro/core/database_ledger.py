@@ -459,10 +459,10 @@ class DatabaseLedger:
             table = self._transactions_table()
             txn = self._engine.begin(username="ledger_system")
             try:
-                for entry in snapshot:
-                    table.insert(
-                        txn, table.schema.row_from_visible(entry.to_row())
-                    )
+                table.insert_many(txn, [
+                    table.schema.row_from_visible(entry.to_row())
+                    for entry in snapshot
+                ])
             except Exception:
                 self._engine.rollback(txn)
                 raise

@@ -22,10 +22,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.core import system_columns as sc
 from repro.core.database_ledger import DatabaseLedger
 from repro.core.entries import TransactionEntry
-from repro.crypto.hashing import hash_leaf
+from repro.crypto.hashing import hash_leaf, hash_leaves
 from repro.crypto.merkle import MerkleHasher, MerkleState
 from repro.engine.hooks import EngineHooks
-from repro.engine.record import hashable_payload
+from repro.engine.record import hashable_payload, hashable_payloads
 from repro.engine.table import Table
 from repro.engine.transaction import Transaction
 from repro.errors import AppendOnlyViolationError, LedgerConfigurationError
@@ -170,6 +170,37 @@ class LedgerHooks(EngineHooks):
         self._append_leaf(txn, context, table, validated, "insert")
         return validated
 
+    def before_insert_many(
+        self, txn: Transaction, table: Table, rows: List[List[Any]]
+    ) -> List[List[Any]]:
+        role = table.options.get("role")
+        if self._suppressed or role is None:
+            return rows
+        if role == "history":
+            raise LedgerConfigurationError(
+                f"history table {table.name!r} cannot be modified directly"
+            )
+        if role != "ledger":
+            return rows
+        context = self._context(txn)
+        start_tid, start_seq = sc.start_ordinals(table.schema)
+        has_end = sc.has_end_columns(table.schema)
+        if has_end:
+            end_tid, end_seq = sc.end_ordinals(table.schema)
+        tid = txn.tid
+        validate = table.schema.validate_row
+        validated_rows: List[List[Any]] = []
+        for row in rows:
+            row = list(row)
+            row[start_tid] = tid
+            row[start_seq] = context.take_sequence()
+            if has_end:
+                row[end_tid] = None
+                row[end_seq] = None
+            validated_rows.append(list(validate(row)))
+        self._append_leaves(txn, context, table, validated_rows, "insert")
+        return validated_rows
+
     def before_update(
         self,
         txn: Transaction,
@@ -256,6 +287,29 @@ class LedgerHooks(EngineHooks):
             payload = hashable_payload(table.schema, row)
             context.hasher_for(table.table_id).append(hash_leaf(payload))
         self._m.rows_hashed_by_op[op].inc()
+
+    def _append_leaves(
+        self, txn: Transaction, context: _LedgerTxContext, table: Table,
+        rows: Sequence[Sequence[Any]], op: str,
+    ) -> None:
+        """Batch counterpart of :meth:`_append_leaf`: one tracing span, one
+        serialize+hash pass and one metrics observation per statement."""
+        if not rows:
+            return
+        tracer = self._obs.tracer
+        if tracer.enabled:
+            trace = txn.context.get("trace")
+            with tracer.span(
+                "ledger.hash", context=trace, table=table.name, op=op,
+                rows=len(rows),
+            ):
+                payloads = hashable_payloads(table.schema, rows)
+                leaves = hash_leaves(payloads)
+        else:
+            payloads = hashable_payloads(table.schema, rows)
+            leaves = hash_leaves(payloads)
+        context.hasher_for(table.table_id).extend(leaves)
+        self._m.rows_hashed_by_op[op].inc(len(rows))
 
     def _require_updateable(self, table: Table, operation: str) -> None:
         if table.options.get("ledger_type") == "append_only":

@@ -48,6 +48,7 @@ from repro.runtime import (
     claim_instance_name,
     release_instance_name,
 )
+from repro.sql.prepared import StatementCache
 
 CONFIG_TABLE = "__ledger_config"
 VIEWS_TABLE = "__ledger_views"
@@ -83,6 +84,9 @@ class LedgerDatabase:
         #: Stage 3 of the commit pipeline: the background block builder and
         #: the ``drain()`` barrier (started by :meth:`open`).
         self.pipeline = LedgerPipeline(ledger, ctx=self._ctx)
+        #: Prepared-statement cache shared by every SQL session on this
+        #: database; DDL through any session invalidates it for all.
+        self.statement_cache = StatementCache()
         self._signing_key = None
         self._sql_session = None
         self._monitor = None

@@ -331,9 +331,11 @@ def cached_record_events(
     """
     if cache is None:
         return record_events(relation, record)
-    value = cache.get(relation.fingerprint, record)
+    # One key build serves both the lookup and the fill.
+    key = cache.make_key(relation.fingerprint, record)
+    value = cache.get_by_key(key)
     if value is not None:
         return value
     value = record_events(relation, record)
-    cache.put(relation.fingerprint, record, value)
+    cache.put_by_key(key, value)
     return value

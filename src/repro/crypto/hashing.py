@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Size in bytes of every digest in the system (SHA-256).
 HASH_SIZE = 32
@@ -39,6 +39,29 @@ def hash_leaf(serialized_row: bytes) -> bytes:
     the column metadata the paper requires.
     """
     return sha256(_TAG_LEAF + serialized_row)
+
+
+#: Pre-seeded hashlib context holding the leaf tag; ``copy()`` per row is
+#: cheaper than constructing a context and re-hashing the tag each call.
+_LEAF_SEED = hashlib.sha256(_TAG_LEAF)
+
+
+def hash_leaves(serialized_rows: Iterable[bytes]) -> List[bytes]:
+    """Hash a statement's whole row set into Merkle leaves in one pass.
+
+    Equivalent to ``[hash_leaf(row) for row in serialized_rows]`` but feeds
+    one reused (copied) pre-seeded hashlib context per row, avoiding the
+    per-call function and object churn the single-row path pays — the batch
+    half of making per-row costs per-statement costs.
+    """
+    seed_copy = _LEAF_SEED.copy
+    out: List[bytes] = []
+    append = out.append
+    for row in serialized_rows:
+        ctx = seed_copy()
+        ctx.update(row)
+        append(ctx.digest())
+    return out
 
 
 def hash_interior(left: bytes, right: bytes) -> bytes:
@@ -107,9 +130,14 @@ class LeafHashCache:
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, context: str, record: bytes) -> Optional[Any]:
-        """Return the cached value for ``(context, record)``, or ``None``."""
-        key = (context, record)
+    @staticmethod
+    def make_key(context: str, record: bytes) -> Tuple[str, bytes]:
+        """Build the cache key once; pass it to :meth:`get_by_key` /
+        :meth:`put_by_key` so a miss-then-insert cycle does not rebuild it."""
+        return (context, record)
+
+    def get_by_key(self, key: Tuple[str, bytes]) -> Optional[Any]:
+        """Return the cached value for a prebuilt key, or ``None``."""
         with self._lock:
             value = self._data.get(key)
             if value is None:
@@ -119,14 +147,31 @@ class LeafHashCache:
             self.hits += 1
             return value
 
-    def put(self, context: str, record: bytes, value: Any) -> None:
-        """Insert a value, evicting the least-recently-used entry if full."""
-        key = (context, record)
+    def put_by_key(self, key: Tuple[str, bytes], value: Any) -> None:
+        """Insert under a prebuilt key, evicting the LRU entry if full."""
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
+
+    def get(self, context: str, record: bytes) -> Optional[Any]:
+        """Return the cached value for ``(context, record)``, or ``None``."""
+        return self.get_by_key((context, record))
+
+    def put(self, context: str, record: bytes, value: Any) -> None:
+        """Insert a value, evicting the least-recently-used entry if full."""
+        self.put_by_key((context, record), value)
+
+    def stats(self) -> Dict[str, int]:
+        """Point-in-time counters for mirroring into a metrics registry."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._data),
+                "capacity": self.capacity,
+            }
 
     def clear(self) -> None:
         with self._lock:

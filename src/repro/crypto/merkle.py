@@ -110,6 +110,41 @@ class MerkleHasher:
             if combined:
                 self._m.nodes_streaming.inc(combined)
 
+    def extend(self, leaf_hashes: Sequence[bytes]) -> None:
+        """Append a batch of leaf digests with one metrics observation.
+
+        The carry loop is identical to :meth:`append`; validation, the
+        enabled-check and the counter updates are hoisted out of the per-leaf
+        loop so a multi-row statement pays them once.
+        """
+        for leaf_hash in leaf_hashes:
+            if len(leaf_hash) != HASH_SIZE:
+                raise MerkleError(
+                    f"leaf must be a {HASH_SIZE}-byte digest, "
+                    f"got {len(leaf_hash)} bytes"
+                )
+        pending = self._pending
+        combined = 0
+        for leaf_hash in leaf_hashes:
+            carry = leaf_hash
+            level = 0
+            while True:
+                if level == len(pending):
+                    pending.append(carry)
+                    break
+                if pending[level] is None:
+                    pending[level] = carry
+                    break
+                carry = hash_interior(pending[level], carry)
+                combined += 1
+                pending[level] = None
+                level += 1
+        self._leaf_count += len(leaf_hashes)
+        if self._reg.enabled and leaf_hashes:
+            self._m.leaves_appended.inc(len(leaf_hashes))
+            if combined:
+                self._m.nodes_streaming.inc(combined)
+
     def root(self) -> bytes:
         """Compute the Merkle root over all leaves appended so far.
 

@@ -140,3 +140,41 @@ def deserialize_row_payload(payload: bytes) -> Tuple[SerializedColumn, ...]:
 def serialize_columns(columns: Iterable[SerializedColumn]) -> bytes:
     """Convenience wrapper over a throwaway :class:`RowSerializer`."""
     return RowSerializer().serialize(list(columns))
+
+
+def serialize_rows(
+    rows: Sequence[Sequence[SerializedColumn]],
+) -> List[bytes]:
+    """Serialize a statement's whole row set in one pass.
+
+    Byte-for-byte equivalent to calling :meth:`RowSerializer.serialize` once
+    per row, but with the struct packers and validation loop bound locally so
+    a multi-row statement pays the per-call overhead once rather than once
+    per row.  Each row may have a different NULL pattern; ordering and
+    ordinal-uniqueness are validated exactly as in the single-row path.
+    """
+    header_pack = _HEADER.pack
+    column_pack = _COLUMN_FIXED.pack
+    value_len_pack = _VALUE_LEN.pack
+    magic = _MAGIC
+    join = b"".join
+    out: List[bytes] = []
+    for columns in rows:
+        parts: List[bytes] = [header_pack(magic, len(columns))]
+        previous_ordinal = -1
+        for column in columns:
+            ordinal = column.ordinal
+            if ordinal <= previous_ordinal:
+                raise SerializationError(
+                    "columns must be serialized in strictly ascending ordinal "
+                    f"order (ordinal {ordinal} after {previous_ordinal})"
+                )
+            previous_ordinal = ordinal
+            meta = column.type_meta
+            value = column.value
+            parts.append(column_pack(ordinal, column.type_id, len(meta)))
+            parts.append(meta)
+            parts.append(value_len_pack(len(value)))
+            parts.append(value)
+        out.append(join(parts))
+    return out

@@ -65,6 +65,10 @@ def _digest_metrics(reg):
             "digest_uploads_abandoned_total",
             "Digest uploads abandoned after exhausting the retry budget",
         )
+        compression_ratio = reg.gauge(
+            "digest_blob_compression_ratio",
+            "raw/stored ratio of digest documents in blob storage",
+        )
 
     return _Families
 
@@ -250,7 +254,10 @@ class DigestManager:
         rng = self._retry.rng()
         for attempt in range(self._retry.attempts):
             try:
-                self._storage.put(self._container, name, data)
+                self._storage.put_document(self._container, name, data)
+                if self._ctx.metrics.enabled:
+                    stats = self._storage.compression_stats()
+                    self._m.compression_ratio.set(stats["ratio"])
                 return
             except ImmutabilityViolationError:
                 raise
@@ -296,7 +303,7 @@ class DigestManager:
         prefix = f"{_sanitize(incarnation)}/" if incarnation else ""
         results = []
         for name in self._storage.list_blobs(self._container, prefix=prefix):
-            payload = self._storage.get(self._container, name)
+            payload = self._storage.get_document(self._container, name)
             results.append(DatabaseDigest.from_json(payload.decode("utf-8")))
         results.sort(key=lambda d: (d.database_create_time, d.block_id))
         return results

@@ -79,6 +79,54 @@ class BPlusTree:
             new_root.children = [self._root, right]
             self._root = new_root
 
+    def insert_many(self, items: List[Tuple[Any, Any]]) -> None:
+        """Insert a batch of (key, value) pairs, descending the tree once
+        per run of consecutive keys instead of once per key.
+
+        The batch is sorted once; then, for each key, if it falls strictly
+        below the current leaf's separator upper bound and the leaf has room,
+        it is placed directly via ``bisect``.  Otherwise the tree is
+        re-descended (handling splits through the normal recursive path).
+        Equivalent to calling :meth:`insert` per pair in sorted order.
+        """
+        if not items:
+            return
+        items = sorted(items, key=lambda item: item[0])
+        leaf: Optional[_Leaf] = None
+        bound: Any = None  # tightest interior separator above `leaf`
+        for key, value in items:
+            if (
+                leaf is not None
+                and (bound is None or key < bound)
+                and len(leaf.keys) < self._order
+            ):
+                position = bisect.bisect_left(leaf.keys, key)
+                if position < len(leaf.keys) and leaf.keys[position] == key:
+                    leaf.values[position] = value
+                else:
+                    leaf.keys.insert(position, key)
+                    leaf.values.insert(position, value)
+                    self._size += 1
+                continue
+            self.insert(key, value)
+            leaf, bound = self._find_leaf_bound(key)
+
+    def _find_leaf_bound(self, key: Any) -> Tuple[_Leaf, Any]:
+        """Locate ``key``'s leaf plus the tightest separator bounding it above.
+
+        Any key ``k`` with ``k < bound`` routes to the same leaf, so batched
+        inserts may place such keys directly as long as the leaf does not
+        overflow.  ``bound`` is ``None`` when the leaf is rightmost.
+        """
+        node = self._root
+        bound: Any = None
+        while isinstance(node, _Interior):
+            index = bisect.bisect_right(node.keys, key)
+            if index < len(node.keys):
+                bound = node.keys[index]
+            node = node.children[index]
+        return node, bound  # type: ignore[return-value]
+
     def delete(self, key: Any) -> None:
         """Remove ``key``; raises :class:`KeyError` when absent.
 

@@ -45,7 +45,9 @@ from repro.engine.wal import (
     COMMIT,
     DDL,
     DELETE,
+    DELETE_MANY,
     INSERT,
+    INSERT_MANY,
     WalRecord,
     WalWriter,
     read_wal,
@@ -88,6 +90,17 @@ def _engine_metrics(reg):
         )
         checkpoint_seconds = reg.histogram(
             "engine_checkpoint_seconds", "Checkpoint duration"
+        )
+        checkpoint_bytes = reg.counter(
+            "engine_checkpoint_bytes_total",
+            "Bytes processed by heap-image flushes, raw vs written",
+            ("kind",),
+        )
+        checkpoint_raw_bytes = checkpoint_bytes.labels("raw")
+        checkpoint_written_bytes = checkpoint_bytes.labels("written")
+        compression_ratio = reg.gauge(
+            "engine_checkpoint_compression_ratio",
+            "raw/written ratio of the most recent checkpoint's heap images",
         )
 
     return _Families
@@ -219,7 +232,7 @@ class Database:
         redo_count = 0
         with self._obs.tracer.span("recovery.redo") as redo_span:
             for record in wal_records:
-                if record.kind not in (INSERT, DELETE):
+                if record.kind not in (INSERT, DELETE, INSERT_MANY, DELETE_MANY):
                     continue
                 payload = record.payload
                 if payload["tid"] not in committed:
@@ -227,6 +240,21 @@ class Database:
                 table = self._tables.get(payload["table_id"])
                 if table is None:
                     continue  # table dropped later in the log
+                if record.kind == INSERT_MANY:
+                    # One frame per multi-row statement: either the whole
+                    # batch made it into the log or none of it did.
+                    for entry in payload["rows"]:
+                        table.heap.restore(
+                            RowId(entry["page"], entry["slot"]),
+                            bytes.fromhex(entry["rec"]),
+                        )
+                        redo_count += 1
+                    continue
+                if record.kind == DELETE_MANY:
+                    for entry in payload["rows"]:
+                        table.heap.clear(RowId(entry["page"], entry["slot"]))
+                        redo_count += 1
+                    continue
                 rid = RowId(payload["page"], payload["slot"])
                 if record.kind == INSERT:
                     table.heap.restore(rid, bytes.fromhex(payload["rec"]))
@@ -456,19 +484,29 @@ class Database:
     def _checkpoint_inner(self) -> None:
         assert self._wal is not None and self._txn_manager is not None
         self._hooks.on_checkpoint()
+        raw_total = 0
+        written_total = 0
         for info in self.catalog.tables():
             table = self._tables[info.table_id]
-            table.heap.flush(
+            raw, written = table.heap.flush(
                 os.path.join(self.path, f"table_{info.table_id}.tbl"),
                 faults=self._faults,
             )
+            raw_total += raw
+            written_total += written
             for index in table.nonclustered.values():
-                index.heap.flush(
+                raw, written = index.heap.flush(
                     os.path.join(
                         self.path, f"table_{info.table_id}.{index.name}.idx"
                     ),
                     faults=self._faults,
                 )
+                raw_total += raw
+                written_total += written
+        if self._obs.metrics.enabled and written_total:
+            self._m.checkpoint_raw_bytes.inc(raw_total)
+            self._m.checkpoint_written_bytes.inc(written_total)
+            self._m.compression_ratio.set(raw_total / written_total)
         new_epoch = self._epoch + 1
         checkpoint = {
             "epoch": new_epoch,

@@ -16,15 +16,25 @@ from __future__ import annotations
 
 import os
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.engine.pager import PAGE_SIZE, Page
 from repro.errors import InjectedCrashError, StorageError
 from repro.faults import FAULTS
 
+#: Legacy uncompressed image: header, then ``page_count`` raw pages.
 _FILE_MAGIC = b"SLHF"
+#: Compressed image: header, then per page ``uint32 comp_len`` + zlib bytes.
+#: The magic makes every image self-describing, so files written before
+#: compression existed keep loading unchanged.
+_FILE_MAGIC_COMPRESSED = b"SLHZ"
 _FILE_HEADER = struct.Struct(">4sI")  # magic, page count
+_COMP_LEN = struct.Struct(">I")
+
+#: zlib level for heap images; configurable via :func:`set_compression`.
+DEFAULT_COMPRESSION_LEVEL = 3
 
 FAULTS.register(
     "heap.flush",
@@ -162,49 +172,104 @@ class HeapFile:
 
     # -- persistence -------------------------------------------------------------
 
-    def flush(self, path: str, faults=None) -> None:
+    def flush(
+        self,
+        path: str,
+        faults=None,
+        compress: bool = True,
+        level: Optional[int] = None,
+    ) -> Tuple[int, int]:
         """Write all pages to ``path`` atomically (write-then-rename).
 
         ``faults`` is the fault registry to fire through; callers on the
         checkpoint path pass their instance's registry so arming a fault for
         one shard never crashes a neighbour's flush.
+
+        Images are zlib-compressed per page by default (``SLHZ`` magic);
+        ``compress=False`` writes the legacy fixed-size ``SLHF`` layout.
+        Returns ``(raw_bytes, written_bytes)`` so callers can export the
+        compression ratio as a metric.
         """
         if faults is None:
             faults = FAULTS
+        if level is None:
+            level = DEFAULT_COMPRESSION_LEVEL
         faults.fire("heap.flush", heap=self.name)
         tmp_path = path + ".tmp"
+        magic = _FILE_MAGIC_COMPRESSED if compress else _FILE_MAGIC
+        raw_bytes = len(self._pages) * PAGE_SIZE
+        written = _FILE_HEADER.size
         with open(tmp_path, "wb") as f:
-            f.write(_FILE_HEADER.pack(_FILE_MAGIC, len(self._pages)))
+            f.write(_FILE_HEADER.pack(magic, len(self._pages)))
             for page in self._pages:
                 faults.fire("pager.page_write", heap=self.name, page=page.page_id)
+                payload = (
+                    zlib.compress(bytes(page.buf), level)
+                    if compress
+                    else bytes(page.buf)
+                )
                 if faults.triggered(
                     "pager.torn_page", heap=self.name, page=page.page_id
                 ):
-                    f.write(bytes(page.buf[: PAGE_SIZE // 2]))
+                    f.write(payload[: len(payload) // 2])
                     f.flush()
                     raise InjectedCrashError("pager.torn_page")
-                f.write(page.buf)
+                if compress:
+                    f.write(_COMP_LEN.pack(len(payload)))
+                    written += _COMP_LEN.size
+                f.write(payload)
+                written += len(payload)
             f.flush()
             os.fsync(f.fileno())
         faults.fire("heap.rename", heap=self.name)
         os.replace(tmp_path, path)
+        return raw_bytes, written
 
     @classmethod
     def load(cls, name: str, path: str) -> "HeapFile":
-        """Load a heap file previously written by :meth:`flush`."""
+        """Load a heap image; the magic says whether pages are compressed."""
         heap = cls(name)
         with open(path, "rb") as f:
             header = f.read(_FILE_HEADER.size)
             if len(header) != _FILE_HEADER.size:
                 raise StorageError(f"heap file {path!r} truncated header")
             magic, page_count = _FILE_HEADER.unpack(header)
-            if magic != _FILE_MAGIC:
+            if magic == _FILE_MAGIC:
+                for page_id in range(page_count):
+                    buf = bytearray(f.read(PAGE_SIZE))
+                    if len(buf) != PAGE_SIZE:
+                        raise StorageError(
+                            f"heap file {path!r} truncated at page {page_id}"
+                        )
+                    heap._pages.append(Page(page_id, buf))
+            elif magic == _FILE_MAGIC_COMPRESSED:
+                for page_id in range(page_count):
+                    len_bytes = f.read(_COMP_LEN.size)
+                    if len(len_bytes) != _COMP_LEN.size:
+                        raise StorageError(
+                            f"heap file {path!r} truncated at page {page_id}"
+                        )
+                    (comp_len,) = _COMP_LEN.unpack(len_bytes)
+                    payload = f.read(comp_len)
+                    if len(payload) != comp_len:
+                        raise StorageError(
+                            f"heap file {path!r} truncated at page {page_id}"
+                        )
+                    try:
+                        buf = bytearray(zlib.decompress(payload))
+                    except zlib.error as exc:
+                        raise StorageError(
+                            f"heap file {path!r} page {page_id} failed to "
+                            f"decompress: {exc}"
+                        ) from exc
+                    if len(buf) != PAGE_SIZE:
+                        raise StorageError(
+                            f"heap file {path!r} page {page_id} decompressed "
+                            f"to {len(buf)} bytes, expected {PAGE_SIZE}"
+                        )
+                    heap._pages.append(Page(page_id, buf))
+            else:
                 raise StorageError(f"heap file {path!r} has bad magic {magic!r}")
-            for page_id in range(page_count):
-                buf = bytearray(f.read(PAGE_SIZE))
-                if len(buf) != PAGE_SIZE:
-                    raise StorageError(f"heap file {path!r} truncated at page {page_id}")
-                heap._pages.append(Page(page_id, buf))
         return heap
 
     # -- internals ------------------------------------------------------------------

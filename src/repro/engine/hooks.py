@@ -32,6 +32,17 @@ class EngineHooks:
         """Called before a row is stored; returns the (possibly amended) row."""
         return row
 
+    def before_insert_many(
+        self, txn: "Transaction", table: "Table", rows: List[List[Any]]
+    ) -> List[List[Any]]:
+        """Called once before a multi-row statement stores its batch.
+
+        The default preserves the one-row contract by delegating to
+        :meth:`before_insert` per row; ledger implementations override this
+        to amortize hashing/tracing/metrics across the whole batch.
+        """
+        return [self.before_insert(txn, table, row) for row in rows]
+
     def before_update(
         self,
         txn: "Transaction",

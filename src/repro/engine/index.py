@@ -15,7 +15,7 @@ catches it.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.btree import BPlusTree
 from repro.engine.heap import HeapFile, RowId
@@ -45,6 +45,26 @@ class ClusteredIndex:
                 f"duplicate primary key {tuple(row[o] for o in self._key_ordinals)!r}"
             )
         self._tree.insert(key, rid)
+
+    def insert_many(self, entries: Sequence[Tuple[Sequence[Any], RowId]]) -> None:
+        """Insert a batch of (row, rid) pairs with one sorted tree descent run.
+
+        Duplicates — against the existing tree or within the batch — raise
+        before any entry is inserted, so a failed batch leaves the index
+        untouched.
+        """
+        keyed: List[Tuple[Tuple, RowId]] = []
+        seen = set()
+        for row, rid in entries:
+            key = self.key_of(row)
+            if key in seen or key in self._tree:
+                raise ConstraintError(
+                    f"duplicate primary key "
+                    f"{tuple(row[o] for o in self._key_ordinals)!r}"
+                )
+            seen.add(key)
+            keyed.append((key, rid))
+        self._tree.insert_many(keyed)
 
     def delete(self, row: Sequence[Any]) -> None:
         try:
@@ -109,6 +129,33 @@ class NonclusteredIndex:
                 )
         index_rid = self.heap.insert(record)
         self._tree.insert(self._tree_key(row, base_rid), (index_rid, base_rid))
+
+    def insert_many(
+        self, entries: Sequence[Tuple[Sequence[Any], bytes, RowId]]
+    ) -> None:
+        """Batch :meth:`insert`: heap copies per record, one tree batch.
+
+        Unique-index violations (existing or intra-batch) raise before any
+        heap or tree mutation.
+        """
+        if self.definition.unique:
+            seen = set()
+            for row, _, _ in entries:
+                prefix = key_tuple([row[o] for o in self._key_ordinals])
+                if prefix in seen or next(
+                    self._tree.prefix(prefix), None
+                ) is not None:
+                    raise ConstraintError(
+                        f"duplicate key in unique index {self.name!r}"
+                    )
+                seen.add(prefix)
+        keyed: List[Tuple[Tuple, Any]] = []
+        for row, record, base_rid in entries:
+            index_rid = self.heap.insert(record)
+            keyed.append(
+                (self._tree_key(row, base_rid), (index_rid, base_rid))
+            )
+        self._tree.insert_many(keyed)
 
     def delete(self, row: Sequence[Any], base_rid: RowId) -> None:
         """Remove the record copy when the base row goes away."""

@@ -18,7 +18,11 @@ from __future__ import annotations
 import struct
 from typing import Any, List, Sequence, Tuple
 
-from repro.crypto.serialization import RowSerializer, SerializedColumn
+from repro.crypto.serialization import (
+    RowSerializer,
+    SerializedColumn,
+    serialize_rows,
+)
 from repro.engine.schema import TableSchema
 from repro.errors import StorageError
 
@@ -134,6 +138,44 @@ def hashable_payload(schema: TableSchema, row: Sequence[Any]) -> bytes:
             )
         )
     return _ROW_SERIALIZER.serialize(columns)
+
+
+def hashable_payloads(
+    schema: TableSchema, rows: Sequence[Sequence[Any]]
+) -> List[bytes]:
+    """Batch form of :func:`hashable_payload` for multi-row statements.
+
+    The per-column plan (ordinal, type id, type metadata, encoder) is built
+    once from the schema and reused for every row, and the row set is
+    serialized in one :func:`serialize_rows` pass.  Output is byte-for-byte
+    identical to mapping :func:`hashable_payload` over ``rows``.
+    """
+    plan = [
+        (
+            column.ordinal,
+            column.sql_type.type_id,
+            column.sql_type.type_meta(),
+            column.sql_type.encode,
+        )
+        for column in schema.columns
+    ]
+    serialized: List[List[SerializedColumn]] = []
+    for row in rows:
+        columns: List[SerializedColumn] = []
+        for ordinal, type_id, type_meta, encode in plan:
+            value = row[ordinal]
+            if value is None:
+                continue
+            columns.append(
+                SerializedColumn(
+                    ordinal=ordinal,
+                    type_id=type_id,
+                    type_meta=type_meta,
+                    value=encode(value),
+                )
+            )
+        serialized.append(columns)
+    return serialize_rows(serialized)
 
 
 def key_tuple(values: Sequence[Any]) -> Tuple[Tuple[int, Any], ...]:

@@ -22,7 +22,14 @@ from repro.engine.index import ClusteredIndex, NonclusteredIndex
 from repro.engine.record import decode_record, encode_record, key_tuple
 from repro.engine.schema import IndexDefinition, TableSchema
 from repro.engine.transaction import Transaction
-from repro.engine.wal import DELETE, INSERT, WalRecord, WalWriter
+from repro.engine.wal import (
+    DELETE,
+    DELETE_MANY,
+    INSERT,
+    INSERT_MANY,
+    WalRecord,
+    WalWriter,
+)
 from repro.errors import ConstraintError, StorageError
 
 
@@ -78,6 +85,22 @@ class Table:
         self._acquire_write_lock(txn)
         row = self._hooks_ref().before_insert(txn, self, row)
         return self._store_row(txn, row)
+
+    def insert_many(self, txn: Transaction, rows: List[List[Any]]) -> List[RowId]:
+        """Insert a statement's whole row batch through the full pipeline.
+
+        Behaviourally equivalent to calling :meth:`insert` per row inside
+        one transaction, but with every per-row cost amortized: the hooks
+        run once over the batch (one hash/tracing observation), the indexes
+        are descended per sorted run, and the WAL carries ONE frame for the
+        statement — so a torn tail loses the whole statement, never part.
+        """
+        if not rows:
+            return []
+        txn.require_active()
+        self._acquire_write_lock(txn)
+        rows = self._hooks_ref().before_insert_many(txn, self, rows)
+        return self._store_rows(txn, rows)
 
     def system_insert(self, txn: Transaction, row: List[Any]) -> RowId:
         """Insert bypassing DML hooks (history-table maintenance, §3.2)."""
@@ -225,6 +248,111 @@ class Table:
         record = encode_record(self.schema, validated)
         self._check_unique(validated)
         return self._place_row(txn, validated, record)
+
+    def _store_rows(
+        self, txn: Transaction, rows: List[List[Any]]
+    ) -> List[RowId]:
+        """Validate, constraint-check and place a whole batch.
+
+        All checks — against existing data AND within the batch — run before
+        any mutation, so a constraint violation anywhere in the batch leaves
+        heap, indexes and WAL untouched.
+        """
+        prepared: List[Tuple[Tuple[Any, ...], bytes]] = []
+        for row in rows:
+            validated = self.schema.validate_row(row)
+            prepared.append((validated, encode_record(self.schema, validated)))
+        if self.clustered is not None:
+            pk_ordinals = self.schema.primary_key_ordinals()
+            seen = set()
+            for validated, _ in prepared:
+                key = key_tuple([validated[o] for o in pk_ordinals])
+                if key in seen:
+                    pk = tuple(validated[o] for o in pk_ordinals)
+                    raise ConstraintError(
+                        f"duplicate primary key {pk!r} in table {self.name!r}"
+                    )
+                seen.add(key)
+        for index in self.nonclustered.values():
+            if not index.definition.unique:
+                continue
+            key_ordinals = [
+                self.schema.column(c).ordinal
+                for c in index.definition.column_names
+            ]
+            seen = set()
+            for validated, _ in prepared:
+                key = key_tuple([validated[o] for o in key_ordinals])
+                if key in seen:
+                    raise ConstraintError(
+                        f"duplicate key in unique index {index.name!r}"
+                    )
+                seen.add(key)
+        for validated, _ in prepared:
+            self._check_unique(validated)
+        return self._place_rows(txn, prepared)
+
+    def _place_rows(
+        self, txn: Transaction, prepared: List[Tuple[Tuple[Any, ...], bytes]]
+    ) -> List[RowId]:
+        rids = [self.heap.insert(record) for _, record in prepared]
+        if self.clustered is not None:
+            self.clustered.insert_many(
+                [(validated, rid) for (validated, _), rid in zip(prepared, rids)]
+            )
+        for index in self.nonclustered.values():
+            index.insert_many(
+                [
+                    (validated, record, rid)
+                    for (validated, record), rid in zip(prepared, rids)
+                ]
+            )
+        self._wal.append(
+            WalRecord(
+                INSERT_MANY,
+                {
+                    "tid": txn.tid,
+                    "table_id": self.table_id,
+                    "rows": [
+                        {
+                            "page": rid.page_id,
+                            "slot": rid.slot,
+                            "rec": record.hex(),
+                        }
+                        for (_, record), rid in zip(prepared, rids)
+                    ],
+                },
+            )
+        )
+
+        def undo_insert_many() -> None:
+            # One compensation record for the whole statement, mirroring the
+            # single INSERT_MANY frame (ARIES CLR semantics, batched).
+            for (validated, _), rid in zip(reversed(prepared), reversed(rids)):
+                self._physical_remove(rid, validated)
+            self._wal.append(
+                WalRecord(
+                    DELETE_MANY,
+                    {
+                        "tid": txn.tid,
+                        "table_id": self.table_id,
+                        "rows": [
+                            {
+                                "page": rid.page_id,
+                                "slot": rid.slot,
+                                "old": record.hex(),
+                            }
+                            for (_, record), rid in zip(prepared, rids)
+                        ],
+                        "clr": True,
+                    },
+                )
+            )
+
+        txn.record_undo(
+            f"insert_many {self.name} x{len(prepared)}", undo_insert_many
+        )
+        return rids
 
     def _place_row(
         self, txn: Transaction, validated: Tuple[Any, ...], record: bytes

@@ -73,7 +73,9 @@ def _wal_metrics(reg):
 # Record kinds.
 BEGIN = "BEGIN"
 INSERT = "INSERT"
+INSERT_MANY = "INSERT_MANY"
 DELETE = "DELETE"
+DELETE_MANY = "DELETE_MANY"
 COMMIT = "COMMIT"
 ABORT = "ABORT"
 DDL = "DDL"
@@ -85,7 +87,13 @@ class WalRecord:
 
     * BEGIN:  ``tid``, ``username``
     * INSERT: ``tid``, ``table_id``, ``page``, ``slot``, ``rec`` (hex record)
+    * INSERT_MANY: ``tid``, ``table_id``, ``rows`` — a list of
+      ``{page, slot, rec}`` dicts, one per row of a multi-row statement.
+      The whole statement rides in ONE frame, so a torn tail loses the
+      statement atomically (all rows or none), never a prefix of it.
     * DELETE: ``tid``, ``table_id``, ``page``, ``slot``, ``old`` (hex record)
+    * DELETE_MANY: ``tid``, ``table_id``, ``rows`` — list of
+      ``{page, slot, old}``; the batch compensation record for INSERT_MANY.
     * COMMIT: ``tid``, ``ledger`` (opaque dict from the ledger layer or None)
     * ABORT:  ``tid``
     * DDL:    ``catalog`` (full catalog snapshot) plus ``ledger_ddl`` metadata

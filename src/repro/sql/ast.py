@@ -58,6 +58,15 @@ class AlterDropColumn:
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """A positional ``?`` placeholder; bound to a value per parameter row
+    by :meth:`SqlSession.executemany`.  ``index`` is the 0-based position
+    of the ``?`` in statement-text order."""
+
+    index: int
+
+
+@dataclass(frozen=True)
 class Insert:
     table: str
     columns: Tuple[str, ...]  # empty = positional over visible columns

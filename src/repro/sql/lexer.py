@@ -24,6 +24,7 @@ NUMBER = "NUMBER"
 STRING = "STRING"
 OPERATOR = "OPERATOR"
 PUNCT = "PUNCT"
+PARAM = "PARAM"
 END = "END"
 
 _OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%")
@@ -107,6 +108,11 @@ def tokenize(text: str) -> List[Token]:
             continue
         if ch in _PUNCTUATION:
             tokens.append(Token(PUNCT, ch, line, start_column))
+            index += 1
+            column += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(PARAM, "?", line, start_column))
             index += 1
             column += 1
             continue

@@ -23,6 +23,7 @@ from repro.sql.lexer import (
     KEYWORD,
     NUMBER,
     OPERATOR,
+    PARAM,
     PUNCT,
     STRING,
     Token,
@@ -41,6 +42,7 @@ class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._position = 0
+        self._param_count = 0
 
     # -- token plumbing ------------------------------------------------------
 
@@ -544,6 +546,13 @@ class _Parser:
         )
 
     def _parse_literal_value(self) -> Any:
+        # `?` placeholders are only legal where a literal is — VALUES rows
+        # and IN lists — never inside general expressions.
+        if self._peek().kind == PARAM:
+            self._advance()
+            parameter = ast.Parameter(self._param_count)
+            self._param_count += 1
+            return parameter
         expression = self._parse_expression()
         if not isinstance(expression, Literal):
             row: dict = {}

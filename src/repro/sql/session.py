@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional
 from repro.engine.expressions import as_predicate
 from repro.engine.operators import (
     aggregate,
+    insert_rows,
     limit_rows,
     seq_scan,
     sort_rows,
@@ -41,6 +42,15 @@ def _sql_metrics(reg):
             "sql_execute_seconds", "SQL bind+execute latency, by statement kind",
             ("kind",),
         )
+        parses = reg.counter(
+            "sql_parses_total",
+            "Statements actually lexed+parsed (prepared-cache misses)",
+        )
+        prepared = reg.counter(
+            "sql_prepared_cache_total",
+            "Prepared-statement cache lookups, by result",
+            ("result",),
+        )
 
     return _Families
 
@@ -67,32 +77,117 @@ class SqlSession:
     def in_transaction(self) -> bool:
         return self._txn is not None
 
+    def _parse_cached(self, statement_text: str):
+        """Parse via the database's shared prepared-statement cache.
+
+        Parsing is schema-independent (names bind at execution), so the AST
+        for a given statement text is reusable until DDL bumps the cache
+        epoch.  Repeat statements — harness loops, TPC-C drivers — skip the
+        lexer and parser entirely.
+        """
+        cache = getattr(self._db, "statement_cache", None)
+        if cache is not None:
+            statement = cache.get(statement_text)
+            if statement is not None:
+                self._m.prepared.labels("hit").inc()
+                return statement
+            self._m.prepared.labels("miss").inc()
+        started = time.perf_counter()
+        with self._obs.tracer.span("sql.parse"):
+            statement = parse(statement_text)
+        self._m.parse_seconds.observe(time.perf_counter() - started)
+        self._m.parses.inc()
+        if cache is not None:
+            cache.put(statement_text, statement)
+        return statement
+
     def execute(self, statement_text: str):
         """Parse and run one statement.
 
         Sessions are single-threaded but many sessions may execute
-        concurrently: execution runs under the ledger's storage lock (the
+        concurrently: writes run under the ledger's storage lock (the
         storage engine is not thread-safe), while the sequencer and entry
         queue advance under their own stage locks.  Parsing touches no
         shared state, so it happens *before* the lock is taken — statements
         queued behind a long scan parse concurrently instead of serially.
+        Read-only statements never hold the storage lock across execution:
+        :meth:`_source_rows` takes it just long enough to materialize a
+        snapshot, and filtering/joins/sorts run lock-free on the copy.
 
         Returns rows (list of dicts) for SELECT, an affected-row count for
         DML, and None for DDL / transaction control.
         """
         tracer = self._obs.tracer
         with tracer.span("sql.statement") as stmt_span:
-            started = time.perf_counter()
-            with tracer.span("sql.parse"):
-                statement = parse(statement_text)
-            self._m.parse_seconds.observe(time.perf_counter() - started)
+            statement = self._parse_cached(statement_text)
             kind = type(statement).__name__
             stmt_span.set_attribute("kind", kind)
             self._m.statements.labels(kind).inc()
             handler = self._HANDLERS[type(statement)]
             started = time.perf_counter()
-            with self._db.ledger_lock, tracer.span("sql.execute", kind=kind):
-                result = handler(self, statement)
+            if type(statement) is ast.Select:
+                with tracer.span("sql.execute", kind=kind):
+                    result = handler(self, statement)
+            else:
+                with self._db.ledger_lock, tracer.span(
+                    "sql.execute", kind=kind
+                ):
+                    result = handler(self, statement)
+            self._m.execute_seconds.labels(kind).observe(
+                time.perf_counter() - started
+            )
+            return result
+
+    def executemany(self, statement_text: str, param_rows) -> int:
+        """Run a parameterized INSERT once per parameter row, batched.
+
+        The statement is parsed once (through the prepared cache); each row
+        in ``param_rows`` binds the ``?`` placeholders in order.  All bound
+        rows are inserted by ONE storage operation in ONE transaction (or
+        the session's open transaction), so a 100-row ``executemany`` costs
+        one parse, one batched insert and one WAL frame instead of 100.
+        """
+        statement = self._parse_cached(statement_text)
+        if not isinstance(statement, ast.Insert):
+            raise SqlBindError(
+                "executemany() supports INSERT statements only"
+            )
+        param_rows = list(param_rows)
+        expected = 0
+        for template in statement.rows:
+            for value in template:
+                if isinstance(value, ast.Parameter):
+                    expected = max(expected, value.index + 1)
+        bound_rows: List[tuple] = []
+        for values in param_rows:
+            if len(values) != expected:
+                raise SqlBindError(
+                    f"statement has {expected} parameter(s) but "
+                    f"{len(values)} value(s) were supplied"
+                )
+            for template in statement.rows:
+                bound_rows.append(tuple(
+                    values[v.index] if isinstance(v, ast.Parameter) else v
+                    for v in template
+                ))
+        if not bound_rows:
+            return 0
+        tracer = self._obs.tracer
+        with tracer.span("sql.statement") as stmt_span:
+            kind = type(statement).__name__
+            stmt_span.set_attribute("kind", kind)
+            stmt_span.set_attribute("rows", len(bound_rows))
+            self._m.statements.labels(kind).inc()
+            table = self._db.engine.table(statement.table)
+            started = time.perf_counter()
+            with self._db.ledger_lock, tracer.span(
+                "sql.execute", kind=kind
+            ):
+                result = self._autocommit(
+                    lambda txn: self._insert_bound_rows(
+                        txn, table, statement.columns, bound_rows
+                    )
+                )
             self._m.execute_seconds.labels(kind).observe(
                 time.perf_counter() - started
             )
@@ -153,6 +248,12 @@ class SqlSession:
         sql_type = type_from_name(definition.type_name, definition.type_args)
         return Column(definition.name, sql_type, nullable=definition.nullable)
 
+    def _invalidate_statements(self) -> None:
+        """Flush the shared prepared-statement cache after DDL."""
+        cache = getattr(self._db, "statement_cache", None)
+        if cache is not None:
+            cache.invalidate()
+
     def _run_create_table(self, stmt: ast.CreateTable):
         schema = TableSchema(
             stmt.table,
@@ -164,6 +265,7 @@ class SqlSession:
             self._db.create_ledger_table(schema, ledger_type=ledger_type)
         else:
             self._db.create_table(schema)
+        self._invalidate_statements()
         return None
 
     def _run_create_index(self, stmt: ast.CreateIndex):
@@ -171,10 +273,12 @@ class SqlSession:
             stmt.table,
             IndexDefinition(stmt.index, tuple(stmt.columns), unique=stmt.unique),
         )
+        self._invalidate_statements()
         return None
 
     def _run_drop_index(self, stmt: ast.DropIndex):
         self._db.drop_index(stmt.table, stmt.index)
+        self._invalidate_statements()
         return None
 
     def _run_drop_table(self, stmt: ast.DropTable):
@@ -183,6 +287,7 @@ class SqlSession:
             self._db.drop_ledger_table(stmt.table)
         else:
             self._db.engine.drop_table_physical(stmt.table)
+        self._invalidate_statements()
         return None
 
     def _run_add_column(self, stmt: ast.AlterAddColumn):
@@ -194,6 +299,7 @@ class SqlSession:
             self._db.engine.replace_table_schema(
                 table.table_id, table.schema.with_column_added(column)
             )
+        self._invalidate_statements()
         return None
 
     def _run_drop_column(self, stmt: ast.AlterDropColumn):
@@ -204,34 +310,43 @@ class SqlSession:
             self._db.engine.replace_table_schema(
                 table.table_id, table.schema.with_column_dropped(stmt.column)
             )
+        self._invalidate_statements()
         return None
 
     # ------------------------------------------------------------------
     # DML
     # ------------------------------------------------------------------
 
-    def _run_insert(self, stmt: ast.Insert):
-        table = self._db.engine.table(stmt.table)
-
-        def work(txn):
-            if stmt.columns:
-                count = 0
-                for values in stmt.rows:
-                    if len(values) != len(stmt.columns):
-                        raise SqlBindError(
-                            "INSERT value count does not match column list"
-                        )
-                    row = table.schema.row_from_mapping(
-                        dict(zip(stmt.columns, values))
+    def _insert_bound_rows(self, txn, table, columns, rows) -> int:
+        """Insert fully-bound value rows as one batched storage operation."""
+        if columns:
+            physical = []
+            for values in rows:
+                if len(values) != len(columns):
+                    raise SqlBindError(
+                        "INSERT value count does not match column list"
                     )
-                    table.insert(txn, row)
-                    count += 1
-                return count
-            from repro.engine.operators import insert_rows
+                physical.append(
+                    table.schema.row_from_mapping(dict(zip(columns, values)))
+                )
+            table.insert_many(txn, physical)
+            return len(physical)
+        return insert_rows(txn, table, rows)
 
-            return insert_rows(txn, table, stmt.rows)
-
-        return self._autocommit(work)
+    def _run_insert(self, stmt: ast.Insert):
+        for values in stmt.rows:
+            for value in values:
+                if isinstance(value, ast.Parameter):
+                    raise SqlBindError(
+                        "statement has unbound parameters; "
+                        "use executemany() to supply values"
+                    )
+        table = self._db.engine.table(stmt.table)
+        return self._autocommit(
+            lambda txn: self._insert_bound_rows(
+                txn, table, stmt.columns, stmt.rows
+            )
+        )
 
     def _run_update(self, stmt: ast.Update):
         assignments = {name: expr for name, expr in stmt.assignments}
@@ -249,14 +364,23 @@ class SqlSession:
     # ------------------------------------------------------------------
 
     def _source_rows(self, table_name: str) -> List[Dict[str, Any]]:
-        if self._db.engine.has_table(table_name):
-            table = self._db.engine.table(table_name)
-            return [named for _, named in seq_scan(table)]
+        """Materialize a snapshot of a table or ledger view.
+
+        This is the only place a SELECT touches the storage lock: held just
+        long enough to copy the rows out, so filters, joins and sorts run
+        on the snapshot without blocking writers.
+        """
+        db = self._db
+        if db.engine.has_table(table_name):
+            with db.ledger_lock:
+                table = db.engine.table(table_name)
+                return [named for _, named in seq_scan(table)]
         # Virtual ledger views: <table>_ledger.
         if table_name.endswith("_ledger"):
             base = table_name[: -len("_ledger")]
-            if self._db.engine.has_table(base):
-                return self._db.ledger_view(base)
+            if db.engine.has_table(base):
+                with db.ledger_lock:
+                    return db.ledger_view(base)
         raise SqlBindError(f"unknown table or view {table_name!r}")
 
     def _aliased_rows(

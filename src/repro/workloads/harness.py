@@ -592,6 +592,7 @@ def run_pipeline_bench(
     tracing: bool = False,
     profile: bool = False,
     profile_hz: Optional[int] = None,
+    batch_rows: int = 1,
 ) -> Dict[str, Any]:
     """Concurrent commit benchmark for the staged pipeline.
 
@@ -621,6 +622,12 @@ def run_pipeline_bench(
     and ``locks`` (the per-lock stats table).  Throughput measured with
     the profiler on includes its sampling overhead — compare against
     baselines only with the profiler off.
+
+    With ``batch_rows=N`` (N > 1) each transaction inserts N rows through
+    ``executemany`` — one parse, one batched storage insert, one WAL frame
+    per statement — measuring the per-statement (rather than per-row) hot
+    path.  ``row_throughput`` in the result is the figure to compare
+    across batch sizes.
     """
     import threading as _threading
 
@@ -674,12 +681,19 @@ def run_pipeline_bench(
         try:
             barrier.wait()
             for i in range(transactions_per_thread):
-                row_id = index * transactions_per_thread + i
+                stmt_id = index * transactions_per_thread + i
                 started = time.perf_counter()
-                session.execute(
-                    f"INSERT INTO pipeline_bench (id, v) "
-                    f"VALUES ({row_id}, 'w{index}')"
-                )
+                if batch_rows > 1:
+                    base = stmt_id * batch_rows
+                    session.executemany(
+                        "INSERT INTO pipeline_bench (id, v) VALUES (?, ?)",
+                        [(base + j, f"w{index}") for j in range(batch_rows)],
+                    )
+                else:
+                    session.execute(
+                        f"INSERT INTO pipeline_bench (id, v) "
+                        f"VALUES ({stmt_id}, 'w{index}')"
+                    )
                 elapsed = time.perf_counter() - started
                 payload = session.last_commit_payload
                 samples.append(
@@ -739,6 +753,9 @@ def run_pipeline_bench(
         "threads": threads,
         "transactions": total,
         "block_size": block_size,
+        "batch_rows": batch_rows,
+        "rows_inserted": total * batch_rows,
+        "row_throughput": total * batch_rows / wall_seconds,
         "wall_seconds": wall_seconds,
         "throughput_tps": total / wall_seconds,
         "median_commit_ms": median_ms,
@@ -781,8 +798,12 @@ def format_pipeline(results: Dict[str, Any]) -> str:
         "Staged commit pipeline (§4.2): concurrent commits, async block "
         "closure.",
         f"threads={results['threads']} transactions={results['transactions']} "
-        f"block_size={results['block_size']}",
-        f"throughput:        {results['throughput_tps']:>10.0f} tps",
+        f"block_size={results['block_size']}"
+        + (f" batch_rows={results['batch_rows']}"
+           if results.get("batch_rows", 1) > 1 else ""),
+        f"throughput:        {results['throughput_tps']:>10.0f} tps"
+        + (f" ({results['row_throughput']:.0f} rows/s)"
+           if results.get("batch_rows", 1) > 1 else ""),
         f"median commit:     {results['median_commit_ms']:>10.3f} ms",
         f"p99 commit:        {results['p99_commit_ms']:>10.3f} ms",
         f"boundary commit:   "
@@ -832,6 +853,12 @@ def run_pipeline_baseline(
         ),
         "single_thread": run_pipeline_bench(threads=1),
         "concurrent": run_pipeline_bench(threads=threads),
+        # Per-statement hot path: 100-row executemany batches.  Compare
+        # row_throughput here against concurrent.throughput_tps to see
+        # what batching buys.
+        "batch": run_pipeline_bench(
+            threads=threads, transactions_per_thread=30, batch_rows=100
+        ),
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -1390,6 +1417,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="thread count for the 'pipeline' experiment (default: 4)",
     )
     parser.add_argument(
+        "--batch-rows", type=int, metavar="N", default=1,
+        help="rows per statement for the 'pipeline' experiment: N > 1 "
+             "drives executemany() batches through the per-statement hot "
+             "path (default: 1, classic per-row inserts)",
+    )
+    parser.add_argument(
         "--pipeline-baseline", metavar="PATH", default=None,
         help="run the staged-pipeline benchmark (1 thread and --concurrency "
              "threads) and write the baseline JSON to PATH",
@@ -1489,11 +1522,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--workers must be at least 1")
     if args.shards < 1:
         parser.error("--shards must be at least 1")
+    if args.batch_rows < 1:
+        parser.error("--batch-rows must be at least 1")
 
     def _pipeline_cli() -> str:
         results = run_pipeline_bench(
             threads=args.concurrency, tracing=args.tracing,
             profile=args.profile, profile_hz=args.profile_hz,
+            batch_rows=args.batch_rows,
         )
         text = format_pipeline(results)
         if args.profile and args.profile_out:

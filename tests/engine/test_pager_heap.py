@@ -216,6 +216,17 @@ class TestHeapFile:
         heap.insert(b"x")
         path = os.path.join(tmp_path, "t.tbl")
         heap.flush(path)
+        # Cut the (compressed) image mid-payload.
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(StorageError):
+            HeapFile.load("t", path)
+
+    def test_load_rejects_truncated_uncompressed_file(self, tmp_path):
+        heap = HeapFile("t")
+        heap.insert(b"x")
+        path = os.path.join(tmp_path, "t.tbl")
+        heap.flush(path, compress=False)
         with open(path, "r+b") as f:
             f.truncate(PAGE_SIZE // 2)
         with pytest.raises(StorageError):

@@ -48,7 +48,7 @@ class TestInsertSpanTree:
         assert commit.find("block.append") is None
 
         hash_span = execute.find("ledger.hash").span
-        assert hash_span.attributes == {"table": "t", "op": "insert"}
+        assert hash_span.attributes == {"table": "t", "op": "insert", "rows": 1}
 
         db.pipeline.drain()
         names = [s.name for s in db.trace_sink.spans()]

@@ -1,0 +1,489 @@
+"""The batched hot path: vectorized hashing, multi-row DML, prepared
+statements and compressed persistence.
+
+Four guarantees are pinned here:
+
+* the batch crypto primitives (``serialize_rows``, ``hash_leaves``,
+  ``hashable_payloads``, ``MerkleHasher.extend``) are byte-identical to
+  their per-row equivalents — batching is an optimization, never a
+  semantic change;
+* ``insert_many`` is statement-atomic under crash: a torn INSERT_MANY WAL
+  frame loses the whole statement, never half of it;
+* the prepared-statement cache is invalidated by DDL and parameter
+  binding is enforced;
+* compressed heap images and blob documents are self-describing, and
+  files written before compression existed still load.
+"""
+
+import glob
+import math
+import os
+
+import pytest
+
+from repro.core.ledger_database import LedgerDatabase
+from repro.crypto.hashing import hash_leaf, hash_leaves
+from repro.crypto.merkle import MerkleHasher
+from repro.crypto.serialization import (
+    SerializedColumn,
+    serialize_columns,
+    serialize_rows,
+)
+from repro.digests.blob_storage import ImmutableBlobStorage
+from repro.engine.clock import LogicalClock
+from repro.engine.database import Database
+from repro.engine.heap import PAGE_SIZE, HeapFile
+from repro.engine.operators import seq_scan
+from repro.engine.record import hashable_payload, hashable_payloads
+from repro.engine.schema import Column, IndexDefinition, TableSchema
+from repro.engine.types import INT, VARCHAR
+from repro.engine.wal import read_wal
+from repro.errors import (
+    ConstraintError,
+    InjectedCrashError,
+    MerkleError,
+    SqlBindError,
+)
+from repro.faults import FAULTS
+from repro.obs import OBS
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+def make_schema(name="items"):
+    return TableSchema(
+        name,
+        [Column("id", INT, nullable=False), Column("label", VARCHAR(50))],
+        primary_key=["id"],
+    )
+
+
+def open_engine(path):
+    return Database.open(str(path), clock=LogicalClock())
+
+
+def visible_ids(db, table_name="items"):
+    table = db.table(table_name)
+    return sorted(row["id"] for _, row in seq_scan(table))
+
+
+def wal_records(db):
+    paths = glob.glob(os.path.join(db.path, "wal.*.log"))
+    assert len(paths) == 1
+    return list(read_wal(paths[0]))
+
+
+# ---------------------------------------------------------------------------
+# Batch crypto primitives ≡ per-row primitives
+# ---------------------------------------------------------------------------
+
+class TestBatchCryptoEquivalence:
+    def _rows(self):
+        return [
+            [
+                SerializedColumn(0, 1, b"", i.to_bytes(4, "big")),
+                SerializedColumn(2, 3, b"\x00\x32", f"v{i}".encode()),
+            ]
+            for i in range(7)
+        ]
+
+    def test_serialize_rows_matches_per_row(self):
+        rows = self._rows()
+        assert serialize_rows(rows) == [serialize_columns(r) for r in rows]
+
+    def test_hash_leaves_matches_per_leaf(self):
+        payloads = serialize_rows(self._rows())
+        assert hash_leaves(payloads) == [hash_leaf(p) for p in payloads]
+
+    def test_hashable_payloads_matches_per_row(self):
+        schema = make_schema()
+        rows = [[i, f"row{i}"] for i in range(5)] + [[99, None]]
+        assert hashable_payloads(schema, rows) == [
+            hashable_payload(schema, row) for row in rows
+        ]
+
+    def test_merkle_extend_matches_append_loop(self):
+        leaves = [hash_leaf(f"leaf{i}".encode()) for i in range(13)]
+        one_by_one = MerkleHasher()
+        for leaf in leaves:
+            one_by_one.append(leaf)
+        batched = MerkleHasher()
+        batched.extend(leaves)
+        assert batched.root() == one_by_one.root()
+        assert batched.leaf_count == one_by_one.leaf_count
+
+    def test_merkle_extend_rejects_bad_leaf_before_mutating(self):
+        hasher = MerkleHasher()
+        with pytest.raises(MerkleError):
+            hasher.extend([hash_leaf(b"ok"), b"not 32 bytes"])
+        assert hasher.leaf_count == 0
+
+
+# ---------------------------------------------------------------------------
+# insert_many: batched DML, one WAL frame, statement-atomic recovery
+# ---------------------------------------------------------------------------
+
+class TestInsertManyEngine:
+    def test_batch_is_one_wal_frame(self, tmp_path):
+        db = open_engine(tmp_path / "db")
+        table = db.create_table(make_schema())
+        txn = db.begin()
+        table.insert_many(
+            txn,
+            [table.schema.row_from_visible([i, f"row{i}"]) for i in range(20)],
+        )
+        db.commit(txn)
+        records = wal_records(db)
+        many = [r for r in records if r.kind == "INSERT_MANY"]
+        singles = [r for r in records if r.kind == "INSERT"]
+        assert len(many) == 1
+        assert len(many[0].payload["rows"]) == 20
+        assert singles == []
+        assert visible_ids(db) == list(range(20))
+        db.close()
+
+    def test_batch_duplicate_pk_applies_nothing(self, tmp_path):
+        db = open_engine(tmp_path / "db")
+        table = db.create_table(make_schema())
+        txn = db.begin()
+        rows = [table.schema.row_from_visible([i, "x"]) for i in (1, 2, 2)]
+        with pytest.raises(ConstraintError):
+            table.insert_many(txn, rows)
+        db.rollback(txn)
+        assert visible_ids(db) == []
+        assert wal_records(db)[-1].kind != "INSERT_MANY"
+        db.close()
+
+    def test_batch_unique_index_conflict_applies_nothing(self, tmp_path):
+        db = open_engine(tmp_path / "db")
+        table = db.create_table(make_schema())
+        db.create_index(
+            "items", IndexDefinition("items_label", ("label",), unique=True)
+        )
+        txn = db.begin()
+        rows = [
+            table.schema.row_from_visible([i, f"label{i % 2}"])
+            for i in range(4)
+        ]
+        with pytest.raises(ConstraintError):
+            table.insert_many(txn, rows)
+        db.rollback(txn)
+        assert visible_ids(db) == []
+        db.close()
+
+    def test_committed_batch_survives_crash(self, tmp_path):
+        db = open_engine(tmp_path / "db")
+        table = db.create_table(make_schema())
+        txn = db.begin()
+        table.insert_many(
+            txn,
+            [table.schema.row_from_visible([i, f"row{i}"]) for i in range(30)],
+        )
+        db.commit(txn)
+        db.simulate_crash()
+        db2 = open_engine(tmp_path / "db")
+        assert visible_ids(db2) == list(range(30))
+        db2.close()
+
+    def test_torn_batch_frame_loses_whole_statement(self, tmp_path):
+        """A crash tearing the INSERT_MANY frame mid-write must lose the
+        entire statement — recovery never surfaces a partial batch."""
+        db = open_engine(tmp_path / "db")
+        table = db.create_table(make_schema())
+        txn = db.begin()
+        table.insert_many(
+            txn,
+            [table.schema.row_from_visible([i, "pre"]) for i in range(3)],
+        )
+        db.commit(txn)
+
+        txn = db.begin()  # BEGIN frame lands before the fault is armed
+        FAULTS.arm("wal.torn_write", action="crash")
+        with pytest.raises(InjectedCrashError):
+            table.insert_many(
+                txn,
+                [
+                    table.schema.row_from_visible([100 + i, "torn"])
+                    for i in range(50)
+                ],
+            )
+        FAULTS.reset()
+        db.simulate_crash()
+
+        db2 = open_engine(tmp_path / "db")
+        assert visible_ids(db2) == [0, 1, 2]
+        db2.close()
+
+    def test_uncommitted_batch_rolled_back_on_recovery(self, tmp_path):
+        """The INSERT_MANY frame lands intact but no COMMIT follows:
+        recovery must undo the whole batch via its DELETE_MANY CLR."""
+        db = open_engine(tmp_path / "db")
+        table = db.create_table(make_schema())
+        txn = db.begin()
+        table.insert_many(
+            txn,
+            [table.schema.row_from_visible([i, "pre"]) for i in range(3)],
+        )
+        db.commit(txn)
+
+        txn = db.begin()
+        table.insert_many(
+            txn,
+            [
+                table.schema.row_from_visible([200 + i, "lost"])
+                for i in range(10)
+            ],
+        )
+        db.simulate_crash()  # no commit for the second batch
+
+        db2 = open_engine(tmp_path / "db")
+        assert visible_ids(db2) == [0, 1, 2]
+        db2.close()
+
+    def test_explicit_rollback_restores_indexes(self, tmp_path):
+        db = open_engine(tmp_path / "db")
+        table = db.create_table(make_schema())
+        db.create_index(
+            "items", IndexDefinition("items_label", ("label",), unique=True)
+        )
+        txn = db.begin()
+        table.insert_many(
+            txn,
+            [table.schema.row_from_visible([i, f"l{i}"]) for i in range(5)],
+        )
+        db.rollback(txn)
+        assert visible_ids(db) == []
+        # The unique slots are free again after the batch undo.
+        txn = db.begin()
+        table.insert_many(
+            txn,
+            [table.schema.row_from_visible([i, f"l{i}"]) for i in range(5)],
+        )
+        db.commit(txn)
+        assert visible_ids(db) == list(range(5))
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Prepared-statement cache and parameter binding
+# ---------------------------------------------------------------------------
+
+class TestPreparedStatements:
+    @pytest.fixture
+    def db(self, tmp_path):
+        database = LedgerDatabase.open(
+            str(tmp_path / "db"), clock=LogicalClock()
+        )
+        yield database
+        database.close()
+
+    def test_repeat_statement_hits_cache(self, db):
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+               "WITH (LEDGER = ON)")
+        db.sql("INSERT INTO t (id, v) VALUES (0, 'x')")
+        before = db.statement_cache.stats()
+        for i in range(1, 4):
+            db.sql(f"INSERT INTO t (id, v) VALUES ({i}, 'x')")
+        # Different texts: all misses.
+        mid = db.statement_cache.stats()
+        assert mid["misses"] == before["misses"] + 3
+        for _ in range(5):
+            db.sql("SELECT COUNT(*) AS c FROM t")
+        after = db.statement_cache.stats()
+        assert after["hits"] >= mid["hits"] + 4
+        assert after["misses"] == mid["misses"] + 1
+
+    def test_ddl_invalidates_cache(self, db):
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+               "WITH (LEDGER = ON)")
+        db.sql("INSERT INTO t (id, v) VALUES (1, 'x')")
+        db.sql("SELECT * FROM t")
+        assert len(db.statement_cache) > 0
+        epoch = db.statement_cache.epoch
+        db.sql("ALTER TABLE t ADD COLUMN note VARCHAR(10)")
+        assert len(db.statement_cache) == 0
+        assert db.statement_cache.epoch == epoch + 1
+        db.sql("SELECT * FROM t")
+        assert len(db.statement_cache) > 0
+        db.sql("CREATE TABLE gone (id INT PRIMARY KEY)")
+        db.sql("DROP TABLE gone")
+        assert len(db.statement_cache) == 0
+
+    def test_unbound_parameter_rejected_by_execute(self, db):
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+               "WITH (LEDGER = ON)")
+        with pytest.raises(SqlBindError):
+            db.sql("INSERT INTO t (id, v) VALUES (?, ?)")
+
+    def test_executemany_binds_parameters(self, db):
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+               "WITH (LEDGER = ON)")
+        session = db._sql_session
+        count = session.executemany(
+            "INSERT INTO t (id, v) VALUES (?, ?)",
+            [(i, f"v{i}") for i in range(10)],
+        )
+        assert count == 10
+        rows = db.sql("SELECT COUNT(*) AS c FROM t")
+        assert rows[0]["c"] == 10
+
+    def test_executemany_rejects_arity_mismatch(self, db):
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+               "WITH (LEDGER = ON)")
+        session = db._sql_session
+        with pytest.raises(SqlBindError):
+            session.executemany(
+                "INSERT INTO t (id, v) VALUES (?, ?)", [(1, "a", "extra")]
+            )
+
+    def test_executemany_rejects_non_insert(self, db):
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+               "WITH (LEDGER = ON)")
+        session = db._sql_session
+        with pytest.raises(SqlBindError):
+            session.executemany("DELETE FROM t", [()])
+
+
+# ---------------------------------------------------------------------------
+# Compressed persistence: self-describing, legacy files still load
+# ---------------------------------------------------------------------------
+
+class TestCompressedPersistence:
+    def test_heap_round_trip_compressed(self, tmp_path):
+        heap = HeapFile("t")
+        rids = [heap.insert(f"row-{i}".encode() * 40) for i in range(300)]
+        path = os.path.join(tmp_path, "t.tbl")
+        raw, written = heap.flush(path)
+        assert raw == heap.page_count * PAGE_SIZE
+        assert written == os.path.getsize(path)
+        assert written < raw  # page images compress
+        loaded = HeapFile.load("t", path)
+        for rid in rids:
+            assert loaded.read(rid) == heap.read(rid)
+
+    def test_heap_loads_legacy_uncompressed_image(self, tmp_path):
+        """Files written before compression existed (SLHF magic) load."""
+        heap = HeapFile("t")
+        rids = [heap.insert(f"row-{i}".encode()) for i in range(50)]
+        path = os.path.join(tmp_path, "t.tbl")
+        raw, written = heap.flush(path, compress=False)
+        assert written == os.path.getsize(path)
+        with open(path, "rb") as f:
+            assert f.read(4) == b"SLHF"
+        loaded = HeapFile.load("t", path)
+        for rid in rids:
+            assert loaded.read(rid) == heap.read(rid)
+
+    def test_checkpoint_recover_verify_compressed(self, tmp_path):
+        db = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+               "WITH (LEDGER = ON)")
+        for i in range(40):
+            db.sql(f"INSERT INTO t (id, v) VALUES ({i}, 'v{i}')")
+        db.checkpoint()
+        digest = db.generate_digest()
+        db.simulate_crash()
+        db2 = LedgerDatabase.open(str(tmp_path / "db"), clock=LogicalClock())
+        report = db2.verify([digest])
+        assert report.ok, report.summary()
+        assert db2.sql("SELECT COUNT(*) AS c FROM t")[0]["c"] == 40
+        db2.close()
+
+    def test_blob_round_trip_and_stats(self, tmp_path):
+        store = ImmutableBlobStorage(str(tmp_path / "blobs"))
+        doc = {"k": "v" * 500, "n": list(range(100))}
+        store.put_json("c", "a.json", doc)
+        assert store.get_json("c", "a.json") == doc
+        stats = store.compression_stats()
+        assert stats["stored_bytes"] < stats["raw_bytes"]
+        assert stats["ratio"] > 1.0
+        # On-disk bytes are the compressed form, magic first.
+        assert store.get("c", "a.json").startswith(b"SLZ1")
+
+    def test_blob_reads_pre_compression_documents(self, tmp_path):
+        root = str(tmp_path / "blobs")
+        legacy = ImmutableBlobStorage(root, compress=False)
+        legacy.put_json("c", "old.json", {"written": "before compression"})
+        assert legacy.get("c", "old.json").startswith(b"{")
+        # A compressed store reading the same container sniffs the format.
+        modern = ImmutableBlobStorage(root)
+        assert modern.get_json("c", "old.json") == {
+            "written": "before compression"
+        }
+        modern.put_json("c", "new.json", {"written": "after"})
+        assert modern.get_json("c", "new.json") == {"written": "after"}
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: a 100-row executemany is per-statement, not per-row
+# ---------------------------------------------------------------------------
+
+class TestExecutemanyAcceptance:
+    def test_one_parse_one_wal_frame_one_hash_span(self, tmp_path):
+        OBS.reset()
+        OBS.enable()
+        try:
+            db = LedgerDatabase.open(
+                str(tmp_path / "db"), clock=LogicalClock()
+            )
+            db.sql("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20)) "
+                   "WITH (LEDGER = ON)")
+            session = db._sql_session
+            sql_text = "INSERT INTO t (id, v) VALUES (?, ?)"
+            # Warm the statement cache so the measured run is a pure hit.
+            session.executemany(sql_text, [(10_000, "warm")])
+
+            cache_before = db.statement_cache.stats()
+            OBS.tracer.reset()
+            rows = [(i, f"v{i}") for i in range(100)]
+            assert session.executemany(sql_text, rows) == 100
+            cache_after = db.statement_cache.stats()
+
+            # Exactly zero parses: the statement text hit the cache.
+            assert cache_after["misses"] == cache_before["misses"]
+            assert cache_after["hits"] == cache_before["hits"] + 1
+
+            # Exactly one INSERT_MANY WAL frame carrying all 100 rows, and
+            # no per-row INSERT frames.
+            paths = glob.glob(os.path.join(str(tmp_path / "db"), "wal.*.log"))
+            assert len(paths) == 1
+            # Only frames for the user table: block building writes its own
+            # single-row INSERTs into the ledger system tables.
+            table_id = db.engine.table("t").table_id
+            records = [
+                r for r in read_wal(paths[0])
+                if r.kind in ("INSERT", "INSERT_MANY")
+                and r.payload.get("table_id") == table_id
+            ]
+            batch_frames = [r for r in records if r.kind == "INSERT_MANY"]
+            measured = [
+                r for r in batch_frames if len(r.payload["rows"]) == 100
+            ]
+            assert len(measured) == 1
+            assert not any(r.kind == "INSERT" for r in records)
+
+            # One sql.statement span, and at most ceil(rows / batch) = 1
+            # ledger.hash observation covering all 100 rows.
+            spans = db.trace_sink.spans()
+            statement_spans = [
+                s for s in spans if s.name == "sql.statement"
+            ]
+            assert len(statement_spans) == 1
+            hash_spans = [s for s in spans if s.name == "ledger.hash"]
+            assert len(hash_spans) <= math.ceil(100 / 100)
+            assert hash_spans[0].attributes["rows"] == 100
+            # No parse span at all: the cached AST was reused.
+            assert not any(s.name == "sql.parse" for s in spans)
+
+            digest = db.generate_digest()
+            report = db.verify([digest])
+            assert report.ok, report.summary()
+            db.close()
+        finally:
+            OBS.reset()
+            OBS.disable()
