@@ -1,0 +1,21 @@
+"""Client library for the ledger server (see :mod:`repro.server`).
+
+:class:`~repro.client.ledger_client.LedgerClient` wraps a connection pool
+and retry-with-backoff (reusing the digest manager's ``RetryPolicy``); every
+write carries a client-minted txn UUID so retries after ambiguous timeouts
+are idempotent server-side.
+"""
+
+from repro.client.ledger_client import (
+    AmbiguousResultError,
+    ConnectionPool,
+    LedgerClient,
+)
+from repro.server.protocol import RequestError
+
+__all__ = [
+    "AmbiguousResultError",
+    "ConnectionPool",
+    "LedgerClient",
+    "RequestError",
+]

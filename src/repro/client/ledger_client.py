@@ -1,0 +1,331 @@
+"""Retry-idempotent ledger client: connection pool + backoff + txn UUIDs.
+
+The failure model this client is built for:
+
+* **Connect refused / reset** — the server restarted or shed the session;
+  retry against a (possibly new) server after backoff.
+* **Torn response frame / socket timeout after a write was sent** — the
+  *ambiguous* case: the server may or may not have committed.  The request
+  is retried with the SAME client-minted ``txn_uuid``; the server's
+  idempotency index replays the original commit receipt instead of
+  double-committing.  Requests without an idempotency key that end
+  ambiguous raise :class:`AmbiguousResultError` instead of guessing.
+* **Structured retryable rejects** (``SERVER_BUSY``, ``DEGRADED``,
+  ``SHUTTING_DOWN``, ``DEADLINE_EXCEEDED``) — back off per the digest
+  manager's :class:`~repro.digests.digest_manager.RetryPolicy` (reused
+  verbatim: same bounded exponential + jitter) and retry within the
+  caller's deadline.
+
+Deadlines propagate: each attempt sends the *remaining* budget as
+``deadline_ms`` so the server can shed work the client has already given
+up on — including at the pipeline drain barrier inside digest/receipt.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+import uuid as uuid_mod
+from typing import Any, Dict, List, Optional
+
+from repro.digests.digest_manager import RetryPolicy
+from repro.server.protocol import (
+    ProtocolError,
+    RequestError,
+    recv_frame,
+    send_frame,
+)
+
+
+class AmbiguousResultError(Exception):
+    """A request died mid-flight and carried no idempotency key.
+
+    The operation may or may not have been applied; the caller must
+    reconcile (e.g. via a receipt lookup) before retrying.
+    """
+
+
+class _Connection:
+    """One pooled socket; requests on a connection are strictly serial."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float) -> None:
+        self.sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._seq = 0
+
+    def request(
+        self, payload: Dict[str, Any], timeout: float
+    ) -> Dict[str, Any]:
+        self._seq += 1
+        seq = self._seq
+        self.sock.settimeout(max(0.001, timeout))
+        send_frame(self.sock, {**payload, "seq": seq})
+        response = recv_frame(self.sock)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if response.get("seq") != seq:
+            # A stale response from a previous (timed-out) request on this
+            # socket: the stream is desynced; the pool must discard it.
+            raise ProtocolError(
+                f"protocol desync: expected seq {seq}, got {response.get('seq')}"
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class ConnectionPool:
+    """LIFO pool of lazily-created connections (SignLedger's pool shape).
+
+    LIFO keeps the working set warm: under low load the same few sockets
+    are reused while the rest age out server-side.  Broken connections are
+    discarded, never returned.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 4,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._size = max(1, int(size))
+        self._connect_timeout = connect_timeout
+        self._idle: "queue.LifoQueue[_Connection]" = queue.LifoQueue()
+        self._created = 0
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def checkout(self, timeout: float = 5.0) -> _Connection:
+        if self._closed:
+            raise RuntimeError("connection pool is closed")
+        try:
+            return self._idle.get_nowait()
+        except queue.Empty:
+            pass
+        with self._lock:
+            if self._created < self._size:
+                self._created += 1
+                try:
+                    return _Connection(
+                        self._host, self._port, self._connect_timeout
+                    )
+                except BaseException:
+                    self._created -= 1
+                    raise
+        # At capacity: wait for a peer to check one back in.
+        return self._idle.get(timeout=timeout)
+
+    def checkin(self, conn: _Connection) -> None:
+        if self._closed:
+            conn.close()
+            return
+        self._idle.put(conn)
+
+    def discard(self, conn: _Connection) -> None:
+        conn.close()
+        with self._lock:
+            self._created -= 1
+
+    def close(self) -> None:
+        self._closed = True
+        while True:
+            try:
+                self._idle.get_nowait().close()
+            except queue.Empty:
+                break
+
+    @property
+    def open_connections(self) -> int:
+        with self._lock:
+            return self._created
+
+
+class LedgerClient:
+    """High-level client: pooled, deadline-propagating, retry-idempotent."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        retry: Optional[RetryPolicy] = None,
+        request_timeout: float = 10.0,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        self._pool = ConnectionPool(
+            host, port, size=pool_size, connect_timeout=connect_timeout
+        )
+        self._retry = retry if retry is not None else RetryPolicy(
+            attempts=5, base_delay=0.02, max_delay=0.5
+        )
+        self._rng = self._retry.rng()
+        self._rng_lock = threading.Lock()
+        self._request_timeout = request_timeout
+
+    # ------------------------------------------------------------------
+    # Core request loop
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        payload: Dict[str, Any],
+        timeout: Optional[float] = None,
+        idempotent: bool = False,
+    ) -> Dict[str, Any]:
+        budget = timeout if timeout is not None else self._request_timeout
+        deadline = time.monotonic() + budget
+        last_error: Optional[Exception] = None
+        for attempt in range(self._retry.attempts):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                conn = self._pool.checkout(timeout=remaining)
+            except (OSError, queue.Empty) as exc:
+                last_error = exc
+                self._backoff(attempt, deadline)
+                continue
+            try:
+                response = conn.request(
+                    {**payload, "deadline_ms": int(remaining * 1000)},
+                    timeout=remaining,
+                )
+            except (OSError, ProtocolError, socket.timeout) as exc:
+                # The connection is unusable — and the request outcome is
+                # unknown (the frame may have been applied before the link
+                # died).  Only an idempotency key makes a retry safe.
+                self._pool.discard(conn)
+                last_error = exc
+                if not idempotent:
+                    raise AmbiguousResultError(
+                        f"request died mid-flight with no idempotency key: {exc}"
+                    ) from exc
+                self._backoff(attempt, deadline)
+                continue
+            if response.get("ok"):
+                self._pool.checkin(conn)
+                return response.get("result", {})
+            self._pool.checkin(conn)
+            error = RequestError.from_wire(response.get("error", {}))
+            last_error = error
+            if not error.retryable:
+                raise error
+            self._backoff(attempt, deadline)
+        if isinstance(last_error, RequestError):
+            raise last_error
+        raise RequestError(
+            "DEADLINE_EXCEEDED",
+            f"retries exhausted after {self._retry.attempts} attempts: "
+            f"{last_error}",
+            retryable=True,
+        )
+
+    def _backoff(self, attempt: int, deadline: float) -> None:
+        with self._rng_lock:
+            delay = self._retry.delay(attempt, self._rng)
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        self._retry.sleep(min(delay, remaining))
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self, timeout: Optional[float] = None) -> bool:
+        return bool(self._request({"op": "ping"}, timeout, idempotent=True).get("pong"))
+
+    def health(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request({"op": "health"}, timeout, idempotent=True)
+
+    def server_stats(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request({"op": "stats"}, timeout, idempotent=True)
+
+    def insert(
+        self,
+        table: str,
+        rows: List[List[Any]],
+        timeout: Optional[float] = None,
+        txn_uuid: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Commit ``rows`` into ``table`` as one transaction, exactly once.
+
+        Mints a txn UUID when the caller does not supply one, so retries
+        (including transparent in-call retries after torn frames) never
+        double-commit.
+        """
+        key = txn_uuid if txn_uuid is not None else str(uuid_mod.uuid4())
+        return self._request(
+            {"op": "insert", "table": table, "rows": rows, "txn_uuid": key},
+            timeout,
+            idempotent=True,
+        )
+
+    def execute(
+        self,
+        sql: str,
+        timeout: Optional[float] = None,
+        txn_uuid: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Execute one SQL statement.
+
+        Autocommit writes get a minted txn UUID (idempotent retries); reads
+        are naturally idempotent.  Statements inside an explicit BEGIN /
+        COMMIT session are NOT auto-retried — a retry could land on a
+        different pooled connection and thus a different server session.
+        """
+        keyword = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+        is_txn_control = keyword in {"BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT"}
+        is_write = keyword in {
+            "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER", "TRUNCATE",
+        }
+        payload: Dict[str, Any] = {"op": "execute", "sql": sql}
+        if is_write and not is_txn_control:
+            payload["txn_uuid"] = (
+                txn_uuid if txn_uuid is not None else str(uuid_mod.uuid4())
+            )
+        return self._request(
+            payload, timeout, idempotent=not is_txn_control
+        )
+
+    def select(
+        self, table: str, timeout: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        return self._request(
+            {"op": "select", "table": table}, timeout, idempotent=True
+        ).get("rows", [])
+
+    def digest(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request({"op": "digest"}, timeout, idempotent=True)
+
+    def receipt(
+        self, tid: int, shard: int = 0, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        return self._request(
+            {"op": "receipt", "tid": tid, "shard": shard},
+            timeout,
+            idempotent=True,
+        )
+
+    def discard_connections(self) -> None:
+        """Drop every idle pooled connection (tests force fresh accepts)."""
+        while True:
+            try:
+                conn = self._pool._idle.get_nowait()
+            except queue.Empty:
+                return
+            self._pool.discard(conn)
+
+    def close(self) -> None:
+        self._pool.close()

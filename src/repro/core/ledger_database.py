@@ -23,6 +23,7 @@ from __future__ import annotations
 import datetime as dt
 import os
 import shutil
+import threading
 import uuid
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -92,6 +93,9 @@ class LedgerDatabase:
         self._monitor = None
         self._obs_server = None
         self._flight_recorder = None
+        self._group_committer = None
+        self._close_lock = threading.Lock()
+        self._closed = False
 
     @property
     def context(self) -> LedgerContext:
@@ -172,6 +176,11 @@ class LedgerDatabase:
         db.pipeline.start()
         return db
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has completed (or begun on this thread)."""
+        return self._closed
+
     def close(self) -> None:
         """Stop every background thread, then close the engine.
 
@@ -179,18 +188,33 @@ class LedgerDatabase:
         and the block builder writes through the engine — all must be
         stopped and joined before the engine goes away so no daemon thread
         leaks into the next test or touches a closed database.
+
+        Idempotent and safe to call concurrently — a second close (or one
+        racing a server shutdown) serializes behind the first and returns
+        once teardown is complete.  In-flight ``drain()`` barriers are
+        waited out before the engine goes away; drains arriving after that
+        fail with a clean ``LedgerError`` instead of racing the teardown.
         """
-        self.stop_monitor()
-        self.stop_obs_server()
-        self.stop_flight_recorder()
-        if not self.engine.closed:
-            self.pipeline.stop(drain=True)
-        else:
-            self.pipeline.stop(drain=False)
-        self.engine.close()
-        if self._owns_instance_name:
-            release_instance_name(self._ctx.name)
-            self._owns_instance_name = False
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._group_committer is not None:
+                self._group_committer.close()
+            self.stop_monitor()
+            self.stop_obs_server()
+            self.stop_flight_recorder()
+            if not self.engine.closed:
+                self.pipeline.stop(drain=True)
+            else:
+                self.pipeline.stop(drain=False)
+            # Let digest/receipt consumers already past stop() finish their
+            # barrier against a live engine; block everyone after them.
+            self.pipeline.disable_drains()
+            self.engine.close()
+            if self._owns_instance_name:
+                release_instance_name(self._ctx.name)
+                self._owns_instance_name = False
 
     def checkpoint(self) -> None:
         """Checkpoint the engine after closing every closable block."""
@@ -893,6 +917,23 @@ class LedgerDatabase:
 
                     self._sql_session = SqlSession(self)
         return self._sql_session.execute(statement)
+
+    @property
+    def group_committer(self):
+        """Lazy per-database :class:`~repro.core.group_commit.GroupCommitter`.
+
+        Concurrent writers route autocommit work units through this to
+        amortize the storage-lock round-trip and (in sync mode) the fsync
+        across a whole group; the ledger server's write path uses it for
+        every commit.
+        """
+        if self._group_committer is None:
+            with self.ledger.storage_lock:
+                if self._group_committer is None:
+                    from repro.core.group_commit import GroupCommitter
+
+                    self._group_committer = GroupCommitter(self)
+        return self._group_committer
 
     def __repr__(self) -> str:
         return f"<LedgerDatabase {self.engine.path!r}>"

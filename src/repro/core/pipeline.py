@@ -111,6 +111,13 @@ class LedgerPipeline:
         self._pending_wakeups = 0
         self._stop_requested = False
         self._thread: Optional[threading.Thread] = None
+        # Serializes concurrent stop() calls (a second close racing the
+        # builder join) and tracks in-flight drains so close() can wait for
+        # them before tearing the engine down.
+        self._stop_lock = threading.RLock()
+        self._drain_cv = threading.Condition()
+        self._active_drains = 0
+        self._drains_disabled = False
         self._blocks_built = 0
         self._builder_errors = 0
         self._drains = 0
@@ -162,28 +169,33 @@ class LedgerPipeline:
         first; with ``drain=False`` (crash simulation) the thread exits as
         soon as it observes the stop flag, leaving sealed blocks for
         recovery.
+
+        Idempotent and safe to call concurrently: a second stop() (e.g. a
+        double close, or a close racing a shutdown path) serializes behind
+        the first and returns once the builder is down.
         """
         self._expected_running = False
-        if self._thread is None:
-            return
-        if drain and self._thread.is_alive():
-            self.drain(seal_open=False)
-        with self._wakeup:
-            self._stop_requested = True
-            self._wakeup.notify_all()
-            thread = self._thread
-        thread.join(timeout=timeout)
-        leaked = thread.is_alive()
-        self._thread = None
-        self._ledger.set_sealed_ready_callback(None)
-        if self._obs.metrics.enabled:
-            self._m.builder_running.set(0)
-        self._ctx.events.emit(
-            "ledger", "pipeline.stopped",
-            blocks_built=self._blocks_built, joined=not leaked,
-        )
-        if leaked:
-            raise LedgerError("block-builder thread did not stop in time")
+        with self._stop_lock:
+            if self._thread is None:
+                return
+            if drain and self._thread.is_alive():
+                self.drain(seal_open=False)
+            with self._wakeup:
+                self._stop_requested = True
+                self._wakeup.notify_all()
+                thread = self._thread
+            thread.join(timeout=timeout)
+            leaked = thread.is_alive()
+            self._thread = None
+            self._ledger.set_sealed_ready_callback(None)
+            if self._obs.metrics.enabled:
+                self._m.builder_running.set(0)
+            self._ctx.events.emit(
+                "ledger", "pipeline.stopped",
+                blocks_built=self._blocks_built, joined=not leaked,
+            )
+            if leaked:
+                raise LedgerError("block-builder thread did not stop in time")
 
     # ------------------------------------------------------------------
     # The drain barrier
@@ -200,25 +212,62 @@ class LedgerPipeline:
         ``seal_open=False`` only already-sealed blocks are closed, which
         preserves the open block — verification uses this to keep reporting
         entries of the open block as "uncovered".
+
+        Raises a clean :class:`LedgerError` once :meth:`disable_drains` has
+        run (the database is closing) instead of racing the engine teardown.
         """
         started = time.perf_counter()
-        with self._obs.tracer.span("pipeline.drain", seal_open=seal_open) as span:
-            if seal_open:
-                self._ledger.seal_open_block()
-            if not self._ledger.wait_for_sealed_entries(timeout):
+        with self._drain_cv:
+            if self._drains_disabled:
                 raise LedgerError(
-                    "pipeline drain timed out waiting for in-flight commits"
+                    "pipeline is shut down; drain is no longer available"
                 )
-            closed = 0
-            while self._ledger.close_next_ready_block() is not None:
-                closed += 1
-            span.set_attribute("blocks", closed)
+            self._active_drains += 1
+        try:
+            with self._obs.tracer.span(
+                "pipeline.drain", seal_open=seal_open
+            ) as span:
+                if seal_open:
+                    self._ledger.seal_open_block()
+                if not self._ledger.wait_for_sealed_entries(timeout):
+                    raise LedgerError(
+                        "pipeline drain timed out waiting for in-flight commits"
+                    )
+                closed = 0
+                while self._ledger.close_next_ready_block() is not None:
+                    closed += 1
+                span.set_attribute("blocks", closed)
+        finally:
+            with self._drain_cv:
+                self._active_drains -= 1
+                self._drain_cv.notify_all()
         self._drains += 1
         if self._obs.metrics.enabled:
             self._m.drains.inc()
             self._m.stage_seconds.labels("drain").observe(
                 time.perf_counter() - started
             )
+
+    def disable_drains(self, timeout: float = DEFAULT_DRAIN_TIMEOUT) -> bool:
+        """Close barrier: refuse new drains, wait out in-flight ones.
+
+        Called by ``LedgerDatabase.close()`` between stopping the builder
+        and closing the engine, so a concurrent ``drain()`` (a digest or
+        receipt consumer mid-barrier) finishes against a live engine and
+        every later one fails with a clean error instead of a torn-down
+        file handle.  Returns False if an in-flight drain outlived
+        ``timeout`` (close proceeds regardless; that drain was already
+        doomed to its own timeout).
+        """
+        deadline = time.monotonic() + timeout
+        with self._drain_cv:
+            self._drains_disabled = True
+            while self._active_drains:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._drain_cv.wait(timeout=remaining)
+            return True
 
     # ------------------------------------------------------------------
     # Introspection

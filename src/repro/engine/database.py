@@ -138,6 +138,12 @@ class Database:
     def context(self) -> LedgerContext:
         return self._ctx
 
+    @property
+    def wal(self) -> WalWriter:
+        """The live WAL writer (group commit needs its deferred-sync mode)."""
+        assert self._wal is not None
+        return self._wal
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ crash.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import struct
@@ -66,6 +67,10 @@ def _wal_metrics(reg):
         )
         fsync_seconds = reg.histogram(
             "wal_fsync_seconds", "Latency of WAL flush+fsync calls"
+        )
+        deferred_appends = reg.counter(
+            "wal_deferred_sync_appends_total",
+            "Appends whose per-record fsync was deferred to a group fsync",
         )
 
     return _Families
@@ -138,6 +143,9 @@ class WalWriter:
         self._lock = InstrumentedLock(
             self._ctx.scoped("wal.writer"), metrics=self._ctx.metrics
         )
+        # Depth > 0 suppresses the per-append fsync in sync mode so a group
+        # of commits can harden with ONE fsync at the end (group commit).
+        self._defer_depth = 0
 
     @property
     def path(self) -> str:
@@ -160,16 +168,71 @@ class WalWriter:
             self._file.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
             self._file.write(payload)
             if self._sync:
-                self._faults.fire("wal.fsync", kind=record.kind)
-                self._flush_and_sync()
+                if self._defer_depth:
+                    if self._obs.metrics.enabled:
+                        self._m.deferred_appends.inc()
+                else:
+                    self._faults.fire("wal.fsync", kind=record.kind)
+                    self._flush_and_sync()
         if self._obs.metrics.enabled:
             self._m.appends.labels(record.kind).inc()
             self._m.bytes_appended.inc(_FRAME.size + len(payload))
         return lsn
 
+    @contextlib.contextmanager
+    def deferred_sync(self):
+        """Suspend per-append fsyncs; issue ONE group fsync on clean exit.
+
+        This is the WAL half of group commit: a leader appends many COMMIT
+        frames under this context and the whole group hardens with a single
+        ``fsync``.  If the body raises (an injected crash, a real error) the
+        group fsync is *skipped* — the frames were written to the OS buffer
+        but never hardened, which models a crash before the durability
+        point: no member of the group was acknowledged, so losing them all
+        is correct.
+        """
+        with self._lock:
+            self._defer_depth += 1
+        try:
+            yield self
+        except BaseException:
+            with self._lock:
+                self._defer_depth -= 1
+            raise
+        else:
+            with self._lock:
+                self._defer_depth -= 1
+                if self._sync and self._defer_depth == 0:
+                    self._faults.fire("wal.fsync", kind="GROUP")
+                    if self._obs.tracer.enabled:
+                        with self._obs.tracer.span("wal.group_fsync"):
+                            self._flush_and_sync()
+                    else:
+                        self._flush_and_sync()
+
+    def simulate_torn_tail(self) -> None:
+        """Append a deliberately torn frame (header + partial payload).
+
+        Used by the ``server.fsync_torn_group`` fault drill: a crash after a
+        group's COMMIT frames reached the OS buffer but mid-flush leaves a
+        torn tail.  ``read_wal`` must stop cleanly at it, discarding whole
+        frames — whole transactions — never a prefix of one.
+        """
+        with self._lock:
+            garbage = b'{"kind":"TORN-GROUP-TAIL"}'
+            self._file.write(_FRAME.pack(64, zlib.crc32(garbage)))
+            self._file.write(garbage[: len(garbage) // 2])
+            self._file.flush()
+
     def flush(self) -> None:
         with self._lock:
             if self._sync:
+                if self._defer_depth:
+                    # Group commit in progress: the deferred-sync exit
+                    # hardens the whole group with one fsync.  Flushing
+                    # per member here would silently re-introduce the
+                    # one-fsync-per-commit cost the group exists to avoid.
+                    return
                 if self._obs.tracer.enabled:
                     # The commit path's durability point: worth its own span
                     # in the lineage (fsync dominates sync-mode commits).

@@ -86,13 +86,25 @@ CRASH_MATRIX: Tuple[CrashPoint, ...] = (
     CrashPoint("blob.torn_upload", driver="upload"),
 )
 
-#: The subset exercised additionally as real process kills.
+#: The subset exercised additionally as real process kills.  The
+#: ``server`` driver runs an in-process ledger server (sync WAL, group
+#: commit) hammered by client threads; the kill lands in a server thread,
+#: so the whole front-end — admission queue, group committer, response
+#: writer — dies exactly as a production SIGKILL would.
 KILL_MATRIX: Tuple[CrashPoint, ...] = (
     CrashPoint("wal.append", driver="commit", sync=True, skip=4),
     CrashPoint("wal.torn_write", driver="commit", sync=True, skip=4),
     CrashPoint("checkpoint.write", driver="checkpoint", sync=True),
     CrashPoint("ledger.block_persist", driver="digest", sync=True),
+    CrashPoint("server.accept_drop", driver="server", sync=True, skip=2),
+    CrashPoint("server.read_stall", driver="server", sync=True, skip=6),
+    CrashPoint("server.kill_mid_response", driver="server", sync=True, skip=3),
+    CrashPoint("server.fsync_torn_group", driver="server", sync=True, skip=1),
 )
+
+#: Rows per transaction in the server kill drill: recovery must show each
+#: transaction's rows all-or-nothing (group commit is atomic per member).
+_SERVER_ROWS_PER_TXN = 3
 
 
 def _open_db(path: str, sync: bool = False):
@@ -336,38 +348,44 @@ def run_kill_point(
                 f"(stderr: {child.stderr.strip()[-400:]})"
             )
 
-        committed: Dict[int, int] = {}
-        if os.path.exists(log_path):
-            with open(log_path, "r", encoding="utf-8") as f:
-                for line in f:
-                    tid_text, value_text = line.strip().split(",")
-                    committed[int(value_text)] = int(tid_text)
-        result["committed"] = len(committed)
-
         started = time.perf_counter()
         db2 = _open_db(path)
         result["recovery_seconds"] = time.perf_counter() - started
         try:
-            report = db2.verify([db2.generate_digest()])
-            if not report.ok:
-                failures.append(f"verification failed: {report.summary()}")
-            recovered = {
-                row["value"]: row["tag"] for row in db2.select("torture")
-            }
-            lost = sorted(set(committed) - set(recovered))
-            if lost:
-                failures.append(f"committed rows lost: {lost}")
-            extras = sorted(set(recovered) - set(committed))
-            if len(extras) > 1:
-                failures.append(
-                    f"more than one in-flight row surfaced: {extras}"
+            if spec.driver == "server":
+                failures.extend(
+                    _check_server_kill_recovery(db2, log_path, result)
                 )
-            for value, tid in sorted(committed.items()):
-                if db2.ledger.transaction_entry(tid) is None:
+            else:
+                committed: Dict[int, int] = {}
+                if os.path.exists(log_path):
+                    with open(log_path, "r", encoding="utf-8") as f:
+                        for line in f:
+                            tid_text, value_text = line.strip().split(",")
+                            committed[int(value_text)] = int(tid_text)
+                result["committed"] = len(committed)
+                report = db2.verify([db2.generate_digest()])
+                if not report.ok:
                     failures.append(
-                        f"ledger entry missing for committed tid {tid}"
+                        f"verification failed: {report.summary()}"
                     )
-                    break
+                recovered = {
+                    row["value"]: row["tag"] for row in db2.select("torture")
+                }
+                lost = sorted(set(committed) - set(recovered))
+                if lost:
+                    failures.append(f"committed rows lost: {lost}")
+                extras = sorted(set(recovered) - set(committed))
+                if len(extras) > 1:
+                    failures.append(
+                        f"more than one in-flight row surfaced: {extras}"
+                    )
+                for value, tid in sorted(committed.items()):
+                    if db2.ledger.transaction_entry(tid) is None:
+                        failures.append(
+                            f"ledger entry missing for committed tid {tid}"
+                        )
+                        break
         finally:
             db2.close()
     finally:
@@ -376,6 +394,125 @@ def run_kill_point(
     result["failures"] = failures
     result["ok"] = not failures
     return result
+
+
+def _check_server_kill_recovery(
+    db2, log_path: str, result: Dict[str, Any]
+) -> List[str]:
+    """Recovery guarantees for the server kill drill.
+
+    * full verification passes;
+    * every ACKNOWLEDGED transaction (a response frame fully received by a
+      client, logged + fsynced before anything else) is present with ALL
+      its rows, and its ledger entry exists;
+    * every recovered transaction is whole — exactly
+      :data:`_SERVER_ROWS_PER_TXN` rows — so a crash mid-group can lose
+      whole transactions but never commit half of one;
+    * durable-but-unacked extras are allowed in any number: with many
+      in-flight clients, a whole fsynced group can die between hardening
+      and acknowledging (that ambiguity is why retries carry txn UUIDs).
+    """
+    failures: List[str] = []
+    report = db2.verify([db2.generate_digest()])
+    if not report.ok:
+        failures.append(f"verification failed: {report.summary()}")
+
+    by_txn: Dict[str, Set[int]] = {}
+    for row in db2.select("torture"):
+        base, _, index_text = row["tag"][1:].partition("r")
+        by_txn.setdefault(base, set()).add(int(index_text))
+    for base, indices in sorted(by_txn.items()):
+        if indices != set(range(_SERVER_ROWS_PER_TXN)):
+            failures.append(
+                f"torn transaction visible: txn {base} recovered rows "
+                f"{sorted(indices)} of {_SERVER_ROWS_PER_TXN}"
+            )
+
+    acked: Dict[str, int] = {}
+    if os.path.exists(log_path):
+        with open(log_path, "r", encoding="utf-8") as f:
+            for line in f:
+                base, _, tid_text = line.strip().partition(",")
+                acked[base] = int(tid_text)
+    result["committed"] = len(acked)
+    result["extras"] = len(set(by_txn) - set(acked))
+    lost = sorted(set(acked) - set(by_txn))
+    if lost:
+        failures.append(f"acked transactions lost: {lost}")
+    for base, tid in sorted(acked.items()):
+        if db2.ledger.transaction_entry(tid) is None:
+            failures.append(f"ledger entry missing for acked tid {tid}")
+            break
+    return failures
+
+
+def _server_child_main(args: argparse.Namespace) -> None:
+    """Kill-mode child for the ``server`` driver.
+
+    Runs an in-process :class:`~repro.server.ledger_server.LedgerServer`
+    over a sync-WAL database, arms the fault with ``action="exit"``, and
+    hammers it with client threads doing multi-row inserts.  Each client
+    fsyncs ``tag,tid`` into the committed log only AFTER the full response
+    frame arrived, so the log is exactly the set of acknowledged commits.
+    Clients drop their pooled connections between requests so every insert
+    crosses the accept path (``server.accept_drop`` needs fresh accepts).
+    """
+    import threading
+
+    from repro.client import LedgerClient
+    from repro.digests.digest_manager import RetryPolicy
+    from repro.server.ledger_server import LedgerServer
+
+    db = _open_db(args.path, sync=True)
+    _create_table(db)
+    server = LedgerServer(
+        db, port=0, workers=4, queue_depth=64, max_group=8
+    ).start()
+    log = open(args.committed_log, "a", encoding="utf-8")
+    log_lock = threading.Lock()
+
+    def insert(client: "LedgerClient", base: int) -> None:
+        rows = [
+            [f"s{base:06d}r{r}", base * 10 + r]
+            for r in range(_SERVER_ROWS_PER_TXN)
+        ]
+        outcome = client.insert("torture", rows, timeout=5.0)
+        with log_lock:
+            log.write(f"{base:06d},{outcome['tid']}\n")
+            log.flush()
+            os.fsync(log.fileno())
+
+    warm = LedgerClient(
+        "127.0.0.1", server.port, pool_size=2,
+        retry=RetryPolicy(attempts=2, base_delay=0.01),
+    )
+    for i in range(_PRE_ROWS):
+        insert(warm, 900_000 + i)
+    FAULTS.arm(args.point, action="exit", skip=args.skip, exit_code=131)
+
+    def hammer(index: int) -> None:
+        client = LedgerClient(
+            "127.0.0.1", server.port, pool_size=1,
+            retry=RetryPolicy(attempts=1, base_delay=0.01),
+        )
+        for i in range(_MAX_ATTEMPTS):
+            try:
+                insert(client, index * 10_000 + i)
+            except Exception:
+                return  # the server side died mid-request: job done
+            client.discard_connections()
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,), daemon=True)
+        for t in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    # Reaching this line means the fault never killed the process.
+    print(f"fault {args.point} never fired", file=sys.stderr)
+    sys.exit(3)
 
 
 def _child_main(args: argparse.Namespace) -> None:
@@ -388,6 +525,9 @@ def _child_main(args: argparse.Namespace) -> None:
 
         OBS.enable()
         FlightRecorder(args.flight_dir).install()
+    if args.driver == "server":
+        _server_child_main(args)
+        return
     db = _open_db(args.path, sync=True)
     _create_table(db)
     log = open(args.committed_log, "a", encoding="utf-8")

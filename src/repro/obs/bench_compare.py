@@ -292,6 +292,10 @@ def detect_baseline_kind(baseline: Dict[str, Any]) -> str:
         return "pipeline"
     if "sharded" in baseline:
         return "shard"
+    if isinstance(baseline.get("server"), dict) and (
+        "closed_loop" in baseline["server"]
+    ):
+        return "server"
     if "verify" in baseline:
         return "verify"
     if "recovery_seconds" in baseline:
@@ -300,7 +304,7 @@ def detect_baseline_kind(baseline: Dict[str, Any]) -> str:
         return "obs"
     raise ValueError(
         "unrecognized baseline shape: expected a BENCH_*.json written by "
-        "the harness (pipeline/shard/verify/faults/obs)"
+        "the harness (pipeline/shard/server/verify/faults/obs)"
     )
 
 
@@ -326,6 +330,15 @@ def _run_fresh(kind: str, baseline: Dict[str, Any]) -> Dict[str, Any]:
                 path,
                 shards=int(sharded.get("shards", 4) or 4),
                 concurrency=int(sharded.get("concurrency", 4) or 4),
+            )
+        if kind == "server":
+            config = baseline.get("server", {}).get("config", {})
+            return harness.run_server_baseline(
+                path,
+                clients=int(config.get("clients", 32) or 32),
+                transactions_per_client=int(
+                    config.get("transactions_per_client", 25) or 25
+                ),
             )
         if kind == "verify":
             return harness.run_verify_baseline(path)

@@ -1,0 +1,153 @@
+"""Wire protocol for the ledger server: length-prefixed JSON frames.
+
+Matches the framing idiom of ``repro/obs/server.py`` but over a raw TCP
+socket: every message — request or response — is ``uint32 length`` (big
+endian) followed by a UTF-8 JSON document.  Requests carry an ``op`` plus
+op-specific fields; responses are either::
+
+    {"ok": true,  "seq": <echo>, "result": {...}}
+    {"ok": false, "seq": <echo>, "error": {"code", "message", "retryable"}}
+
+``seq`` is an opaque client-chosen value echoed back verbatim (the client
+library uses it to detect protocol desync on a reused connection).
+
+Error codes are the server's overload-policy vocabulary.  ``retryable``
+tells a well-behaved client whether backing off and retrying (with the
+same ``txn_uuid``!) can succeed:
+
+* ``SERVER_BUSY``      — admission queue full; the request was shed, not
+  queued.  Retryable: the queue is bounded precisely so that load spikes
+  turn into fast rejects instead of unbounded latency.
+* ``DEADLINE_EXCEEDED``— the request's propagated deadline expired before
+  (or while) the server could finish it.  Retryable with a fresh deadline.
+* ``DEGRADED``         — the block builder or monitor is down; writes are
+  shed while verified reads keep flowing.  Retryable: supervision usually
+  restarts the builder.
+* ``SHUTTING_DOWN``    — graceful drain-then-stop in progress.  Retryable
+  against a replacement server.
+* ``TAMPER_DETECTED``  — the continuous verifier found mismatching hashes;
+  the server refuses data operations outright.  NOT retryable.
+* ``BAD_REQUEST`` / ``INTERNAL`` — malformed input / unexpected server
+  error.  Not retryable.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+_LEN = struct.Struct(">I")
+
+#: Refuse absurd frames before allocating for them (a corrupt length
+#: prefix must not look like a 4 GiB allocation request).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+SERVER_BUSY = "SERVER_BUSY"
+DEADLINE_EXCEEDED = "DEADLINE_EXCEEDED"
+DEGRADED = "DEGRADED"
+SHUTTING_DOWN = "SHUTTING_DOWN"
+TAMPER_DETECTED = "TAMPER_DETECTED"
+BAD_REQUEST = "BAD_REQUEST"
+INTERNAL = "INTERNAL"
+
+RETRYABLE_CODES = frozenset(
+    {SERVER_BUSY, DEADLINE_EXCEEDED, DEGRADED, SHUTTING_DOWN}
+)
+
+
+class ProtocolError(Exception):
+    """The byte stream violated the framing contract (torn/oversized frame)."""
+
+
+class RequestError(Exception):
+    """A structured server-side rejection, carried back over the wire."""
+
+    def __init__(self, code: str, message: str, retryable: Optional[bool] = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retryable = (
+            retryable if retryable is not None else code in RETRYABLE_CODES
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "retryable": self.retryable,
+        }
+
+    @classmethod
+    def from_wire(cls, error: Dict[str, Any]) -> "RequestError":
+        return cls(
+            str(error.get("code", INTERNAL)),
+            str(error.get("message", "")),
+            bool(error.get("retryable", False)),
+        )
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively coerce engine values into JSON-safe equivalents.
+
+    SELECT results can carry ``bytes`` (VARBINARY system columns) and
+    ``datetime`` values; both get stable text encodings so any row the
+    engine can return can cross the wire.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dt.datetime):
+        return value.isoformat()
+    return value
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the maximum")
+    return _LEN.pack(len(data)) + data
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None  # clean EOF between frames
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; None on clean EOF.  Raises ProtocolError on tears."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the maximum")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        decoded = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return decoded

@@ -1317,6 +1317,40 @@ def run_shard_baseline(
     return payload
 
 
+def run_server_baseline(
+    path: str = "BENCH_server_baseline.json",
+    clients: int = 32,
+    transactions_per_client: int = 25,
+) -> Dict[str, Any]:
+    """Multi-client ledger-server baseline (see workloads/server_bench.py).
+
+    Delegates to the server bench module; kept in this namespace so the
+    compare gate dispatches every baseline kind through one place.
+    """
+    from repro.workloads import server_bench
+
+    return server_bench.run_server_baseline(
+        path, clients=clients, transactions_per_client=transactions_per_client
+    )
+
+
+def _server_experiment(
+    clients: int = 32, transactions_per_client: int = 25, kill: bool = False
+) -> str:
+    from repro.workloads import server_bench
+
+    text = server_bench.format_server(
+        server_bench.run_server_bench(
+            clients=clients, transactions_per_client=transactions_per_client
+        )
+    )
+    if kill:
+        text += "\n" + server_bench.format_kill_drill(
+            server_bench.run_server_kill_drill()
+        )
+    return text
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -1336,6 +1370,7 @@ _EXPERIMENTS = {
     ),
     "faults": lambda: format_faults(run_faults_bench()),
     "shard": lambda: format_shard(run_shard_bench()),
+    "server": lambda: _server_experiment(),
 }
 
 
@@ -1457,7 +1492,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--kill-mode", action="store_true",
         help="with the 'faults' experiment or --faults-baseline, also run "
-             "the subprocess-kill matrix (real os._exit crashes)",
+             "the subprocess-kill matrix (real os._exit crashes); with the "
+             "'server' experiment, also run the SIGKILL-mid-traffic drill",
+    )
+    parser.add_argument(
+        "--clients", type=int, metavar="N", default=32,
+        help="client-thread count for the 'server' experiment and "
+             "--server-baseline (default: 32)",
+    )
+    parser.add_argument(
+        "--server-baseline", metavar="PATH", default=None,
+        help="run the multi-client ledger-server benchmark (closed loop, "
+             "open-loop overload, sync-mode group-commit amortization) and "
+             "write the baseline JSON to PATH",
     )
     parser.add_argument(
         "--tracing", action="store_true",
@@ -1524,6 +1571,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--shards must be at least 1")
     if args.batch_rows < 1:
         parser.error("--batch-rows must be at least 1")
+    if args.clients < 1:
+        parser.error("--clients must be at least 1")
 
     def _pipeline_cli() -> str:
         results = run_pipeline_bench(
@@ -1551,6 +1600,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _EXPERIMENTS["shard"] = lambda: format_shard(
         run_shard_bench(shards=args.shards, concurrency=args.concurrency)
+    )
+    _EXPERIMENTS["server"] = lambda: _server_experiment(
+        clients=args.clients, kill=args.kill_mode
     )
     if args.events_out:
         OBS.events.attach_file(args.events_out)
@@ -1581,6 +1633,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             concurrency=args.concurrency,
         )
         print(f"wrote {args.shard_baseline}")
+        return 0
+    if args.server_baseline:
+        run_server_baseline(args.server_baseline, clients=args.clients)
+        print(f"wrote {args.server_baseline}")
         return 0
     if args.telemetry:
         OBS.enable(metrics=True, tracing=False)

@@ -70,6 +70,29 @@ class TestKillMode:
             CrashPoint("ledger.block_persist", driver="digest", sync=True)
         ))
 
+    def test_kill_9_mid_group_commit_loses_no_acked_transaction(self):
+        """SIGKILL-equivalent death at the group-fsync point: whole
+        transactions may vanish (they were never acknowledged), but every
+        acked commit survives recovery with all its rows, and no torn
+        transaction is ever visible."""
+        from repro.faults.torture import KILL_MATRIX
+
+        spec = next(
+            s for s in KILL_MATRIX if s.point == "server.fsync_torn_group"
+        )
+        result = run_kill_point(spec)
+        _assert_ok(result)
+        assert result["exit_code"] == 131
+        assert result["committed"] >= 6  # at least the pre-arm acks
+
+    def test_kill_mid_response_keeps_acked_commits(self):
+        from repro.faults.torture import KILL_MATRIX
+
+        spec = next(
+            s for s in KILL_MATRIX if s.point == "server.kill_mid_response"
+        )
+        _assert_ok(run_kill_point(spec))
+
 
 class TestDegradationDrills:
     def test_transient_upload_faults_are_absorbed(self):

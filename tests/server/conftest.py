@@ -1,0 +1,64 @@
+"""Shared fixtures for ledger-server tests: a live server over a real
+socket, a pooled retry client, and a disarmed fault registry around every
+test (the server registers process-wide fault points)."""
+
+import pytest
+
+from repro.client import LedgerClient
+from repro.core.ledger_database import LedgerDatabase
+from repro.digests.digest_manager import RetryPolicy
+from repro.engine.clock import LogicalClock
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import INT, VARCHAR
+from repro.faults import FAULTS
+from repro.server.ledger_server import LedgerServer
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    FAULTS.reset()
+    yield
+    FAULTS.reset()
+
+
+@pytest.fixture
+def server_db(tmp_path):
+    db = LedgerDatabase.open(
+        str(tmp_path / "db"), block_size=4, clock=LogicalClock()
+    )
+    db.create_ledger_table(
+        TableSchema(
+            "items",
+            [
+                Column("tag", VARCHAR(32), nullable=False),
+                Column("value", INT, nullable=False),
+            ],
+            primary_key=["tag"],
+        )
+    )
+    yield db
+    try:
+        db.close()
+    except Exception:
+        pass
+
+
+@pytest.fixture
+def server(server_db):
+    srv = LedgerServer(
+        server_db, port=0, workers=2, queue_depth=16, max_group=8
+    ).start()
+    yield srv
+    srv.stop(drain=True)
+
+
+@pytest.fixture
+def client(server):
+    cli = LedgerClient(
+        "127.0.0.1",
+        server.port,
+        pool_size=4,
+        retry=RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.05),
+    )
+    yield cli
+    cli.close()

@@ -1,0 +1,219 @@
+"""Ledger-server behaviour: request flow, admission control, deadlines,
+degraded mode, graceful shutdown.
+
+The overload tests stall the single worker deterministically with a
+callback fault on ``server.kill_mid_response`` (it fires inside the
+response writer, i.e. in the worker thread), then drive concurrent raw
+connections into the bounded admission queue.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client import LedgerClient
+from repro.digests.digest_manager import RetryPolicy
+from repro.faults import FAULTS
+from repro.server import protocol
+from repro.server.ledger_server import LedgerServer
+from repro.server.protocol import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    DEGRADED,
+    SERVER_BUSY,
+    SHUTTING_DOWN,
+    RequestError,
+)
+
+
+def _raw_request(port, payload, timeout=10.0):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+    sock.settimeout(timeout)
+    protocol.send_frame(sock, {**payload, "seq": 1})
+    return sock
+
+
+def _read_response(sock):
+    try:
+        return protocol.recv_frame(sock)
+    finally:
+        sock.close()
+
+
+class TestRequestFlow:
+    def test_ping_and_health(self, client):
+        assert client.ping()
+        health = client.health()
+        assert health["status"] in ("ok", "degraded")
+
+    def test_insert_select_receipt(self, client):
+        result = client.insert("items", [["a", 1], ["b", 2]])
+        assert result["rows"] == 2
+        assert result["tid"] > 0
+        rows = client.select("items")
+        assert {row["tag"] for row in rows} == {"a", "b"}
+        receipt = client.receipt(result["tid"])
+        assert receipt["receipt"]["entry"]["tid"] == result["tid"]
+
+    def test_digest_covers_commits(self, client):
+        client.insert("items", [["c", 3]])
+        digests = client.digest()["digests"]
+        assert len(digests) == 1
+        assert digests[0]["block_id"] >= 0
+
+    def test_execute_sql_roundtrip(self, client):
+        client.execute("INSERT INTO items VALUES ('sql-row', 9)")
+        rows = client.execute("SELECT tag, value FROM items")["rows"]
+        assert ["sql-row", 9] in [[r["tag"], r["value"]] for r in rows]
+
+    def test_unknown_op_is_bad_request(self, server):
+        sock = _raw_request(server.port, {"op": "nonsense"})
+        response = _read_response(sock)
+        assert response["ok"] is False
+        assert response["error"]["code"] == BAD_REQUEST
+
+    def test_stats_shape(self, client):
+        stats = client.server_stats()
+        assert stats["queue_capacity"] == 16
+        assert "group_commit" in stats
+        assert stats["tier"] == "ok"
+
+
+class TestAdmissionControl:
+    """workers=1, queue_depth=1: anything beyond 2 concurrent must shed."""
+
+    @pytest.fixture
+    def narrow(self, server_db):
+        srv = LedgerServer(
+            server_db, port=0, workers=1, queue_depth=1, max_group=4
+        ).start()
+        yield srv
+        FAULTS.reset()  # never leave the stall armed while stopping
+        srv.stop(drain=True)
+
+    def _stall_worker(self, narrow):
+        """Arm a one-shot stall inside the worker's response write."""
+        stalled = threading.Event()
+        release = threading.Event()
+
+        def stall(_context):
+            stalled.set()
+            release.wait(timeout=10.0)
+
+        FAULTS.arm(
+            "server.kill_mid_response", action="fail", times=1, callback=stall
+        )
+        pinger = _raw_request(narrow.port, {"op": "ping"})
+        assert stalled.wait(timeout=5.0)
+        return pinger, release
+
+    def test_overload_sheds_with_server_busy(self, narrow):
+        pinger, release = self._stall_worker(narrow)
+        socks = [
+            _raw_request(narrow.port, {"op": "insert", "table": "items",
+                                       "rows": [[f"q{i}", i]]})
+            for i in range(5)
+        ]
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            # All five admitted or shed: 1 queued + 4 rejected.
+            if narrow.stats()["shed"].get("queue_full", 0) >= 4:
+                break
+            time.sleep(0.01)
+        release.set()
+        outcomes = []
+        for sock in socks:
+            response = _read_response(sock)
+            outcomes.append(
+                "ok" if response["ok"] else response["error"]["code"]
+            )
+        assert outcomes.count(SERVER_BUSY) == 4
+        assert outcomes.count("ok") == 1
+        busy = [r for r in outcomes if r == SERVER_BUSY]
+        assert busy  # sheds were structured rejects, not hangs
+        assert _read_response(pinger)["ok"] is True
+
+    def test_expired_deadline_is_shed_at_dequeue(self, narrow):
+        pinger, release = self._stall_worker(narrow)
+        sock = _raw_request(
+            narrow.port,
+            {"op": "insert", "table": "items", "rows": [["d", 1]],
+             "deadline_ms": 5},
+        )
+        time.sleep(0.1)  # let the 5 ms budget expire while queued
+        release.set()
+        response = _read_response(sock)
+        assert response["ok"] is False
+        assert response["error"]["code"] == DEADLINE_EXCEEDED
+        assert response["error"]["retryable"] is True
+        _read_response(pinger)
+
+
+class TestDegradedMode:
+    def test_dead_monitor_sheds_writes_serves_reads(self, server_db, server):
+        client = LedgerClient(
+            "127.0.0.1", server.port, pool_size=1,
+            retry=RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02),
+        )
+        client.insert("items", [["pre", 1]])
+        monitor = server_db.start_monitor(interval=0.01)
+        assert monitor.wait_for_cycle(timeout=10.0)
+        FAULTS.arm("monitor.cycle", action="fail")
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and monitor.running:
+            time.sleep(0.01)
+        FAULTS.reset()
+        assert not monitor.running
+        time.sleep(0.06)  # health tier cache expiry
+
+        with pytest.raises(RequestError) as excinfo:
+            client.insert("items", [["shed", 2]])
+        assert excinfo.value.code == DEGRADED
+        # Verified reads keep flowing through the same degraded server.
+        rows = client.select("items")
+        assert {row["tag"] for row in rows} == {"pre"}
+        assert client.health()["status"] == "degraded"
+        client.close()
+
+
+class TestShutdown:
+    def test_draining_server_rejects_new_writes(self, server, client):
+        client.insert("items", [["z", 26]])
+        server._stopping = True  # the drain window, frozen for the test
+        try:
+            with pytest.raises(RequestError) as excinfo:
+                client.insert("items", [["late", 1]])
+            assert excinfo.value.code == SHUTTING_DOWN
+            assert excinfo.value.retryable is True
+        finally:
+            server._stopping = False
+
+    def test_graceful_stop_completes_inflight_work(self, server_db):
+        srv = LedgerServer(server_db, port=0, workers=2).start()
+        cli = LedgerClient("127.0.0.1", srv.port, pool_size=4)
+        results = [cli.insert("items", [[f"g{i}", i]]) for i in range(6)]
+        cli.close()
+        srv.stop(drain=True)
+        assert all(r["tid"] > 0 for r in results)
+        report = server_db.verify([server_db.generate_digest()])
+        assert report.ok
+        srv.stop(drain=True)  # idempotent
+
+    def test_session_cap_rejects_with_structured_busy(self, server_db):
+        srv = LedgerServer(server_db, port=0, workers=1, max_sessions=1).start()
+        try:
+            first = socket.create_connection(("127.0.0.1", srv.port))
+            first.settimeout(5.0)
+            protocol.send_frame(first, {"op": "ping", "seq": 1})
+            assert protocol.recv_frame(first)["ok"]
+            second = socket.create_connection(("127.0.0.1", srv.port))
+            second.settimeout(5.0)
+            response = protocol.recv_frame(second)
+            assert response["ok"] is False
+            assert response["error"]["code"] == SERVER_BUSY
+            first.close()
+            second.close()
+        finally:
+            srv.stop(drain=True)

@@ -1,0 +1,99 @@
+"""Wire-protocol unit tests: framing, truncation, error envelopes."""
+
+import datetime
+import socket
+import struct
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import (
+    DEADLINE_EXCEEDED,
+    RETRYABLE_CODES,
+    SERVER_BUSY,
+    TAMPER_DETECTED,
+    ProtocolError,
+    RequestError,
+)
+
+
+def _pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = _pair()
+        try:
+            protocol.send_frame(a, {"op": "ping", "seq": 7})
+            assert protocol.recv_frame(b) == {"op": "ping", "seq": 7}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = _pair()
+        a.close()
+        try:
+            assert protocol.recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = _pair()
+        try:
+            data = protocol.encode_frame({"op": "ping"})
+            a.sendall(data[: len(data) - 3])  # header + partial body
+            a.close()
+            with pytest.raises(ProtocolError):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = _pair()
+        try:
+            a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_payload_rejected(self):
+        a, b = _pair()
+        try:
+            body = b"[1, 2]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestJsonable:
+    def test_bytes_become_hex(self):
+        assert protocol.jsonable({"h": b"\x00\xff"}) == {"h": "00ff"}
+
+    def test_datetimes_become_isoformat(self):
+        stamp = datetime.datetime(2021, 6, 20, 12, 30)
+        assert protocol.jsonable([stamp]) == [stamp.isoformat()]
+
+
+class TestRequestError:
+    def test_wire_round_trip(self):
+        err = RequestError(SERVER_BUSY, "queue full")
+        wire = err.to_wire()
+        back = RequestError.from_wire(wire)
+        assert back.code == SERVER_BUSY
+        assert back.retryable is True
+
+    def test_retryable_defaults_follow_code(self):
+        assert RequestError(DEADLINE_EXCEEDED, "x").retryable
+        assert not RequestError(TAMPER_DETECTED, "x").retryable
+        assert SERVER_BUSY in RETRYABLE_CODES
+        assert TAMPER_DETECTED not in RETRYABLE_CODES
+
+    def test_explicit_retryable_overrides(self):
+        assert RequestError(TAMPER_DETECTED, "x", retryable=True).retryable
