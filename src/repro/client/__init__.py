@@ -3,19 +3,27 @@
 :class:`~repro.client.ledger_client.LedgerClient` wraps a connection pool
 and retry-with-backoff (reusing the digest manager's ``RetryPolicy``); every
 write carries a client-minted txn UUID so retries after ambiguous timeouts
-are idempotent server-side.
+are idempotent server-side.  Interactive BEGIN…COMMIT transactions use
+:meth:`~repro.client.ledger_client.LedgerClient.session`, which pins one
+pooled connection (one server session) and never retries.
 """
 
 from repro.client.ledger_client import (
     AmbiguousResultError,
+    ClientSession,
     ConnectionPool,
     LedgerClient,
+    PoolExhaustedError,
+    TransactionAbortedError,
 )
 from repro.server.protocol import RequestError
 
 __all__ = [
     "AmbiguousResultError",
+    "ClientSession",
     "ConnectionPool",
     "LedgerClient",
+    "PoolExhaustedError",
     "RequestError",
+    "TransactionAbortedError",
 ]

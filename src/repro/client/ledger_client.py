@@ -19,11 +19,18 @@ The failure model this client is built for:
 Deadlines propagate: each attempt sends the *remaining* budget as
 ``deadline_ms`` so the server can shed work the client has already given
 up on — including at the pipeline drain barrier inside digest/receipt.
+
+Interactive transactions are a separate, stricter mode: server-side
+transaction state (and its table locks) is scoped to ONE connection, so
+``BEGIN``/``COMMIT`` must never ride the pool.  :meth:`LedgerClient.session`
+pins one pooled connection for the transaction's whole lifetime and never
+retries — a dead link mid-transaction means the server rolled the
+transaction back on disconnect, surfaced here as
+:class:`TransactionAbortedError`.
 """
 
 from __future__ import annotations
 
-import queue
 import socket
 import threading
 import time
@@ -45,6 +52,19 @@ class AmbiguousResultError(Exception):
     The operation may or may not have been applied; the caller must
     reconcile (e.g. via a receipt lookup) before retrying.
     """
+
+
+class TransactionAbortedError(Exception):
+    """The pinned connection of an interactive transaction died.
+
+    The server rolls back a session's open transaction when its connection
+    drops, so none of the transaction's writes survived; restart the whole
+    transaction from ``BEGIN``.
+    """
+
+
+class PoolExhaustedError(OSError):
+    """No pooled connection became available within the checkout timeout."""
 
 
 class _Connection:
@@ -87,7 +107,11 @@ class ConnectionPool:
 
     LIFO keeps the working set warm: under low load the same few sockets
     are reused while the rest age out server-side.  Broken connections are
-    discarded, never returned.
+    discarded, never returned.  A single condition variable guards both
+    the idle stack and the created-count, so a waiter at capacity wakes
+    the moment a peer checks in OR discards — a discard frees capacity to
+    open a fresh connection, and must not leave waiters sleeping out their
+    full timeout.
     """
 
     def __init__(
@@ -101,54 +125,161 @@ class ConnectionPool:
         self._port = port
         self._size = max(1, int(size))
         self._connect_timeout = connect_timeout
-        self._idle: "queue.LifoQueue[_Connection]" = queue.LifoQueue()
+        self._idle: List[_Connection] = []
         self._created = 0
-        self._lock = threading.Lock()
+        self._cond = threading.Condition()
         self._closed = False
 
     def checkout(self, timeout: float = 5.0) -> _Connection:
-        if self._closed:
-            raise RuntimeError("connection pool is closed")
-        try:
-            return self._idle.get_nowait()
-        except queue.Empty:
-            pass
-        with self._lock:
-            if self._created < self._size:
-                self._created += 1
-                try:
-                    return _Connection(
-                        self._host, self._port, self._connect_timeout
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise RuntimeError("connection pool is closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._created < self._size:
+                    self._created += 1
+                    break  # connect outside the lock
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise PoolExhaustedError(
+                        f"no connection available within {timeout:.3f}s "
+                        f"({self._size} checked out)"
                     )
-                except BaseException:
-                    self._created -= 1
-                    raise
-        # At capacity: wait for a peer to check one back in.
-        return self._idle.get(timeout=timeout)
+                self._cond.wait(remaining)
+        try:
+            return _Connection(self._host, self._port, self._connect_timeout)
+        except BaseException:
+            with self._cond:
+                self._created -= 1
+                self._cond.notify()
+            raise
 
     def checkin(self, conn: _Connection) -> None:
-        if self._closed:
-            conn.close()
-            return
-        self._idle.put(conn)
+        with self._cond:
+            if not self._closed:
+                self._idle.append(conn)
+                self._cond.notify()
+                return
+        conn.close()
 
     def discard(self, conn: _Connection) -> None:
         conn.close()
-        with self._lock:
+        with self._cond:
             self._created -= 1
+            self._cond.notify()
+
+    def discard_idle(self) -> None:
+        """Close every idle connection (tests force fresh accepts)."""
+        with self._cond:
+            idle, self._idle = self._idle, []
+            self._created -= len(idle)
+            self._cond.notify_all()
+        for conn in idle:
+            conn.close()
 
     def close(self) -> None:
-        self._closed = True
-        while True:
-            try:
-                self._idle.get_nowait().close()
-            except queue.Empty:
-                break
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._cond.notify_all()
+        for conn in idle:
+            conn.close()
 
     @property
     def open_connections(self) -> int:
-        with self._lock:
+        with self._cond:
             return self._created
+
+
+class ClientSession:
+    """An interactive-transaction handle pinned to ONE pooled connection.
+
+    Server-side transaction state — the open transaction and its NOWAIT
+    table locks — lives on a single server session, which maps 1:1 onto a
+    single connection.  This handle checks one connection out of the pool
+    and runs every statement on it, so a ``BEGIN … COMMIT`` block is
+    coherent no matter how many threads share the :class:`LedgerClient`.
+
+    Nothing here is retried: replaying a statement of an open transaction
+    on a fresh connection would silently apply it as an autocommit write
+    on a different server session.  If the link dies the server rolls the
+    open transaction back on disconnect and every further call raises
+    :class:`TransactionAbortedError` — restart from ``BEGIN``.
+
+    Use as a context manager; on exit an open transaction is rolled back.
+    """
+
+    def __init__(self, client: "LedgerClient", checkout_timeout: float) -> None:
+        self._client = client
+        self._conn: Optional[_Connection] = client._pool.checkout(
+            timeout=checkout_timeout
+        )
+        self._broken = False
+        self.in_transaction = False
+
+    def execute(
+        self, sql: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        if self._broken:
+            raise TransactionAbortedError(
+                "session connection already died; restart the transaction"
+            )
+        if self._conn is None:
+            raise RuntimeError("session is closed")
+        budget = (
+            timeout if timeout is not None else self._client._request_timeout
+        )
+        try:
+            response = self._conn.request(
+                {
+                    "op": "execute",
+                    "sql": sql,
+                    "deadline_ms": int(budget * 1000),
+                },
+                timeout=budget,
+            )
+        except (OSError, ProtocolError, socket.timeout) as exc:
+            self._broken = True
+            conn, self._conn = self._conn, None
+            self._client._pool.discard(conn)
+            raise TransactionAbortedError(
+                f"connection died mid-transaction (server rolls back on "
+                f"disconnect): {exc}"
+            ) from exc
+        if not response.get("ok"):
+            raise RequestError.from_wire(response.get("error", {}))
+        keyword = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
+        if keyword == "BEGIN":
+            self.in_transaction = True
+        elif keyword in ("COMMIT", "ROLLBACK"):
+            self.in_transaction = False
+        return response.get("result", {})
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is None:
+            return
+        if self.in_transaction:
+            # Best-effort rollback so the server releases table locks now
+            # rather than at socket teardown.
+            try:
+                conn.request(
+                    {"op": "execute", "sql": "ROLLBACK", "deadline_ms": 5000},
+                    timeout=5.0,
+                )
+            except (OSError, ProtocolError, socket.timeout, RequestError):
+                self._client._pool.discard(conn)
+                return
+            self.in_transaction = False
+        self._client._pool.checkin(conn)
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class LedgerClient:
@@ -192,7 +323,7 @@ class LedgerClient:
                 break
             try:
                 conn = self._pool.checkout(timeout=remaining)
-            except (OSError, queue.Empty) as exc:
+            except OSError as exc:
                 last_error = exc
                 self._backoff(attempt, deadline)
                 continue
@@ -278,26 +409,35 @@ class LedgerClient:
         timeout: Optional[float] = None,
         txn_uuid: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Execute one SQL statement.
+        """Execute one autocommit SQL statement.
 
-        Autocommit writes get a minted txn UUID (idempotent retries); reads
-        are naturally idempotent.  Statements inside an explicit BEGIN /
-        COMMIT session are NOT auto-retried — a retry could land on a
-        different pooled connection and thus a different server session.
+        Writes get a minted txn UUID (idempotent retries); reads are
+        naturally idempotent.  Transaction control is rejected here: each
+        pooled attempt may land on a different connection — and thus a
+        different server session — which would scatter one logical
+        BEGIN…COMMIT block across sessions.  Use :meth:`session` for
+        interactive transactions.
         """
         keyword = sql.lstrip().split(None, 1)[0].upper() if sql.strip() else ""
-        is_txn_control = keyword in {"BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT"}
+        if keyword in {"BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT"}:
+            raise ValueError(
+                f"{keyword} is not supported via execute(): pooled requests "
+                "have no session affinity; use LedgerClient.session() to pin "
+                "one connection for an interactive transaction"
+            )
         is_write = keyword in {
             "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "ALTER", "TRUNCATE",
         }
         payload: Dict[str, Any] = {"op": "execute", "sql": sql}
-        if is_write and not is_txn_control:
+        if is_write:
             payload["txn_uuid"] = (
                 txn_uuid if txn_uuid is not None else str(uuid_mod.uuid4())
             )
-        return self._request(
-            payload, timeout, idempotent=not is_txn_control
-        )
+        return self._request(payload, timeout, idempotent=True)
+
+    def session(self, checkout_timeout: float = 5.0) -> ClientSession:
+        """Pin one pooled connection for an interactive transaction."""
+        return ClientSession(self, checkout_timeout=checkout_timeout)
 
     def select(
         self, table: str, timeout: Optional[float] = None
@@ -320,12 +460,7 @@ class LedgerClient:
 
     def discard_connections(self) -> None:
         """Drop every idle pooled connection (tests force fresh accepts)."""
-        while True:
-            try:
-                conn = self._pool._idle.get_nowait()
-            except queue.Empty:
-                return
-            self._pool.discard(conn)
+        self._pool.discard_idle()
 
     def close(self) -> None:
         self._pool.close()

